@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the RETCON reproduction.
+//!
+//! These measure the cost of the simulator's building blocks (symbolic
+//! tracking, pre-commit repair, coherence accesses) and of complete small
+//! workload runs under each system — useful for keeping the harness fast
+//! enough that the figure-regeneration binaries stay interactive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use retcon::{Engine, RetconConfig};
+use retcon_isa::{Addr, BinOp, Reg};
+use retcon_mem::{AccessKind, CoreId, MemConfig, MemorySystem};
+use retcon_workloads::{run_spec, System, Workload};
+
+/// Symbolic tracking: one load + N increments + store + repair.
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("track_increment_repair", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(RetconConfig::default());
+            eng.begin();
+            let a = Addr(0);
+            eng.begin_tracking(a.block(), |_| 0);
+            let mut v = eng.finish_tracked_load(Reg(1), a);
+            for _ in 0..16 {
+                v = eng.on_alu(BinOp::Add, Reg(1), Reg(1), None, v, 1);
+            }
+            eng.on_store(a, Some(Reg(1)), v);
+            eng.on_steal(a.block());
+            let repair = eng.validate_and_repair(|_| 100).expect("repairs");
+            black_box(repair);
+        })
+    });
+    group.bench_function("alu_symbolic_propagation", |b| {
+        let mut eng = Engine::new(RetconConfig::default());
+        eng.begin();
+        eng.begin_tracking(Addr(0).block(), |_| 7);
+        let v = eng.finish_tracked_load(Reg(1), Addr(0));
+        b.iter(|| {
+            black_box(eng.on_alu(BinOp::Add, Reg(1), Reg(1), None, black_box(v), 1));
+        })
+    });
+    group.finish();
+}
+
+/// Coherence substrate: hits, misses, invalidations.
+fn bench_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory");
+    group.bench_function("l1_hit", |b| {
+        let mut ms = MemorySystem::new(MemConfig::default(), 2);
+        ms.access(CoreId(0), Addr(0), AccessKind::Read, false);
+        b.iter(|| black_box(ms.access(CoreId(0), Addr(0), AccessKind::Read, false)));
+    });
+    group.bench_function("write_invalidate_pingpong", |b| {
+        let mut ms = MemorySystem::new(MemConfig::default(), 2);
+        b.iter(|| {
+            black_box(ms.access(CoreId(0), Addr(0), AccessKind::Write, false));
+            black_box(ms.access(CoreId(1), Addr(0), AccessKind::Write, false));
+        });
+    });
+    group.finish();
+}
+
+/// End-to-end: the counter micro-benchmark at 4 cores under each system.
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_4core");
+    group.sample_size(10);
+    for system in [System::Eager, System::LazyVb, System::Retcon] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.label()),
+            &system,
+            |b, &system| {
+                let spec = Workload::Counter.build(4, 42);
+                b.iter(|| black_box(run_spec(&spec, system, 4).expect("runs")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_memory, bench_workloads);
+criterion_main!(benches);

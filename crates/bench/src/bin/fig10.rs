@@ -1,0 +1,40 @@
+//! Figure 10: runtime breakdown normalized to the eager baseline.
+//!
+//! For each workload and system, bars are scaled so eager's total is 1.0;
+//! a RETCON bar shorter than 1.0 means RETCON finished in less total
+//! core-time than eager, and its conflict component shows how much
+//! conflict time repair eliminated.
+
+use retcon_bench::{breakdown_row, print_header, run_at_scale};
+use retcon_workloads::{System, Workload};
+
+fn main() {
+    print_header(
+        "Figure 10: time breakdown normalized to eager (busy/conflict/barrier/other)",
+        "",
+    );
+    println!(
+        "{:<18} {:<9} {:>7} {:>9} {:>9} {:>7} {:>7}",
+        "workload", "system", "busy", "conflict", "barrier", "other", "total"
+    );
+    for w in Workload::fig9() {
+        let eager_total = run_at_scale(w, System::Eager).breakdown().total();
+        for s in System::FIG9 {
+            let r = run_at_scale(w, s);
+            let (busy, conflict, barrier, other) = breakdown_row(&r, eager_total);
+            println!(
+                "{:<18} {:<9} {:>7.3} {:>9.3} {:>9.3} {:>7.3} {:>7.3}",
+                w.label(),
+                s.label(),
+                busy,
+                conflict,
+                barrier,
+                other,
+                busy + conflict + barrier + other,
+            );
+        }
+        println!();
+    }
+    println!("Expected shape: RetCon's conflict component collapses on the -sz");
+    println!("variants and python_opt; elsewhere bars match eager.");
+}

@@ -1,0 +1,34 @@
+//! Figure 4: runtime breakdown of the baseline system.
+//!
+//! Buckets per the paper: busy (useful work), conflict (stalled by another
+//! processor or work in ultimately-aborted transactions), barrier (load
+//! imbalance), other (commit processing).
+
+use retcon_bench::{breakdown_row, print_header, run_at_scale};
+use retcon_workloads::{System, Workload};
+
+fn main() {
+    print_header(
+        "Figure 4: time breakdown on the eager baseline (fractions of total)",
+        "",
+    );
+    println!(
+        "{:<18} {:>8} {:>9} {:>9} {:>8}",
+        "workload", "busy", "conflict", "barrier", "other"
+    );
+    for w in Workload::fig9() {
+        let r = run_at_scale(w, System::Eager);
+        let total = r.breakdown().total();
+        let (busy, conflict, barrier, other) = breakdown_row(&r, total);
+        println!(
+            "{:<18} {:>8.3} {:>9.3} {:>9.3} {:>8.3}",
+            w.label(),
+            busy,
+            conflict,
+            barrier,
+            other
+        );
+    }
+    println!("\nExpected shape: -sz variants and python dominated by conflict;");
+    println!("labyrinth by barrier (load imbalance); ssca2 mostly busy (memory-bound).");
+}

@@ -1,0 +1,36 @@
+//! Table 1: the simulated machine configuration.
+
+use retcon::RetconConfig;
+use retcon_bench::print_header;
+use retcon_sim::SimConfig;
+
+fn main() {
+    print_header("Table 1: simulated machine configuration", "");
+    let cfg = SimConfig::default();
+    let rc = RetconConfig::default();
+    let lat = cfg.mem.latency;
+    println!("Processor             {} in-order cores, 1 IPC", cfg.num_cores);
+    println!(
+        "L1 cache              {} KB, {}-way set associative, 64B blocks ({} sets)",
+        cfg.mem.l1.capacity_blocks() * 64 / 1024,
+        cfg.mem.l1.ways,
+        cfg.mem.l1.sets
+    );
+    println!(
+        "L2 cache              Private, {} MB, {}-way, 64B blocks, {}-cycle hit latency",
+        cfg.mem.l2.capacity_blocks() * 64 / 1024 / 1024,
+        cfg.mem.l2.ways,
+        lat.l2_hit
+    );
+    println!("Memory                {} cycles DRAM lookup latency", lat.dram);
+    println!("Permissions-only      unbounded overflow map (capacity aborts impossible)");
+    println!("Coherence             directory-based, {}-cycle hop latency", lat.hop);
+    println!(
+        "RETCON structures     {}-entry initial value buffer, {}-entry constraint buffer, {}-entry symbolic store buffer",
+        rc.ivb_capacity, rc.constraint_capacity, rc.ssb_capacity
+    );
+    println!(
+        "Predictor             track after {} conflict(s); back off {} conflicts on violation",
+        rc.initial_threshold, rc.violation_backoff
+    );
+}

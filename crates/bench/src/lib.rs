@@ -1,0 +1,100 @@
+//! Benchmark harnesses regenerating every table and figure of the RETCON
+//! paper.
+//!
+//! Each binary in `src/bin/` reproduces one artifact of the evaluation
+//! (§5); run them with `cargo run --release -p retcon-bench --bin <name>`:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig1` | Figure 1 — scalability of the aggressive eager HTM, 32 cores |
+//! | `fig2` | Figure 2 — the two-increment counter schedule under RETCON, DATM, eager, eager-stall and lazy |
+//! | `fig3` | Figure 3 — scalability before/after software restructurings |
+//! | `fig4` | Figure 4 — runtime breakdown on the baseline |
+//! | `table1` | Table 1 — simulated machine configuration |
+//! | `table2` | Table 2 — workload inventory |
+//! | `fig9` | Figure 9 — eager vs lazy-vb vs RETCON scalability |
+//! | `fig10` | Figure 10 — runtime breakdown normalized to eager |
+//! | `table3` | Table 3 — RETCON structure utilization and pre-commit overhead |
+//! | `ablation_ideal` | §5.3 — default RETCON vs the idealized variant |
+//! | `ablation_sizes` | structure-size and predictor-threshold sweeps |
+//! | `scaling` | core-count sweep (1–32) for selected workloads |
+//!
+//! Absolute cycle counts come from our substitute substrate (a mini-ISA
+//! simulator, not FeS2 running real binaries), so only the *shape* of each
+//! result — who wins, by roughly what factor, where the crossovers are — is
+//! expected to match the paper. `EXPERIMENTS.md` records paper-vs-measured
+//! for every row.
+
+#![forbid(unsafe_code)]
+
+use retcon_sim::SimReport;
+use retcon_workloads::{run, sequential_baseline, System, Workload};
+
+/// The seed used for every reported experiment (runs are fully
+/// deterministic).
+pub const SEED: u64 = 42;
+
+/// The paper's core count.
+pub const CORES: usize = 32;
+
+/// Runs `workload` under `system` at the paper's core count, panicking with
+/// a labelled message on simulator errors (these harnesses are
+/// report-generators; failures should be loud).
+pub fn run_at_scale(workload: Workload, system: System) -> SimReport {
+    run(workload, system, CORES, SEED)
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", workload.label(), system.label()))
+}
+
+/// The sequential baseline cycle count for `workload`.
+pub fn seq_cycles(workload: Workload) -> u64 {
+    sequential_baseline(workload, SEED)
+        .unwrap_or_else(|e| panic!("{} sequential baseline: {e}", workload.label()))
+}
+
+/// Formats a speedup cell.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:>8.1}")
+}
+
+/// Prints the standard header used by the figure harnesses.
+pub fn print_header(title: &str, note: &str) {
+    println!("==================================================================");
+    println!("{title}");
+    if !note.is_empty() {
+        println!("{note}");
+    }
+    println!("==================================================================");
+}
+
+/// A breakdown row normalized to a reference total, Figure 4/10 style.
+pub fn breakdown_row(report: &SimReport, reference_total: u64) -> (f64, f64, f64, f64) {
+    let b = report.breakdown();
+    let r = reference_total as f64;
+    (
+        b.busy as f64 / r,
+        b.conflict as f64 / r,
+        b.barrier as f64 / r,
+        b.other as f64 / r,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_helpers_run_a_small_workload() {
+        // Use a tiny configuration (counter at 2 cores) through the public
+        // workload API to keep the test fast.
+        let report = run(Workload::Counter, System::Retcon, 2, SEED).unwrap();
+        assert!(report.protocol.commits > 0);
+        let (busy, conflict, barrier, other) = breakdown_row(&report, report.breakdown().total());
+        let sum = busy + conflict + barrier + other;
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fmt_speedup_width() {
+        assert_eq!(fmt_speedup(1.25).len(), 8);
+    }
+}

@@ -1,0 +1,126 @@
+//! RETCON hardware configuration.
+
+/// Sizing and timing parameters of the RETCON structures.
+///
+/// Defaults reproduce Table 1 of the paper: a 16-entry initial value buffer
+/// (16 blocks tracked symbolically), constraints maintained for 16 word
+/// addresses, and a 32-entry symbolic store buffer. The three `idealized_*`
+/// flags reproduce the §5.3 "comparison to idealized system" configuration
+/// (unlimited state, parallel block reacquisition, free commit-time stores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetconConfig {
+    /// Maximum number of blocks the initial value buffer tracks
+    /// ("16-entry original value buffer").
+    pub ivb_capacity: usize,
+    /// Maximum number of word addresses with interval constraints
+    /// ("16-entry constraint buffer"). Equality constraints are represented
+    /// as per-word bits in the IVB (§4.4) and do not consume entries.
+    pub constraint_capacity: usize,
+    /// Maximum number of symbolic store buffer entries ("32-entry symbolic
+    /// store buffer").
+    pub ssb_capacity: usize,
+    /// §5.3 idealized variant: no capacity limits.
+    pub unlimited_state: bool,
+    /// §5.3 idealized variant: reacquire lost blocks in parallel at commit
+    /// (the default conservatively reacquires serially).
+    pub parallel_reacquire: bool,
+    /// §5.3 idealized variant: commit-time stores are free (the default
+    /// conservatively reperforms them serially after all reacquires).
+    pub free_commit_stores: bool,
+    /// Number of conflicts the predictor must observe on a block before
+    /// (re)enabling symbolic tracking after a constraint violation
+    /// ("requiring the observation of 100 conflicts on that block before
+    /// attempting symbolic tracking on that block again").
+    pub violation_backoff: u32,
+    /// Number of conflicts the predictor must observe on a block before
+    /// first enabling symbolic tracking.
+    pub initial_threshold: u32,
+}
+
+impl Default for RetconConfig {
+    fn default() -> Self {
+        RetconConfig {
+            ivb_capacity: 16,
+            constraint_capacity: 16,
+            ssb_capacity: 32,
+            unlimited_state: false,
+            parallel_reacquire: false,
+            free_commit_stores: false,
+            violation_backoff: 100,
+            initial_threshold: 1,
+        }
+    }
+}
+
+impl RetconConfig {
+    /// The §5.3 idealized configuration: unlimited state, parallel
+    /// reacquisition, free commit-time stores.
+    pub fn idealized() -> Self {
+        RetconConfig {
+            unlimited_state: true,
+            parallel_reacquire: true,
+            free_commit_stores: true,
+            ..Self::default()
+        }
+    }
+
+    /// Effective IVB capacity (`usize::MAX` when idealized).
+    pub fn effective_ivb_capacity(&self) -> usize {
+        if self.unlimited_state {
+            usize::MAX
+        } else {
+            self.ivb_capacity
+        }
+    }
+
+    /// Effective constraint-buffer capacity.
+    pub fn effective_constraint_capacity(&self) -> usize {
+        if self.unlimited_state {
+            usize::MAX
+        } else {
+            self.constraint_capacity
+        }
+    }
+
+    /// Effective SSB capacity.
+    pub fn effective_ssb_capacity(&self) -> usize {
+        if self.unlimited_state {
+            usize::MAX
+        } else {
+            self.ssb_capacity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = RetconConfig::default();
+        assert_eq!(c.ivb_capacity, 16);
+        assert_eq!(c.constraint_capacity, 16);
+        assert_eq!(c.ssb_capacity, 32);
+        assert!(!c.unlimited_state);
+        assert_eq!(c.violation_backoff, 100);
+    }
+
+    #[test]
+    fn idealized_lifts_limits() {
+        let c = RetconConfig::idealized();
+        assert_eq!(c.effective_ivb_capacity(), usize::MAX);
+        assert_eq!(c.effective_constraint_capacity(), usize::MAX);
+        assert_eq!(c.effective_ssb_capacity(), usize::MAX);
+        assert!(c.parallel_reacquire);
+        assert!(c.free_commit_stores);
+    }
+
+    #[test]
+    fn bounded_capacities_pass_through() {
+        let c = RetconConfig::default();
+        assert_eq!(c.effective_ivb_capacity(), 16);
+        assert_eq!(c.effective_constraint_capacity(), 16);
+        assert_eq!(c.effective_ssb_capacity(), 32);
+    }
+}

@@ -1,0 +1,372 @@
+//! Interval constraints on the final values of symbolic locations.
+//!
+//! §4.4 of the paper: *"Any number of constraints with (≤,<,=,>,≥) can be
+//! represented precisely by the most restrictive interval bounding the
+//! symbolic value. Any number of not-equal-to constraints can be represented
+//! similarly by an interval that the symbolic value must remain without with
+//! some loss of precision."*
+//!
+//! A [`Constraint`] therefore holds an inclusive *allowed* interval
+//! `[lo, hi]` plus an optional inclusive *excluded* interval covering every
+//! `≠` bound seen so far. Growing the excluded interval to cover multiple
+//! `≠` points can only reject more commits than strictly necessary — a
+//! conservative (sound) loss of precision, exactly as the paper describes.
+
+use std::fmt;
+
+use retcon_isa::CmpOp;
+
+/// An interval constraint on the final (commit-time) value of one symbolic
+/// word.
+///
+/// Branch outcomes are folded in with [`Constraint::add_branch`]: a branch
+/// that observed `([root] + offset) cmp bound == outcome` during execution
+/// constrains the root's final value so that re-evaluating the branch with
+/// the final value takes the same direction — the condition under which
+/// commit-time repair preserves control flow.
+///
+/// # Example
+///
+/// ```
+/// use retcon::Constraint;
+/// use retcon_isa::CmpOp;
+///
+/// // Observed: ([A] + 1) > 5 taken  =>  [A] > 4.
+/// let mut c = Constraint::unconstrained();
+/// c.add_branch(1, CmpOp::Gt, 5, true);
+/// assert!(!c.satisfied_by(4));
+/// assert!(c.satisfied_by(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Constraint {
+    lo: u64,
+    hi: u64,
+    excluded: Option<(u64, u64)>,
+}
+
+impl Default for Constraint {
+    fn default() -> Self {
+        Self::unconstrained()
+    }
+}
+
+impl Constraint {
+    /// A constraint satisfied by every value.
+    pub fn unconstrained() -> Self {
+        Constraint {
+            lo: 0,
+            hi: u64::MAX,
+            excluded: None,
+        }
+    }
+
+    /// A constraint satisfied by no value (forces an abort at commit).
+    pub fn unsatisfiable() -> Self {
+        Constraint {
+            lo: 1,
+            hi: 0,
+            excluded: None,
+        }
+    }
+
+    /// A constraint satisfied only by `v` (an equality constraint).
+    pub fn equal_to(v: u64) -> Self {
+        Constraint {
+            lo: v,
+            hi: v,
+            excluded: None,
+        }
+    }
+
+    /// `true` if no value satisfies the constraint.
+    pub fn is_unsatisfiable(&self) -> bool {
+        if self.lo > self.hi {
+            return true;
+        }
+        // The excluded interval may cover the whole allowed range.
+        matches!(self.excluded, Some((elo, ehi)) if elo <= self.lo && self.hi <= ehi)
+    }
+
+    /// `true` if every value satisfies the constraint.
+    pub fn is_unconstrained(&self) -> bool {
+        self.lo == 0 && self.hi == u64::MAX && self.excluded.is_none()
+    }
+
+    /// The inclusive allowed bounds `[lo, hi]`.
+    pub fn bounds(&self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
+
+    /// Does `x` satisfy the constraint?
+    #[inline]
+    pub fn satisfied_by(&self, x: u64) -> bool {
+        if x < self.lo || x > self.hi {
+            return false;
+        }
+        match self.excluded {
+            Some((elo, ehi)) => x < elo || x > ehi,
+            None => true,
+        }
+    }
+
+    /// Requires `x cmp bound` to hold.
+    pub fn add_cmp(&mut self, cmp: CmpOp, bound: u64) {
+        match cmp {
+            CmpOp::Eq => {
+                self.lo = self.lo.max(bound);
+                self.hi = self.hi.min(bound);
+            }
+            CmpOp::Ne => self.exclude(bound),
+            CmpOp::Lt => {
+                if bound == 0 {
+                    *self = Self::unsatisfiable();
+                } else {
+                    self.hi = self.hi.min(bound - 1);
+                }
+            }
+            CmpOp::Le => self.hi = self.hi.min(bound),
+            CmpOp::Gt => {
+                if bound == u64::MAX {
+                    *self = Self::unsatisfiable();
+                } else {
+                    self.lo = self.lo.max(bound + 1);
+                }
+            }
+            CmpOp::Ge => self.lo = self.lo.max(bound),
+        }
+    }
+
+    /// Folds in an observed branch on a symbolic value rooted at this word:
+    /// during execution `([root] + offset) cmp bound` evaluated to `taken`.
+    /// The root's final value `x` must make `(x + offset) cmp bound` evaluate
+    /// the same way.
+    ///
+    /// The translation from a bound on `x + offset` to a bound on `x` uses
+    /// 128-bit arithmetic and treats the addition mathematically (no wrap):
+    /// auxiliary counters never approach the 2⁶⁴ boundary, and a translation
+    /// that would require wrapping collapses the constraint conservatively
+    /// (never admits a value the exact predicate would reject).
+    pub fn add_branch(&mut self, offset: i64, cmp: CmpOp, bound: u64, taken: bool) {
+        let effective = if taken { cmp } else { cmp.negate() };
+        // Solve (x + offset) effective bound for x: x effective (bound - offset).
+        let t = bound as i128 - offset as i128;
+        if (0..=u64::MAX as i128).contains(&t) {
+            self.add_cmp(effective, t as u64);
+            return;
+        }
+        // The translated bound falls outside u64. Resolve by the sign of t
+        // under the no-wrap reading of x + offset (x >= 0):
+        //   t < 0:  every x satisfies x > t, no x satisfies x < t.
+        //   t > MAX: every x satisfies x < t, no x satisfies x > t.
+        let below = t < 0;
+        let always = match effective {
+            CmpOp::Eq => false,
+            CmpOp::Ne => true,
+            CmpOp::Lt | CmpOp::Le => !below,
+            CmpOp::Gt | CmpOp::Ge => below,
+        };
+        if !always {
+            *self = Self::unsatisfiable();
+        }
+    }
+
+    /// Requires `x != bound`, growing the excluded interval per §4.4.
+    fn exclude(&mut self, bound: u64) {
+        self.excluded = Some(match self.excluded {
+            None => (bound, bound),
+            Some((elo, ehi)) => (elo.min(bound), ehi.max(bound)),
+        });
+    }
+
+    /// Intersects with another constraint (both must hold).
+    pub fn intersect(&mut self, other: &Constraint) {
+        self.lo = self.lo.max(other.lo);
+        self.hi = self.hi.min(other.hi);
+        if let Some((elo, ehi)) = other.excluded {
+            self.exclude(elo);
+            self.exclude(ehi);
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unsatisfiable() {
+            return write!(f, "⊥");
+        }
+        write!(f, "[{}, {}]", self.lo, self.hi)?;
+        if let Some((elo, ehi)) = self.excluded {
+            write!(f, " \\ [{elo}, {ehi}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_accepts_everything() {
+        let c = Constraint::unconstrained();
+        assert!(c.satisfied_by(0));
+        assert!(c.satisfied_by(u64::MAX));
+        assert!(c.is_unconstrained());
+        assert!(!c.is_unsatisfiable());
+    }
+
+    #[test]
+    fn equality_pins_one_value() {
+        let c = Constraint::equal_to(7);
+        assert!(c.satisfied_by(7));
+        assert!(!c.satisfied_by(6));
+        assert!(!c.satisfied_by(8));
+    }
+
+    #[test]
+    fn cmp_constraints_narrow() {
+        let mut c = Constraint::unconstrained();
+        c.add_cmp(CmpOp::Ge, 5);
+        c.add_cmp(CmpOp::Lt, 10);
+        assert_eq!(c.bounds(), (5, 9));
+        assert!(c.satisfied_by(5) && c.satisfied_by(9));
+        assert!(!c.satisfied_by(4) && !c.satisfied_by(10));
+    }
+
+    #[test]
+    fn contradictory_constraints_unsatisfiable() {
+        let mut c = Constraint::unconstrained();
+        c.add_cmp(CmpOp::Gt, 10);
+        c.add_cmp(CmpOp::Lt, 5);
+        assert!(c.is_unsatisfiable());
+        assert!(!c.satisfied_by(7));
+    }
+
+    #[test]
+    fn boundary_cmp_edge_cases() {
+        let mut c = Constraint::unconstrained();
+        c.add_cmp(CmpOp::Lt, 0); // nothing is < 0
+        assert!(c.is_unsatisfiable());
+
+        let mut c = Constraint::unconstrained();
+        c.add_cmp(CmpOp::Gt, u64::MAX); // nothing is > MAX
+        assert!(c.is_unsatisfiable());
+    }
+
+    #[test]
+    fn ne_exclusion_grows_interval() {
+        let mut c = Constraint::unconstrained();
+        c.add_cmp(CmpOp::Ne, 5);
+        assert!(!c.satisfied_by(5));
+        assert!(c.satisfied_by(4) && c.satisfied_by(6));
+        c.add_cmp(CmpOp::Ne, 10);
+        // Precision loss per §4.4: 7 now excluded too.
+        assert!(!c.satisfied_by(7));
+        assert!(c.satisfied_by(4) && c.satisfied_by(11));
+    }
+
+    #[test]
+    fn excluded_covering_allowed_range_is_unsatisfiable() {
+        let mut c = Constraint::unconstrained();
+        c.add_cmp(CmpOp::Ge, 5);
+        c.add_cmp(CmpOp::Le, 6);
+        c.add_cmp(CmpOp::Ne, 5);
+        c.add_cmp(CmpOp::Ne, 6);
+        assert!(c.is_unsatisfiable());
+    }
+
+    #[test]
+    fn branch_translation_paper_example() {
+        // Paper §4.2: "a taken branch based on if a register with symbolic
+        // value [A]+1 is greater than 5 would generate the constraint
+        // [A]+1>5 or, simplified, [A]>4".
+        let mut c = Constraint::unconstrained();
+        c.add_branch(1, CmpOp::Gt, 5, true);
+        assert_eq!(c.bounds(), (5, u64::MAX));
+
+        // "Non-taken branches record the negation ([A]<=4)".
+        let mut c = Constraint::unconstrained();
+        c.add_branch(1, CmpOp::Gt, 5, false);
+        assert_eq!(c.bounds(), (0, 4));
+    }
+
+    #[test]
+    fn branch_translation_negative_offset() {
+        // ([A] - 3) < 10 taken  =>  [A] < 13.
+        let mut c = Constraint::unconstrained();
+        c.add_branch(-3, CmpOp::Lt, 10, true);
+        assert_eq!(c.bounds(), (0, 12));
+    }
+
+    #[test]
+    fn branch_translation_out_of_range_bound() {
+        // ([A] + 10) > 5 is true for every non-negative [A] (t = -5): the
+        // constraint must remain satisfiable by everything.
+        let mut c = Constraint::unconstrained();
+        c.add_branch(10, CmpOp::Gt, 5, true);
+        assert!(c.is_unconstrained());
+
+        // ([A] + 10) < 5 can never hold without wrapping: taken outcome is
+        // conservatively unsatisfiable.
+        let mut c = Constraint::unconstrained();
+        c.add_branch(10, CmpOp::Lt, 5, true);
+        assert!(c.is_unsatisfiable());
+
+        // ([A] - 10) < u64::MAX - 5  ==> t > u64::MAX, always true.
+        let mut c = Constraint::unconstrained();
+        c.add_branch(-10, CmpOp::Lt, u64::MAX - 5, true);
+        assert!(c.is_unconstrained());
+    }
+
+    #[test]
+    fn branch_matches_direct_predicate_on_small_values() {
+        // For in-range values, the interval decision must equal direct
+        // re-evaluation of the branch predicate.
+        for cmp in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for offset in [-3i64, 0, 2] {
+                for bound in [0u64, 1, 5, 9] {
+                    for taken in [false, true] {
+                        let mut c = Constraint::unconstrained();
+                        c.add_branch(offset, cmp, bound, taken);
+                        for x in 0u64..16 {
+                            let shifted = (x as i128 + offset as i128) as i128;
+                            if shifted < 0 {
+                                continue; // outside the no-wrap domain
+                            }
+                            let direct = cmp.apply(shifted as u64, bound) == taken;
+                            assert_eq!(
+                                c.satisfied_by(x),
+                                direct,
+                                "cmp={cmp:?} off={offset} bound={bound} taken={taken} x={x}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_combines() {
+        let mut a = Constraint::unconstrained();
+        a.add_cmp(CmpOp::Ge, 3);
+        let mut b = Constraint::unconstrained();
+        b.add_cmp(CmpOp::Le, 8);
+        b.add_cmp(CmpOp::Ne, 5);
+        a.intersect(&b);
+        assert!(a.satisfied_by(3) && a.satisfied_by(8));
+        assert!(!a.satisfied_by(5));
+        assert!(!a.satisfied_by(2) && !a.satisfied_by(9));
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut c = Constraint::unconstrained();
+        c.add_cmp(CmpOp::Ge, 1);
+        c.add_cmp(CmpOp::Ne, 3);
+        let s = c.to_string();
+        assert!(s.contains('1'));
+        assert!(s.contains('3'));
+        assert_eq!(Constraint::unsatisfiable().to_string(), "⊥");
+    }
+}

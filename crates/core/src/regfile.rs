@@ -1,0 +1,117 @@
+//! The symbolic register file.
+//!
+//! Figure 5: *"The Symbolic register file records the current symbolic value
+//! (if any) for each register. The value recorded in the traditional
+//! register file is the concrete value of each register, which is used to
+//! guide execution."* The concrete register file lives in the simulator's
+//! core model; this structure shadows it with symbolic tags.
+
+use retcon_isa::{Reg, NUM_REGS};
+
+use crate::sym::SymValue;
+
+/// Per-register symbolic tags.
+#[derive(Debug, Clone)]
+pub struct SymRegFile {
+    tags: [Option<SymValue>; NUM_REGS],
+}
+
+impl Default for SymRegFile {
+    fn default() -> Self {
+        SymRegFile {
+            tags: [None; NUM_REGS],
+        }
+    }
+}
+
+impl SymRegFile {
+    /// Creates a register file with no symbolic tags.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The symbolic value of `reg`, if any.
+    #[inline]
+    pub fn get(&self, reg: Reg) -> Option<SymValue> {
+        self.tags[reg.index()]
+    }
+
+    /// Tags `reg` with `sym` (or clears the tag with `None`).
+    #[inline]
+    pub fn set(&mut self, reg: Reg, sym: Option<SymValue>) {
+        self.tags[reg.index()] = sym;
+    }
+
+    /// Clears the tag of `reg` (the register now holds a plain concrete
+    /// value).
+    #[inline]
+    pub fn clear(&mut self, reg: Reg) {
+        self.tags[reg.index()] = None;
+    }
+
+    /// Clears every tag (transaction end).
+    pub fn clear_all(&mut self) {
+        self.tags = [None; NUM_REGS];
+    }
+
+    /// Number of registers currently carrying symbolic tags (Table 3's
+    /// "symbolic registers" column counts these at commit).
+    pub fn count_symbolic(&self) -> usize {
+        self.tags.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Iterates over `(register, symbolic value)` pairs for tagged
+    /// registers.
+    pub fn iter_symbolic(&self) -> impl Iterator<Item = (Reg, SymValue)> + '_ {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|s| (Reg(i as u8), s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retcon_isa::Addr;
+
+    #[test]
+    fn starts_untagged() {
+        let rf = SymRegFile::new();
+        for r in Reg::all() {
+            assert_eq!(rf.get(r), None);
+        }
+        assert_eq!(rf.count_symbolic(), 0);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut rf = SymRegFile::new();
+        let s = SymValue::root(Addr(4)).add(1);
+        rf.set(Reg(3), Some(s));
+        assert_eq!(rf.get(Reg(3)), Some(s));
+        assert_eq!(rf.count_symbolic(), 1);
+        rf.clear(Reg(3));
+        assert_eq!(rf.get(Reg(3)), None);
+    }
+
+    #[test]
+    fn clear_all_wipes() {
+        let mut rf = SymRegFile::new();
+        rf.set(Reg(0), Some(SymValue::root(Addr(1))));
+        rf.set(Reg(5), Some(SymValue::root(Addr(2))));
+        rf.clear_all();
+        assert_eq!(rf.count_symbolic(), 0);
+    }
+
+    #[test]
+    fn iter_symbolic_lists_tagged() {
+        let mut rf = SymRegFile::new();
+        let a = SymValue::root(Addr(1));
+        let b = SymValue::root(Addr(2)).add(5);
+        rf.set(Reg(1), Some(a));
+        rf.set(Reg(7), Some(b));
+        let pairs: Vec<_> = rf.iter_symbolic().collect();
+        assert_eq!(pairs, vec![(Reg(1), a), (Reg(7), b)]);
+    }
+}

@@ -1,0 +1,197 @@
+//! RETCON structure-utilization statistics (Table 3 of the paper).
+
+/// Per-transaction utilization snapshot, taken at commit.
+///
+/// The fields correspond one-to-one with the columns of Table 3: 64-byte
+/// blocks stolen during the transaction, initial-value-buffer entries,
+/// symbolic registers repaired at commit, symbolic stores performed at
+/// commit ("private stores"), and symbolic constraints checked at commit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxSnapshot {
+    /// Blocks stolen away during the transaction ("blocks lost").
+    pub blocks_lost: u64,
+    /// Initial value buffer entries ("blocks tracked").
+    pub blocks_tracked: u64,
+    /// Symbolic registers repaired at commit.
+    pub symbolic_registers: u64,
+    /// Symbolic store buffer entries drained at commit ("private stores").
+    pub private_stores: u64,
+    /// Symbolic constraints checked at commit (interval entries plus
+    /// equality bits; "constr. addrs").
+    pub constraint_addrs: u64,
+    /// Cycles spent in the pre-commit repair process ("commit cycles").
+    pub commit_cycles: u64,
+}
+
+/// Aggregate Table 3 statistics over many transactions: average and maximum
+/// of each [`TxSnapshot`] column, plus the fraction of transaction lifetime
+/// spent in pre-commit repair ("commit stall %").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetconStats {
+    /// Number of committed transactions recorded.
+    pub transactions: u64,
+    /// Column-wise sums (for averages).
+    pub sum: TxSnapshot,
+    /// Column-wise maxima.
+    pub max: TxSnapshot,
+    /// Total cycles spent inside transactions (for the commit-stall
+    /// percentage).
+    pub tx_cycles: u64,
+    /// Commits whose constraint checks failed (repair aborted).
+    pub violations: u64,
+}
+
+impl RetconStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one committed transaction's snapshot and its total lifetime in
+    /// cycles.
+    pub fn record_commit(&mut self, snap: TxSnapshot, tx_lifetime_cycles: u64) {
+        self.transactions += 1;
+        self.tx_cycles += tx_lifetime_cycles;
+        self.sum.blocks_lost += snap.blocks_lost;
+        self.sum.blocks_tracked += snap.blocks_tracked;
+        self.sum.symbolic_registers += snap.symbolic_registers;
+        self.sum.private_stores += snap.private_stores;
+        self.sum.constraint_addrs += snap.constraint_addrs;
+        self.sum.commit_cycles += snap.commit_cycles;
+        self.max.blocks_lost = self.max.blocks_lost.max(snap.blocks_lost);
+        self.max.blocks_tracked = self.max.blocks_tracked.max(snap.blocks_tracked);
+        self.max.symbolic_registers = self.max.symbolic_registers.max(snap.symbolic_registers);
+        self.max.private_stores = self.max.private_stores.max(snap.private_stores);
+        self.max.constraint_addrs = self.max.constraint_addrs.max(snap.constraint_addrs);
+        self.max.commit_cycles = self.max.commit_cycles.max(snap.commit_cycles);
+    }
+
+    /// Records a commit-time constraint violation (repair failed, the
+    /// transaction aborted).
+    pub fn record_violation(&mut self) {
+        self.violations += 1;
+    }
+
+    /// Merges another accumulator into this one (e.g. across cores).
+    pub fn merge(&mut self, other: &RetconStats) {
+        self.transactions += other.transactions;
+        self.tx_cycles += other.tx_cycles;
+        self.violations += other.violations;
+        self.sum.blocks_lost += other.sum.blocks_lost;
+        self.sum.blocks_tracked += other.sum.blocks_tracked;
+        self.sum.symbolic_registers += other.sum.symbolic_registers;
+        self.sum.private_stores += other.sum.private_stores;
+        self.sum.constraint_addrs += other.sum.constraint_addrs;
+        self.sum.commit_cycles += other.sum.commit_cycles;
+        self.max.blocks_lost = self.max.blocks_lost.max(other.max.blocks_lost);
+        self.max.blocks_tracked = self.max.blocks_tracked.max(other.max.blocks_tracked);
+        self.max.symbolic_registers =
+            self.max.symbolic_registers.max(other.max.symbolic_registers);
+        self.max.private_stores = self.max.private_stores.max(other.max.private_stores);
+        self.max.constraint_addrs = self.max.constraint_addrs.max(other.max.constraint_addrs);
+        self.max.commit_cycles = self.max.commit_cycles.max(other.max.commit_cycles);
+    }
+
+    fn avg(&self, sum: u64) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            sum as f64 / self.transactions as f64
+        }
+    }
+
+    /// Average blocks lost per transaction.
+    pub fn avg_blocks_lost(&self) -> f64 {
+        self.avg(self.sum.blocks_lost)
+    }
+
+    /// Average IVB entries per transaction.
+    pub fn avg_blocks_tracked(&self) -> f64 {
+        self.avg(self.sum.blocks_tracked)
+    }
+
+    /// Average symbolic registers repaired per transaction.
+    pub fn avg_symbolic_registers(&self) -> f64 {
+        self.avg(self.sum.symbolic_registers)
+    }
+
+    /// Average symbolic stores performed at commit per transaction.
+    pub fn avg_private_stores(&self) -> f64 {
+        self.avg(self.sum.private_stores)
+    }
+
+    /// Average constraints checked at commit per transaction.
+    pub fn avg_constraint_addrs(&self) -> f64 {
+        self.avg(self.sum.constraint_addrs)
+    }
+
+    /// Average pre-commit repair cycles per transaction.
+    pub fn avg_commit_cycles(&self) -> f64 {
+        self.avg(self.sum.commit_cycles)
+    }
+
+    /// Percentage of transaction lifetime spent in pre-commit repair
+    /// (Table 3's "commit stall %").
+    pub fn commit_stall_percent(&self) -> f64 {
+        if self.tx_cycles == 0 {
+            0.0
+        } else {
+            100.0 * self.sum.commit_cycles as f64 / self.tx_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(lost: u64, tracked: u64, regs: u64, stores: u64, constr: u64, cycles: u64) -> TxSnapshot {
+        TxSnapshot {
+            blocks_lost: lost,
+            blocks_tracked: tracked,
+            symbolic_registers: regs,
+            private_stores: stores,
+            constraint_addrs: constr,
+            commit_cycles: cycles,
+        }
+    }
+
+    #[test]
+    fn averages_and_maxima() {
+        let mut s = RetconStats::new();
+        s.record_commit(snap(1, 2, 0, 4, 2, 10), 100);
+        s.record_commit(snap(3, 4, 2, 0, 4, 30), 300);
+        assert_eq!(s.transactions, 2);
+        assert_eq!(s.avg_blocks_lost(), 2.0);
+        assert_eq!(s.avg_blocks_tracked(), 3.0);
+        assert_eq!(s.avg_symbolic_registers(), 1.0);
+        assert_eq!(s.avg_private_stores(), 2.0);
+        assert_eq!(s.avg_constraint_addrs(), 3.0);
+        assert_eq!(s.avg_commit_cycles(), 20.0);
+        assert_eq!(s.max.blocks_lost, 3);
+        assert_eq!(s.max.commit_cycles, 30);
+        assert!((s.commit_stall_percent() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RetconStats::new();
+        assert_eq!(s.avg_blocks_lost(), 0.0);
+        assert_eq!(s.commit_stall_percent(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = RetconStats::new();
+        a.record_commit(snap(1, 1, 1, 1, 1, 5), 50);
+        a.record_violation();
+        let mut b = RetconStats::new();
+        b.record_commit(snap(3, 3, 3, 3, 3, 15), 150);
+        a.merge(&b);
+        assert_eq!(a.transactions, 2);
+        assert_eq!(a.violations, 1);
+        assert_eq!(a.max.blocks_lost, 3);
+        assert_eq!(a.avg_blocks_lost(), 2.0);
+        assert_eq!(a.tx_cycles, 200);
+    }
+}

@@ -1,0 +1,122 @@
+//! Symbolic values: the §4.4 `(input_address, increment)` representation.
+
+use std::fmt;
+
+use retcon_isa::Addr;
+
+/// A symbolic value: `[root] + offset`.
+///
+/// The paper restricts symbolically trackable computation to additions and
+/// subtractions (§4.4), which collapses any chain of increments into a single
+/// `(input_address, increment)` pair. Because store-to-load forwarding copies
+/// the symbolic value instead of chaining through the store (§4.3), every
+/// symbolic value in the machine is rooted directly at a memory input, never
+/// at another symbolic value — the property that makes commit-time repair a
+/// single evaluation rather than a replay.
+///
+/// # Example
+///
+/// ```
+/// use retcon::SymValue;
+/// use retcon_isa::Addr;
+///
+/// let v = SymValue::root(Addr(8)).add(2).add(-1);
+/// assert_eq!(v.offset(), 1);
+/// assert_eq!(v.eval(10), 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymValue {
+    root: Addr,
+    offset: i64,
+}
+
+impl SymValue {
+    /// The symbolic value of a fresh load from `root`: `[root] + 0`.
+    #[inline]
+    pub fn root(root: Addr) -> Self {
+        SymValue { root, offset: 0 }
+    }
+
+    /// The word address this value is rooted at.
+    #[inline]
+    pub fn root_addr(&self) -> Addr {
+        self.root
+    }
+
+    /// The cumulative increment applied to the root.
+    #[inline]
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// Returns `self + k` (collapsing into the cumulative increment).
+    #[inline]
+    #[must_use]
+    pub fn add(self, k: i64) -> Self {
+        SymValue {
+            root: self.root,
+            offset: self.offset.wrapping_add(k),
+        }
+    }
+
+    /// Evaluates the symbolic value against a concrete root value, with the
+    /// wrapping arithmetic of the simulated machine.
+    #[inline]
+    pub fn eval(&self, root_value: u64) -> u64 {
+        root_value.wrapping_add(self.offset as u64)
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0 {
+            write!(f, "[{:#x}]", self.root.0)
+        } else if self.offset > 0 {
+            write!(f, "[{:#x}]+{}", self.root.0, self.offset)
+        } else {
+            write!(f, "[{:#x}]{}", self.root.0, self.offset)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_zero_offset() {
+        let v = SymValue::root(Addr(5));
+        assert_eq!(v.root_addr(), Addr(5));
+        assert_eq!(v.offset(), 0);
+        assert_eq!(v.eval(42), 42);
+    }
+
+    #[test]
+    fn increments_collapse() {
+        let v = SymValue::root(Addr(5)).add(1).add(1).add(3);
+        assert_eq!(v.offset(), 5);
+        assert_eq!(v.eval(10), 15);
+    }
+
+    #[test]
+    fn decrements_and_negative_offsets() {
+        let v = SymValue::root(Addr(5)).add(-3);
+        assert_eq!(v.offset(), -3);
+        assert_eq!(v.eval(10), 7);
+        // Wrapping evaluation below zero.
+        assert_eq!(v.eval(2), u64::MAX);
+    }
+
+    #[test]
+    fn eval_wraps_at_u64_max() {
+        let v = SymValue::root(Addr(0)).add(2);
+        assert_eq!(v.eval(u64::MAX), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SymValue::root(Addr(8)).to_string(), "[0x8]");
+        assert_eq!(SymValue::root(Addr(8)).add(2).to_string(), "[0x8]+2");
+        assert_eq!(SymValue::root(Addr(8)).add(-2).to_string(), "[0x8]-2");
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the constraint algebra and symbolic values.
+//!
+//! The §4.4 interval representation must *never* admit a value the original
+//! branch predicates would reject (soundness), and — for the precise
+//! `<, ≤, =, >, ≥` operators without offset clamping — must admit exactly
+//! the values they accept (the paper claims precision for those).
+
+use proptest::prelude::*;
+
+use retcon::{Constraint, SymValue};
+use retcon_isa::{Addr, CmpOp};
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// A branch observation: the symbolic value `[root] + offset` compared
+/// against `bound` took direction `taken`.
+#[derive(Debug, Clone, Copy)]
+struct Obs {
+    offset: i64,
+    cmp: CmpOp,
+    bound: u64,
+    taken: bool,
+}
+
+fn obs_strategy() -> impl Strategy<Value = Obs> {
+    ((-64i64..64), cmp_strategy(), 0u64..4096, any::<bool>()).prop_map(
+        |(offset, cmp, bound, taken)| Obs {
+            offset,
+            cmp,
+            bound,
+            taken,
+        },
+    )
+}
+
+/// Direct evaluation of an observation against a candidate root value `x`,
+/// in the no-wrap domain (mathematical x + offset, defined only when
+/// non-negative).
+fn direct(obs: Obs, x: u64) -> Option<bool> {
+    let shifted = x as i128 + obs.offset as i128;
+    if !(0..=u64::MAX as i128).contains(&shifted) {
+        return None;
+    }
+    Some(obs.cmp.apply(shifted as u64, obs.bound) == obs.taken)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// Soundness: any value the constraint admits satisfies every recorded
+    /// observation (within the no-wrap domain).
+    #[test]
+    fn interval_is_sound(
+        observations in proptest::collection::vec(obs_strategy(), 1..8),
+        candidates in proptest::collection::vec(0u64..8192, 16),
+    ) {
+        let mut c = Constraint::unconstrained();
+        for o in &observations {
+            c.add_branch(o.offset, o.cmp, o.bound, o.taken);
+        }
+        for &x in &candidates {
+            if c.satisfied_by(x) {
+                for o in &observations {
+                    if let Some(holds) = direct(*o, x) {
+                        prop_assert!(
+                            holds,
+                            "constraint admitted x={x} but {o:?} rejects it"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Precision for ordering operators: without `≠` observations, the
+    /// interval admits *every* value all observations accept.
+    #[test]
+    fn interval_is_precise_without_ne(
+        observations in proptest::collection::vec(
+            obs_strategy().prop_filter("no Ne/Eq-negation", |o| {
+                // The effective operator after negation must not be Ne.
+                let eff = if o.taken { o.cmp } else { o.cmp.negate() };
+                eff != CmpOp::Ne
+            }),
+            1..8
+        ),
+        candidates in proptest::collection::vec(0u64..8192, 16),
+    ) {
+        let mut c = Constraint::unconstrained();
+        for o in &observations {
+            c.add_branch(o.offset, o.cmp, o.bound, o.taken);
+        }
+        for &x in &candidates {
+            let all_hold = observations.iter().all(|o| direct(*o, x) == Some(true));
+            if all_hold {
+                prop_assert!(
+                    c.satisfied_by(x),
+                    "constraint rejected x={x} though every observation accepts it"
+                );
+            }
+        }
+    }
+
+    /// The value observed during execution always satisfies the constraints
+    /// it generated (a transaction whose inputs never change must commit).
+    #[test]
+    fn generating_value_always_satisfies(
+        root_value in 0u64..4096,
+        branches in proptest::collection::vec(((-64i64..64), cmp_strategy(), 0u64..4096), 1..10),
+    ) {
+        let mut c = Constraint::unconstrained();
+        let mut ne_seen = false;
+        for &(offset, cmp, bound) in &branches {
+            let shifted = root_value as i128 + offset as i128;
+            if !(0..=u64::MAX as i128).contains(&shifted) {
+                continue;
+            }
+            let taken = cmp.apply(shifted as u64, bound);
+            let eff = if taken { cmp } else { cmp.negate() };
+            ne_seen |= eff == CmpOp::Ne;
+            c.add_branch(offset, cmp, bound, taken);
+        }
+        // With `≠` observations the grown excluded interval may cover the
+        // generating value (the engine handles that case by skipping the
+        // check for unchanged words); without them it must be admitted.
+        if !ne_seen {
+            prop_assert!(c.satisfied_by(root_value));
+        }
+    }
+
+    /// Symbolic evaluation distributes over offset composition.
+    #[test]
+    fn sym_value_offsets_compose(
+        base in any::<u64>(),
+        ks in proptest::collection::vec(-1000i64..1000, 0..20),
+    ) {
+        let mut v = SymValue::root(Addr(0));
+        let mut expected = base;
+        for &k in &ks {
+            v = v.add(k);
+            expected = expected.wrapping_add(k as u64);
+        }
+        prop_assert_eq!(v.eval(base), expected);
+    }
+
+    /// Intersection is monotone: a value admitted by the intersection is
+    /// admitted by both operands.
+    #[test]
+    fn intersect_is_conjunction(
+        obs_a in proptest::collection::vec(obs_strategy(), 1..5),
+        obs_b in proptest::collection::vec(obs_strategy(), 1..5),
+        candidates in proptest::collection::vec(0u64..8192, 16),
+    ) {
+        let mut a = Constraint::unconstrained();
+        for o in &obs_a {
+            a.add_branch(o.offset, o.cmp, o.bound, o.taken);
+        }
+        let mut b = Constraint::unconstrained();
+        for o in &obs_b {
+            b.add_branch(o.offset, o.cmp, o.bound, o.taken);
+        }
+        let mut both = a;
+        both.intersect(&b);
+        for &x in &candidates {
+            if both.satisfied_by(x) {
+                prop_assert!(a.satisfied_by(x));
+                prop_assert!(b.satisfied_by(x));
+            }
+        }
+    }
+}

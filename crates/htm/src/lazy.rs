@@ -1,0 +1,239 @@
+//! Lazy conflict detection with committer-wins resolution (Figure 2(e)).
+
+use retcon_isa::{Addr, Reg};
+use retcon_mem::{AccessKind, CoreId, MemorySystem, WriteBuffer};
+
+use crate::protocol::Protocol;
+use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats};
+
+#[derive(Debug, Default)]
+struct CoreState {
+    active: bool,
+    birth: Option<u64>,
+    wb: WriteBuffer,
+    aborted: bool,
+    stats: ProtocolStats,
+}
+
+/// A lazy (commit-time conflict detection) HTM: speculative stores are
+/// buffered locally and published at commit, which invalidates — and aborts —
+/// every transaction that speculatively read the written blocks
+/// ("committer wins"). Reads set speculative-read bits so the committer can
+/// find its victims; writes touch no coherence state until commit.
+///
+/// This reproduces the LazyTM behaviour of Figure 2(e): a transaction may
+/// run to its own commit point, but loses to any earlier committer it raced
+/// with.
+#[derive(Debug)]
+pub struct LazyTm {
+    cores: Vec<CoreState>,
+}
+
+impl LazyTm {
+    /// Creates the protocol for `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        LazyTm {
+            cores: (0..num_cores).map(|_| CoreState::default()).collect(),
+        }
+    }
+
+    fn abort_victim(&mut self, victim: CoreId, mem: &mut MemorySystem) {
+        let cs = &mut self.cores[victim.0];
+        debug_assert!(cs.active, "victim must be active");
+        cs.wb.discard();
+        mem.clear_spec(victim);
+        cs.active = false;
+        cs.aborted = true;
+        cs.stats.record_abort(AbortCause::Conflict);
+    }
+}
+
+impl Protocol for LazyTm {
+    fn name(&self) -> &'static str {
+        "lazy"
+    }
+
+    fn tx_begin(&mut self, core: CoreId, now: u64) {
+        let cs = &mut self.cores[core.0];
+        debug_assert!(!cs.active);
+        cs.active = true;
+        cs.birth.get_or_insert(now);
+    }
+
+    fn tx_active(&self, core: CoreId) -> bool {
+        self.cores[core.0].active
+    }
+
+    fn read(
+        &mut self,
+        core: CoreId,
+        _dst: Reg,
+        addr: Addr,
+        _addr_reg: Option<Reg>,
+        mem: &mut MemorySystem,
+        _now: u64,
+    ) -> MemResult {
+        let active = self.cores[core.0].active;
+        if active {
+            if let Some(v) = self.cores[core.0].wb.read(addr) {
+                return MemResult::Value { value: v, latency: 1 };
+            }
+        }
+        // No write ever sets speculative-written bits under this protocol,
+        // so reads cannot conflict.
+        debug_assert!(mem.conflicts(core, addr, AccessKind::Read).is_empty());
+        let latency = mem.access(core, addr, AccessKind::Read, active);
+        MemResult::Value {
+            value: mem.read_word(addr),
+            latency,
+        }
+    }
+
+    fn write(
+        &mut self,
+        core: CoreId,
+        _src: Option<Reg>,
+        value: u64,
+        addr: Addr,
+        _addr_reg: Option<Reg>,
+        mem: &mut MemorySystem,
+        _now: u64,
+    ) -> MemResult {
+        if self.cores[core.0].active {
+            // Lazy version management: buffer locally, no coherence action.
+            self.cores[core.0].wb.write(addr, value);
+            return MemResult::Value { value, latency: 1 };
+        }
+        // Non-transactional write: abort any speculative readers.
+        let conflicts = mem.conflicts(core, addr, AccessKind::Write);
+        for c in conflicts {
+            self.abort_victim(c.core, mem);
+        }
+        let latency = mem.access(core, addr, AccessKind::Write, false);
+        mem.write_word(addr, value);
+        MemResult::Value { value, latency }
+    }
+
+    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, _now: u64) -> CommitResult {
+        debug_assert!(self.cores[core.0].active);
+        let stores: Vec<(Addr, u64)> = self.cores[core.0].wb.iter().collect();
+        let mut latency = 0;
+        for &(addr, value) in &stores {
+            // Committer wins: every transaction that speculatively read the
+            // block aborts.
+            let conflicts = mem.conflicts(core, addr, AccessKind::Write);
+            for c in conflicts {
+                self.abort_victim(c.core, mem);
+            }
+            latency += mem.access(core, addr, AccessKind::Write, false);
+            mem.write_word(addr, value);
+        }
+        let cs = &mut self.cores[core.0];
+        cs.wb.discard();
+        cs.active = false;
+        cs.birth = None;
+        cs.stats.commits += 1;
+        mem.clear_spec(core);
+        CommitResult::Committed {
+            latency,
+            reg_updates: Vec::new(),
+        }
+    }
+
+    fn take_aborted(&mut self, core: CoreId) -> bool {
+        std::mem::take(&mut self.cores[core.0].aborted)
+    }
+
+    fn stats(&self, core: CoreId) -> &ProtocolStats {
+        &self.cores[core.0].stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retcon_mem::MemConfig;
+
+    const C0: CoreId = CoreId(0);
+    const C1: CoreId = CoreId(1);
+    const A: Addr = Addr(0);
+
+    fn setup() -> (MemorySystem, LazyTm) {
+        (MemorySystem::new(MemConfig::default(), 2), LazyTm::new(2))
+    }
+
+    fn value(r: MemResult) -> u64 {
+        match r {
+            MemResult::Value { value, .. } => value,
+            other => panic!("expected value, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writes_invisible_until_commit() {
+        let (mut mem, mut tm) = setup();
+        tm.tx_begin(C0, 0);
+        tm.write(C0, None, 5, A, None, &mut mem, 1);
+        assert_eq!(mem.read_word(A), 0);
+        // Own reads forward from the write buffer.
+        assert_eq!(value(tm.read(C0, Reg(0), A, None, &mut mem, 2)), 5);
+        // Remote reads see the old value and do not conflict in flight.
+        assert_eq!(value(tm.read(C1, Reg(0), A, None, &mut mem, 3)), 0);
+        tm.commit(C0, &mut mem, 4);
+        assert_eq!(mem.read_word(A), 5);
+    }
+
+    #[test]
+    fn committer_aborts_speculative_readers() {
+        let (mut mem, mut tm) = setup();
+        tm.tx_begin(C0, 0);
+        tm.tx_begin(C1, 1);
+        // C1 reads A speculatively; C0 writes A and commits first.
+        let _ = tm.read(C1, Reg(0), A, None, &mut mem, 2);
+        tm.write(C0, None, 5, A, None, &mut mem, 3);
+        let r = tm.commit(C0, &mut mem, 4);
+        assert!(matches!(r, CommitResult::Committed { .. }));
+        assert!(tm.take_aborted(C1));
+        assert_eq!(tm.stats(C1).aborts(), 1);
+        assert!(!tm.tx_active(C1));
+    }
+
+    #[test]
+    fn disjoint_txs_both_commit() {
+        let (mut mem, mut tm) = setup();
+        tm.tx_begin(C0, 0);
+        tm.tx_begin(C1, 1);
+        tm.write(C0, None, 5, Addr(0), None, &mut mem, 2);
+        tm.write(C1, None, 7, Addr(64), None, &mut mem, 3);
+        assert!(matches!(tm.commit(C0, &mut mem, 4), CommitResult::Committed { .. }));
+        assert!(matches!(tm.commit(C1, &mut mem, 5), CommitResult::Committed { .. }));
+        assert_eq!(mem.read_word(Addr(0)), 5);
+        assert_eq!(mem.read_word(Addr(64)), 7);
+        assert!(!tm.take_aborted(C0) && !tm.take_aborted(C1));
+    }
+
+    #[test]
+    fn aborted_tx_buffer_discarded() {
+        let (mut mem, mut tm) = setup();
+        tm.tx_begin(C1, 0);
+        tm.write(C1, None, 9, A, None, &mut mem, 1);
+        let _ = tm.read(C1, Reg(0), Addr(64), None, &mut mem, 2);
+        // C0 commits a write to the block C1 read: C1 aborts; its buffered
+        // store to A must never surface.
+        tm.tx_begin(C0, 3);
+        tm.write(C0, None, 1, Addr(64), None, &mut mem, 4);
+        tm.commit(C0, &mut mem, 5);
+        assert!(tm.take_aborted(C1));
+        assert_eq!(mem.read_word(A), 0);
+    }
+
+    #[test]
+    fn non_tx_write_aborts_readers() {
+        let (mut mem, mut tm) = setup();
+        tm.tx_begin(C1, 0);
+        let _ = tm.read(C1, Reg(0), A, None, &mut mem, 1);
+        let _ = tm.write(C0, None, 3, A, None, &mut mem, 2);
+        assert!(tm.take_aborted(C1));
+        assert_eq!(mem.read_word(A), 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! The concurrency-control protocol interface driven by the simulator.
+
+use retcon::RetconStats;
+use retcon_isa::{Addr, BinOp, CmpOp, Reg};
+use retcon_mem::{CoreId, MemorySystem};
+
+use crate::result::{CommitResult, MemResult, ProtocolStats};
+
+/// A hardware concurrency-control protocol.
+///
+/// The simulator routes every memory access, transaction boundary and —
+/// because RETCON shadows the register file symbolically — every
+/// register-writing instruction of every core through this trait. Protocols
+/// that do not track registers use the default no-op hooks, which simply
+/// compute the concrete result.
+///
+/// # Abort handshake
+///
+/// A protocol may abort a *remote* core's transaction while servicing a
+/// request (contention management) or a commit. The simulator polls
+/// [`take_aborted`](Protocol::take_aborted) before each instruction; a core
+/// whose flag is set rolls its control flow back to the transaction begin.
+/// Memory and speculative state have already been restored by the protocol
+/// at abort time (zero-cycle rollback, per the paper's baseline).
+pub trait Protocol {
+    /// Short name for reports (e.g. `"eager"`, `"lazy-vb"`, `"RetCon"`).
+    fn name(&self) -> &'static str;
+
+    /// Begins (or re-begins after an abort) a transaction on `core` at cycle
+    /// `now`.
+    fn tx_begin(&mut self, core: CoreId, now: u64);
+
+    /// `true` while `core` has an active transaction.
+    fn tx_active(&self, core: CoreId) -> bool;
+
+    /// Performs a load of `addr` into `dst`. `addr_reg` names the register
+    /// the address was computed from (for RETCON's address-use equality
+    /// pins).
+    fn read(
+        &mut self,
+        core: CoreId,
+        dst: Reg,
+        addr: Addr,
+        addr_reg: Option<Reg>,
+        mem: &mut MemorySystem,
+        now: u64,
+    ) -> MemResult;
+
+    /// Performs a store of `value` to `addr`. `src` names the source
+    /// register (`None` for an immediate operand).
+    fn write(
+        &mut self,
+        core: CoreId,
+        src: Option<Reg>,
+        value: u64,
+        addr: Addr,
+        addr_reg: Option<Reg>,
+        mem: &mut MemorySystem,
+        now: u64,
+    ) -> MemResult;
+
+    /// Attempts to commit `core`'s transaction at cycle `now`.
+    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, now: u64) -> CommitResult;
+
+    /// Returns and clears the "aborted by another core" flag.
+    fn take_aborted(&mut self, core: CoreId) -> bool;
+
+    /// Hook: `dst` was overwritten with an immediate.
+    fn on_imm(&mut self, _core: CoreId, _dst: Reg) {}
+
+    /// Hook: register move `dst <- src`.
+    fn on_mov(&mut self, _core: CoreId, _dst: Reg, _src: Reg) {}
+
+    /// Hook: ALU operation; returns the concrete result. RETCON overrides
+    /// this to propagate symbolic tags.
+    fn on_alu(
+        &mut self,
+        _core: CoreId,
+        op: BinOp,
+        _dst: Reg,
+        _lhs: Reg,
+        _rhs: Option<Reg>,
+        lhs_val: u64,
+        rhs_val: u64,
+    ) -> u64 {
+        op.apply(lhs_val, rhs_val)
+    }
+
+    /// Hook: branch; returns the concrete outcome. RETCON overrides this to
+    /// record control-flow constraints.
+    fn on_branch(
+        &mut self,
+        _core: CoreId,
+        cmp: CmpOp,
+        _lhs: Reg,
+        _rhs: Option<Reg>,
+        lhs_val: u64,
+        rhs_val: u64,
+    ) -> bool {
+        cmp.apply(lhs_val, rhs_val)
+    }
+
+    /// This core's protocol statistics.
+    fn stats(&self, core: CoreId) -> &ProtocolStats;
+
+    /// Aggregate RETCON structure statistics (Table 3), if this protocol
+    /// collects them.
+    fn retcon_stats(&self) -> Option<RetconStats> {
+        None
+    }
+}

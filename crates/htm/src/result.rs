@@ -1,0 +1,137 @@
+//! Protocol result types and statistics.
+
+use retcon_isa::Reg;
+
+/// Outcome of a transactional (or plain) memory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemResult {
+    /// The access completed.
+    Value {
+        /// The loaded value (stores echo the stored value).
+        value: u64,
+        /// Cycles the access took.
+        latency: u64,
+    },
+    /// The requester must stall; the simulator retries the same instruction
+    /// after a backoff.
+    Stall,
+    /// The local transaction aborted (the protocol has already rolled back
+    /// memory and speculative state); the simulator restarts the core at its
+    /// transaction begin.
+    Abort,
+}
+
+/// Outcome of a commit attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitResult {
+    /// The transaction committed.
+    Committed {
+        /// Cycles spent in the commit (including any pre-commit repair).
+        latency: u64,
+        /// Register repairs to apply to the concrete register file
+        /// (RETCON's symbolic registers; empty for other protocols).
+        reg_updates: Vec<(Reg, u64)>,
+    },
+    /// The commit must wait (e.g. a RETCON pre-commit reacquire lost a
+    /// conflict to an older transaction, or a DATM predecessor has not
+    /// committed); the simulator retries.
+    Stall,
+    /// The transaction aborted at commit (value validation or constraint
+    /// violation failed); the simulator restarts the core.
+    Abort,
+}
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// A conflicting access by another core (or the contention manager chose
+    /// this transaction as the victim).
+    Conflict,
+    /// Commit-time validation failed (lazy-vb value mismatch or RETCON
+    /// constraint violation).
+    Validation,
+    /// A RETCON structure overflowed (symbolic store buffer full).
+    Overflow,
+    /// A dependence cycle (DATM).
+    Cycle,
+}
+
+/// Per-core protocol statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborts by cause: conflicts.
+    pub aborts_conflict: u64,
+    /// Aborts by cause: failed commit-time validation.
+    pub aborts_validation: u64,
+    /// Aborts by cause: structure overflow.
+    pub aborts_overflow: u64,
+    /// Aborts by cause: dependence cycle.
+    pub aborts_cycle: u64,
+    /// Accesses that returned [`MemResult::Stall`].
+    pub stalls: u64,
+}
+
+impl ProtocolStats {
+    /// Total aborts across all causes.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_conflict + self.aborts_validation + self.aborts_overflow + self.aborts_cycle
+    }
+
+    /// Records an abort with its cause.
+    pub fn record_abort(&mut self, cause: AbortCause) {
+        match cause {
+            AbortCause::Conflict => self.aborts_conflict += 1,
+            AbortCause::Validation => self.aborts_validation += 1,
+            AbortCause::Overflow => self.aborts_overflow += 1,
+            AbortCause::Cycle => self.aborts_cycle += 1,
+        }
+    }
+
+    /// Merges another core's counters into this one.
+    pub fn merge(&mut self, other: &ProtocolStats) {
+        self.commits += other.commits;
+        self.aborts_conflict += other.aborts_conflict;
+        self.aborts_validation += other.aborts_validation;
+        self.aborts_overflow += other.aborts_overflow;
+        self.aborts_cycle += other.aborts_cycle;
+        self.stalls += other.stalls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_causes_bucketed() {
+        let mut s = ProtocolStats::default();
+        s.record_abort(AbortCause::Conflict);
+        s.record_abort(AbortCause::Conflict);
+        s.record_abort(AbortCause::Validation);
+        s.record_abort(AbortCause::Overflow);
+        s.record_abort(AbortCause::Cycle);
+        assert_eq!(s.aborts(), 5);
+        assert_eq!(s.aborts_conflict, 2);
+        assert_eq!(s.aborts_validation, 1);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = ProtocolStats {
+            commits: 1,
+            stalls: 2,
+            ..Default::default()
+        };
+        let b = ProtocolStats {
+            commits: 3,
+            aborts_conflict: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.commits, 4);
+        assert_eq!(a.stalls, 2);
+        assert_eq!(a.aborts(), 4);
+    }
+}

@@ -1,0 +1,724 @@
+//! The full RETCON protocol: the symbolic engine wired into coherence.
+
+use std::collections::HashSet;
+
+use retcon::{Engine, LoadPath, RetconConfig, RetconStats, StorePath};
+use retcon_isa::{Addr, BinOp, BlockAddr, CmpOp, Reg};
+use retcon_mem::{AccessKind, Conflict, CoreId, MemorySystem, UndoLog};
+
+use crate::cm::{decide, Age, ConflictPolicy, Decision};
+use crate::protocol::Protocol;
+use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats};
+
+#[derive(Debug)]
+struct CoreState {
+    active: bool,
+    birth: Option<u64>,
+    start_cycle: u64,
+    engine: Engine,
+    undo: UndoLog,
+    /// Blocks accessed *plainly* (untracked) by the current transaction.
+    /// Tracking decisions are sticky within a transaction: once a block has
+    /// been read or written through the ordinary speculative path, its
+    /// value has flowed into the transaction unconstrained, so beginning
+    /// symbolic tracking later (the predictor can train mid-transaction)
+    /// would let a steal invalidate that value without any constraint —
+    /// an unserializable commit. Such blocks stay plain until the
+    /// transaction ends.
+    plain_blocks: HashSet<u64>,
+    aborted: bool,
+    stats: ProtocolStats,
+    rstats: RetconStats,
+}
+
+impl CoreState {
+    fn new(cfg: RetconConfig) -> Self {
+        CoreState {
+            active: false,
+            birth: None,
+            start_cycle: 0,
+            engine: Engine::new(cfg),
+            undo: UndoLog::new(),
+            plain_blocks: HashSet::new(),
+            aborted: false,
+            stats: ProtocolStats::default(),
+            rstats: RetconStats::new(),
+        }
+    }
+}
+
+/// Outcome of RETCON conflict resolution for a pending access.
+enum Resolve {
+    /// All conflicts resolved (stolen or victims aborted); proceed.
+    Proceed,
+    /// Requester must stall.
+    Stall,
+    /// Requester's transaction must abort.
+    AbortSelf,
+}
+
+/// The full RETCON hardware: the baseline eager HTM of §2 extended with the
+/// `retcon` crate's symbolic engine.
+///
+/// Non-symbolic accesses behave exactly like [`EagerTm`](crate::EagerTm)
+/// with the timestamp policy. The differences (§4):
+///
+/// * loads from predicted-conflicting blocks initiate **symbolic tracking**;
+///   later loads are served from the initial value buffer or the symbolic
+///   store buffer without touching coherence;
+/// * a remote request that conflicts only with *symbolically tracked,
+///   read-only* state **steals** the block instead of invoking contention
+///   management — the victim keeps running on its recorded initial values;
+/// * stores of symbolic values (and all stores to tracked blocks) are
+///   buffered in the symbolic store buffer, invisible to coherence until
+///   commit;
+/// * commit runs the Figure 7 pre-commit process: reacquire lost blocks
+///   (serially by default; in parallel under
+///   [`RetconConfig::idealized`]), validate constraints, and repair
+///   buffered stores and symbolic registers against final values.
+///
+/// # Example
+///
+/// A tracked counter is stolen by a remote write, yet the transaction
+/// commits with a repaired value:
+///
+/// ```
+/// use retcon::RetconConfig;
+/// use retcon_htm::{RetconTm, Protocol, MemResult, CommitResult};
+/// use retcon_mem::{MemorySystem, MemConfig, CoreId};
+/// use retcon_isa::{Addr, Reg, BinOp};
+///
+/// let mut mem = MemorySystem::new(MemConfig::default(), 2);
+/// let mut cfg = RetconConfig::default();
+/// cfg.initial_threshold = 0; // track on first touch (no warm-up)
+/// let mut tm = RetconTm::new(2, cfg);
+///
+/// tm.tx_begin(CoreId(0), 0);
+/// let v = match tm.read(CoreId(0), Reg(1), Addr(0), None, &mut mem, 1) {
+///     MemResult::Value { value, .. } => value,
+///     other => panic!("{other:?}"),
+/// };
+/// let v = tm.on_alu(CoreId(0), BinOp::Add, Reg(1), Reg(1), None, v, 1);
+/// tm.write(CoreId(0), Some(Reg(1)), v, Addr(0), None, &mut mem, 2);
+///
+/// // A remote (non-transactional) write steals the tracked block...
+/// tm.write(CoreId(1), None, 10, Addr(0), None, &mut mem, 3);
+/// assert!(!tm.take_aborted(CoreId(0)), "steal, not abort");
+///
+/// // ...and commit repairs the increment on top of the new value.
+/// assert!(matches!(tm.commit(CoreId(0), &mut mem, 4), CommitResult::Committed { .. }));
+/// assert_eq!(mem.read_word(Addr(0)), 11);
+/// ```
+#[derive(Debug)]
+pub struct RetconTm {
+    policy: ConflictPolicy,
+    cores: Vec<CoreState>,
+}
+
+impl RetconTm {
+    /// Creates the protocol for `num_cores` cores with the given RETCON
+    /// structure configuration (use `RetconConfig::default()` for the
+    /// paper's Table 1 sizes).
+    pub fn new(num_cores: usize, cfg: RetconConfig) -> Self {
+        RetconTm {
+            policy: ConflictPolicy::OldestWins,
+            cores: (0..num_cores).map(|_| CoreState::new(cfg)).collect(),
+        }
+    }
+
+    /// The RETCON engine of `core` (for tests and diagnostics).
+    pub fn engine(&self, core: CoreId) -> &Engine {
+        &self.cores[core.0].engine
+    }
+
+    /// Mutable access to `core`'s engine (e.g. to pre-train the predictor in
+    /// tests).
+    pub fn engine_mut(&mut self, core: CoreId) -> &mut Engine {
+        &mut self.cores[core.0].engine
+    }
+
+    fn age(&self, core: CoreId) -> Option<Age> {
+        let cs = &self.cores[core.0];
+        if cs.active {
+            Some((cs.birth.expect("active tx has a birth"), core.0))
+        } else {
+            None
+        }
+    }
+
+    fn abort_core(&mut self, core: CoreId, mem: &mut MemorySystem, cause: AbortCause, remote: bool) {
+        let cs = &mut self.cores[core.0];
+        debug_assert!(cs.active, "aborting an inactive transaction on {core}");
+        cs.undo.rollback(mem.memory_mut());
+        mem.clear_spec(core);
+        cs.engine.reset();
+        cs.plain_blocks.clear();
+        cs.active = false;
+        cs.aborted = remote;
+        cs.stats.record_abort(cause);
+    }
+
+    /// Trains the predictor down on every block the overflowing transaction
+    /// tracks. Without this, a transaction whose store footprint exceeds the
+    /// symbolic store buffer would retry, re-track the same blocks and
+    /// overflow again, forever — the same pathology a constraint violation
+    /// causes, handled the same way (§5.1's aggressive train-down).
+    fn train_down_on_overflow(&mut self, core: CoreId) {
+        let blocks: Vec<_> = self.cores[core.0]
+            .engine
+            .precommit_blocks()
+            .into_iter()
+            .map(|(b, _)| b)
+            .collect();
+        let predictor = self.cores[core.0].engine.predictor_mut();
+        for b in blocks {
+            predictor.on_violation(b);
+        }
+    }
+
+    /// Resolves the conflicts of a request by `core` to `addr`.
+    ///
+    /// Victims whose only speculative claim on the block is *symbolic
+    /// read-only tracking* lose the block without aborting (the RETCON
+    /// steal); remaining victims go through the §2 contention manager. Every
+    /// conflict trains the predictor on both sides, which is how blocks
+    /// *become* symbolic in the first place.
+    fn resolve(&mut self, core: CoreId, addr: Addr, conflicts: Vec<Conflict>, mem: &mut MemorySystem) -> Resolve {
+        let block = addr.block();
+        let mut hard: Vec<(CoreId, Age)> = Vec::new();
+        for c in &conflicts {
+            // Both parties learn that this block is contended.
+            self.cores[c.core.0].engine.predictor_mut().on_conflict(block);
+            self.cores[core.0].engine.predictor_mut().on_conflict(block);
+            let victim = &self.cores[c.core.0];
+            let stealable = victim.active && victim.engine.is_tracking(block) && !c.bits.written;
+            if stealable {
+                mem.invalidate_block(c.core, block);
+                self.cores[c.core.0].engine.on_steal(block);
+            } else {
+                let age = self.age(c.core).expect("speculative bits imply an active tx");
+                hard.push((c.core, age));
+            }
+        }
+        if hard.is_empty() {
+            return Resolve::Proceed;
+        }
+        match decide(self.policy, self.age(core), &hard) {
+            Decision::AbortVictims => {
+                for (v, _) in hard {
+                    self.abort_core(v, mem, AbortCause::Conflict, true);
+                }
+                Resolve::Proceed
+            }
+            Decision::StallRequester => {
+                self.cores[core.0].stats.stalls += 1;
+                Resolve::Stall
+            }
+            Decision::AbortRequester => {
+                self.abort_core(core, mem, AbortCause::Conflict, false);
+                Resolve::AbortSelf
+            }
+        }
+    }
+}
+
+impl Protocol for RetconTm {
+    fn name(&self) -> &'static str {
+        "RetCon"
+    }
+
+    fn tx_begin(&mut self, core: CoreId, now: u64) {
+        let cs = &mut self.cores[core.0];
+        debug_assert!(!cs.active);
+        cs.active = true;
+        cs.birth.get_or_insert(now);
+        cs.start_cycle = now;
+        cs.plain_blocks.clear();
+        cs.engine.begin();
+    }
+
+    fn tx_active(&self, core: CoreId) -> bool {
+        self.cores[core.0].active
+    }
+
+    fn read(
+        &mut self,
+        core: CoreId,
+        dst: Reg,
+        addr: Addr,
+        addr_reg: Option<Reg>,
+        mem: &mut MemorySystem,
+        _now: u64,
+    ) -> MemResult {
+        let active = self.cores[core.0].active;
+        if active {
+            if let Some(r) = addr_reg {
+                self.cores[core.0].engine.concretize_addr_reg(r);
+            }
+            // Figure 6: symbolic store buffer, then initial value buffer,
+            // then memory.
+            match self.cores[core.0].engine.load_path(addr) {
+                LoadPath::StoreForward { .. } => {
+                    let value = self.cores[core.0].engine.finish_forwarded_load(dst, addr);
+                    return MemResult::Value { value, latency: 1 };
+                }
+                LoadPath::InitialValue { .. } => {
+                    let value = self.cores[core.0].engine.finish_tracked_load(dst, addr);
+                    return MemResult::Value { value, latency: 1 };
+                }
+                LoadPath::Memory => {}
+            }
+        }
+        let conflicts = mem.conflicts(core, addr, AccessKind::Read);
+        if !conflicts.is_empty() {
+            match self.resolve(core, addr, conflicts, mem) {
+                Resolve::Proceed => {}
+                Resolve::Stall => return MemResult::Stall,
+                Resolve::AbortSelf => return MemResult::Abort,
+            }
+        }
+        let latency = mem.access(core, addr, AccessKind::Read, active);
+        let value = mem.read_word(addr);
+        if active {
+            let block = addr.block();
+            let cs = &mut self.cores[core.0];
+            if cs.engine.wants_tracking(addr) && !cs.plain_blocks.contains(&block.0) {
+                let words: Vec<u64> = block.words().map(|w| mem.read_word(w)).collect();
+                let mut i = 0;
+                let ok = cs.engine.begin_tracking(block, |_| {
+                    let v = words[i];
+                    i += 1;
+                    v
+                });
+                debug_assert!(ok, "wants_tracking implies room");
+                let v = cs.engine.finish_tracked_load(dst, addr);
+                debug_assert_eq!(v, value);
+            } else {
+                cs.plain_blocks.insert(block.0);
+                cs.engine.finish_memory_load(dst, value);
+            }
+        }
+        MemResult::Value { value, latency }
+    }
+
+    fn write(
+        &mut self,
+        core: CoreId,
+        src: Option<Reg>,
+        value: u64,
+        addr: Addr,
+        addr_reg: Option<Reg>,
+        mem: &mut MemorySystem,
+        _now: u64,
+    ) -> MemResult {
+        let active = self.cores[core.0].active;
+        if active {
+            if let Some(r) = addr_reg {
+                self.cores[core.0].engine.concretize_addr_reg(r);
+            }
+            match self.cores[core.0].engine.on_store(addr, src, value) {
+                StorePath::Buffered => return MemResult::Value { value, latency: 1 },
+                StorePath::Overflow => {
+                    self.train_down_on_overflow(core);
+                    self.abort_core(core, mem, AbortCause::Overflow, false);
+                    return MemResult::Abort;
+                }
+                StorePath::Normal => {}
+            }
+        }
+        let conflicts = mem.conflicts(core, addr, AccessKind::Write);
+        if !conflicts.is_empty() {
+            match self.resolve(core, addr, conflicts, mem) {
+                Resolve::Proceed => {}
+                Resolve::Stall => return MemResult::Stall,
+                Resolve::AbortSelf => return MemResult::Abort,
+            }
+        }
+        if active {
+            let block = addr.block();
+            let cs = &mut self.cores[core.0];
+            // Store-initiated tracking: a *blind* write (the block was never
+            // accessed plainly by this transaction) to a block the predictor
+            // has learned is conflict-prone begins tracking too, so the
+            // store is buffered and reapplied at commit (this is how RETCON
+            // "implicitly provides selective lazy conflict detection",
+            // §5.1). Conflicts were resolved above, so memory holds no other
+            // core's uncommitted data for this block.
+            if cs.engine.wants_tracking(addr) && !cs.plain_blocks.contains(&block.0) {
+                let words: Vec<u64> = block.words().map(|w| mem.read_word(w)).collect();
+                let mut i = 0;
+                let ok = cs.engine.begin_tracking(block, |_| {
+                    let v = words[i];
+                    i += 1;
+                    v
+                });
+                debug_assert!(ok, "wants_tracking implies room");
+                match cs.engine.on_store(addr, src, value) {
+                    StorePath::Buffered => return MemResult::Value { value, latency: 1 },
+                    StorePath::Overflow => {
+                        self.train_down_on_overflow(core);
+                        self.abort_core(core, mem, AbortCause::Overflow, false);
+                        return MemResult::Abort;
+                    }
+                    StorePath::Normal => unreachable!("stores to tracked blocks buffer"),
+                }
+            }
+            cs.plain_blocks.insert(block.0);
+            cs.undo.record(mem.memory(), addr);
+        }
+        let latency = mem.access(core, addr, AccessKind::Write, active);
+        mem.write_word(addr, value);
+        MemResult::Value { value, latency }
+    }
+
+    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, now: u64) -> CommitResult {
+        debug_assert!(self.cores[core.0].active);
+        let cfg = *self.cores[core.0].engine.config();
+        let mut serial_latency = 0u64;
+        let mut parallel_latency = 0u64;
+
+        // Figure 7, step 1 (acquisition): reacquire every tracked block —
+        // with write permission when commit-time stores target it (§4.4) —
+        // and acquire write permission for buffered stores to untracked
+        // blocks. Conflicts go through the normal contention manager; a
+        // stall reschedules the entire commit (partial acquisitions are
+        // harmless — the blocks are simply cached).
+        let mut acquisitions: Vec<(BlockAddr, AccessKind)> = self.cores[core.0]
+            .engine
+            .precommit_blocks()
+            .into_iter()
+            .map(|(b, written)| (b, if written { AccessKind::Write } else { AccessKind::Read }))
+            .collect();
+        acquisitions.extend(
+            self.cores[core.0]
+                .engine
+                .precommit_store_blocks()
+                .into_iter()
+                .map(|b| (b, AccessKind::Write)),
+        );
+        for (block, kind) in acquisitions {
+            let addr = block.base();
+            let conflicts = mem.conflicts(core, addr, kind);
+            if !conflicts.is_empty() {
+                match self.resolve(core, addr, conflicts, mem) {
+                    Resolve::Proceed => {}
+                    Resolve::Stall => return CommitResult::Stall,
+                    Resolve::AbortSelf => return CommitResult::Abort,
+                }
+            }
+            let l = mem.access(core, addr, kind, true);
+            serial_latency += l;
+            parallel_latency = parallel_latency.max(l);
+        }
+        let mut latency = if cfg.parallel_reacquire {
+            parallel_latency
+        } else {
+            serial_latency
+        };
+
+        // Figure 7, steps 1 (validation) and 2 (repair).
+        let cs = &mut self.cores[core.0];
+        let repair = {
+            // Split borrows: the engine reads final values from memory.
+            let memory = &*mem;
+            cs.engine.validate_and_repair(|w| memory.read_word(w))
+        };
+        match repair {
+            Err(v) => {
+                cs.engine.predictor_mut().on_violation(v.block);
+                cs.rstats.record_violation();
+                self.abort_core(core, mem, AbortCause::Validation, false);
+                CommitResult::Abort
+            }
+            Ok(repair) => {
+                for &(addr, value) in &repair.stores {
+                    debug_assert!(
+                        mem.conflicts(core, addr, AccessKind::Write).is_empty(),
+                        "store blocks were acquired above"
+                    );
+                    let l = mem.access(core, addr, AccessKind::Write, false);
+                    if !cfg.free_commit_stores {
+                        latency += l;
+                    }
+                    mem.write_word(addr, value);
+                }
+                let cs = &mut self.cores[core.0];
+                let mut snap = cs.engine.snapshot();
+                snap.commit_cycles = latency;
+                let lifetime = now.saturating_sub(cs.start_cycle) + latency;
+                cs.rstats.record_commit(snap, lifetime.max(1));
+                cs.undo.clear();
+                cs.engine.reset();
+                cs.plain_blocks.clear();
+                cs.active = false;
+                cs.birth = None;
+                cs.stats.commits += 1;
+                mem.clear_spec(core);
+                CommitResult::Committed {
+                    latency,
+                    reg_updates: repair.registers,
+                }
+            }
+        }
+    }
+
+    fn take_aborted(&mut self, core: CoreId) -> bool {
+        std::mem::take(&mut self.cores[core.0].aborted)
+    }
+
+    fn on_imm(&mut self, core: CoreId, dst: Reg) {
+        self.cores[core.0].engine.on_imm(dst);
+    }
+
+    fn on_mov(&mut self, core: CoreId, dst: Reg, src: Reg) {
+        self.cores[core.0].engine.on_mov(dst, src);
+    }
+
+    fn on_alu(
+        &mut self,
+        core: CoreId,
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Option<Reg>,
+        lhs_val: u64,
+        rhs_val: u64,
+    ) -> u64 {
+        self.cores[core.0].engine.on_alu(op, dst, lhs, rhs, lhs_val, rhs_val)
+    }
+
+    fn on_branch(
+        &mut self,
+        core: CoreId,
+        cmp: CmpOp,
+        lhs: Reg,
+        rhs: Option<Reg>,
+        lhs_val: u64,
+        rhs_val: u64,
+    ) -> bool {
+        self.cores[core.0].engine.on_branch(cmp, lhs, rhs, lhs_val, rhs_val)
+    }
+
+    fn stats(&self, core: CoreId) -> &ProtocolStats {
+        &self.cores[core.0].stats
+    }
+
+    fn retcon_stats(&self) -> Option<RetconStats> {
+        let mut agg = RetconStats::new();
+        for cs in &self.cores {
+            agg.merge(&cs.rstats);
+        }
+        Some(agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retcon_mem::MemConfig;
+
+    const C0: CoreId = CoreId(0);
+    const C1: CoreId = CoreId(1);
+    const A: Addr = Addr(0);
+
+    fn setup() -> (MemorySystem, RetconTm) {
+        let mut cfg = RetconConfig::default();
+        cfg.initial_threshold = 0; // track everything (simplifies tests)
+        (
+            MemorySystem::new(MemConfig::default(), 2),
+            RetconTm::new(2, cfg),
+        )
+    }
+
+    fn value(r: MemResult) -> u64 {
+        match r {
+            MemResult::Value { value, .. } => value,
+            other => panic!("expected value, got {other:?}"),
+        }
+    }
+
+    /// Drive one "load; add k; store" increment through the protocol.
+    fn increment(tm: &mut RetconTm, mem: &mut MemorySystem, core: CoreId, addr: Addr, k: u64) {
+        let v = value(tm.read(core, Reg(1), addr, None, mem, 0));
+        let nv = tm.on_alu(core, BinOp::Add, Reg(1), Reg(1), None, v, k);
+        assert_eq!(nv, v.wrapping_add(k));
+        let r = tm.write(core, Some(Reg(1)), nv, addr, None, mem, 0);
+        assert!(matches!(r, MemResult::Value { .. }));
+    }
+
+    #[test]
+    fn figure2a_schedule_both_commit() {
+        // Figure 2(a): P0 and P1 each increment the counter twice,
+        // concurrently. RETCON repairs; both commit; the counter ends at 4.
+        let (mut mem, mut tm) = setup();
+        tm.tx_begin(C0, 0);
+        tm.tx_begin(C1, 1);
+        increment(&mut tm, &mut mem, C0, A, 1);
+        increment(&mut tm, &mut mem, C0, A, 1);
+        increment(&mut tm, &mut mem, C1, A, 1);
+        increment(&mut tm, &mut mem, C1, A, 1);
+        let r0 = tm.commit(C0, &mut mem, 10);
+        assert!(matches!(r0, CommitResult::Committed { .. }), "{r0:?}");
+        let r1 = tm.commit(C1, &mut mem, 11);
+        assert!(matches!(r1, CommitResult::Committed { .. }), "{r1:?}");
+        assert_eq!(mem.read_word(A), 4);
+        assert_eq!(tm.stats(C0).commits, 1);
+        assert_eq!(tm.stats(C1).commits, 1);
+        assert_eq!(tm.stats(C0).aborts() + tm.stats(C1).aborts(), 0);
+        let rs = tm.retcon_stats().unwrap();
+        assert_eq!(rs.transactions, 2);
+    }
+
+    #[test]
+    fn steal_lets_victim_continue() {
+        let (mut mem, mut tm) = setup();
+        tm.tx_begin(C0, 0);
+        // C0 tracks A symbolically.
+        let v = value(tm.read(C0, Reg(1), A, None, &mut mem, 1));
+        assert_eq!(v, 0);
+        assert!(tm.engine(C0).is_tracking(A.block()));
+        // A non-tx write by C1 steals the block instead of aborting C0.
+        let _ = tm.write(C1, None, 42, A, None, &mut mem, 2);
+        assert!(!tm.take_aborted(C0));
+        assert!(tm.tx_active(C0));
+        // C0's later read still sees the initial value (0).
+        assert_eq!(value(tm.read(C0, Reg(2), A, None, &mut mem, 3)), 0);
+        // And C0 commits fine (no constraints were generated).
+        assert!(matches!(tm.commit(C0, &mut mem, 4), CommitResult::Committed { .. }));
+        let rs = tm.retcon_stats().unwrap();
+        assert_eq!(rs.sum.blocks_lost, 1);
+    }
+
+    #[test]
+    fn violated_constraint_aborts_and_trains_down() {
+        let (mut mem, mut tm) = setup();
+        mem.write_word(A, 5);
+        tm.tx_begin(C0, 0);
+        let v = value(tm.read(C0, Reg(1), A, None, &mut mem, 1));
+        // Branch: r1 < 10 (taken) -> constraint A < 10.
+        assert!(tm.on_branch(C0, CmpOp::Lt, Reg(1), None, v, 10));
+        // Remote write pushes A to 50 (stealing the block).
+        let _ = tm.write(C1, None, 50, A, None, &mut mem, 2);
+        // Commit: constraint 50 < 10 fails -> abort + train-down.
+        assert_eq!(tm.commit(C0, &mut mem, 3), CommitResult::Abort);
+        assert_eq!(tm.stats(C0).aborts_validation, 1);
+        assert!(!tm.engine(C0).predictor().should_track(A.block()));
+        assert_eq!(tm.retcon_stats().unwrap().violations, 1);
+    }
+
+    #[test]
+    fn repair_applies_register_updates() {
+        let (mut mem, mut tm) = setup();
+        tm.tx_begin(C0, 0);
+        let v = value(tm.read(C0, Reg(1), A, None, &mut mem, 1));
+        let nv = tm.on_alu(C0, BinOp::Add, Reg(1), Reg(1), None, v, 3);
+        assert_eq!(nv, 3);
+        // Remote +10 steals the block.
+        let _ = tm.write(C1, None, 10, A, None, &mut mem, 2);
+        match tm.commit(C0, &mut mem, 3) {
+            CommitResult::Committed { reg_updates, .. } => {
+                assert_eq!(reg_updates, vec![(Reg(1), 13)]);
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn written_blocks_are_not_stealable() {
+        let (mut mem, tm) = setup();
+        // Disable tracking so C0's write is a normal speculative write.
+        let mut cfg = RetconConfig::default();
+        cfg.initial_threshold = u32::MAX;
+        let mut tm2 = RetconTm::new(2, cfg);
+        tm2.tx_begin(C0, 0);
+        let _ = tm2.write(C0, None, 7, A, None, &mut mem, 1);
+        // Younger C1 writing the same block must stall (oldest wins), not
+        // steal.
+        tm2.tx_begin(C1, 5);
+        assert_eq!(tm2.write(C1, None, 9, A, None, &mut mem, 6), MemResult::Stall);
+        let _ = tm; // silence unused
+    }
+
+    #[test]
+    fn untracked_behaves_like_eager() {
+        let mut cfg = RetconConfig::default();
+        cfg.initial_threshold = u32::MAX; // never track
+        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        let mut tm = RetconTm::new(2, cfg);
+        tm.tx_begin(C0, 0);
+        let _ = tm.write(C0, None, 5, A, None, &mut mem, 1);
+        // Non-tx reader aborts the younger... no: non-tx always wins.
+        let v = value(tm.read(C1, Reg(0), A, None, &mut mem, 2));
+        assert_eq!(v, 0, "speculative value rolled back");
+        assert!(tm.take_aborted(C0));
+    }
+
+    #[test]
+    fn ssb_overflow_aborts() {
+        let mut cfg = RetconConfig::default();
+        cfg.initial_threshold = 0;
+        cfg.ssb_capacity = 1;
+        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        let mut tm = RetconTm::new(2, cfg);
+        tm.tx_begin(C0, 0);
+        // Track block of A; two buffered stores to different words overflow.
+        let _ = tm.read(C0, Reg(1), A, None, &mut mem, 1);
+        assert!(matches!(
+            tm.write(C0, None, 1, Addr(1), None, &mut mem, 2),
+            MemResult::Value { .. }
+        ));
+        assert_eq!(tm.write(C0, None, 2, Addr(2), None, &mut mem, 3), MemResult::Abort);
+        assert_eq!(tm.stats(C0).aborts_overflow, 1);
+    }
+
+    #[test]
+    fn predictor_learns_from_conflicts() {
+        // With the real threshold (1 conflict), the first conflict aborts,
+        // and the retry tracks the block symbolically.
+        let mut cfg = RetconConfig::default();
+        cfg.initial_threshold = 1;
+        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        let mut tm = RetconTm::new(2, cfg);
+
+        tm.tx_begin(C1, 0);
+        let _ = tm.read(C1, Reg(1), A, None, &mut mem, 1);
+        assert!(!tm.engine(C1).is_tracking(A.block()), "not yet learned");
+        // Non-tx write by C0: C1 is not tracking, so it aborts — and both
+        // predictors observe the conflict.
+        let _ = tm.write(C0, None, 5, A, None, &mut mem, 2);
+        assert!(tm.take_aborted(C1));
+        // Retry: now the block is predicted conflicting and gets tracked.
+        tm.tx_begin(C1, 3);
+        let _ = tm.read(C1, Reg(1), A, None, &mut mem, 4);
+        assert!(tm.engine(C1).is_tracking(A.block()));
+        // This time the same remote write steals instead of aborting.
+        let _ = tm.write(C0, None, 9, A, None, &mut mem, 5);
+        assert!(!tm.take_aborted(C1));
+        assert!(matches!(tm.commit(C1, &mut mem, 6), CommitResult::Committed { .. }));
+    }
+
+    #[test]
+    fn serializability_of_counter_increments() {
+        // N interleaved increments from both cores: final value must equal
+        // the total number of committed increments.
+        let (mut mem, mut tm) = setup();
+        let mut committed = 0u64;
+        for round in 0..10u64 {
+            tm.tx_begin(C0, round * 100);
+            tm.tx_begin(C1, round * 100 + 1);
+            increment(&mut tm, &mut mem, C0, A, 1);
+            increment(&mut tm, &mut mem, C1, A, 1);
+            if matches!(tm.commit(C0, &mut mem, round * 100 + 50), CommitResult::Committed { .. }) {
+                committed += 1;
+            }
+            if matches!(tm.commit(C1, &mut mem, round * 100 + 51), CommitResult::Committed { .. }) {
+                committed += 1;
+            }
+            // Clear any aborted flags for the next round.
+            let _ = tm.take_aborted(C0);
+            let _ = tm.take_aborted(C1);
+        }
+        assert_eq!(mem.read_word(A), committed);
+        assert_eq!(committed, 20, "RETCON repairs every increment");
+    }
+}

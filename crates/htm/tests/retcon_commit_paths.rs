@@ -1,0 +1,165 @@
+//! Corner cases of the RETCON pre-commit process (Figure 7): stalls during
+//! reacquisition, steals while a commit is pending, and recovery from
+//! structure overflow.
+
+use retcon::RetconConfig;
+use retcon_htm::{CommitResult, MemResult, Protocol, RetconTm};
+use retcon_isa::{Addr, BinOp, Reg};
+use retcon_mem::{CoreId, MemConfig, MemorySystem};
+
+const C0: CoreId = CoreId(0);
+const C1: CoreId = CoreId(1);
+const A: Addr = Addr(0);
+
+fn setup() -> (MemorySystem, RetconTm) {
+    let mut cfg = RetconConfig::default();
+    cfg.initial_threshold = 0;
+    (MemorySystem::new(MemConfig::default(), 2), RetconTm::new(2, cfg))
+}
+
+fn value(r: MemResult) -> u64 {
+    match r {
+        MemResult::Value { value, .. } => value,
+        other => panic!("expected value, got {other:?}"),
+    }
+}
+
+/// Track a counter and buffer an increment on `core`.
+fn tracked_increment(tm: &mut RetconTm, mem: &mut MemorySystem, core: CoreId, now: u64) {
+    let v = value(tm.read(core, Reg(1), A, None, mem, now));
+    let nv = tm.on_alu(core, BinOp::Add, Reg(1), Reg(1), None, v, 1);
+    assert!(matches!(
+        tm.write(core, Some(Reg(1)), nv, A, None, mem, now),
+        MemResult::Value { .. }
+    ));
+}
+
+#[test]
+fn commit_stalls_behind_older_writer_then_succeeds() {
+    // Tracking disabled on both cores so every speculative write is a hard
+    // (non-stealable) conflict, exercising the oldest-wins stall path.
+    let mut cfg = RetconConfig::default();
+    cfg.initial_threshold = u32::MAX;
+    let mut mem = MemorySystem::new(MemConfig::default(), 2);
+    let mut tm = RetconTm::new(2, cfg);
+    tm.tx_begin(C0, 0);
+    let _ = tm.write(C0, None, 7, A, None, &mut mem, 1);
+
+    tm.tx_begin(C1, 10);
+    // C1 writes a different word of the same block: hard conflict with
+    // C0's speculative write; younger C1 stalls.
+    assert_eq!(tm.write(C1, None, 9, Addr(1), None, &mut mem, 11), MemResult::Stall);
+    // After C0 commits, C1 proceeds and commits.
+    assert!(matches!(tm.commit(C0, &mut mem, 12), CommitResult::Committed { .. }));
+    assert!(matches!(
+        tm.write(C1, None, 9, Addr(1), None, &mut mem, 13),
+        MemResult::Value { .. }
+    ));
+    assert!(matches!(tm.commit(C1, &mut mem, 14), CommitResult::Committed { .. }));
+    assert_eq!(mem.read_word(A), 7);
+    assert_eq!(mem.read_word(Addr(1)), 9);
+}
+
+#[test]
+fn pending_commit_survives_steal_between_retries() {
+    let (mut mem, mut tm) = setup();
+    // C1 (younger) tracks A and buffers an increment.
+    tm.tx_begin(C0, 0); // older, will hold a hard conflict later
+    tm.tx_begin(C1, 5);
+    tracked_increment(&mut tm, &mut mem, C1, 6);
+    // C0 non-tracked hard write to a *different* block that C1 also needs:
+    // give C1 a second tracked block with a buffered store.
+    let b = Addr(64);
+    let v = value(tm.read(C1, Reg(2), b, None, &mut mem, 7));
+    let nv = tm.on_alu(C1, BinOp::Add, Reg(2), Reg(2), None, v, 1);
+    let _ = tm.write(C1, Some(Reg(2)), nv, b, None, &mut mem, 8);
+    // Older C0 writes block B hard (plain path: B was never read by C0, but
+    // C0's engine would track it at threshold 0 — force plain by reading it
+    // first so the write is... reading also tracks. Use the hard path via
+    // the *read bit*: C0 plainly loads B? That tracks too. So instead C0
+    // writes B *after* its block is in C0's plain set via the sticky rule:
+    // C0 reads B while C0's IVB is full.
+    // Simpler: fill C0's IVB to capacity-0 via a config with ivb_capacity 0.
+    // That is a separate protocol; here we accept C0's write tracks B and
+    // steals from C1 — which is exactly the steal-while-commit-pending path
+    // we want to exercise.
+    let _ = tm.write(C0, None, 42, b, None, &mut mem, 9);
+    // C1's tracked copy of B was stolen, not aborted.
+    assert!(!tm.take_aborted(C1));
+    // C0 commits its blind write (it was buffered symbolically).
+    assert!(matches!(tm.commit(C0, &mut mem, 10), CommitResult::Committed { .. }));
+    assert_eq!(mem.read_word(b), 42);
+    // C1 commits: reacquires both blocks and repairs both increments.
+    match tm.commit(C1, &mut mem, 11) {
+        CommitResult::Committed { .. } => {}
+        other => panic!("expected commit, got {other:?}"),
+    }
+    assert_eq!(mem.read_word(A), 1);
+    assert_eq!(mem.read_word(b), 43, "increment repaired on top of the blind write");
+}
+
+#[test]
+fn overflow_abort_recovers_and_makes_progress() {
+    // SSB of 2 entries; a transaction with 3 buffered stores overflows,
+    // aborts, trains the predictor down, and the retry succeeds untracked.
+    let mut cfg = RetconConfig::default();
+    cfg.initial_threshold = 0;
+    cfg.ssb_capacity = 2;
+    let mut mem = MemorySystem::new(MemConfig::default(), 1);
+    let mut tm = RetconTm::new(1, cfg);
+
+    tm.tx_begin(C0, 0);
+    let _ = tm.read(C0, Reg(1), Addr(0), None, &mut mem, 1); // tracks block 0
+    let _ = tm.write(C0, None, 1, Addr(0), None, &mut mem, 2);
+    let _ = tm.write(C0, None, 2, Addr(1), None, &mut mem, 3);
+    // Third store to the tracked block overflows the 2-entry SSB.
+    assert_eq!(tm.write(C0, None, 3, Addr(2), None, &mut mem, 4), MemResult::Abort);
+    assert_eq!(tm.stats(C0).aborts_overflow, 1);
+    // Retry: the predictor was trained down, the block is no longer
+    // tracked, all three stores take the plain path, and the tx commits.
+    tm.tx_begin(C0, 5);
+    assert!(!tm.engine(C0).predictor().should_track(Addr(0).block()));
+    for (i, addr) in [Addr(0), Addr(1), Addr(2)].into_iter().enumerate() {
+        assert!(matches!(
+            tm.write(C0, None, (i + 1) as u64, addr, None, &mut mem, 6),
+            MemResult::Value { .. }
+        ));
+    }
+    assert!(matches!(tm.commit(C0, &mut mem, 7), CommitResult::Committed { .. }));
+    assert_eq!(mem.read_word(Addr(0)), 1);
+    assert_eq!(mem.read_word(Addr(1)), 2);
+    assert_eq!(mem.read_word(Addr(2)), 3);
+}
+
+#[test]
+fn steal_preserves_constraints_across_multiple_writers() {
+    // Three rounds of remote writes against one pending reader: each steal
+    // updates nothing in the victim; the final repair sees only the last
+    // committed value.
+    let (mut mem, mut tm) = setup();
+    mem.write_word(A, 100);
+    tm.tx_begin(C0, 0);
+    let v = value(tm.read(C0, Reg(1), A, None, &mut mem, 1));
+    assert_eq!(v, 100);
+    // Branch: value < 1000 (taken) -> constraint A < 1000.
+    assert!(tm.on_branch(C0, retcon_isa::CmpOp::Lt, Reg(1), None, v, 1000));
+    for (i, remote) in [200u64, 300, 400].into_iter().enumerate() {
+        let _ = tm.write(C1, None, remote, A, None, &mut mem, 2 + i as u64);
+        assert!(!tm.take_aborted(C0), "steal #{i} must not abort");
+    }
+    // 400 < 1000: constraint holds, commit succeeds, register repairs.
+    match tm.commit(C0, &mut mem, 10) {
+        CommitResult::Committed { reg_updates, .. } => {
+            assert_eq!(reg_updates, vec![(Reg(1), 400)]);
+        }
+        other => panic!("expected commit, got {other:?}"),
+    }
+
+    // Same setup, but the final remote value violates the constraint.
+    tm.tx_begin(C0, 20);
+    let v = value(tm.read(C0, Reg(1), A, None, &mut mem, 21));
+    assert!(tm.on_branch(C0, retcon_isa::CmpOp::Lt, Reg(1), None, v, 1000));
+    let _ = tm.write(C1, None, 5000, A, None, &mut mem, 22);
+    assert_eq!(tm.commit(C0, &mut mem, 23), CommitResult::Abort);
+    assert_eq!(tm.stats(C0).aborts_validation, 1);
+}

@@ -1,0 +1,137 @@
+//! Word and cache-block addresses.
+//!
+//! All simulated memory is addressed in units of 64-bit words. Coherence,
+//! conflict detection and RETCON's initial-value buffer operate on 64-byte
+//! cache blocks — 8 consecutive words — matching the paper's Table 1
+//! configuration ("64B blocks") and the §4.4 optimization of maintaining
+//! initial-value-buffer entries at cache-block granularity.
+
+use std::fmt;
+
+/// Number of 64-bit words per 64-byte cache block.
+pub const WORDS_PER_BLOCK: u64 = 8;
+
+/// A word address: an index into the simulated memory's array of 64-bit
+/// words.
+///
+/// # Example
+///
+/// ```
+/// use retcon_isa::{Addr, WORDS_PER_BLOCK};
+/// let a = Addr(13);
+/// assert_eq!(a.block().0, 1);
+/// assert_eq!(a.offset_in_block(), 13 - WORDS_PER_BLOCK);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+/// A cache-block address: a word address divided by [`WORDS_PER_BLOCK`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(pub u64);
+
+impl Addr {
+    /// The cache block containing this word.
+    #[inline]
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 / WORDS_PER_BLOCK)
+    }
+
+    /// The index of this word within its cache block (`0..WORDS_PER_BLOCK`).
+    #[inline]
+    pub fn offset_in_block(self) -> u64 {
+        self.0 % WORDS_PER_BLOCK
+    }
+
+    /// Returns the address `offset` words after `self`, wrapping on overflow
+    /// (matching the wrapping arithmetic of the simulated machine).
+    #[inline]
+    pub fn offset(self, offset: i64) -> Addr {
+        Addr(self.0.wrapping_add(offset as u64))
+    }
+}
+
+impl BlockAddr {
+    /// The first word of this block.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 * WORDS_PER_BLOCK)
+    }
+
+    /// Iterates over the word addresses contained in this block.
+    pub fn words(self) -> impl Iterator<Item = Addr> {
+        let base = self.base().0;
+        (0..WORDS_PER_BLOCK).map(move |i| Addr(base + i))
+    }
+
+    /// Returns `true` if `addr` lies within this block.
+    #[inline]
+    pub fn contains(self, addr: Addr) -> bool {
+        addr.block() == self
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}]", self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk[{:#x}]", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(w: u64) -> Self {
+        Addr(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping() {
+        assert_eq!(Addr(0).block(), BlockAddr(0));
+        assert_eq!(Addr(7).block(), BlockAddr(0));
+        assert_eq!(Addr(8).block(), BlockAddr(1));
+        assert_eq!(Addr(63).block(), BlockAddr(7));
+    }
+
+    #[test]
+    fn offset_in_block() {
+        assert_eq!(Addr(0).offset_in_block(), 0);
+        assert_eq!(Addr(7).offset_in_block(), 7);
+        assert_eq!(Addr(8).offset_in_block(), 0);
+    }
+
+    #[test]
+    fn block_words_cover_block() {
+        let b = BlockAddr(3);
+        let words: Vec<Addr> = b.words().collect();
+        assert_eq!(words.len(), WORDS_PER_BLOCK as usize);
+        for w in &words {
+            assert!(b.contains(*w));
+            assert_eq!(w.block(), b);
+        }
+        assert_eq!(words[0], b.base());
+    }
+
+    #[test]
+    fn signed_offsets_wrap() {
+        assert_eq!(Addr(10).offset(-3), Addr(7));
+        assert_eq!(Addr(10).offset(3), Addr(13));
+        assert_eq!(Addr(0).offset(-1), Addr(u64::MAX));
+    }
+
+    #[test]
+    fn contains_rejects_neighbors() {
+        let b = BlockAddr(1);
+        assert!(!b.contains(Addr(7)));
+        assert!(b.contains(Addr(8)));
+        assert!(b.contains(Addr(15)));
+        assert!(!b.contains(Addr(16)));
+    }
+}

@@ -1,0 +1,275 @@
+//! Fluent construction of [`Program`]s.
+
+use std::fmt;
+
+use crate::instr::{BinOp, CmpOp, Instr, Operand};
+use crate::program::{BasicBlock, BlockId, Program, ValidateError};
+use crate::reg::Reg;
+
+/// Error returned by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The finished program failed structural validation.
+    Invalid(ValidateError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ValidateError> for BuildError {
+    fn from(e: ValidateError) -> Self {
+        BuildError::Invalid(e)
+    }
+}
+
+/// An incremental builder for [`Program`]s.
+///
+/// The builder starts with a single *entry* block selected. New blocks are
+/// reserved with [`block`](Self::block) (so they can be referenced as branch
+/// targets before they are filled) and populated after
+/// [`select`](Self::select)-ing them. Each `emit` appends to the currently
+/// selected block.
+///
+/// # Example
+///
+/// ```
+/// use retcon_isa::{ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new();
+/// b.imm(Reg(0), 42);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.blocks.len(), 1);
+/// # Ok::<(), retcon_isa::BuildError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    blocks: Vec<BasicBlock>,
+    current: usize,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder with an empty entry block selected.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            blocks: vec![BasicBlock::default()],
+            current: 0,
+        }
+    }
+
+    /// The entry block's id (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Reserves a new, empty block and returns its id. Does not change the
+    /// selection.
+    pub fn block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::default());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Selects `block` as the target of subsequent `emit` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn select(&mut self, block: BlockId) {
+        assert!(
+            (block.0 as usize) < self.blocks.len(),
+            "select of unknown block b{}",
+            block.0
+        );
+        self.current = block.0 as usize;
+    }
+
+    /// The currently selected block.
+    pub fn current(&self) -> BlockId {
+        BlockId(self.current as u32)
+    }
+
+    /// Appends `instr` to the selected block.
+    pub fn emit(&mut self, instr: Instr) -> &mut Self {
+        self.blocks[self.current].instrs.push(instr);
+        self
+    }
+
+    /// Emits `dst <- value`.
+    pub fn imm(&mut self, dst: Reg, value: u64) -> &mut Self {
+        self.emit(Instr::Imm { dst, value })
+    }
+
+    /// Emits `dst <- src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(Instr::Mov { dst, src })
+    }
+
+    /// Emits `dst <- lhs op rhs`.
+    pub fn bin(&mut self, op: BinOp, dst: Reg, lhs: Reg, rhs: Operand) -> &mut Self {
+        self.emit(Instr::Bin { op, dst, lhs, rhs })
+    }
+
+    /// Emits `dst <- dst + k` (the increment idiom of the paper's auxiliary
+    /// counters).
+    pub fn add_imm(&mut self, dst: Reg, k: i64) -> &mut Self {
+        self.bin(BinOp::Add, dst, dst, Operand::Imm(k))
+    }
+
+    /// Emits `dst <- memory[addr + offset]`.
+    pub fn load(&mut self, dst: Reg, addr: Reg, offset: i64) -> &mut Self {
+        self.emit(Instr::Load { dst, addr, offset })
+    }
+
+    /// Emits `memory[addr + offset] <- src`.
+    pub fn store(&mut self, src: Operand, addr: Reg, offset: i64) -> &mut Self {
+        self.emit(Instr::Store { src, addr, offset })
+    }
+
+    /// Emits a conditional branch terminating the selected block.
+    pub fn branch(
+        &mut self,
+        op: CmpOp,
+        lhs: Reg,
+        rhs: Operand,
+        taken: BlockId,
+        not_taken: BlockId,
+    ) -> &mut Self {
+        self.emit(Instr::Branch {
+            op,
+            lhs,
+            rhs,
+            taken,
+            not_taken,
+        })
+    }
+
+    /// Emits an unconditional jump terminating the selected block.
+    pub fn jump(&mut self, target: BlockId) -> &mut Self {
+        self.emit(Instr::Jump { target })
+    }
+
+    /// Emits an input-tape pop.
+    pub fn input(&mut self, dst: Reg) -> &mut Self {
+        self.emit(Instr::Input { dst })
+    }
+
+    /// Emits `cycles` cycles of abstract work.
+    pub fn work(&mut self, cycles: u32) -> &mut Self {
+        self.emit(Instr::Work { cycles })
+    }
+
+    /// Emits a transaction begin.
+    pub fn tx_begin(&mut self) -> &mut Self {
+        self.emit(Instr::TxBegin)
+    }
+
+    /// Emits a transaction commit.
+    pub fn tx_commit(&mut self) -> &mut Self {
+        self.emit(Instr::TxCommit)
+    }
+
+    /// Emits a barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.emit(Instr::Barrier)
+    }
+
+    /// Emits a halt, terminating the selected block.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    /// Finishes the program and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Invalid`] if the program violates any structural
+    /// invariant (see [`Program::validate`]).
+    pub fn build(self) -> Result<Program, BuildError> {
+        let program = Program { blocks: self.blocks };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_program() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(0), 1).halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.blocks.len(), 1);
+        assert_eq!(p.blocks[0].instrs.len(), 2);
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let mut b = ProgramBuilder::new();
+        let later = b.block();
+        b.jump(later);
+        b.select(later);
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_program_rejected_at_build() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(0), 1); // no terminator
+        assert!(matches!(b.build(), Err(BuildError::Invalid(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block")]
+    fn selecting_unknown_block_panics() {
+        let mut b = ProgramBuilder::new();
+        b.select(BlockId(3));
+    }
+
+    #[test]
+    fn helpers_emit_expected_instructions() {
+        let mut b = ProgramBuilder::new();
+        b.input(Reg(1));
+        b.work(10);
+        b.tx_begin();
+        b.load(Reg(2), Reg(1), 4);
+        b.add_imm(Reg(2), 1);
+        b.store(Operand::Reg(Reg(2)), Reg(1), 4);
+        b.tx_commit();
+        b.barrier();
+        b.halt();
+        let p = b.build().unwrap();
+        let instrs = &p.blocks[0].instrs;
+        assert!(matches!(instrs[0], Instr::Input { .. }));
+        assert!(matches!(instrs[1], Instr::Work { cycles: 10 }));
+        assert!(matches!(instrs[2], Instr::TxBegin));
+        assert!(matches!(instrs[3], Instr::Load { offset: 4, .. }));
+        assert!(matches!(
+            instrs[4],
+            Instr::Bin {
+                op: BinOp::Add,
+                rhs: Operand::Imm(1),
+                ..
+            }
+        ));
+        assert!(matches!(instrs[8], Instr::Halt));
+    }
+
+    #[test]
+    fn current_tracks_selection() {
+        let mut b = ProgramBuilder::new();
+        assert_eq!(b.current(), b.entry());
+        let blk = b.block();
+        b.select(blk);
+        assert_eq!(b.current(), blk);
+    }
+}

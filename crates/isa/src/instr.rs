@@ -1,0 +1,389 @@
+//! Instruction definitions.
+
+use std::fmt;
+
+use crate::program::BlockId;
+use crate::reg::Reg;
+
+/// The second operand of an ALU or branch instruction: a register or an
+/// immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Read the operand from a register.
+    Reg(Reg),
+    /// Use a constant, sign-extended to 64 bits.
+    Imm(i64),
+}
+
+/// Two-input integer ALU operations.
+///
+/// Following §4.4 of the paper ("Efficient representation of symbolic
+/// computation"), only [`BinOp::Add`] and [`BinOp::Sub`] are *symbolically
+/// trackable* by RETCON (and only when the other operand is concrete); all
+/// remaining operations force an equality constraint on any symbolic input.
+/// [`BinOp::is_symbolic_trackable`] encodes that split so the RETCON core and
+/// its tests share one definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping 64-bit addition. Symbolically trackable.
+    Add,
+    /// Wrapping 64-bit subtraction. Symbolically trackable when the symbolic
+    /// value is the *left* operand (`sym - k`); `k - sym` is not expressible
+    /// as `root + offset` and forces an equality constraint.
+    Sub,
+    /// Wrapping multiplication. Not trackable (paper: "complicated arithmetic
+    /// operations the implementation has chosen not to track").
+    Mul,
+    /// Unsigned division; division by zero yields 0. Not trackable (the paper
+    /// names integer divide explicitly as untracked).
+    Div,
+    /// Unsigned remainder; remainder by zero yields 0. Not trackable.
+    Mod,
+    /// Bitwise AND. Not trackable.
+    And,
+    /// Bitwise OR. Not trackable.
+    Or,
+    /// Bitwise XOR. Not trackable.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64). Not trackable.
+    Shl,
+    /// Logical shift right (shift amount taken modulo 64). Not trackable.
+    Shr,
+}
+
+impl BinOp {
+    /// Whether RETCON's `(root, offset)` representation can track this
+    /// operation when exactly one input is symbolic.
+    ///
+    /// `Add` is trackable in either operand position; `Sub` only when the
+    /// symbolic value is on the left. Callers pass `sym_on_left` accordingly.
+    #[inline]
+    pub fn is_symbolic_trackable(self, sym_on_left: bool) -> bool {
+        match self {
+            BinOp::Add => true,
+            BinOp::Sub => sym_on_left,
+            _ => false,
+        }
+    }
+
+    /// Applies the operation to concrete 64-bit values with the wrapping /
+    /// zero-divisor semantics of the simulated machine.
+    #[inline]
+    pub fn apply(self, lhs: u64, rhs: u64) -> u64 {
+        match self {
+            BinOp::Add => lhs.wrapping_add(rhs),
+            BinOp::Sub => lhs.wrapping_sub(rhs),
+            BinOp::Mul => lhs.wrapping_mul(rhs),
+            BinOp::Div => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs / rhs
+                }
+            }
+            BinOp::Mod => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs % rhs
+                }
+            }
+            BinOp::And => lhs & rhs,
+            BinOp::Or => lhs | rhs,
+            BinOp::Xor => lhs ^ rhs,
+            BinOp::Shl => lhs.wrapping_shl(rhs as u32),
+            BinOp::Shr => lhs.wrapping_shr(rhs as u32),
+        }
+    }
+}
+
+/// Branch comparison operators. Comparisons are *unsigned* 64-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Unsigned greater-than.
+    Gt,
+    /// Unsigned greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on concrete values.
+    #[inline]
+    pub fn apply(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The comparison that holds exactly when `self` does not.
+    #[inline]
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The comparison with its operands swapped (`a op b` ⇔ `b op.swap() a`).
+    #[inline]
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// A single instruction of the simulated machine.
+///
+/// Memory operands are formed as `register + constant word offset`, which is
+/// enough for the workload kernels while keeping RETCON's "address computed
+/// from a symbolic register" rule (§4.2, equality constraints on address
+/// inputs) easy to implement and test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `dst <- value`.
+    Imm {
+        /// Destination register.
+        dst: Reg,
+        /// Constant written to `dst`.
+        value: u64,
+    },
+    /// `dst <- src` (copies symbolic tags too).
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst <- lhs op rhs`.
+    Bin {
+        /// ALU operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst <- memory[addr + offset]` (word-granularity).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the base word address.
+        addr: Reg,
+        /// Constant word offset added to the base.
+        offset: i64,
+    },
+    /// `memory[addr + offset] <- src`.
+    Store {
+        /// Value to store.
+        src: Operand,
+        /// Register holding the base word address.
+        addr: Reg,
+        /// Constant word offset added to the base.
+        offset: i64,
+    },
+    /// Conditional transfer: if `lhs op rhs` jump to `taken`, else to
+    /// `not_taken`. Always ends a basic block.
+    Branch {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left comparison operand register.
+        lhs: Reg,
+        /// Right comparison operand.
+        rhs: Operand,
+        /// Successor when the comparison holds.
+        taken: BlockId,
+        /// Successor when the comparison does not hold.
+        not_taken: BlockId,
+    },
+    /// Unconditional transfer. Always ends a basic block.
+    Jump {
+        /// Successor block.
+        target: BlockId,
+    },
+    /// Pop the next value from this core's thread-private input tape into
+    /// `dst`. Free of memory-system interaction; the tape rewinds to the
+    /// transaction-start position on abort so re-execution sees identical
+    /// inputs.
+    Input {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Spend `cycles` cycles of pure computation (no memory access, no
+    /// symbolic effect). Models the non-auxiliary body of a transaction.
+    Work {
+        /// Number of cycles to consume.
+        cycles: u32,
+    },
+    /// Enter a transactional region (or, equivalently, a speculatively
+    /// elided critical section). Nesting is flattened by the simulator.
+    TxBegin,
+    /// Commit the current transactional region. Under RETCON this triggers
+    /// the Figure 7 pre-commit repair process.
+    TxCommit,
+    /// Block until every core in the machine reaches a barrier. Used between
+    /// workload phases; time spent here is accounted as "barrier" in the
+    /// Figure 4 / Figure 10 breakdowns.
+    Barrier,
+    /// Stop this core. The simulation ends when all cores have halted.
+    Halt,
+}
+
+impl Instr {
+    /// `true` for instructions that must terminate a basic block.
+    #[inline]
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Instr::Branch { .. } | Instr::Jump { .. } | Instr::Halt)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Imm { dst, value } => write!(f, "imm {dst}, {value}"),
+            Instr::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Instr::Bin { op, dst, lhs, rhs } => write!(f, "{op:?} {dst}, {lhs}, {rhs}"),
+            Instr::Load { dst, addr, offset } => write!(f, "ld {dst}, [{addr}+{offset}]"),
+            Instr::Store { src, addr, offset } => write!(f, "st [{addr}+{offset}], {src}"),
+            Instr::Branch {
+                op,
+                lhs,
+                rhs,
+                taken,
+                not_taken,
+            } => write!(f, "br.{op:?} {lhs}, {rhs} -> b{}, b{}", taken.0, not_taken.0),
+            Instr::Jump { target } => write!(f, "jmp b{}", target.0),
+            Instr::Input { dst } => write!(f, "input {dst}"),
+            Instr::Work { cycles } => write!(f, "work {cycles}"),
+            Instr::TxBegin => write!(f, "tx.begin"),
+            Instr::TxCommit => write!(f, "tx.commit"),
+            Instr::Barrier => write!(f, "barrier"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_apply_basics() {
+        assert_eq!(BinOp::Add.apply(2, 3), 5);
+        assert_eq!(BinOp::Sub.apply(2, 3), u64::MAX);
+        assert_eq!(BinOp::Mul.apply(4, 5), 20);
+        assert_eq!(BinOp::Div.apply(20, 5), 4);
+        assert_eq!(BinOp::Div.apply(20, 0), 0);
+        assert_eq!(BinOp::Mod.apply(21, 5), 1);
+        assert_eq!(BinOp::Mod.apply(21, 0), 0);
+        assert_eq!(BinOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(BinOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(BinOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(BinOp::Shl.apply(1, 4), 16);
+        assert_eq!(BinOp::Shr.apply(16, 4), 1);
+    }
+
+    #[test]
+    fn binop_wrapping() {
+        assert_eq!(BinOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(BinOp::Mul.apply(u64::MAX, 2), u64::MAX - 1);
+    }
+
+    #[test]
+    fn trackability_matches_paper() {
+        assert!(BinOp::Add.is_symbolic_trackable(true));
+        assert!(BinOp::Add.is_symbolic_trackable(false));
+        assert!(BinOp::Sub.is_symbolic_trackable(true));
+        assert!(!BinOp::Sub.is_symbolic_trackable(false));
+        for op in [
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Mod,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::Shr,
+        ] {
+            assert!(!op.is_symbolic_trackable(true), "{op:?}");
+            assert!(!op.is_symbolic_trackable(false), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn cmp_apply() {
+        assert!(CmpOp::Eq.apply(3, 3));
+        assert!(CmpOp::Ne.apply(3, 4));
+        assert!(CmpOp::Lt.apply(3, 4));
+        assert!(CmpOp::Le.apply(4, 4));
+        assert!(CmpOp::Gt.apply(5, 4));
+        assert!(CmpOp::Ge.apply(4, 4));
+        // Unsigned semantics: "-1" is the max value.
+        assert!(CmpOp::Gt.apply(u64::MAX, 0));
+    }
+
+    #[test]
+    fn cmp_negation_is_involutive_and_complementary() {
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        for op in ops {
+            assert_eq!(op.negate().negate(), op);
+            for (a, b) in [(0u64, 0u64), (1, 2), (2, 1), (u64::MAX, 0)] {
+                assert_ne!(op.apply(a, b), op.negate().apply(a, b), "{op:?} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_swap_swaps_operands() {
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        for op in ops {
+            for (a, b) in [(0u64, 0u64), (1, 2), (2, 1), (7, 7)] {
+                assert_eq!(op.apply(a, b), op.swap().apply(b, a), "{op:?} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn terminators_classified() {
+        assert!(Instr::Halt.is_terminator());
+        assert!(Instr::Jump {
+            target: crate::BlockId(0)
+        }
+        .is_terminator());
+        assert!(!Instr::TxBegin.is_terminator());
+        assert!(!Instr::Work { cycles: 3 }.is_terminator());
+    }
+}

@@ -1,0 +1,346 @@
+//! Programs, basic blocks and program counters.
+
+use std::fmt;
+
+use crate::instr::Instr;
+use crate::reg::{Reg, NUM_REGS};
+use crate::Operand;
+
+/// Identifier of a basic block within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// A straight-line sequence of instructions ending in a control transfer
+/// (`Branch`, `Jump` or `Halt`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BasicBlock {
+    /// The instructions of the block, terminator last.
+    pub instrs: Vec<Instr>,
+}
+
+/// A program counter: a block and an instruction index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pc {
+    /// Current basic block.
+    pub block: BlockId,
+    /// Index of the next instruction to execute within the block.
+    pub index: usize,
+}
+
+impl Pc {
+    /// The program counter at the start of `block`.
+    #[inline]
+    pub fn at(block: BlockId) -> Pc {
+        Pc { block, index: 0 }
+    }
+
+    /// The program counter one instruction later within the same block.
+    #[inline]
+    pub fn next(self) -> Pc {
+        Pc {
+            block: self.block,
+            index: self.index + 1,
+        }
+    }
+}
+
+/// Error returned by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A block is empty.
+    EmptyBlock(BlockId),
+    /// A block's final instruction is not a terminator.
+    MissingTerminator(BlockId),
+    /// A terminator appears before the end of a block.
+    EarlyTerminator(BlockId, usize),
+    /// An instruction names a register outside `r0..r31`.
+    BadRegister(BlockId, usize, Reg),
+    /// A control transfer targets a nonexistent block.
+    BadTarget(BlockId, usize, BlockId),
+    /// The program has no blocks at all.
+    NoBlocks,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::EmptyBlock(b) => write!(f, "block b{} is empty", b.0),
+            ValidateError::MissingTerminator(b) => {
+                write!(f, "block b{} does not end in a terminator", b.0)
+            }
+            ValidateError::EarlyTerminator(b, i) => {
+                write!(f, "terminator in the middle of block b{} at index {i}", b.0)
+            }
+            ValidateError::BadRegister(b, i, r) => {
+                write!(f, "instruction {i} of block b{} names invalid register {r}", b.0)
+            }
+            ValidateError::BadTarget(b, i, t) => {
+                write!(f, "instruction {i} of block b{} targets missing block b{}", b.0, t.0)
+            }
+            ValidateError::NoBlocks => write!(f, "program has no blocks"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// A complete program for one simulated core: a list of basic blocks.
+/// Execution begins at block 0.
+///
+/// Programs are produced by [`ProgramBuilder`](crate::ProgramBuilder), which
+/// validates on `build`; [`Program::validate`] re-checks the same structural
+/// invariants and is cheap enough to call defensively before simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The basic blocks; [`BlockId`] indexes this vector.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Program {
+    /// The entry point: the start of block 0.
+    #[inline]
+    pub fn entry(&self) -> Pc {
+        Pc::at(BlockId(0))
+    }
+
+    /// Fetches the instruction at `pc`, or `None` if `pc` is out of range.
+    #[inline]
+    pub fn fetch(&self, pc: Pc) -> Option<&Instr> {
+        self.blocks.get(pc.block.0 as usize)?.instrs.get(pc.index)
+    }
+
+    /// Total number of instructions across all blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// `true` if the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks the structural invariants required by the interpreter:
+    ///
+    /// * at least one block; no block empty;
+    /// * every block ends with a terminator and contains no interior
+    ///   terminator;
+    /// * every named register is architectural;
+    /// * every branch/jump target exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, in block order.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.blocks.is_empty() {
+            return Err(ValidateError::NoBlocks);
+        }
+        let nblocks = self.blocks.len() as u32;
+        let check_target = |b: BlockId, i: usize, t: BlockId| {
+            if t.0 < nblocks {
+                Ok(())
+            } else {
+                Err(ValidateError::BadTarget(b, i, t))
+            }
+        };
+        let check_reg = |b: BlockId, i: usize, r: Reg| {
+            if (r.0 as usize) < NUM_REGS {
+                Ok(())
+            } else {
+                Err(ValidateError::BadRegister(b, i, r))
+            }
+        };
+        let check_operand = |b: BlockId, i: usize, o: Operand| match o {
+            Operand::Reg(r) => check_reg(b, i, r),
+            Operand::Imm(_) => Ok(()),
+        };
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let bid = BlockId(bi as u32);
+            let n = block.instrs.len();
+            if n == 0 {
+                return Err(ValidateError::EmptyBlock(bid));
+            }
+            for (i, instr) in block.instrs.iter().enumerate() {
+                let last = i == n - 1;
+                if instr.is_terminator() && !last {
+                    return Err(ValidateError::EarlyTerminator(bid, i));
+                }
+                if last && !instr.is_terminator() {
+                    return Err(ValidateError::MissingTerminator(bid));
+                }
+                match *instr {
+                    Instr::Imm { dst, .. } | Instr::Input { dst } => check_reg(bid, i, dst)?,
+                    Instr::Mov { dst, src } => {
+                        check_reg(bid, i, dst)?;
+                        check_reg(bid, i, src)?;
+                    }
+                    Instr::Bin { dst, lhs, rhs, .. } => {
+                        check_reg(bid, i, dst)?;
+                        check_reg(bid, i, lhs)?;
+                        check_operand(bid, i, rhs)?;
+                    }
+                    Instr::Load { dst, addr, .. } => {
+                        check_reg(bid, i, dst)?;
+                        check_reg(bid, i, addr)?;
+                    }
+                    Instr::Store { src, addr, .. } => {
+                        check_operand(bid, i, src)?;
+                        check_reg(bid, i, addr)?;
+                    }
+                    Instr::Branch {
+                        lhs,
+                        rhs,
+                        taken,
+                        not_taken,
+                        ..
+                    } => {
+                        check_reg(bid, i, lhs)?;
+                        check_operand(bid, i, rhs)?;
+                        check_target(bid, i, taken)?;
+                        check_target(bid, i, not_taken)?;
+                    }
+                    Instr::Jump { target } => check_target(bid, i, target)?,
+                    Instr::Work { .. }
+                    | Instr::TxBegin
+                    | Instr::TxCommit
+                    | Instr::Barrier
+                    | Instr::Halt => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (bi, block) in self.blocks.iter().enumerate() {
+            writeln!(f, "b{bi}:")?;
+            for instr in &block.instrs {
+                writeln!(f, "    {instr}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, CmpOp};
+
+    fn counter_program() -> Program {
+        Program {
+            blocks: vec![
+                BasicBlock {
+                    instrs: vec![
+                        Instr::Imm { dst: Reg(0), value: 5 },
+                        Instr::Jump { target: BlockId(1) },
+                    ],
+                },
+                BasicBlock {
+                    instrs: vec![
+                        Instr::Bin {
+                            op: BinOp::Sub,
+                            dst: Reg(0),
+                            lhs: Reg(0),
+                            rhs: Operand::Imm(1),
+                        },
+                        Instr::Branch {
+                            op: CmpOp::Gt,
+                            lhs: Reg(0),
+                            rhs: Operand::Imm(0),
+                            taken: BlockId(1),
+                            not_taken: BlockId(2),
+                        },
+                    ],
+                },
+                BasicBlock {
+                    instrs: vec![Instr::Halt],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let p = counter_program();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn fetch_follows_pc() {
+        let p = counter_program();
+        let pc = p.entry();
+        assert!(matches!(p.fetch(pc), Some(Instr::Imm { .. })));
+        assert!(matches!(p.fetch(pc.next()), Some(Instr::Jump { .. })));
+        assert!(p.fetch(Pc { block: BlockId(9), index: 0 }).is_none());
+        assert!(p.fetch(Pc { block: BlockId(0), index: 99 }).is_none());
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(Program::default().validate(), Err(ValidateError::NoBlocks));
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        let mut p = counter_program();
+        p.blocks.push(BasicBlock::default());
+        assert_eq!(p.validate(), Err(ValidateError::EmptyBlock(BlockId(3))));
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let p = Program {
+            blocks: vec![BasicBlock {
+                instrs: vec![Instr::TxBegin],
+            }],
+        };
+        assert_eq!(p.validate(), Err(ValidateError::MissingTerminator(BlockId(0))));
+    }
+
+    #[test]
+    fn early_terminator_rejected() {
+        let p = Program {
+            blocks: vec![BasicBlock {
+                instrs: vec![Instr::Halt, Instr::Halt],
+            }],
+        };
+        assert_eq!(p.validate(), Err(ValidateError::EarlyTerminator(BlockId(0), 0)));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let p = Program {
+            blocks: vec![BasicBlock {
+                instrs: vec![Instr::Imm { dst: Reg(200), value: 0 }, Instr::Halt],
+            }],
+        };
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::BadRegister(BlockId(0), 0, Reg(200)))
+        );
+    }
+
+    #[test]
+    fn bad_target_rejected() {
+        let p = Program {
+            blocks: vec![BasicBlock {
+                instrs: vec![Instr::Jump { target: BlockId(7) }],
+            }],
+        };
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::BadTarget(BlockId(0), 0, BlockId(7)))
+        );
+    }
+
+    #[test]
+    fn display_renders_blocks() {
+        let text = counter_program().to_string();
+        assert!(text.contains("b0:"));
+        assert!(text.contains("halt"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of architectural integer registers available to a program.
+///
+/// The simulated cores are simple in-order machines; 32 registers matches the
+/// x86-64-ish configuration of the paper's simulator closely enough for
+/// workload kernels, which rarely need more than a dozen live values.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register name (`r0` … `r31`).
+///
+/// `Reg` is a plain newtype over the register index so workload generators
+/// can allocate registers with simple arithmetic. [`Reg::index`] panics if
+/// the index is out of range, and [`Program::validate`] rejects programs that
+/// name nonexistent registers, so invalid names are caught before execution.
+///
+/// [`Program::validate`]: crate::Program::validate
+///
+/// # Example
+///
+/// ```
+/// use retcon_isa::{Reg, NUM_REGS};
+/// let r = Reg(3);
+/// assert_eq!(r.index(), 3);
+/// assert!(Reg::all().count() == NUM_REGS);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Returns the register index as a `usize` suitable for indexing a
+    /// register file array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register index is `>= NUM_REGS`; such registers can be
+    /// constructed (the field is public) but are rejected by program
+    /// validation before they reach an interpreter.
+    #[inline]
+    pub fn index(self) -> usize {
+        assert!(
+            (self.0 as usize) < NUM_REGS,
+            "register r{} out of range (max r{})",
+            self.0,
+            NUM_REGS - 1
+        );
+        self.0 as usize
+    }
+
+    /// Returns `true` if this register names one of the `NUM_REGS`
+    /// architectural registers.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < NUM_REGS
+    }
+
+    /// Iterates over every architectural register, `r0` through `r31`.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for r in Reg::all() {
+            assert_eq!(Reg(r.0).index(), r.0 as usize);
+            assert!(r.is_valid());
+        }
+    }
+
+    #[test]
+    fn invalid_register_detected() {
+        assert!(!Reg(NUM_REGS as u8).is_valid());
+        assert!(!Reg(255).is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let _ = Reg(NUM_REGS as u8).index();
+    }
+
+    #[test]
+    fn display_formats_name() {
+        assert_eq!(Reg(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn all_yields_unique_registers() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), NUM_REGS);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.0 as usize, i);
+        }
+    }
+}

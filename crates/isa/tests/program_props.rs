@@ -1,0 +1,129 @@
+//! Property tests for program construction and validation.
+
+use proptest::prelude::*;
+
+use retcon_isa::{
+    BasicBlock, BinOp, BlockId, CmpOp, Instr, Operand, Program, ProgramBuilder, Reg, NUM_REGS,
+};
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0..NUM_REGS as u8).prop_map(Reg)
+}
+
+fn nonterminal_instr(max_block: u32) -> impl Strategy<Value = Instr> {
+    let _ = max_block;
+    prop_oneof![
+        (reg_strategy(), any::<u64>()).prop_map(|(dst, value)| Instr::Imm { dst, value }),
+        (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
+        (reg_strategy(), reg_strategy(), -100i64..100).prop_map(|(dst, lhs, k)| Instr::Bin {
+            op: BinOp::Add,
+            dst,
+            lhs,
+            rhs: Operand::Imm(k),
+        }),
+        (reg_strategy(), reg_strategy(), -8i64..8)
+            .prop_map(|(dst, addr, offset)| Instr::Load { dst, addr, offset }),
+        (reg_strategy(), reg_strategy(), -8i64..8)
+            .prop_map(|(src, addr, offset)| Instr::Store {
+                src: Operand::Reg(src),
+                addr,
+                offset
+            }),
+        (0u32..1000).prop_map(|cycles| Instr::Work { cycles }),
+        Just(Instr::TxBegin),
+        Just(Instr::TxCommit),
+    ]
+}
+
+proptest! {
+    /// Programs assembled through the builder always validate.
+    #[test]
+    fn builder_output_always_validates(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(nonterminal_instr(4), 0..10),
+            1..6
+        ),
+    ) {
+        let mut b = ProgramBuilder::new();
+        let nblocks = bodies.len();
+        // Reserve every block up front so jumps can target any of them.
+        let blocks: Vec<BlockId> = std::iter::once(b.entry())
+            .chain((1..nblocks).map(|_| b.block()))
+            .collect();
+        for (i, body) in bodies.iter().enumerate() {
+            b.select(blocks[i]);
+            for instr in body {
+                b.emit(*instr);
+            }
+            // Terminate: jump to the next block, or halt at the end.
+            if i + 1 < nblocks {
+                b.jump(blocks[i + 1]);
+            } else {
+                b.halt();
+            }
+        }
+        let program = b.build().expect("builder output must validate");
+        prop_assert!(program.validate().is_ok());
+        prop_assert_eq!(program.blocks.len(), nblocks);
+    }
+
+    /// Validation rejects any program containing an out-of-range register.
+    #[test]
+    fn validation_catches_bad_registers(reg_idx in NUM_REGS as u8..=255u8) {
+        let p = Program {
+            blocks: vec![BasicBlock {
+                instrs: vec![
+                    Instr::Imm { dst: Reg(reg_idx), value: 0 },
+                    Instr::Halt,
+                ],
+            }],
+        };
+        prop_assert!(p.validate().is_err());
+    }
+
+    /// Validation rejects any branch to a nonexistent block.
+    #[test]
+    fn validation_catches_bad_targets(target in 1u32..100) {
+        let p = Program {
+            blocks: vec![BasicBlock {
+                instrs: vec![Instr::Branch {
+                    op: CmpOp::Eq,
+                    lhs: Reg(0),
+                    rhs: Operand::Imm(0),
+                    taken: BlockId(target),
+                    not_taken: BlockId(0),
+                }],
+            }],
+        };
+        prop_assert!(p.validate().is_err());
+    }
+
+    /// `fetch` returns `Some` exactly for in-range program counters.
+    #[test]
+    fn fetch_matches_bounds(
+        sizes in proptest::collection::vec(1usize..5, 1..4),
+        probe_block in 0u32..6,
+        probe_index in 0usize..8,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let nblocks = sizes.len();
+        let blocks: Vec<BlockId> = std::iter::once(b.entry())
+            .chain((1..nblocks).map(|_| b.block()))
+            .collect();
+        for (i, &size) in sizes.iter().enumerate() {
+            b.select(blocks[i]);
+            for _ in 0..size - 1 {
+                b.work(1);
+            }
+            b.halt();
+        }
+        let p = b.build().expect("valid");
+        let pc = retcon_isa::Pc {
+            block: BlockId(probe_block),
+            index: probe_index,
+        };
+        let in_range = (probe_block as usize) < nblocks
+            && probe_index < sizes[probe_block.min(nblocks as u32 - 1) as usize];
+        prop_assert_eq!(p.fetch(pc).is_some(), in_range);
+    }
+}

@@ -1,0 +1,357 @@
+//! Set-associative tag arrays with speculative access bits.
+
+use retcon_isa::BlockAddr;
+
+/// The speculative-access bits attached to a cached block (§2: a
+/// "speculatively-read" and a "speculatively-written" bit per L1 block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpecBits {
+    /// Block was read within the current speculative region.
+    pub read: bool,
+    /// Block was written within the current speculative region.
+    pub written: bool,
+}
+
+impl SpecBits {
+    /// Neither bit set.
+    pub const NONE: SpecBits = SpecBits {
+        read: false,
+        written: false,
+    };
+
+    /// `true` if either bit is set.
+    #[inline]
+    pub fn any(self) -> bool {
+        self.read || self.written
+    }
+
+    /// Merges another set of bits into this one.
+    #[inline]
+    pub fn merge(&mut self, other: SpecBits) {
+        self.read |= other.read;
+        self.written |= other.written;
+    }
+}
+
+/// Geometry of a set-associative cache with 64-byte blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// Derives geometry from a capacity in bytes and an associativity,
+    /// assuming 64-byte blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of `ways * 64`.
+    pub fn new(capacity_bytes: usize, ways: usize) -> Self {
+        let blocks = capacity_bytes / 64;
+        assert!(
+            blocks % ways == 0 && blocks > 0,
+            "capacity {capacity_bytes} not divisible into {ways}-way sets of 64B blocks"
+        );
+        CacheGeometry {
+            sets: blocks / ways,
+            ways,
+        }
+    }
+
+    /// The set index for `block`.
+    #[inline]
+    pub fn set_of(&self, block: BlockAddr) -> usize {
+        (block.0 as usize) % self.sets
+    }
+
+    /// Total number of blocks the cache can hold.
+    #[inline]
+    pub fn capacity_blocks(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+/// One way of one set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    block: BlockAddr,
+    spec: SpecBits,
+    /// Larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative tag array.
+///
+/// The array tracks *presence* and speculative bits only; block data lives in
+/// [`GlobalMemory`](crate::GlobalMemory) and coherence permissions live in
+/// the directory. Replacement is LRU, preferring non-speculative victims so
+/// speculative state stays resident as long as possible (evicted speculative
+/// permissions are retained by the memory system's permissions-only cache).
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+}
+
+impl CacheArray {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        CacheArray {
+            geometry,
+            sets: vec![Vec::new(); geometry.sets],
+            tick: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// `true` if `block` is present.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.sets[self.geometry.set_of(block)]
+            .iter()
+            .any(|l| l.block == block)
+    }
+
+    /// Returns the speculative bits of `block`, if present.
+    pub fn spec_bits(&self, block: BlockAddr) -> Option<SpecBits> {
+        self.sets[self.geometry.set_of(block)]
+            .iter()
+            .find(|l| l.block == block)
+            .map(|l| l.spec)
+    }
+
+    /// Marks `block` most-recently-used and returns whether it was present.
+    pub fn touch(&mut self, block: BlockAddr) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.geometry.set_of(block);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.block == block) {
+            line.lru = tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `block` (MRU position), evicting the LRU line if the set is
+    /// full. Returns the evicted block and its speculative bits, if any.
+    ///
+    /// Victim selection prefers lines without speculative bits; if every line
+    /// in the set is speculative, the LRU speculative line is evicted and its
+    /// bits are returned so the caller can preserve them in the
+    /// permissions-only cache.
+    pub fn insert(&mut self, block: BlockAddr) -> Option<(BlockAddr, SpecBits)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.geometry.set_of(block);
+        let ways = self.geometry.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.block == block) {
+            line.lru = tick;
+            return None;
+        }
+        let mut evicted = None;
+        if set.len() >= ways {
+            // Prefer the LRU non-speculative line; fall back to the LRU line.
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.spec.any())
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .unwrap_or_else(|| {
+                    set.iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.lru)
+                        .map(|(i, _)| i)
+                        .expect("full set has lines")
+                });
+            let victim = set.swap_remove(victim_idx);
+            evicted = Some((victim.block, victim.spec));
+        }
+        set.push(Line {
+            block,
+            spec: SpecBits::NONE,
+            lru: tick,
+        });
+        evicted
+    }
+
+    /// Removes `block` if present, returning its speculative bits.
+    pub fn remove(&mut self, block: BlockAddr) -> Option<SpecBits> {
+        let set = self.geometry.set_of(block);
+        let lines = &mut self.sets[set];
+        let idx = lines.iter().position(|l| l.block == block)?;
+        Some(lines.swap_remove(idx).spec)
+    }
+
+    /// ORs `bits` into the speculative bits of `block`. Returns `false` if
+    /// the block is not present.
+    pub fn mark_spec(&mut self, block: BlockAddr, bits: SpecBits) -> bool {
+        let set = self.geometry.set_of(block);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.block == block) {
+            line.spec.merge(bits);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears the speculative bits of every resident block, returning how
+    /// many blocks had any bit set.
+    pub fn clear_all_spec(&mut self) -> usize {
+        let mut cleared = 0;
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.spec.any() {
+                    cleared += 1;
+                    line.spec = SpecBits::NONE;
+                }
+            }
+        }
+        cleared
+    }
+
+    /// Iterates over resident blocks with at least one speculative bit set.
+    pub fn spec_blocks(&self) -> impl Iterator<Item = (BlockAddr, SpecBits)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter())
+            .filter(|l| l.spec.any())
+            .map(|l| (l.block, l.spec))
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` if no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheArray {
+        // 2 sets, 2 ways.
+        CacheArray::new(CacheGeometry { sets: 2, ways: 2 })
+    }
+
+    #[test]
+    fn geometry_from_capacity() {
+        let g = CacheGeometry::new(64 * 1024, 4);
+        assert_eq!(g.sets, 256);
+        assert_eq!(g.capacity_blocks(), 1024);
+        let g2 = CacheGeometry::new(1024 * 1024, 4);
+        assert_eq!(g2.sets, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_geometry_panics() {
+        let _ = CacheGeometry::new(100, 3);
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut c = tiny();
+        assert!(c.insert(BlockAddr(0)).is_none());
+        assert!(c.contains(BlockAddr(0)));
+        assert!(!c.contains(BlockAddr(2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Blocks 0, 2, 4 all map to set 0 (even block numbers, 2 sets).
+        c.insert(BlockAddr(0));
+        c.insert(BlockAddr(2));
+        c.touch(BlockAddr(0)); // 2 is now LRU
+        let evicted = c.insert(BlockAddr(4)).expect("eviction");
+        assert_eq!(evicted.0, BlockAddr(2));
+        assert!(c.contains(BlockAddr(0)));
+        assert!(c.contains(BlockAddr(4)));
+    }
+
+    #[test]
+    fn eviction_prefers_non_speculative_victims() {
+        let mut c = tiny();
+        c.insert(BlockAddr(0));
+        c.insert(BlockAddr(2));
+        c.mark_spec(BlockAddr(0), SpecBits { read: true, written: false });
+        // Block 0 is LRU but speculative; block 2 should be evicted instead.
+        let evicted = c.insert(BlockAddr(4)).expect("eviction");
+        assert_eq!(evicted.0, BlockAddr(2));
+        assert!(c.contains(BlockAddr(0)));
+    }
+
+    #[test]
+    fn evicting_speculative_line_returns_bits() {
+        let mut c = tiny();
+        c.insert(BlockAddr(0));
+        c.insert(BlockAddr(2));
+        c.mark_spec(BlockAddr(0), SpecBits { read: true, written: false });
+        c.mark_spec(BlockAddr(2), SpecBits { read: false, written: true });
+        let (block, bits) = c.insert(BlockAddr(4)).expect("eviction");
+        assert_eq!(block, BlockAddr(0)); // LRU among speculative lines
+        assert!(bits.read);
+    }
+
+    #[test]
+    fn reinsert_refreshes_lru_without_eviction() {
+        let mut c = tiny();
+        c.insert(BlockAddr(0));
+        c.insert(BlockAddr(2));
+        assert!(c.insert(BlockAddr(0)).is_none());
+        // Now 2 is LRU.
+        let evicted = c.insert(BlockAddr(4)).unwrap();
+        assert_eq!(evicted.0, BlockAddr(2));
+    }
+
+    #[test]
+    fn spec_bit_lifecycle() {
+        let mut c = tiny();
+        c.insert(BlockAddr(1));
+        assert!(c.mark_spec(BlockAddr(1), SpecBits { read: true, written: false }));
+        assert!(c.mark_spec(BlockAddr(1), SpecBits { read: false, written: true }));
+        let bits = c.spec_bits(BlockAddr(1)).unwrap();
+        assert!(bits.read && bits.written);
+        assert_eq!(c.spec_blocks().count(), 1);
+        assert_eq!(c.clear_all_spec(), 1);
+        assert_eq!(c.spec_blocks().count(), 0);
+        assert!(!c.mark_spec(BlockAddr(9), SpecBits { read: true, written: false }));
+    }
+
+    #[test]
+    fn remove_returns_bits() {
+        let mut c = tiny();
+        c.insert(BlockAddr(3));
+        c.mark_spec(BlockAddr(3), SpecBits { read: true, written: true });
+        let bits = c.remove(BlockAddr(3)).unwrap();
+        assert!(bits.read && bits.written);
+        assert!(!c.contains(BlockAddr(3)));
+        assert!(c.remove(BlockAddr(3)).is_none());
+    }
+
+    #[test]
+    fn spec_bits_merge() {
+        let mut b = SpecBits::NONE;
+        assert!(!b.any());
+        b.merge(SpecBits { read: true, written: false });
+        assert!(b.any() && b.read && !b.written);
+        b.merge(SpecBits { read: false, written: true });
+        assert!(b.read && b.written);
+    }
+}

@@ -1,0 +1,95 @@
+//! Machine configuration: cache geometry and latency parameters (Table 1).
+
+use crate::cache::CacheGeometry;
+
+/// Access latencies in cycles, matching Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// L1 hit latency (1 cycle: the in-order cores issue 1 IPC).
+    pub l1_hit: u64,
+    /// Private-L2 hit latency ("10-cycle hit latency").
+    pub l2_hit: u64,
+    /// One interconnect hop to/from the directory ("20 cycle hop latency").
+    pub hop: u64,
+    /// DRAM lookup ("100 cycles DRAM lookup latency").
+    pub dram: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            l1_hit: 1,
+            l2_hit: 10,
+            hop: 20,
+            dram: 100,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Latency of an L2 miss serviced by the directory: two hops (request to
+    /// the directory, response back) plus either a forward from the remote
+    /// owner's cache (one extra hop) or a DRAM lookup.
+    #[inline]
+    pub fn l2_miss(&self, forwarded_from_owner: bool) -> u64 {
+        let transfer = if forwarded_from_owner { self.hop } else { self.dram };
+        2 * self.hop + transfer
+    }
+
+    /// Latency of an upgrade (Shared → Modified without a data transfer): a
+    /// directory round trip.
+    #[inline]
+    pub fn upgrade(&self) -> u64 {
+        2 * self.hop
+    }
+}
+
+/// Full memory-system configuration.
+///
+/// Defaults reproduce Table 1: 64 KB 4-way L1, 1 MB 4-way private L2, 64-byte
+/// blocks, directory coherence with 20-cycle hops and 100-cycle DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 geometry (64 KB, 4-way, 64 B blocks → 256 sets).
+    pub l1: CacheGeometry,
+    /// Private L2 geometry (1 MB, 4-way, 64 B blocks → 4096 sets).
+    pub l2: CacheGeometry,
+    /// Latency parameters.
+    pub latency: LatencyModel,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            l1: CacheGeometry::new(64 * 1024, 4),
+            l2: CacheGeometry::new(1024 * 1024, 4),
+            latency: LatencyModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let cfg = MemConfig::default();
+        assert_eq!(cfg.l1.sets, 256);
+        assert_eq!(cfg.l1.ways, 4);
+        assert_eq!(cfg.l2.sets, 4096);
+        assert_eq!(cfg.l2.ways, 4);
+        assert_eq!(cfg.latency.l1_hit, 1);
+        assert_eq!(cfg.latency.l2_hit, 10);
+        assert_eq!(cfg.latency.hop, 20);
+        assert_eq!(cfg.latency.dram, 100);
+    }
+
+    #[test]
+    fn miss_latencies_compose_hops() {
+        let lat = LatencyModel::default();
+        assert_eq!(lat.l2_miss(false), 140); // 2 hops + DRAM
+        assert_eq!(lat.l2_miss(true), 60); // 2 hops + owner forward
+        assert_eq!(lat.upgrade(), 40);
+    }
+}

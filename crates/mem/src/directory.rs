@@ -1,0 +1,260 @@
+//! Directory coherence state.
+
+use std::collections::{BTreeSet, HashMap};
+
+use retcon_isa::BlockAddr;
+
+use crate::system::CoreId;
+
+/// Coherence state of one block as seen by the directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirState {
+    /// No core caches the block.
+    Uncached,
+    /// One or more cores hold read-only copies.
+    Shared(BTreeSet<CoreId>),
+    /// Exactly one core holds the block with write permission.
+    Modified(CoreId),
+}
+
+impl DirState {
+    /// The set of cores currently holding any copy.
+    pub fn holders(&self) -> Vec<CoreId> {
+        match self {
+            DirState::Uncached => Vec::new(),
+            DirState::Shared(s) => s.iter().copied().collect(),
+            DirState::Modified(c) => vec![*c],
+        }
+    }
+
+    /// `true` if `core` holds a copy.
+    pub fn holds(&self, core: CoreId) -> bool {
+        match self {
+            DirState::Uncached => false,
+            DirState::Shared(s) => s.contains(&core),
+            DirState::Modified(c) => *c == core,
+        }
+    }
+
+    /// `true` if `core` holds the block with write permission.
+    pub fn holds_modified(&self, core: CoreId) -> bool {
+        matches!(self, DirState::Modified(c) if *c == core)
+    }
+}
+
+/// The directory: authoritative coherence state for every block.
+///
+/// The directory answers two questions for the memory system: *who must be
+/// invalidated/downgraded to grant this request* and *can the data be
+/// forwarded from a remote owner instead of DRAM*. State transitions are
+/// driven exclusively by [`grant_read`](Directory::grant_read),
+/// [`grant_write`](Directory::grant_write) and
+/// [`drop_holder`](Directory::drop_holder); the per-core tag arrays mirror
+/// this state for latency and speculative-bit lookups.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirState>,
+}
+
+impl Directory {
+    /// Creates an empty directory (all blocks [`DirState::Uncached`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current state of `block`.
+    pub fn state(&self, block: BlockAddr) -> DirState {
+        self.entries
+            .get(&block.0)
+            .cloned()
+            .unwrap_or(DirState::Uncached)
+    }
+
+    /// Cores whose copies must change state for `core` to perform the given
+    /// access: for a write, every other holder; for a read, the remote
+    /// modified owner (who must downgrade), if any.
+    pub fn victims(&self, core: CoreId, block: BlockAddr, write: bool) -> Vec<CoreId> {
+        match self.state(block) {
+            DirState::Uncached => Vec::new(),
+            DirState::Shared(s) => {
+                if write {
+                    s.iter().copied().filter(|&c| c != core).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            DirState::Modified(o) => {
+                if o == core {
+                    Vec::new()
+                } else {
+                    vec![o]
+                }
+            }
+        }
+    }
+
+    /// `true` if a miss by `core` would be serviced by a remote owner's cache
+    /// (dirty forward) rather than DRAM.
+    pub fn forwarded_from_owner(&self, core: CoreId, block: BlockAddr) -> bool {
+        matches!(self.state(block), DirState::Modified(o) if o != core)
+    }
+
+    /// Records that `core` has been granted a read-only copy, downgrading a
+    /// remote modified owner to shared. Returns the downgraded owner, if any.
+    pub fn grant_read(&mut self, core: CoreId, block: BlockAddr) -> Option<CoreId> {
+        let state = self.state(block);
+        let (new, downgraded) = match state {
+            DirState::Uncached => (DirState::Shared(BTreeSet::from([core])), None),
+            DirState::Shared(mut s) => {
+                s.insert(core);
+                (DirState::Shared(s), None)
+            }
+            DirState::Modified(o) => {
+                if o == core {
+                    (DirState::Modified(o), None)
+                } else {
+                    (DirState::Shared(BTreeSet::from([o, core])), Some(o))
+                }
+            }
+        };
+        self.entries.insert(block.0, new);
+        downgraded
+    }
+
+    /// Records that `core` has been granted an exclusive (writable) copy,
+    /// invalidating all other holders. Returns the invalidated cores.
+    pub fn grant_write(&mut self, core: CoreId, block: BlockAddr) -> Vec<CoreId> {
+        let victims = self.victims(core, block, true);
+        self.entries.insert(block.0, DirState::Modified(core));
+        victims
+    }
+
+    /// Records that `core` no longer caches `block` (eviction or
+    /// invalidation acknowledged).
+    pub fn drop_holder(&mut self, core: CoreId, block: BlockAddr) {
+        let state = self.state(block);
+        let new = match state {
+            DirState::Uncached => DirState::Uncached,
+            DirState::Shared(mut s) => {
+                s.remove(&core);
+                if s.is_empty() {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(s)
+                }
+            }
+            DirState::Modified(o) => {
+                if o == core {
+                    DirState::Uncached
+                } else {
+                    DirState::Modified(o)
+                }
+            }
+        };
+        if new == DirState::Uncached {
+            self.entries.remove(&block.0);
+        } else {
+            self.entries.insert(block.0, new);
+        }
+    }
+
+    /// Number of blocks with a non-`Uncached` entry.
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: CoreId = CoreId(0);
+    const C1: CoreId = CoreId(1);
+    const C2: CoreId = CoreId(2);
+    const B: BlockAddr = BlockAddr(7);
+
+    #[test]
+    fn starts_uncached() {
+        let d = Directory::new();
+        assert_eq!(d.state(B), DirState::Uncached);
+        assert!(d.victims(C0, B, true).is_empty());
+        assert_eq!(d.tracked_blocks(), 0);
+    }
+
+    #[test]
+    fn read_read_shares() {
+        let mut d = Directory::new();
+        assert_eq!(d.grant_read(C0, B), None);
+        assert_eq!(d.grant_read(C1, B), None);
+        let s = d.state(B);
+        assert!(s.holds(C0) && s.holds(C1));
+        assert!(!s.holds_modified(C0));
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.grant_read(C0, B);
+        d.grant_read(C1, B);
+        let victims = d.grant_write(C2, B);
+        assert_eq!(victims.len(), 2);
+        assert!(victims.contains(&C0) && victims.contains(&C1));
+        assert!(d.state(B).holds_modified(C2));
+    }
+
+    #[test]
+    fn read_downgrades_modified_owner() {
+        let mut d = Directory::new();
+        d.grant_write(C0, B);
+        assert!(d.forwarded_from_owner(C1, B));
+        let downgraded = d.grant_read(C1, B);
+        assert_eq!(downgraded, Some(C0));
+        let s = d.state(B);
+        assert!(s.holds(C0) && s.holds(C1));
+        assert!(!s.holds_modified(C0));
+    }
+
+    #[test]
+    fn owner_rereading_keeps_modified() {
+        let mut d = Directory::new();
+        d.grant_write(C0, B);
+        assert_eq!(d.grant_read(C0, B), None);
+        assert!(d.state(B).holds_modified(C0));
+    }
+
+    #[test]
+    fn write_steals_from_owner() {
+        let mut d = Directory::new();
+        d.grant_write(C0, B);
+        let victims = d.grant_write(C1, B);
+        assert_eq!(victims, vec![C0]);
+        assert!(d.state(B).holds_modified(C1));
+    }
+
+    #[test]
+    fn drop_holder_transitions() {
+        let mut d = Directory::new();
+        d.grant_read(C0, B);
+        d.grant_read(C1, B);
+        d.drop_holder(C0, B);
+        assert!(!d.state(B).holds(C0));
+        assert!(d.state(B).holds(C1));
+        d.drop_holder(C1, B);
+        assert_eq!(d.state(B), DirState::Uncached);
+        assert_eq!(d.tracked_blocks(), 0);
+
+        d.grant_write(C2, B);
+        d.drop_holder(C2, B);
+        assert_eq!(d.state(B), DirState::Uncached);
+    }
+
+    #[test]
+    fn victims_for_read_only_modified_owner() {
+        let mut d = Directory::new();
+        d.grant_read(C0, B);
+        assert!(d.victims(C1, B, false).is_empty());
+        d.grant_write(C0, B);
+        assert_eq!(d.victims(C1, B, false), vec![C0]);
+        assert_eq!(d.victims(C0, B, false), Vec::<CoreId>::new());
+    }
+}

@@ -1,0 +1,107 @@
+//! Architectural memory state.
+
+use std::collections::HashMap;
+
+use retcon_isa::Addr;
+
+/// The architectural memory of the simulated machine: a sparse map from word
+/// addresses to 64-bit values. Unwritten words read as zero, like
+/// zero-initialized physical memory.
+///
+/// `GlobalMemory` holds *values only*; which core may access a word, at what
+/// latency, and whether doing so conflicts with a speculative region is the
+/// business of [`MemorySystem`](crate::MemorySystem). Version management
+/// (undo logs, write buffers) layers on top via
+/// [`UndoLog`](crate::UndoLog) / [`WriteBuffer`](crate::WriteBuffer).
+///
+/// # Example
+///
+/// ```
+/// use retcon_mem::GlobalMemory;
+/// use retcon_isa::Addr;
+///
+/// let mut mem = GlobalMemory::new();
+/// assert_eq!(mem.read(Addr(10)), 0);
+/// mem.write(Addr(10), 99);
+/// assert_eq!(mem.read(Addr(10)), 99);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMemory {
+    words: HashMap<u64, u64>,
+}
+
+impl GlobalMemory {
+    /// Creates an all-zero memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the word at `addr` (zero if never written).
+    #[inline]
+    pub fn read(&self, addr: Addr) -> u64 {
+        self.words.get(&addr.0).copied().unwrap_or(0)
+    }
+
+    /// Writes `value` to the word at `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: Addr, value: u64) {
+        if value == 0 {
+            // Keep the map sparse: zero is the default.
+            self.words.remove(&addr.0);
+        } else {
+            self.words.insert(addr.0, value);
+        }
+    }
+
+    /// Number of words holding a nonzero value.
+    pub fn nonzero_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Iterates over `(address, value)` pairs of nonzero words in arbitrary
+    /// order. Intended for test assertions and debugging dumps.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
+        self.words.iter().map(|(&a, &v)| (Addr(a), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mem = GlobalMemory::new();
+        assert_eq!(mem.read(Addr(0)), 0);
+        assert_eq!(mem.read(Addr(u64::MAX)), 0);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut mem = GlobalMemory::new();
+        mem.write(Addr(5), 42);
+        mem.write(Addr(6), 43);
+        assert_eq!(mem.read(Addr(5)), 42);
+        assert_eq!(mem.read(Addr(6)), 43);
+        assert_eq!(mem.nonzero_words(), 2);
+    }
+
+    #[test]
+    fn overwrite_with_zero_stays_sparse() {
+        let mut mem = GlobalMemory::new();
+        mem.write(Addr(5), 42);
+        mem.write(Addr(5), 0);
+        assert_eq!(mem.read(Addr(5)), 0);
+        assert_eq!(mem.nonzero_words(), 0);
+    }
+
+    #[test]
+    fn iter_covers_written_words() {
+        let mut mem = GlobalMemory::new();
+        mem.write(Addr(1), 10);
+        mem.write(Addr(2), 20);
+        let mut pairs: Vec<(Addr, u64)> = mem.iter().collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(Addr(1), 10), (Addr(2), 20)]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Memory-system statistics.
+
+/// Per-core memory-access counters, used by the simulator's reports and by
+/// tests asserting cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Total word accesses issued.
+    pub accesses: u64,
+    /// Accesses that hit in the L1.
+    pub l1_hits: u64,
+    /// Accesses that missed L1 but hit the private L2.
+    pub l2_hits: u64,
+    /// Accesses serviced by the directory (remote forward or DRAM).
+    pub misses: u64,
+    /// Upgrade misses (had a shared copy, needed exclusive).
+    pub upgrades: u64,
+    /// Invalidations this core sent to others.
+    pub invalidations_sent: u64,
+    /// Invalidations this core received.
+    pub invalidations_received: u64,
+    /// Speculative blocks whose permissions overflowed into the
+    /// permissions-only cache (evicted from L1/L2 while speculative).
+    pub spec_overflows: u64,
+}
+
+impl MemStats {
+    /// Sum of hits and misses — should equal `accesses`.
+    pub fn classified(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.misses + self.upgrades
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let s = MemStats::default();
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.classified(), 0);
+    }
+
+    #[test]
+    fn classified_sums_buckets() {
+        let s = MemStats {
+            accesses: 10,
+            l1_hits: 4,
+            l2_hits: 3,
+            misses: 2,
+            upgrades: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.classified(), 10);
+    }
+}

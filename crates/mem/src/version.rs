@@ -1,0 +1,237 @@
+//! Version management: eager undo logging and lazy write buffering.
+//!
+//! The paper's baseline uses *eager version management* — speculative stores
+//! update memory in place and an undo log restores pre-speculative values on
+//! abort (§2, "the baseline is configured to use eager version management and
+//! model a zero-cycle rollback penalty"). The LazyTM variant of Figure 2 and
+//! the value-based `lazy-vb` configuration instead buffer stores locally
+//! until commit. Both mechanisms live here so every protocol in
+//! `retcon-htm` shares one tested implementation.
+
+use std::collections::HashMap;
+
+use retcon_isa::Addr;
+
+use crate::memory::GlobalMemory;
+
+/// An eager-version-management undo log.
+///
+/// The log records the *first* pre-speculative value of each word written by
+/// the current transaction. [`rollback`](UndoLog::rollback) restores them;
+/// per the paper's baseline the restoration itself costs zero cycles.
+///
+/// # Example
+///
+/// ```
+/// use retcon_mem::{GlobalMemory, UndoLog};
+/// use retcon_isa::Addr;
+///
+/// let mut mem = GlobalMemory::new();
+/// let mut log = UndoLog::new();
+/// mem.write(Addr(1), 10);
+///
+/// log.record(&mem, Addr(1));
+/// mem.write(Addr(1), 99);
+/// log.rollback(&mut mem);
+/// assert_eq!(mem.read(Addr(1)), 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UndoLog {
+    /// (address, pre-speculative value), in first-write order.
+    entries: Vec<(Addr, u64)>,
+    seen: HashMap<u64, usize>,
+}
+
+impl UndoLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the current value of `addr` if this is the first speculative
+    /// write to it in the current transaction.
+    pub fn record(&mut self, mem: &GlobalMemory, addr: Addr) {
+        if !self.seen.contains_key(&addr.0) {
+            self.seen.insert(addr.0, self.entries.len());
+            self.entries.push((addr, mem.read(addr)));
+        }
+    }
+
+    /// Restores every logged word to its pre-speculative value and clears the
+    /// log. Restoration happens in reverse order, though with first-write-only
+    /// logging the order is immaterial.
+    pub fn rollback(&mut self, mem: &mut GlobalMemory) {
+        for &(addr, value) in self.entries.iter().rev() {
+            mem.write(addr, value);
+        }
+        self.clear();
+    }
+
+    /// Discards the log without restoring (used at commit).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.seen.clear();
+    }
+
+    /// Number of distinct words logged.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The pre-speculative value recorded for `addr`, if any.
+    pub fn old_value(&self, addr: Addr) -> Option<u64> {
+        self.seen.get(&addr.0).map(|&i| self.entries[i].1)
+    }
+}
+
+/// A lazy-version-management store buffer.
+///
+/// Speculative stores are collected here and only drained to
+/// [`GlobalMemory`] at commit; loads must consult the buffer first to see
+/// the transaction's own stores.
+///
+/// # Example
+///
+/// ```
+/// use retcon_mem::{GlobalMemory, WriteBuffer};
+/// use retcon_isa::Addr;
+///
+/// let mut mem = GlobalMemory::new();
+/// let mut wb = WriteBuffer::new();
+/// wb.write(Addr(4), 5);
+/// assert_eq!(wb.read(Addr(4)), Some(5));
+/// assert_eq!(mem.read(Addr(4)), 0); // not yet visible
+/// wb.drain(&mut mem);
+/// assert_eq!(mem.read(Addr(4)), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteBuffer {
+    words: HashMap<u64, u64>,
+    order: Vec<u64>,
+}
+
+impl WriteBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers a store of `value` to `addr`.
+    pub fn write(&mut self, addr: Addr, value: u64) {
+        if self.words.insert(addr.0, value).is_none() {
+            self.order.push(addr.0);
+        }
+    }
+
+    /// The buffered value for `addr`, if the transaction has stored to it.
+    pub fn read(&self, addr: Addr) -> Option<u64> {
+        self.words.get(&addr.0).copied()
+    }
+
+    /// Writes every buffered store to memory (in first-store order) and
+    /// clears the buffer.
+    pub fn drain(&mut self, mem: &mut GlobalMemory) {
+        for &a in &self.order {
+            mem.write(Addr(a), self.words[&a]);
+        }
+        self.discard();
+    }
+
+    /// Clears the buffer without writing (abort).
+    pub fn discard(&mut self) {
+        self.words.clear();
+        self.order.clear();
+    }
+
+    /// Number of distinct words buffered.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if no stores are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates over buffered `(address, value)` pairs in first-store order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
+        self.order.iter().map(|&a| (Addr(a), self.words[&a]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undo_log_restores_first_values() {
+        let mut mem = GlobalMemory::new();
+        let mut log = UndoLog::new();
+        mem.write(Addr(1), 10);
+
+        log.record(&mem, Addr(1));
+        mem.write(Addr(1), 20);
+        log.record(&mem, Addr(1)); // second record is a no-op
+        mem.write(Addr(1), 30);
+        log.record(&mem, Addr(2));
+        mem.write(Addr(2), 5);
+
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.old_value(Addr(1)), Some(10));
+        log.rollback(&mut mem);
+        assert_eq!(mem.read(Addr(1)), 10);
+        assert_eq!(mem.read(Addr(2)), 0);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn undo_log_clear_commits() {
+        let mut mem = GlobalMemory::new();
+        let mut log = UndoLog::new();
+        log.record(&mem, Addr(3));
+        mem.write(Addr(3), 7);
+        log.clear();
+        log.rollback(&mut mem); // nothing to roll back
+        assert_eq!(mem.read(Addr(3)), 7);
+    }
+
+    #[test]
+    fn write_buffer_forwards_to_own_reads() {
+        let mut wb = WriteBuffer::new();
+        assert_eq!(wb.read(Addr(9)), None);
+        wb.write(Addr(9), 1);
+        wb.write(Addr(9), 2);
+        assert_eq!(wb.read(Addr(9)), Some(2));
+        assert_eq!(wb.len(), 1);
+    }
+
+    #[test]
+    fn write_buffer_drain_publishes_in_order() {
+        let mut mem = GlobalMemory::new();
+        let mut wb = WriteBuffer::new();
+        wb.write(Addr(1), 11);
+        wb.write(Addr(2), 22);
+        wb.write(Addr(1), 111); // overwrite keeps original order slot
+        let pairs: Vec<_> = wb.iter().collect();
+        assert_eq!(pairs, vec![(Addr(1), 111), (Addr(2), 22)]);
+        wb.drain(&mut mem);
+        assert_eq!(mem.read(Addr(1)), 111);
+        assert_eq!(mem.read(Addr(2)), 22);
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn write_buffer_discard_drops_stores() {
+        let mut mem = GlobalMemory::new();
+        let mut wb = WriteBuffer::new();
+        wb.write(Addr(1), 11);
+        wb.discard();
+        wb.drain(&mut mem);
+        assert_eq!(mem.read(Addr(1)), 0);
+    }
+}

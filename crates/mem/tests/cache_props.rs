@@ -1,0 +1,121 @@
+//! Model-based property tests for the cache array and directory.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use retcon_isa::BlockAddr;
+use retcon_mem::{CacheArray, CacheGeometry, CoreId, Directory, SpecBits};
+
+/// Random cache operations checked against a naive reference model that
+/// tracks only membership and capacity (replacement policy is the cache's
+/// own business; membership and bounds are the invariants).
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    Insert(u64),
+    Remove(u64),
+    Touch(u64),
+    MarkSpec(u64),
+    ClearSpec,
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u64..64).prop_map(CacheOp::Insert),
+        (0u64..64).prop_map(CacheOp::Remove),
+        (0u64..64).prop_map(CacheOp::Touch),
+        (0u64..64).prop_map(CacheOp::MarkSpec),
+        Just(CacheOp::ClearSpec),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_membership_and_capacity(ops in proptest::collection::vec(cache_op(), 1..200)) {
+        let geometry = CacheGeometry { sets: 4, ways: 2 };
+        let mut cache = CacheArray::new(geometry);
+        // Reference: per-set membership sets.
+        let mut model: BTreeMap<usize, BTreeSet<u64>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                CacheOp::Insert(b) => {
+                    let set = geometry.set_of(BlockAddr(b));
+                    let evicted = cache.insert(BlockAddr(b));
+                    let entry = model.entry(set).or_default();
+                    entry.insert(b);
+                    if let Some((victim, _)) = evicted {
+                        prop_assert_eq!(geometry.set_of(victim), set, "victim from wrong set");
+                        prop_assert_ne!(victim.0, b, "evicted the block being inserted");
+                        entry.remove(&victim.0);
+                    }
+                    prop_assert!(entry.len() <= geometry.ways, "set over capacity");
+                }
+                CacheOp::Remove(b) => {
+                    let set = geometry.set_of(BlockAddr(b));
+                    let was_present = model.entry(set).or_default().remove(&b);
+                    prop_assert_eq!(cache.remove(BlockAddr(b)).is_some(), was_present);
+                }
+                CacheOp::Touch(b) => {
+                    let set = geometry.set_of(BlockAddr(b));
+                    let present = model.entry(set).or_default().contains(&b);
+                    prop_assert_eq!(cache.touch(BlockAddr(b)), present);
+                }
+                CacheOp::MarkSpec(b) => {
+                    let set = geometry.set_of(BlockAddr(b));
+                    let present = model.entry(set).or_default().contains(&b);
+                    let marked = cache.mark_spec(
+                        BlockAddr(b),
+                        SpecBits { read: true, written: false },
+                    );
+                    prop_assert_eq!(marked, present);
+                }
+                CacheOp::ClearSpec => {
+                    cache.clear_all_spec();
+                    prop_assert_eq!(cache.spec_blocks().count(), 0);
+                }
+            }
+            // Global membership agreement.
+            for b in 0u64..64 {
+                let set = geometry.set_of(BlockAddr(b));
+                let in_model = model.get(&set).map(|s| s.contains(&b)).unwrap_or(false);
+                prop_assert_eq!(cache.contains(BlockAddr(b)), in_model, "block {}", b);
+            }
+            prop_assert_eq!(cache.len(), model.values().map(|s| s.len()).sum::<usize>());
+        }
+    }
+
+    /// Directory invariants under random grant/drop sequences: at most one
+    /// modified holder; holders reported consistently; a write grant makes
+    /// the writer the only holder.
+    #[test]
+    fn directory_single_writer(ops in proptest::collection::vec(
+        (0usize..4, 0u64..8, any::<bool>(), any::<bool>()), 1..200
+    )) {
+        let mut dir = Directory::new();
+        for (core, block, write, drop) in ops {
+            let core = CoreId(core);
+            let block = BlockAddr(block);
+            if drop {
+                dir.drop_holder(core, block);
+                prop_assert!(!dir.state(block).holds(core));
+            } else if write {
+                let victims = dir.grant_write(core, block);
+                prop_assert!(!victims.contains(&core));
+                let state = dir.state(block);
+                prop_assert!(state.holds_modified(core));
+                prop_assert_eq!(state.holders(), vec![core]);
+            } else {
+                dir.grant_read(core, block);
+                let state = dir.state(block);
+                prop_assert!(state.holds(core));
+                // Reader never ends up as someone else's modified copy.
+                let modified_holders = (0..4)
+                    .filter(|&c| state.holds_modified(CoreId(c)))
+                    .count();
+                prop_assert!(modified_holders <= 1);
+            }
+        }
+    }
+}

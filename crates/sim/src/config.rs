@@ -1,0 +1,65 @@
+//! Simulation configuration (Table 1 of the paper).
+
+use retcon_mem::MemConfig;
+
+/// Full machine configuration for a simulation run.
+///
+/// Defaults reproduce Table 1: 32 in-order cores (1 IPC), 64 KB 4-way L1,
+/// 1 MB private L2, directory coherence with 20-cycle hops and 100-cycle
+/// DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of cores ("32 in-order x86 cores, 1 IPC").
+    pub num_cores: usize,
+    /// Memory-system configuration.
+    pub mem: MemConfig,
+    /// Cycles a stalled access waits before retrying. Models the NACK/retry
+    /// delay of directory protocols; one hop (20 cycles) by default.
+    pub stall_retry: u64,
+    /// Safety cap: a run exceeding this many cycles returns
+    /// [`SimError::CycleLimit`](crate::SimError::CycleLimit) (forward
+    /// progress is otherwise guaranteed by the oldest-wins policy, so the
+    /// cap exists to catch workload bugs).
+    pub max_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_cores: 32,
+            mem: MemConfig::default(),
+            stall_retry: 20,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The default configuration with a different core count (for
+    /// sequential baselines and scalability sweeps).
+    pub fn with_cores(num_cores: usize) -> Self {
+        SimConfig {
+            num_cores,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_32_cores() {
+        let c = SimConfig::default();
+        assert_eq!(c.num_cores, 32);
+        assert_eq!(c.stall_retry, 20);
+    }
+
+    #[test]
+    fn with_cores_overrides_count_only() {
+        let c = SimConfig::with_cores(4);
+        assert_eq!(c.num_cores, 4);
+        assert_eq!(c.mem, MemConfig::default());
+    }
+}

@@ -1,0 +1,710 @@
+//! The multicore machine: per-core interpreters plus the global scheduler.
+
+use std::fmt;
+
+use retcon_htm::{CommitResult, MemResult, Protocol};
+use retcon_isa::{Addr, Instr, Operand, Pc, Program, ValidateError, NUM_REGS};
+use retcon_mem::{CoreId, MemorySystem};
+
+use crate::config::SimConfig;
+use crate::report::{CoreReport, SimReport, TimeBreakdown};
+use crate::tape::InputTape;
+
+/// Errors a simulation run can report.
+#[derive(Debug)]
+pub enum SimError {
+    /// A core's program failed validation.
+    InvalidProgram {
+        /// The offending core.
+        core: usize,
+        /// The validation failure.
+        error: ValidateError,
+    },
+    /// The run exceeded [`SimConfig::max_cycles`].
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidProgram { core, error } => {
+                write!(f, "invalid program on core {core}: {error}")
+            }
+            SimError::CycleLimit { limit } => {
+                write!(f, "simulation exceeded the {limit}-cycle safety cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug)]
+struct Core {
+    program: Program,
+    pc: Pc,
+    regs: [u64; NUM_REGS],
+    reg_ckpt: [u64; NUM_REGS],
+    tape: InputTape,
+    now: u64,
+    halted: bool,
+    at_barrier: bool,
+    tx_begin_pc: Option<Pc>,
+    /// Cycles spent in the current transaction attempt; flushed to `busy` on
+    /// commit or to `conflict` on abort.
+    attempt_cycles: u64,
+    breakdown: TimeBreakdown,
+    instructions: u64,
+}
+
+impl Core {
+    fn new(program: Program) -> Self {
+        let pc = program.entry();
+        Core {
+            program,
+            pc,
+            regs: [0; NUM_REGS],
+            reg_ckpt: [0; NUM_REGS],
+            tape: InputTape::default(),
+            now: 0,
+            halted: false,
+            at_barrier: false,
+            tx_begin_pc: None,
+            attempt_cycles: 0,
+            breakdown: TimeBreakdown::default(),
+            instructions: 0,
+        }
+    }
+}
+
+/// The simulated multicore machine.
+///
+/// Construction wires `num_cores` interpreters to one shared memory system
+/// and one concurrency-control protocol; [`run`](Machine::run) executes all
+/// programs to completion, deterministically (the scheduler always advances
+/// the core with the smallest `(clock, id)`).
+///
+/// See the crate-level documentation for a complete example.
+pub struct Machine {
+    cfg: SimConfig,
+    mem: MemorySystem,
+    protocol: Box<dyn Protocol>,
+    cores: Vec<Core>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("cfg", &self.cfg)
+            .field("protocol", &self.protocol.name())
+            .field("cores", &self.cores.len())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a machine running one program per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != cfg.num_cores`.
+    pub fn new(cfg: SimConfig, protocol: Box<dyn Protocol>, programs: Vec<Program>) -> Self {
+        assert_eq!(
+            programs.len(),
+            cfg.num_cores,
+            "need exactly one program per core"
+        );
+        Machine {
+            mem: MemorySystem::new(cfg.mem, cfg.num_cores),
+            protocol,
+            cores: programs.into_iter().map(Core::new).collect(),
+            cfg,
+        }
+    }
+
+    /// Installs `core`'s input tape.
+    pub fn set_tape(&mut self, core: usize, values: Vec<u64>) {
+        self.cores[core].tape = InputTape::new(values);
+    }
+
+    /// Writes an initial value into shared memory (workload setup; no
+    /// timing).
+    pub fn init_word(&mut self, addr: Addr, value: u64) {
+        self.mem.write_word(addr, value);
+    }
+
+    /// The shared memory system.
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable access to the shared memory system (workload setup and test
+    /// assertions).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// The concurrency-control protocol.
+    pub fn protocol(&self) -> &dyn Protocol {
+        &*self.protocol
+    }
+
+    /// Runs every core to completion and reports.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidProgram`] if any program fails validation;
+    /// [`SimError::CycleLimit`] if the run exceeds the configured cap.
+    pub fn run(&mut self) -> Result<SimReport, SimError> {
+        for (i, core) in self.cores.iter().enumerate() {
+            core.program
+                .validate()
+                .map_err(|error| SimError::InvalidProgram { core: i, error })?;
+        }
+        loop {
+            // Pick the runnable core with the smallest (clock, id).
+            let next = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.halted && !c.at_barrier)
+                .min_by_key(|(i, c)| (c.now, *i))
+                .map(|(i, _)| i);
+            match next {
+                Some(c) => {
+                    if self.cores[c].now > self.cfg.max_cycles {
+                        return Err(SimError::CycleLimit {
+                            limit: self.cfg.max_cycles,
+                        });
+                    }
+                    self.step(c);
+                }
+                None => {
+                    // No runnable core: either everyone halted, or every
+                    // non-halted core is parked at the barrier.
+                    if self.cores.iter().all(|c| c.halted) {
+                        break;
+                    }
+                    self.release_barrier();
+                }
+            }
+        }
+        Ok(self.report())
+    }
+
+    fn release_barrier(&mut self) {
+        let release_at = self
+            .cores
+            .iter()
+            .filter(|c| c.at_barrier)
+            .map(|c| c.now)
+            .max()
+            .expect("release_barrier with no parked cores");
+        for c in &mut self.cores {
+            if c.at_barrier {
+                c.breakdown.barrier += release_at - c.now;
+                c.now = release_at;
+                c.at_barrier = false;
+            }
+        }
+    }
+
+    fn report(&self) -> SimReport {
+        let mut protocol_stats = retcon_htm::ProtocolStats::default();
+        for i in 0..self.cores.len() {
+            protocol_stats.merge(self.protocol.stats(CoreId(i)));
+        }
+        SimReport {
+            protocol_name: self.protocol.name().to_string(),
+            cycles: self.cores.iter().map(|c| c.now).max().unwrap_or(0),
+            per_core: self
+                .cores
+                .iter()
+                .map(|c| CoreReport {
+                    breakdown: c.breakdown,
+                    instructions: c.instructions,
+                    finished_at: c.now,
+                })
+                .collect(),
+            protocol: protocol_stats,
+            retcon: self.protocol.retcon_stats(),
+        }
+    }
+
+    /// Charges `latency` cycles to core `c` (transaction attempt or busy)
+    /// and counts the instruction.
+    fn charge(&mut self, c: usize, latency: u64) {
+        let in_tx = self.protocol.tx_active(CoreId(c));
+        let core = &mut self.cores[c];
+        core.now += latency;
+        core.instructions += 1;
+        if in_tx {
+            core.attempt_cycles += latency;
+        } else {
+            core.breakdown.busy += latency;
+        }
+    }
+
+    /// Handles a stall: the core waits `stall_retry` cycles (conflict time)
+    /// and retries the same instruction.
+    fn stall(&mut self, c: usize) {
+        let retry = self.cfg.stall_retry;
+        let core = &mut self.cores[c];
+        core.now += retry;
+        core.breakdown.conflict += retry;
+    }
+
+    /// Rolls control flow back to the transaction begin after an abort
+    /// (zero-cycle rollback per the paper's baseline: memory state was
+    /// restored by the protocol; only accounting and control flow happen
+    /// here).
+    fn restart_tx(&mut self, c: usize) {
+        let core = &mut self.cores[c];
+        core.breakdown.conflict += core.attempt_cycles;
+        core.attempt_cycles = 0;
+        core.regs = core.reg_ckpt;
+        core.tape.rewind();
+        core.pc = core
+            .tx_begin_pc
+            .expect("abort outside a transaction attempt");
+    }
+
+    fn operand_value(&self, c: usize, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.cores[c].regs[r.index()],
+            Operand::Imm(i) => i as u64,
+        }
+    }
+
+    fn step(&mut self, c: usize) {
+        let core_id = CoreId(c);
+        // A remote core may have aborted us since our last step.
+        if self.protocol.take_aborted(core_id) {
+            self.restart_tx(c);
+            return;
+        }
+        let pc = self.cores[c].pc;
+        let instr = *self.cores[c]
+            .program
+            .fetch(pc)
+            .expect("validated program cannot run off the end");
+        match instr {
+            Instr::Imm { dst, value } => {
+                self.protocol.on_imm(core_id, dst);
+                self.cores[c].regs[dst.index()] = value;
+                self.cores[c].pc = pc.next();
+                self.charge(c, 1);
+            }
+            Instr::Mov { dst, src } => {
+                self.protocol.on_mov(core_id, dst, src);
+                self.cores[c].regs[dst.index()] = self.cores[c].regs[src.index()];
+                self.cores[c].pc = pc.next();
+                self.charge(c, 1);
+            }
+            Instr::Bin { op, dst, lhs, rhs } => {
+                let lhs_val = self.cores[c].regs[lhs.index()];
+                let rhs_val = self.operand_value(c, rhs);
+                let rhs_reg = match rhs {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                let result = self
+                    .protocol
+                    .on_alu(core_id, op, dst, lhs, rhs_reg, lhs_val, rhs_val);
+                self.cores[c].regs[dst.index()] = result;
+                self.cores[c].pc = pc.next();
+                self.charge(c, 1);
+            }
+            Instr::Load { dst, addr, offset } => {
+                let a = Addr(self.cores[c].regs[addr.index()]).offset(offset);
+                match self
+                    .protocol
+                    .read(core_id, dst, a, Some(addr), &mut self.mem, self.cores[c].now)
+                {
+                    MemResult::Value { value, latency } => {
+                        self.cores[c].regs[dst.index()] = value;
+                        self.cores[c].pc = pc.next();
+                        self.charge(c, latency);
+                    }
+                    MemResult::Stall => self.stall(c),
+                    MemResult::Abort => self.restart_tx(c),
+                }
+            }
+            Instr::Store { src, addr, offset } => {
+                let a = Addr(self.cores[c].regs[addr.index()]).offset(offset);
+                let value = self.operand_value(c, src);
+                let src_reg = match src {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                match self.protocol.write(
+                    core_id,
+                    src_reg,
+                    value,
+                    a,
+                    Some(addr),
+                    &mut self.mem,
+                    self.cores[c].now,
+                ) {
+                    MemResult::Value { latency, .. } => {
+                        self.cores[c].pc = pc.next();
+                        self.charge(c, latency);
+                    }
+                    MemResult::Stall => self.stall(c),
+                    MemResult::Abort => self.restart_tx(c),
+                }
+            }
+            Instr::Branch {
+                op,
+                lhs,
+                rhs,
+                taken,
+                not_taken,
+            } => {
+                let lhs_val = self.cores[c].regs[lhs.index()];
+                let rhs_val = self.operand_value(c, rhs);
+                let rhs_reg = match rhs {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                let outcome = self
+                    .protocol
+                    .on_branch(core_id, op, lhs, rhs_reg, lhs_val, rhs_val);
+                self.cores[c].pc = Pc::at(if outcome { taken } else { not_taken });
+                self.charge(c, 1);
+            }
+            Instr::Jump { target } => {
+                self.cores[c].pc = Pc::at(target);
+                self.charge(c, 1);
+            }
+            Instr::Input { dst } => {
+                self.protocol.on_imm(core_id, dst);
+                let v = self.cores[c].tape.next();
+                self.cores[c].regs[dst.index()] = v;
+                self.cores[c].pc = pc.next();
+                self.charge(c, 1);
+            }
+            Instr::Work { cycles } => {
+                self.cores[c].pc = pc.next();
+                self.charge(c, cycles as u64);
+            }
+            Instr::TxBegin => {
+                debug_assert!(
+                    !self.protocol.tx_active(core_id),
+                    "nested TxBegin on core {c}"
+                );
+                let now = self.cores[c].now;
+                self.protocol.tx_begin(core_id, now);
+                let core = &mut self.cores[c];
+                core.tx_begin_pc = Some(pc);
+                core.reg_ckpt = core.regs;
+                core.tape.mark();
+                core.pc = pc.next();
+                self.charge(c, 1);
+            }
+            Instr::TxCommit => {
+                let now = self.cores[c].now;
+                match self.protocol.commit(core_id, &mut self.mem, now) {
+                    CommitResult::Committed {
+                        latency,
+                        reg_updates,
+                    } => {
+                        let core = &mut self.cores[c];
+                        for (r, v) in reg_updates {
+                            core.regs[r.index()] = v;
+                        }
+                        // The attempt's work becomes useful; commit
+                        // processing is accounted as "other".
+                        core.breakdown.busy += core.attempt_cycles + 1;
+                        core.breakdown.other += latency;
+                        core.attempt_cycles = 0;
+                        core.tx_begin_pc = None;
+                        core.now += latency + 1;
+                        core.instructions += 1;
+                        core.pc = pc.next();
+                    }
+                    CommitResult::Stall => self.stall(c),
+                    CommitResult::Abort => self.restart_tx(c),
+                }
+            }
+            Instr::Barrier => {
+                let core = &mut self.cores[c];
+                core.pc = pc.next();
+                core.at_barrier = true;
+                core.now += 1;
+                core.breakdown.busy += 1;
+                core.instructions += 1;
+            }
+            Instr::Halt => {
+                self.cores[c].halted = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retcon::RetconConfig;
+    use retcon_htm::{ConflictPolicy, EagerTm, LazyTm, LazyVbTm, RetconTm};
+    use retcon_isa::{BinOp, CmpOp, ProgramBuilder, Reg};
+
+    /// `iters` transactional double-increments of the counter at `addr`,
+    /// with `work` abstract cycles inside the transaction.
+    fn counter_program(addr: u64, iters: u64, work: u32) -> Program {
+        let mut b = ProgramBuilder::new();
+        let body = b.block();
+        let done = b.block();
+        b.imm(Reg(0), iters);
+        b.imm(Reg(1), addr);
+        b.jump(body);
+        b.select(body);
+        b.tx_begin();
+        b.load(Reg(2), Reg(1), 0);
+        b.add_imm(Reg(2), 1);
+        b.store(Operand::Reg(Reg(2)), Reg(1), 0);
+        if work > 0 {
+            b.work(work);
+        }
+        b.load(Reg(2), Reg(1), 0);
+        b.add_imm(Reg(2), 1);
+        b.store(Operand::Reg(Reg(2)), Reg(1), 0);
+        b.tx_commit();
+        b.bin(BinOp::Sub, Reg(0), Reg(0), Operand::Imm(1));
+        b.branch(CmpOp::Gt, Reg(0), Operand::Imm(0), body, done);
+        b.select(done);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn run_counter(protocol: Box<dyn Protocol>, cores: usize, iters: u64) -> (SimReport, u64) {
+        let cfg = SimConfig::with_cores(cores);
+        let programs = (0..cores).map(|_| counter_program(0, iters, 5)).collect();
+        let mut m = Machine::new(cfg, protocol, programs);
+        let report = m.run().expect("run completes");
+        (report, m.mem().read_word(Addr(0)))
+    }
+
+    #[test]
+    fn single_core_counter_is_exact() {
+        let (report, value) = run_counter(
+            Box::new(EagerTm::new(1, ConflictPolicy::OldestWins)),
+            1,
+            50,
+        );
+        assert_eq!(value, 100);
+        assert_eq!(report.protocol.commits, 50);
+        assert_eq!(report.protocol.aborts(), 0);
+        assert_eq!(report.breakdown().conflict, 0);
+    }
+
+    #[test]
+    fn eager_counter_serializes_correctly() {
+        let (report, value) = run_counter(
+            Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)),
+            4,
+            25,
+        );
+        assert_eq!(value, 4 * 25 * 2, "no lost updates");
+        assert_eq!(report.protocol.commits, 100);
+        // Heavy contention: conflicts must show up in the breakdown.
+        assert!(report.breakdown().conflict > 0);
+    }
+
+    #[test]
+    fn lazy_counter_serializes_correctly() {
+        let (report, value) = run_counter(Box::new(LazyTm::new(4)), 4, 25);
+        assert_eq!(value, 200);
+        assert_eq!(report.protocol.commits, 100);
+    }
+
+    #[test]
+    fn lazy_vb_counter_serializes_correctly() {
+        let (report, value) = run_counter(Box::new(LazyVbTm::new(4)), 4, 25);
+        assert_eq!(value, 200);
+        assert_eq!(report.protocol.commits, 100);
+        // Value validation aborts the racing increments.
+        assert!(report.protocol.aborts_validation > 0);
+    }
+
+    #[test]
+    fn retcon_counter_eliminates_aborts() {
+        let mut cfg = RetconConfig::default();
+        cfg.initial_threshold = 0;
+        let (report, value) = run_counter(Box::new(RetconTm::new(4, cfg)), 4, 25);
+        assert_eq!(value, 200, "symbolic repair preserves every increment");
+        assert_eq!(report.protocol.commits, 100);
+        assert_eq!(
+            report.protocol.aborts(),
+            0,
+            "counter increments never conflict under RETCON"
+        );
+        let rs = report.retcon.expect("RETCON stats");
+        assert_eq!(rs.transactions, 100);
+        assert!(rs.avg_blocks_tracked() >= 1.0);
+    }
+
+    #[test]
+    fn retcon_scales_better_than_eager_on_counter() {
+        let (eager, _) = run_counter(
+            Box::new(EagerTm::new(8, ConflictPolicy::OldestWins)),
+            8,
+            25,
+        );
+        let mut cfg = RetconConfig::default();
+        cfg.initial_threshold = 0;
+        let (retcon, _) = run_counter(Box::new(RetconTm::new(8, cfg)), 8, 25);
+        assert!(
+            retcon.cycles < eager.cycles,
+            "RETCON {} !< eager {}",
+            retcon.cycles,
+            eager.cycles
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            run_counter(
+                Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)),
+                4,
+                10,
+            )
+            .0
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.protocol, b.protocol);
+        for (x, y) in a.per_core.iter().zip(&b.per_core) {
+            assert_eq!(x.breakdown, y.breakdown);
+            assert_eq!(x.instructions, y.instructions);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_and_accounts_imbalance() {
+        // Core 0 works 1000 cycles, core 1 works 10, then both hit a
+        // barrier.
+        let prog = |work: u32| {
+            let mut b = ProgramBuilder::new();
+            b.work(work);
+            b.barrier();
+            b.halt();
+            b.build().unwrap()
+        };
+        let cfg = SimConfig::with_cores(2);
+        let protocol = Box::new(EagerTm::new(2, ConflictPolicy::OldestWins));
+        let mut m = Machine::new(cfg, protocol, vec![prog(1000), prog(10)]);
+        let report = m.run().unwrap();
+        assert_eq!(report.per_core[0].breakdown.barrier, 0);
+        assert_eq!(report.per_core[1].breakdown.barrier, 990);
+        assert_eq!(report.per_core[0].finished_at, report.per_core[1].finished_at);
+    }
+
+    #[test]
+    fn input_tape_rewinds_on_abort() {
+        // Two cores transactionally append tape values to a shared counter;
+        // aborts must not skip or duplicate tape entries.
+        let prog = {
+            let mut b = ProgramBuilder::new();
+            let body = b.block();
+            let done = b.block();
+            b.imm(Reg(0), 20);
+            b.imm(Reg(1), 0);
+            b.jump(body);
+            b.select(body);
+            b.tx_begin();
+            b.input(Reg(3));
+            b.load(Reg(2), Reg(1), 0);
+            b.bin(BinOp::Add, Reg(2), Reg(2), Operand::Reg(Reg(3)));
+            b.store(Operand::Reg(Reg(2)), Reg(1), 0);
+            b.tx_commit();
+            b.bin(BinOp::Sub, Reg(0), Reg(0), Operand::Imm(1));
+            b.branch(CmpOp::Gt, Reg(0), Operand::Imm(0), body, done);
+            b.select(done);
+            b.halt();
+            b.build().unwrap()
+        };
+        let cfg = SimConfig::with_cores(2);
+        let protocol = Box::new(EagerTm::new(2, ConflictPolicy::OldestWins));
+        let mut m = Machine::new(cfg, protocol, vec![prog.clone(), prog]);
+        m.set_tape(0, vec![1; 20]);
+        m.set_tape(1, vec![1; 20]);
+        let report = m.run().unwrap();
+        assert_eq!(m.mem().read_word(Addr(0)), 40);
+        assert_eq!(report.protocol.commits, 40);
+    }
+
+    #[test]
+    fn register_checkpoint_restored_on_abort() {
+        // A transaction that increments a register *and* conflicts: after
+        // the retries the register result must be as if executed once.
+        let prog = {
+            let mut b = ProgramBuilder::new();
+            let store_back = b.block();
+            let done = b.block();
+            b.imm(Reg(5), 0); // accumulator incremented inside the tx
+            b.imm(Reg(1), 0);
+            b.jump(store_back);
+            b.select(store_back);
+            b.tx_begin();
+            b.add_imm(Reg(5), 1); // would double-count if not checkpointed
+            b.load(Reg(2), Reg(1), 0);
+            b.add_imm(Reg(2), 1);
+            b.store(Operand::Reg(Reg(2)), Reg(1), 0);
+            b.tx_commit();
+            b.jump(done);
+            b.select(done);
+            // Publish the accumulator non-transactionally at address 100+id.
+            b.imm(Reg(6), 100);
+            b.store(Operand::Reg(Reg(5)), Reg(6), 0);
+            b.halt();
+            b.build().unwrap()
+        };
+        // Run under heavy contention so aborts actually happen.
+        let cfg = SimConfig::with_cores(2);
+        let protocol = Box::new(EagerTm::new(2, ConflictPolicy::OldestWins));
+        let mut programs = Vec::new();
+        for _ in 0..2 {
+            programs.push(prog.clone());
+        }
+        let mut m = Machine::new(cfg, protocol, programs);
+        let _ = m.run().unwrap();
+        // Each core's accumulator must be exactly 1 regardless of retries.
+        assert_eq!(m.mem().read_word(Addr(100)), 1);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let mut b = ProgramBuilder::new();
+        let spin = b.block();
+        b.jump(spin);
+        b.select(spin);
+        b.jump(spin);
+        let prog = b.build().unwrap();
+        let mut cfg = SimConfig::with_cores(1);
+        cfg.max_cycles = 1000;
+        let mut m = Machine::new(
+            cfg,
+            Box::new(EagerTm::new(1, ConflictPolicy::OldestWins)),
+            vec![prog],
+        );
+        assert!(matches!(m.run(), Err(SimError::CycleLimit { .. })));
+    }
+
+    #[test]
+    fn breakdown_buckets_sum_to_core_time() {
+        let (report, _) = run_counter(
+            Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)),
+            4,
+            10,
+        );
+        for core in &report.per_core {
+            assert_eq!(core.breakdown.total(), core.finished_at);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Simulation reports: the measurement side of Figures 1, 3, 4, 9, 10 and
+//! Table 3.
+
+use retcon::RetconStats;
+use retcon_htm::ProtocolStats;
+
+/// Cycle breakdown of one core's execution, matching the categories of
+/// Figure 4: *"busy represents all time spent not stalled on
+/// synchronization. barrier represents time stalled at a barrier, an
+/// indicator of load imbalance. conflict represents time spent either
+/// stalled by another processor or doing work in a transaction that is
+/// ultimately aborted. other represents all other sources of
+/// synchronization-related stalls"* (here: commit processing, including
+/// RETCON's pre-commit repair).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// Useful work: committed transactional work plus non-transactional
+    /// execution.
+    pub busy: u64,
+    /// Stall cycles plus work in ultimately-aborted transaction attempts.
+    pub conflict: u64,
+    /// Cycles parked at barriers (load imbalance).
+    pub barrier: u64,
+    /// Commit processing (validation, draining, pre-commit repair).
+    pub other: u64,
+}
+
+impl TimeBreakdown {
+    /// Sum of all buckets.
+    pub fn total(&self) -> u64 {
+        self.busy + self.conflict + self.barrier + self.other
+    }
+
+    /// Adds another breakdown's buckets into this one.
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        self.busy += other.busy;
+        self.conflict += other.conflict;
+        self.barrier += other.barrier;
+        self.other += other.other;
+    }
+
+    /// The fraction of total time in each bucket, as
+    /// `(busy, conflict, barrier, other)`; all zeros for an empty
+    /// breakdown.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let t = t as f64;
+        (
+            self.busy as f64 / t,
+            self.conflict as f64 / t,
+            self.barrier as f64 / t,
+            self.other as f64 / t,
+        )
+    }
+}
+
+/// One core's contribution to the report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreReport {
+    /// Cycle breakdown.
+    pub breakdown: TimeBreakdown,
+    /// Dynamic instructions executed (committed and aborted work).
+    pub instructions: u64,
+    /// The core's finishing time.
+    pub finished_at: u64,
+}
+
+/// The complete result of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Protocol name (e.g. `"eager"`, `"lazy-vb"`, `"RetCon"`).
+    pub protocol_name: String,
+    /// Total execution time: the cycle at which the last core halted.
+    pub cycles: u64,
+    /// Per-core details.
+    pub per_core: Vec<CoreReport>,
+    /// Aggregate protocol statistics (commits, aborts by cause, stalls).
+    pub protocol: ProtocolStats,
+    /// Aggregate RETCON structure statistics (Table 3), when the protocol
+    /// collects them.
+    pub retcon: Option<RetconStats>,
+}
+
+impl SimReport {
+    /// Aggregate cycle breakdown across cores.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        let mut total = TimeBreakdown::default();
+        for c in &self.per_core {
+            total.merge(&c.breakdown);
+        }
+        total
+    }
+
+    /// Speedup of this run over a sequential baseline taking `seq_cycles`.
+    pub fn speedup_over(&self, seq_cycles: u64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        seq_cycles as f64 / self.cycles as f64
+    }
+
+    /// Abort-to-commit ratio, a quick conflict-pressure indicator.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.protocol.commits == 0 {
+            return 0.0;
+        }
+        self.protocol.aborts() as f64 / self.protocol.commits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let b = TimeBreakdown {
+            busy: 60,
+            conflict: 20,
+            barrier: 15,
+            other: 5,
+        };
+        assert_eq!(b.total(), 100);
+        let (busy, conflict, barrier, other) = b.fractions();
+        assert!((busy - 0.60).abs() < 1e-12);
+        assert!((conflict - 0.20).abs() < 1e-12);
+        assert!((barrier - 0.15).abs() < 1e-12);
+        assert!((other - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_fractions_zero() {
+        assert_eq!(TimeBreakdown::default().fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = TimeBreakdown {
+            busy: 1,
+            conflict: 2,
+            barrier: 3,
+            other: 4,
+        };
+        a.merge(&TimeBreakdown {
+            busy: 10,
+            conflict: 20,
+            barrier: 30,
+            other: 40,
+        });
+        assert_eq!(a.total(), 110);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let mut r = SimReport {
+            cycles: 50,
+            ..Default::default()
+        };
+        assert_eq!(r.speedup_over(100), 2.0);
+        r.protocol.commits = 10;
+        r.protocol.aborts_conflict = 5;
+        assert_eq!(r.abort_ratio(), 0.5);
+        r.per_core.push(CoreReport {
+            breakdown: TimeBreakdown {
+                busy: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        assert_eq!(r.breakdown().busy, 7);
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-core input tapes.
+//!
+//! Workload generators pre-randomize each core's inputs (keys to insert,
+//! objects to touch, path lengths, …) into a *tape* the program pops with
+//! the `Input` instruction. The tape is thread-private and costs one cycle,
+//! so it models register-resident work-list state rather than memory. On a
+//! transaction abort the tape rewinds to the position captured at the
+//! transaction's begin, so the retry observes identical inputs — which is
+//! what makes whole runs deterministic under any interleaving.
+
+/// A core's pre-generated input stream with transaction-rewind support.
+///
+/// # Example
+///
+/// ```
+/// use retcon_sim::InputTape;
+///
+/// let mut tape = InputTape::new(vec![10, 20, 30]);
+/// assert_eq!(tape.next(), 10);
+/// tape.mark();
+/// assert_eq!(tape.next(), 20);
+/// tape.rewind(); // transaction aborted
+/// assert_eq!(tape.next(), 20);
+/// assert_eq!(tape.next(), 30);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InputTape {
+    values: Vec<u64>,
+    pos: usize,
+    mark: usize,
+}
+
+impl InputTape {
+    /// Creates a tape over `values`.
+    pub fn new(values: Vec<u64>) -> Self {
+        InputTape {
+            values,
+            pos: 0,
+            mark: 0,
+        }
+    }
+
+    /// Pops the next value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape is exhausted — a workload-generation bug (the
+    /// generator must provision enough inputs for every iteration).
+    pub fn next(&mut self) -> u64 {
+        let v = *self
+            .values
+            .get(self.pos)
+            .expect("input tape exhausted: workload under-provisioned");
+        self.pos += 1;
+        v
+    }
+
+    /// Records the current position (called at transaction begin).
+    pub fn mark(&mut self) {
+        self.mark = self.pos;
+    }
+
+    /// Rewinds to the last mark (called on abort).
+    pub fn rewind(&mut self) {
+        self.pos = self.mark;
+    }
+
+    /// Values not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.values.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_pop() {
+        let mut t = InputTape::new(vec![1, 2, 3]);
+        assert_eq!(t.next(), 1);
+        assert_eq!(t.next(), 2);
+        assert_eq!(t.remaining(), 1);
+    }
+
+    #[test]
+    fn rewind_restores_mark() {
+        let mut t = InputTape::new(vec![1, 2, 3, 4]);
+        t.next();
+        t.mark();
+        t.next();
+        t.next();
+        t.rewind();
+        assert_eq!(t.next(), 2);
+    }
+
+    #[test]
+    fn default_mark_is_start() {
+        let mut t = InputTape::new(vec![7, 8]);
+        t.next();
+        t.rewind();
+        assert_eq!(t.next(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut t = InputTape::new(vec![]);
+        t.next();
+    }
+}

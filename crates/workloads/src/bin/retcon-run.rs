@@ -1,0 +1,165 @@
+//! Command-line workload runner.
+//!
+//! ```text
+//! cargo run --release -p retcon-workloads --bin retcon-run -- \
+//!     --workload genome-sz --system RetCon --cores 16 --seed 42
+//! ```
+//!
+//! Runs one workload under one hardware configuration and prints the
+//! simulator's report: cycles, speedup over the sequential baseline,
+//! commit/abort/stall counts, the time breakdown, and — under RETCON — the
+//! Table 3 structure-utilization statistics.
+
+use std::process::ExitCode;
+
+use retcon_workloads::{run, sequential_baseline, System, Workload};
+
+fn parse_workload(name: &str) -> Option<Workload> {
+    let mut all = Workload::fig9();
+    all.push(Workload::Counter);
+    all.into_iter().find(|w| w.label() == name)
+}
+
+fn parse_system(name: &str) -> Option<System> {
+    [
+        System::Eager,
+        System::EagerAbort,
+        System::Lazy,
+        System::LazyVb,
+        System::Retcon,
+        System::RetconIdeal,
+        System::Datm,
+    ]
+    .into_iter()
+    .find(|s| s.label().eq_ignore_ascii_case(name))
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: retcon-run --workload <name> [--system <name>] [--cores <n>] [--seed <n>]");
+    eprintln!();
+    let mut all = Workload::fig9();
+    all.push(Workload::Counter);
+    let names: Vec<&str> = all.iter().map(|w| w.label()).collect();
+    eprintln!("workloads: {}", names.join(", "));
+    eprintln!("systems:   eager, eager-abort, lazy, lazy-vb, RetCon, RetCon-ideal, datm");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut workload = None;
+    let mut system = System::Retcon;
+    let mut cores = 32usize;
+    let mut seed = 42u64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--workload" | "-w" => match value(i).and_then(|v| parse_workload(v)) {
+                Some(w) => workload = Some(w),
+                None => return usage(),
+            },
+            "--system" | "-s" => match value(i).and_then(|v| parse_system(v)) {
+                Some(s) => system = s,
+                None => return usage(),
+            },
+            "--cores" | "-c" => match value(i).and_then(|v| v.parse().ok()) {
+                Some(n) if (1..=1024).contains(&n) => cores = n,
+                _ => return usage(),
+            },
+            "--seed" => match value(i).and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let Some(workload) = workload else {
+        return usage();
+    };
+
+    let seq = match sequential_baseline(workload, seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sequential baseline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run(workload, system, cores, seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("workload   {}", workload.label());
+    println!("system     {}", system.label());
+    println!("cores      {cores}");
+    println!("seed       {seed}");
+    println!();
+    println!("cycles     {} (sequential: {seq})", report.cycles);
+    println!("speedup    {:.2}x", report.speedup_over(seq));
+    println!(
+        "txs        {} commits, {} aborts ({} conflict / {} validation / {} overflow / {} cycle), {} stalls",
+        report.protocol.commits,
+        report.protocol.aborts(),
+        report.protocol.aborts_conflict,
+        report.protocol.aborts_validation,
+        report.protocol.aborts_overflow,
+        report.protocol.aborts_cycle,
+        report.protocol.stalls,
+    );
+    let b = report.breakdown();
+    let (busy, conflict, barrier, other) = b.fractions();
+    println!(
+        "breakdown  busy {:.1}% | conflict {:.1}% | barrier {:.1}% | other {:.1}%",
+        100.0 * busy,
+        100.0 * conflict,
+        100.0 * barrier,
+        100.0 * other
+    );
+    if let Some(rs) = &report.retcon {
+        println!();
+        println!("RETCON structures (avg / max per committed tx):");
+        println!(
+            "  blocks lost        {:.1} / {}",
+            rs.avg_blocks_lost(),
+            rs.max.blocks_lost
+        );
+        println!(
+            "  blocks tracked     {:.1} / {}",
+            rs.avg_blocks_tracked(),
+            rs.max.blocks_tracked
+        );
+        println!(
+            "  symbolic registers {:.1} / {}",
+            rs.avg_symbolic_registers(),
+            rs.max.symbolic_registers
+        );
+        println!(
+            "  private stores     {:.1} / {}",
+            rs.avg_private_stores(),
+            rs.max.private_stores
+        );
+        println!(
+            "  constraint addrs   {:.1} / {}",
+            rs.avg_constraint_addrs(),
+            rs.max.constraint_addrs
+        );
+        println!(
+            "  commit cycles      {:.1} / {} ({:.2}% of tx lifetime); {} violations",
+            rs.avg_commit_cycles(),
+            rs.max.commit_cycles,
+            rs.commit_stall_percent(),
+            rs.violations
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,196 @@
+//! A shared-memory hashtable emitter, the central data structure of the
+//! STAMP-like workloads.
+//!
+//! Layout: `buckets` (a power of two) cache blocks, one bucket per block.
+//! Word 0 of a bucket is its occupancy count; words 1–7 hold keys. An
+//! optional *size field* — the paper's resizable-hashtable bottleneck —
+//! lives in its own block and is incremented on every insert, with a
+//! "should we resize?" branch that is essentially never taken in a
+//! well-configured table (§4: "most hashtable inserts do not cause resizes").
+//!
+//! The emitted code has exactly the symbolic structure the paper describes:
+//!
+//! * the **size-field update** is a load / add-1 / store / compare-to-
+//!   threshold idiom — RETCON's sweet spot (repairable);
+//! * the **bucket-slot address** is computed from the loaded occupancy
+//!   count, so if a bucket itself is contended, RETCON must pin the count
+//!   with an equality constraint — bucket collisions remain true conflicts.
+
+use retcon_isa::{Addr, BinOp, BlockId, CmpOp, Operand, ProgramBuilder, Reg};
+
+/// A hashtable in simulated shared memory.
+#[derive(Debug, Clone, Copy)]
+pub struct HashTable {
+    /// Base word address of the bucket array (block-aligned).
+    pub base: Addr,
+    /// Number of buckets; must be a power of two.
+    pub buckets: u64,
+    /// The shared size field of the `-sz` variants, if enabled.
+    pub size_addr: Option<Addr>,
+    /// Size beyond which the (modelled) resize path triggers.
+    pub resize_threshold: u64,
+}
+
+impl HashTable {
+    /// Creates a table descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is not a power of two.
+    pub fn new(base: Addr, buckets: u64, size_addr: Option<Addr>, resize_threshold: u64) -> Self {
+        assert!(buckets.is_power_of_two(), "buckets must be a power of two");
+        HashTable {
+            base,
+            buckets,
+            size_addr,
+            resize_threshold,
+        }
+    }
+
+    /// Emits an insert of the key in `key` into the table, assuming an open
+    /// transaction. Uses `s0..s2` as scratch.
+    ///
+    /// The emitted code starts in the builder's currently selected block
+    /// (which it terminates) and finishes by jumping to `after`; the caller
+    /// selects `after` to continue emitting.
+    pub fn emit_insert(
+        &self,
+        b: &mut ProgramBuilder,
+        key: Reg,
+        scratch: [Reg; 3],
+        after: BlockId,
+    ) {
+        let [s0, s1, s2] = scratch;
+        let store_slot = b.block();
+        let bump_size = b.block();
+
+        // s0 = bucket address = base + (key & mask) * 8.
+        b.mov(s0, key);
+        b.bin(BinOp::And, s0, s0, Operand::Imm((self.buckets - 1) as i64));
+        b.bin(BinOp::Shl, s0, s0, Operand::Imm(3));
+        b.bin(BinOp::Add, s0, s0, Operand::Imm(self.base.0 as i64));
+        // s1 = occupancy count.
+        b.load(s1, s0, 0);
+        // Full bucket: skip the slot store, go straight to the size field.
+        b.branch(CmpOp::Lt, s1, Operand::Imm(7), store_slot, bump_size);
+
+        // Store the key at [bucket + 1 + count]; the address depends on the
+        // loaded count.
+        b.select(store_slot);
+        b.mov(s2, s0);
+        b.bin(BinOp::Add, s2, s2, Operand::Reg(s1));
+        b.store(Operand::Reg(key), s2, 1);
+        // count += 1.
+        b.bin(BinOp::Add, s1, s1, Operand::Imm(1));
+        b.store(Operand::Reg(s1), s0, 0);
+        b.jump(bump_size);
+
+        // The shared size field (the -sz bottleneck).
+        b.select(bump_size);
+        match self.size_addr {
+            Some(size) => {
+                let resize = b.block();
+                b.imm(s0, size.0);
+                b.load(s1, s0, 0);
+                b.bin(BinOp::Add, s1, s1, Operand::Imm(1));
+                b.store(Operand::Reg(s1), s0, 0);
+                b.branch(
+                    CmpOp::Gt,
+                    s1,
+                    Operand::Imm(self.resize_threshold as i64),
+                    resize,
+                    after,
+                );
+                // The (practically unreachable) resize path: a burst of
+                // work, then continue.
+                b.select(resize);
+                b.work(500);
+                b.jump(after);
+            }
+            None => {
+                b.jump(after);
+            }
+        }
+    }
+
+    /// Emits a read-only lookup probing the bucket of `key` (count plus the
+    /// first two slots), assuming an open transaction. Scratch `s0..s1`;
+    /// control continues at `after`.
+    pub fn emit_lookup(&self, b: &mut ProgramBuilder, key: Reg, scratch: [Reg; 2], after: BlockId) {
+        let [s0, s1] = scratch;
+        b.mov(s0, key);
+        b.bin(BinOp::And, s0, s0, Operand::Imm((self.buckets - 1) as i64));
+        b.bin(BinOp::Shl, s0, s0, Operand::Imm(3));
+        b.bin(BinOp::Add, s0, s0, Operand::Imm(self.base.0 as i64));
+        b.load(s1, s0, 0);
+        b.load(s1, s0, 1);
+        b.load(s1, s0, 2);
+        b.jump(after);
+    }
+
+    /// Words of memory this table occupies (for allocation assertions).
+    pub fn footprint_words(&self) -> u64 {
+        self.buckets * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retcon_isa::Program;
+
+    fn build_insert_program(table: &HashTable) -> Program {
+        let mut b = ProgramBuilder::new();
+        let after = b.block();
+        b.imm(Reg(10), 0x1234); // key
+        b.tx_begin();
+        table.emit_insert(&mut b, Reg(10), [Reg(1), Reg(2), Reg(3)], after);
+        b.select(after);
+        b.tx_commit();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn insert_program_validates() {
+        let t = HashTable::new(Addr(64), 16, None, 1000);
+        let p = build_insert_program(&t);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn insert_with_size_field_validates() {
+        let t = HashTable::new(Addr(64), 16, Some(Addr(0)), 1000);
+        let p = build_insert_program(&t);
+        assert!(p.validate().is_ok());
+        // The size-field path must mention the size address as an immediate.
+        let text = p.to_string();
+        assert!(text.contains("imm r1, 0"));
+    }
+
+    #[test]
+    fn lookup_program_validates() {
+        let t = HashTable::new(Addr(64), 16, None, 1000);
+        let mut b = ProgramBuilder::new();
+        let after = b.block();
+        b.imm(Reg(10), 7);
+        b.tx_begin();
+        t.emit_lookup(&mut b, Reg(10), [Reg(1), Reg(2)], after);
+        b.select(after);
+        b.tx_commit();
+        b.halt();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_buckets_rejected() {
+        let _ = HashTable::new(Addr(0), 10, None, 100);
+    }
+
+    #[test]
+    fn footprint() {
+        let t = HashTable::new(Addr(0), 16, None, 100);
+        assert_eq!(t.footprint_words(), 128);
+    }
+}

@@ -1,0 +1,345 @@
+//! Workload models for the RETCON evaluation (Table 2 of the paper).
+//!
+//! The paper evaluates on the STAMP suite plus a transactionalized CPython.
+//! We cannot run the original C programs on our IR, so each benchmark is
+//! re-implemented as a *transaction-level kernel* that reproduces the
+//! sharing structure the paper documents — because that structure, not the
+//! instruction mix, is what drives every result:
+//!
+//! | workload | documented conflict source reproduced here |
+//! |---|---|
+//! | `counter` | the Figure 2 micro-schedule: two increments per transaction on one shared counter |
+//! | `genome`(-sz) | hashtable inserts; `-sz` adds the shared **size-field increment** on every insert |
+//! | `intruder` | two hot shared queues whose head/tail **feed addresses**, plus tree-rebalance conflicts |
+//! | `intruder_opt`(-sz) | thread-private queues + hashtable map; `-sz` re-adds the size field |
+//! | `kmeans` | cluster-centre updates using untrackable (multiply) computation |
+//! | `labyrinth` | long transactions with variable path length → load imbalance (barrier time) |
+//! | `ssca2` | tiny transactions with scattered writes → coherence-miss bound |
+//! | `vacation`(_opt, -sz) | read-mostly reservations; base adds rebalance conflicts; `-sz` the size field |
+//! | `yada` | pointer-chasing cavities whose **loaded values feed addresses** — unrepairable |
+//! | `python`(_opt) | **reference-count** updates on hot shared objects; base adds an address-feeding shared free-list pointer |
+//!
+//! Each builder returns a [`WorkloadSpec`]: one program per core, per-core
+//! input tapes (pre-randomized keys — deterministic under any
+//! interleaving), and initial memory contents. [`run`] executes a spec
+//! under any [`System`] and returns the simulator's report;
+//! [`sequential_baseline`] runs the whole workload on one core for the
+//! speedup denominators of Figures 1, 3 and 9.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod counter;
+mod genome;
+pub mod hashtable;
+mod intruder;
+mod kmeans;
+mod labyrinth;
+mod python;
+mod rng;
+mod spec;
+mod ssca2;
+mod vacation;
+mod yada;
+
+pub use hashtable::HashTable;
+pub use rng::SplitMix64;
+pub use spec::{Alloc, WorkloadSpec};
+
+use retcon::RetconConfig;
+use retcon_sim::{
+    ConflictPolicy, DatmLite, EagerTm, LazyTm, LazyVbTm, Machine, Protocol, RetconTm, SimConfig,
+    SimError, SimReport,
+};
+
+/// The hardware configurations compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// The §2 baseline: eager HTM, timestamp contention management.
+    Eager,
+    /// Figure 2(c): eager HTM that aborts the requester on conflict.
+    EagerAbort,
+    /// Figure 2(e): lazy conflict detection, committer wins.
+    Lazy,
+    /// §5.1 `lazy-vb`: value-based commit validation, no repair.
+    LazyVb,
+    /// Full RETCON with the Table 1 structure sizes.
+    Retcon,
+    /// §5.3 idealized RETCON: unlimited state, parallel reacquire, free
+    /// commit stores.
+    RetconIdeal,
+    /// Figure 2(b): dependence-aware TM (forwarding + cycle aborts).
+    Datm,
+}
+
+impl System {
+    /// All systems of the Figure 9 / Figure 10 comparison.
+    pub const FIG9: [System; 3] = [System::Eager, System::LazyVb, System::Retcon];
+
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Eager => "eager",
+            System::EagerAbort => "eager-abort",
+            System::Lazy => "lazy",
+            System::LazyVb => "lazy-vb",
+            System::Retcon => "RetCon",
+            System::RetconIdeal => "RetCon-ideal",
+            System::Datm => "datm",
+        }
+    }
+
+    /// Instantiates the protocol for `num_cores` cores.
+    pub fn protocol(self, num_cores: usize) -> Box<dyn Protocol> {
+        match self {
+            System::Eager => Box::new(EagerTm::new(num_cores, ConflictPolicy::OldestWins)),
+            System::EagerAbort => {
+                Box::new(EagerTm::new(num_cores, ConflictPolicy::RequesterLoses))
+            }
+            System::Lazy => Box::new(LazyTm::new(num_cores)),
+            System::LazyVb => Box::new(LazyVbTm::new(num_cores)),
+            System::Retcon => Box::new(RetconTm::new(num_cores, RetconConfig::default())),
+            System::RetconIdeal => {
+                Box::new(RetconTm::new(num_cores, RetconConfig::idealized()))
+            }
+            System::Datm => Box::new(DatmLite::new(num_cores)),
+        }
+    }
+}
+
+/// The workloads of Table 2 (and their software-restructured variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Figure 2 micro-benchmark: two increments of one shared counter per
+    /// transaction.
+    Counter,
+    /// STAMP genome model: segment inserts into a shared hashtable.
+    /// `resizable` adds the size-field increment of the `-sz` variants.
+    Genome {
+        /// Track the table's size field (the `-sz` variant)?
+        resizable: bool,
+    },
+    /// STAMP intruder model (shared queues + map + rebalances).
+    Intruder {
+        /// Apply the thread-private-queue/hashtable restructuring (`_opt`)?
+        optimized: bool,
+        /// Track the map's size field (`-sz`)?
+        resizable: bool,
+    },
+    /// STAMP kmeans model (cluster-centre accumulation).
+    Kmeans,
+    /// STAMP labyrinth model (long, imbalanced path-routing transactions).
+    Labyrinth,
+    /// STAMP ssca2 model (tiny transactions, scattered graph updates).
+    Ssca2,
+    /// STAMP vacation model (read-mostly reservations).
+    Vacation {
+        /// Replace the rebalancing tree with a hashtable (`_opt`)?
+        optimized: bool,
+        /// Track the table's size field (`-sz`)?
+        resizable: bool,
+    },
+    /// STAMP yada model (pointer-chasing cavity refinement).
+    Yada,
+    /// Transactionalized CPython model (refcounts on hot shared objects).
+    Python {
+        /// Make the interpreter globals thread-private (`_opt`)?
+        optimized: bool,
+    },
+}
+
+impl Workload {
+    /// Display name matching Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Counter => "counter",
+            Workload::Genome { resizable: false } => "genome",
+            Workload::Genome { resizable: true } => "genome-sz",
+            Workload::Intruder {
+                optimized: false, ..
+            } => "intruder",
+            Workload::Intruder {
+                optimized: true,
+                resizable: false,
+            } => "intruder_opt",
+            Workload::Intruder {
+                optimized: true,
+                resizable: true,
+            } => "intruder_opt-sz",
+            Workload::Kmeans => "kmeans",
+            Workload::Labyrinth => "labyrinth",
+            Workload::Ssca2 => "ssca2",
+            Workload::Vacation {
+                optimized: false, ..
+            } => "vacation",
+            Workload::Vacation {
+                optimized: true,
+                resizable: false,
+            } => "vacation_opt",
+            Workload::Vacation {
+                optimized: true,
+                resizable: true,
+            } => "vacation_opt-sz",
+            Workload::Yada => "yada",
+            Workload::Python { optimized: false } => "python",
+            Workload::Python { optimized: true } => "python_opt",
+        }
+    }
+
+    /// The eight pre-restructuring workloads of Figure 1.
+    pub fn fig1() -> Vec<Workload> {
+        vec![
+            Workload::Genome { resizable: false },
+            Workload::Intruder {
+                optimized: false,
+                resizable: false,
+            },
+            Workload::Kmeans,
+            Workload::Labyrinth,
+            Workload::Ssca2,
+            Workload::Vacation {
+                optimized: false,
+                resizable: false,
+            },
+            Workload::Yada,
+            Workload::Python { optimized: false },
+        ]
+    }
+
+    /// The fourteen workload variants of Figures 3, 4, 9 and 10.
+    pub fn fig9() -> Vec<Workload> {
+        vec![
+            Workload::Genome { resizable: false },
+            Workload::Genome { resizable: true },
+            Workload::Intruder {
+                optimized: false,
+                resizable: false,
+            },
+            Workload::Intruder {
+                optimized: true,
+                resizable: false,
+            },
+            Workload::Intruder {
+                optimized: true,
+                resizable: true,
+            },
+            Workload::Kmeans,
+            Workload::Labyrinth,
+            Workload::Ssca2,
+            Workload::Vacation {
+                optimized: false,
+                resizable: false,
+            },
+            Workload::Vacation {
+                optimized: true,
+                resizable: false,
+            },
+            Workload::Vacation {
+                optimized: true,
+                resizable: true,
+            },
+            Workload::Yada,
+            Workload::Python { optimized: false },
+            Workload::Python { optimized: true },
+        ]
+    }
+
+    /// Builds the workload for `num_cores` cores, dividing the (fixed)
+    /// total work among them. The same `seed` yields the same inputs at any
+    /// core count, so speedups compare identical work.
+    pub fn build(self, num_cores: usize, seed: u64) -> WorkloadSpec {
+        match self {
+            Workload::Counter => counter::build(num_cores, seed),
+            Workload::Genome { resizable } => genome::build(num_cores, seed, resizable),
+            Workload::Intruder {
+                optimized,
+                resizable,
+            } => intruder::build(num_cores, seed, optimized, resizable),
+            Workload::Kmeans => kmeans::build(num_cores, seed),
+            Workload::Labyrinth => labyrinth::build(num_cores, seed),
+            Workload::Ssca2 => ssca2::build(num_cores, seed),
+            Workload::Vacation {
+                optimized,
+                resizable,
+            } => vacation::build(num_cores, seed, optimized, resizable),
+            Workload::Yada => yada::build(num_cores, seed),
+            Workload::Python { optimized } => python::build(num_cores, seed, optimized),
+        }
+    }
+}
+
+/// Runs `workload` on `num_cores` cores under `system`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator (cycle-limit or program
+/// validation failures — both indicate workload bugs).
+pub fn run(workload: Workload, system: System, num_cores: usize, seed: u64) -> Result<SimReport, SimError> {
+    let spec = workload.build(num_cores, seed);
+    run_spec(&spec, system, num_cores)
+}
+
+/// Runs an already-built [`WorkloadSpec`] under `system`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_spec(spec: &WorkloadSpec, system: System, num_cores: usize) -> Result<SimReport, SimError> {
+    let cfg = SimConfig::with_cores(num_cores);
+    let mut machine = Machine::new(cfg, system.protocol(num_cores), spec.programs.clone());
+    for (i, tape) in spec.tapes.iter().enumerate() {
+        machine.set_tape(i, tape.clone());
+    }
+    for &(addr, value) in &spec.init {
+        machine.init_word(addr, value);
+    }
+    machine.run()
+}
+
+/// Sequential-baseline cycle count: the whole workload on one core (the
+/// denominator of every "speedup over seq" figure).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn sequential_baseline(workload: Workload, seed: u64) -> Result<u64, SimError> {
+    Ok(run(workload, System::Eager, 1, seed)?.cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = Workload::fig9().iter().map(|w| w.label()).collect();
+        labels.push(Workload::Counter.label());
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn fig1_is_subset_of_table2() {
+        assert_eq!(Workload::fig1().len(), 8);
+        assert_eq!(Workload::fig9().len(), 14);
+    }
+
+    #[test]
+    fn system_protocols_instantiate() {
+        for s in [
+            System::Eager,
+            System::EagerAbort,
+            System::Lazy,
+            System::LazyVb,
+            System::Retcon,
+            System::RetconIdeal,
+            System::Datm,
+        ] {
+            let p = s.protocol(2);
+            assert!(!p.name().is_empty());
+            assert!(!s.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! A step-by-step trace of the paper's Figure 8 through the RETCON engine.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example figure8_trace
+//! ```
+//!
+//! Figure 8 of the paper walks one transaction through symbolic tracking
+//! and repair: block `A` (initial value 5) is loaded, incremented and
+//! constrained; its block is stolen mid-transaction; a store forwards
+//! through the symbolic store buffer; and commit-time repair recomputes
+//! every output against the final value of `A` (6). This example replays
+//! each timestep against the real engine and prints the structures the
+//! figure shows — the symbolic register file, the initial value buffer
+//! (with constraints) and the symbolic store buffer.
+
+use retcon::{Engine, LoadPath, RetconConfig};
+use retcon_isa::{Addr, BinOp, CmpOp, Reg};
+
+const A: Addr = Addr(0); // block 0
+const B: Addr = Addr(8); // block 1
+
+fn dump(step: &str, eng: &Engine, regs: &[(&str, u64)]) {
+    println!("{step}");
+    let mut line = String::from("    regs:");
+    for (name, val) in regs {
+        let reg = if *name == "r1" { Reg(1) } else { Reg(2) };
+        match eng.symbolic_value(reg) {
+            Some(sym) => line += &format!(" {name}={val} ({sym})"),
+            None => line += &format!(" {name}={val}"),
+        }
+    }
+    println!("{line}");
+    let mut ivb = String::from("    IVB: ");
+    for entry in eng.ivb().iter() {
+        ivb += &format!(
+            "block {:#x} initial[A]={}{}{}",
+            entry.block().0,
+            entry.initial(entry.block().base()),
+            if entry.is_lost() { " LOST" } else { "" },
+            if entry.is_written() { " W" } else { "" },
+        );
+        if let Some(c) = eng.constraint(entry.block().base()) {
+            ivb += &format!(" constraint {c}");
+        }
+    }
+    if eng.ivb().is_empty() {
+        ivb += "(empty)";
+    }
+    println!("{ivb}");
+    let mut ssb = String::from("    SSB: ");
+    for e in eng.ssb().iter() {
+        match e.sym {
+            Some(s) => ssb += &format!("[{:#x}]=({}, {}) ", e.addr.0, e.value, s),
+            None => ssb += &format!("[{:#x}]=({}, --) ", e.addr.0, e.value),
+        }
+    }
+    if eng.ssb().is_empty() {
+        ssb += "(empty)";
+    }
+    println!("{ssb}\n");
+}
+
+fn main() {
+    println!("Figure 8 walkthrough: A = 5, B = 7 initially\n");
+    let mut eng = Engine::new(RetconConfig::default());
+    eng.begin();
+
+    // t1: ld [A] -> r1 (first symbolic load: IVB captures the block).
+    assert!(matches!(eng.load_path(A), LoadPath::Memory));
+    assert!(eng.begin_tracking(A.block(), |w| if w == A { 5 } else { 0 }));
+    let r1 = eng.finish_tracked_load(Reg(1), A);
+    dump("t1: ld [A] -> r1", &eng, &[("r1", r1)]);
+
+    // t2: r2 = r1 + 1.
+    let r2 = eng.on_alu(BinOp::Add, Reg(2), Reg(1), None, r1, 1);
+    dump("t2: r2 = r1 + 1", &eng, &[("r1", r1), ("r2", r2)]);
+
+    // t3: br r2 > 1 (taken) — constraint A+1 > 1, i.e. A > 0.
+    let taken = eng.on_branch(CmpOp::Gt, Reg(2), None, r2, 1);
+    assert!(taken);
+    dump("t3: br r2 > 1 (taken)  =>  A > 0", &eng, &[("r1", r1), ("r2", r2)]);
+
+    // t4: st r2 -> [B] — symbolic store buffered.
+    eng.on_store(B, Some(Reg(2)), r2);
+    dump("t4: st r2 -> [B]", &eng, &[("r1", r1), ("r2", r2)]);
+
+    // t5: ld [B] -> r1 forwards from the SSB; meanwhile A is stolen.
+    assert!(matches!(eng.load_path(B), LoadPath::StoreForward { .. }));
+    let r1 = eng.finish_forwarded_load(Reg(1), B);
+    eng.on_steal(A.block());
+    dump(
+        "t5: ld [B] -> r1 (store-forward); remote steals block A",
+        &eng,
+        &[("r1", r1), ("r2", r2)],
+    );
+
+    // t6: r1 = r1 + 2.
+    let r1 = eng.on_alu(BinOp::Add, Reg(1), Reg(1), None, r1, 2);
+    dump("t6: r1 = r1 + 2", &eng, &[("r1", r1), ("r2", r2)]);
+
+    // t7: br r1 < 10 (taken) — combined constraint 0 < A < 7.
+    let taken = eng.on_branch(CmpOp::Lt, Reg(1), None, r1, 10);
+    assert!(taken);
+    dump("t7: br r1 < 10 (taken)  =>  0 < A < 7", &eng, &[("r1", r1), ("r2", r2)]);
+
+    // t8: st r1 -> [A] — symbolic store to the tracked block.
+    eng.on_store(A, Some(Reg(1)), r1);
+    dump("t8: st r1 -> [A]", &eng, &[("r1", r1), ("r2", r2)]);
+
+    // t9: st 0 -> [B] — non-symbolic store invalidates B's SSB entry.
+    eng.on_store(B, None, 0);
+    dump("t9: st 0 -> [B] (non-symbolic; B's SSB entry invalidated)", &eng, &[("r1", r1), ("r2", r2)]);
+
+    // Commit: the remote transaction left A = 6; constraints hold; repair.
+    println!("commit: reacquire A (final value 6), check 0 < 6 < 7, repair:");
+    let repair = eng
+        .validate_and_repair(|w| if w == A { 6 } else { 0 })
+        .expect("constraints hold");
+    for (addr, value) in &repair.stores {
+        println!("    store [{:#x}] <- {}", addr.0, value);
+    }
+    for (reg, value) in &repair.registers {
+        println!("    {} <- {}", reg, value);
+    }
+    assert_eq!(repair.stores, vec![(A, 9)]);
+    println!("\nThe store to A repairs to 6 + 3 = 9 — the paper's Figure 8 outcome.");
+}

@@ -1,0 +1,115 @@
+//! Cross-protocol equivalence: for workloads whose transactions *commute*
+//! (pure additive updates), every protocol must produce bit-identical final
+//! memory — the serialization order cannot matter, so any deviation is a
+//! lost or phantom update in some protocol.
+
+use proptest::prelude::*;
+
+use retcon_isa::{Addr, BinOp, CmpOp, Operand, Program, ProgramBuilder, Reg};
+use retcon_sim::{Machine, SimConfig};
+use retcon_workloads::{SplitMix64, System};
+
+/// Each transaction adds tape-provided deltas to `updates` counters chosen
+/// by tape-provided indices (mod `pool`), with optional work between them.
+fn additive_program(pool: u64, iters: u64, updates: u32, work: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let body = b.block();
+    let done = b.block();
+    b.imm(Reg(0), iters);
+    b.jump(body);
+    b.select(body);
+    b.tx_begin();
+    for _ in 0..updates {
+        b.input(Reg(1)); // counter index
+        b.input(Reg(2)); // delta
+        b.bin(BinOp::Mod, Reg(1), Reg(1), Operand::Imm(pool as i64));
+        b.bin(BinOp::Shl, Reg(1), Reg(1), Operand::Imm(3));
+        b.load(Reg(3), Reg(1), 0);
+        b.bin(BinOp::Add, Reg(3), Reg(3), Operand::Reg(Reg(2)));
+        b.store(Operand::Reg(Reg(3)), Reg(1), 0);
+        if work > 0 {
+            b.work(work);
+        }
+    }
+    b.tx_commit();
+    b.bin(BinOp::Sub, Reg(0), Reg(0), Operand::Imm(1));
+    b.branch(CmpOp::Gt, Reg(0), Operand::Imm(0), body, done);
+    b.select(done);
+    b.halt();
+    b.build().expect("program is well-formed")
+}
+
+/// Runs the additive workload under `system` and returns the final counter
+/// values.
+fn final_state(
+    system: System,
+    cores: usize,
+    pool: u64,
+    iters: u64,
+    updates: u32,
+    work: u32,
+    seed: u64,
+) -> Vec<u64> {
+    let mut machine = Machine::new(
+        SimConfig::with_cores(cores),
+        system.protocol(cores),
+        (0..cores)
+            .map(|_| additive_program(pool, iters, updates, work))
+            .collect(),
+    );
+    let mut rng = SplitMix64::new(seed);
+    for c in 0..cores {
+        let tape: Vec<u64> = (0..2 * iters * updates as u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    rng.next_u64() >> 8 // index
+                } else {
+                    rng.below(50) // small delta
+                }
+            })
+            .collect();
+        machine.set_tape(c, tape);
+    }
+    machine.run().expect("run completes");
+    (0..pool).map(|i| machine.mem().read_word(Addr(i * 8))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Commutative workloads end in the same state under every protocol —
+    /// and that state equals the oracle sum of all deltas.
+    #[test]
+    fn additive_workloads_agree_across_protocols(
+        cores in 2usize..5,
+        pool in 1u64..4,
+        updates in 1u32..3,
+        work in 0u32..20,
+        seed in any::<u64>(),
+    ) {
+        let iters = 8u64;
+        // Oracle: replay the tapes directly.
+        let mut oracle = vec![0u64; pool as usize];
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..cores {
+            for _ in 0..iters * updates as u64 {
+                let idx = (rng.next_u64() >> 8) % pool;
+                let delta = rng.below(50);
+                oracle[idx as usize] = oracle[idx as usize].wrapping_add(delta);
+            }
+        }
+        for system in [
+            System::Eager,
+            System::Lazy,
+            System::LazyVb,
+            System::Retcon,
+            System::RetconIdeal,
+        ] {
+            let state = final_state(system, cores, pool, iters, updates, work, seed);
+            prop_assert_eq!(
+                &state, &oracle,
+                "final state under {} diverges from the oracle", system.label()
+            );
+        }
+    }
+}

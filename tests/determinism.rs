@@ -1,0 +1,57 @@
+//! Determinism: identical seeds must produce bit-identical simulations —
+//! the property that makes every figure in EXPERIMENTS.md reproducible.
+
+use retcon_workloads::{run, System, Workload};
+
+fn assert_identical(w: Workload, s: System) {
+    let a = run(w, s, 4, 99).expect("first run");
+    let b = run(w, s, 4, 99).expect("second run");
+    assert_eq!(a.cycles, b.cycles, "{} under {}", w.label(), s.label());
+    assert_eq!(a.protocol, b.protocol);
+    for (x, y) in a.per_core.iter().zip(&b.per_core) {
+        assert_eq!(x.breakdown, y.breakdown);
+        assert_eq!(x.instructions, y.instructions);
+        assert_eq!(x.finished_at, y.finished_at);
+    }
+    if let (Some(ra), Some(rb)) = (&a.retcon, &b.retcon) {
+        assert_eq!(ra, rb);
+    }
+}
+
+#[test]
+fn all_workloads_deterministic_under_eager() {
+    for w in Workload::fig9() {
+        assert_identical(w, System::Eager);
+    }
+}
+
+#[test]
+fn all_workloads_deterministic_under_retcon() {
+    for w in Workload::fig9() {
+        assert_identical(w, System::Retcon);
+    }
+}
+
+#[test]
+fn contended_counter_deterministic_under_every_system() {
+    for s in [
+        System::Eager,
+        System::EagerAbort,
+        System::Lazy,
+        System::LazyVb,
+        System::Retcon,
+        System::RetconIdeal,
+        System::Datm,
+    ] {
+        assert_identical(Workload::Counter, s);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(Workload::Genome { resizable: false }, System::Eager, 4, 1).unwrap();
+    let b = run(Workload::Genome { resizable: false }, System::Eager, 4, 2).unwrap();
+    // Different keys hash to different buckets: cycle counts differ with
+    // overwhelming probability.
+    assert_ne!(a.cycles, b.cycles);
+}

@@ -1,0 +1,197 @@
+//! Functional invariants of every workload under every evaluated system.
+//!
+//! These are the end-to-end repair-correctness checks: whatever the timing
+//! results, the *architectural outcome* of each workload must be exactly
+//! what a serial execution would produce (for quantities that are
+//! interleaving-independent).
+
+use retcon_isa::Addr;
+use retcon_sim::{Machine, SimConfig};
+use retcon_workloads::{System, Workload, WorkloadSpec};
+
+const CORES: usize = 8;
+const SEED: u64 = 1234;
+
+fn run_machine(spec: &WorkloadSpec, system: System) -> Machine {
+    let mut machine = Machine::new(
+        SimConfig::with_cores(CORES),
+        system.protocol(CORES),
+        spec.programs.clone(),
+    );
+    for (i, tape) in spec.tapes.iter().enumerate() {
+        machine.set_tape(i, tape.clone());
+    }
+    for &(a, v) in &spec.init {
+        machine.init_word(a, v);
+    }
+    machine.run().expect("workload runs to completion");
+    machine
+}
+
+const SYSTEMS: [System; 4] = [
+    System::Eager,
+    System::LazyVb,
+    System::Retcon,
+    System::RetconIdeal,
+];
+
+#[test]
+fn genome_sz_size_field_is_exact() {
+    let spec = Workload::Genome { resizable: true }.build(CORES, SEED);
+    // Size field is the first allocation (word 0); total inserts = sum of
+    // tape lengths.
+    let total: u64 = spec.tapes.iter().map(|t| t.len() as u64).sum();
+    for system in SYSTEMS {
+        let machine = run_machine(&spec, system);
+        assert_eq!(
+            machine.mem().read_word(Addr(0)),
+            total,
+            "size field wrong under {}",
+            system.label()
+        );
+    }
+}
+
+#[test]
+fn genome_table_contents_identical_across_systems() {
+    // Bucket-by-bucket, the hashtable must hold the same multiset of keys
+    // under every system (inserts commute only per bucket, and bucket
+    // contents are order-dependent — but each core's keys are fixed, so the
+    // *set* of stored keys must match the sequential outcome).
+    let spec = Workload::Genome { resizable: false }.build(CORES, SEED);
+    let mut reference: Option<Vec<(u64, u64)>> = None;
+    for system in SYSTEMS {
+        let machine = run_machine(&spec, system);
+        let mut words: Vec<(u64, u64)> = machine.mem().memory().iter().map(|(a, v)| (a.0, v)).collect();
+        words.sort();
+        // Compare only the multiset of stored values (slot order within a
+        // bucket is interleaving-dependent).
+        let mut values: Vec<u64> = words.iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        match &reference {
+            None => reference = Some(values.into_iter().map(|v| (0, v)).collect()),
+            Some(r) => {
+                let rv: Vec<u64> = r.iter().map(|&(_, v)| v).collect();
+                assert_eq!(values, rv, "table contents differ under {}", system.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn intruder_base_processes_every_packet() {
+    let spec = Workload::Intruder {
+        optimized: false,
+        resizable: false,
+    }
+    .build(CORES, SEED);
+    let total: u64 = spec.tapes.iter().map(|t| t.len() as u64).sum();
+    for system in SYSTEMS {
+        let machine = run_machine(&spec, system);
+        // in_head (allocated right after the size word) counts dequeues;
+        // out_tail counts enqueues. Both must equal the packet count.
+        let in_head = machine.mem().read_word(Addr(8));
+        assert_eq!(in_head, total, "dequeues wrong under {}", system.label());
+    }
+}
+
+#[test]
+fn vacation_inventory_balances() {
+    for (optimized, resizable) in [(false, false), (true, false), (true, true)] {
+        let spec = Workload::Vacation {
+            optimized,
+            resizable,
+        }
+        .build(CORES, SEED);
+        let total_txs: u64 = spec.tapes.iter().map(|t| t.len() as u64).sum();
+        for system in SYSTEMS {
+            let machine = run_machine(&spec, system);
+            let mut reserved = 0u64;
+            for &(a, init_v) in &spec.init {
+                let now = machine.mem().read_word(a);
+                assert!(now <= init_v, "availability increased under {}", system.label());
+                reserved += init_v - now;
+            }
+            assert_eq!(
+                reserved,
+                total_txs,
+                "reservations wrong under {} ({})",
+                system.label(),
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn ssca2_degree_sum_matches_edges() {
+    let spec = Workload::Ssca2.build(CORES, SEED);
+    let total_endpoint_updates: u64 = spec.tapes.iter().map(|t| t.len() as u64).sum();
+    for system in SYSTEMS {
+        let machine = run_machine(&spec, system);
+        let sum: u64 = machine.mem().memory().iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, total_endpoint_updates, "degree sum wrong under {}", system.label());
+    }
+}
+
+#[test]
+fn python_refcount_sum_is_conserved() {
+    for optimized in [false, true] {
+        let spec = Workload::Python { optimized }.build(CORES, SEED);
+        let expected: u64 = spec.init.iter().map(|&(_, v)| v).sum();
+        for system in SYSTEMS {
+            let machine = run_machine(&spec, system);
+            // Only count the refcount words (the free-list pointer and pool
+            // words are also in memory for the base variant).
+            let actual: u64 = spec
+                .init
+                .iter()
+                .map(|&(a, _)| machine.mem().read_word(a))
+                .sum();
+            assert_eq!(
+                actual,
+                expected,
+                "refcount sum wrong under {} (optimized={optimized})",
+                system.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn kmeans_point_counts_are_exact() {
+    let spec = Workload::Kmeans.build(CORES, SEED);
+    let total_points: u64 = spec.tapes.iter().map(|t| t.len() as u64).sum();
+    for system in SYSTEMS {
+        let machine = run_machine(&spec, system);
+        // Word 0 of each cluster block is the point count.
+        let sum: u64 = (0..256).map(|c| machine.mem().read_word(Addr(c * 8))).sum();
+        assert_eq!(sum, total_points, "cluster counts wrong under {}", system.label());
+    }
+}
+
+#[test]
+fn every_workload_completes_under_every_fig9_system() {
+    for w in Workload::fig9() {
+        let spec = w.build(4, SEED);
+        for system in System::FIG9 {
+            let mut machine = Machine::new(
+                SimConfig::with_cores(4),
+                system.protocol(4),
+                spec.programs.clone(),
+            );
+            for (i, tape) in spec.tapes.iter().enumerate() {
+                machine.set_tape(i, tape.clone());
+            }
+            for &(a, v) in &spec.init {
+                machine.init_word(a, v);
+            }
+            let report = machine.run().expect("completes");
+            assert!(report.protocol.commits > 0, "{} under {}", w.label(), system.label());
+            // Accounting invariant: per-core buckets cover the whole run.
+            for core in &report.per_core {
+                assert_eq!(core.breakdown.total(), core.finished_at);
+            }
+        }
+    }
+}
