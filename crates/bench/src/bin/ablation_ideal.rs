@@ -24,7 +24,13 @@ fn main() {
         let ideal = run_at_scale(w, System::RetconIdeal).speedup_over(seq);
         let delta = 100.0 * (ideal - default) / default;
         worst = worst.max(delta.abs());
-        println!("{:<18} {:>9.1} {:>9.1} {:>+8.1}", w.label(), default, ideal, delta);
+        println!(
+            "{:<18} {:>9.1} {:>9.1} {:>+8.1}",
+            w.label(),
+            default,
+            ideal,
+            delta
+        );
     }
     println!("\nLargest |delta|: {worst:.1}% (paper: \"did not significantly impact results\")");
 }

@@ -15,7 +15,11 @@ use retcon_workloads::Workload;
 fn run_with(cfg: RetconConfig, w: Workload) -> f64 {
     let spec = w.build(CORES, SEED);
     let sim = SimConfig::with_cores(CORES);
-    let mut machine = Machine::new(sim, Box::new(RetconTm::new(CORES, cfg)), spec.programs.clone());
+    let mut machine = Machine::new(
+        sim,
+        Box::new(RetconTm::new(CORES, cfg)),
+        spec.programs.clone(),
+    );
     for (i, tape) in spec.tapes.iter().enumerate() {
         machine.set_tape(i, tape.clone());
     }
@@ -37,7 +41,10 @@ fn main() {
     ];
 
     print_header("Ablation: initial-value-buffer capacity sweep", "");
-    println!("{:<18} {:>6} {:>6} {:>6} {:>6} {:>6}", "workload", "ivb=1", "2", "4", "16", "64");
+    println!(
+        "{:<18} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "workload", "ivb=1", "2", "4", "16", "64"
+    );
     for w in workloads {
         let mut row = format!("{:<18}", w.label());
         for cap in [1usize, 2, 4, 16, 64] {
@@ -51,7 +58,10 @@ fn main() {
     }
 
     print_header("Ablation: symbolic-store-buffer capacity sweep", "");
-    println!("{:<18} {:>6} {:>6} {:>6} {:>6}", "workload", "ssb=2", "8", "32", "128");
+    println!(
+        "{:<18} {:>6} {:>6} {:>6} {:>6}",
+        "workload", "ssb=2", "8", "32", "128"
+    );
     for w in workloads {
         let mut row = format!("{:<18}", w.label());
         for cap in [2usize, 8, 32, 128] {
@@ -65,7 +75,10 @@ fn main() {
     }
 
     print_header("Ablation: constraint-buffer capacity sweep", "");
-    println!("{:<18} {:>6} {:>6} {:>6} {:>6}", "workload", "cb=1", "4", "16", "64");
+    println!(
+        "{:<18} {:>6} {:>6} {:>6} {:>6}",
+        "workload", "cb=1", "4", "16", "64"
+    );
     for w in workloads {
         let mut row = format!("{:<18}", w.label());
         for cap in [1usize, 4, 16, 64] {

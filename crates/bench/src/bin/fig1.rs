@@ -14,7 +14,10 @@ fn main() {
         "Figure 1: speedup over sequential, eager HTM baseline, 32 cores",
         "(zero-cycle rollback, oldest-wins contention management)",
     );
-    println!("{:<14} {:>10} {:>10} {:>9} {:>9}", "workload", "seq cyc", "par cyc", "speedup", "aborts/commit");
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>9}",
+        "workload", "seq cyc", "par cyc", "speedup", "aborts/commit"
+    );
     for w in Workload::fig1() {
         let seq = seq_cycles(w);
         let r = run_at_scale(w, System::Eager);

@@ -18,8 +18,12 @@ fn main() {
         println!("\n{}:", w.label());
         println!("{:>7} {:>9} {:>9}", "cores", "eager", "RetCon");
         for &n in &cores {
-            let eager = run(w, System::Eager, n, SEED).expect("runs").speedup_over(seq);
-            let retcon = run(w, System::Retcon, n, SEED).expect("runs").speedup_over(seq);
+            let eager = run(w, System::Eager, n, SEED)
+                .expect("runs")
+                .speedup_over(seq);
+            let retcon = run(w, System::Retcon, n, SEED)
+                .expect("runs")
+                .speedup_over(seq);
             println!("{n:>7} {eager:>9.1} {retcon:>9.1}");
         }
     }

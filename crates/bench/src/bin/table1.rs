@@ -9,7 +9,10 @@ fn main() {
     let cfg = SimConfig::default();
     let rc = RetconConfig::default();
     let lat = cfg.mem.latency;
-    println!("Processor             {} in-order cores, 1 IPC", cfg.num_cores);
+    println!(
+        "Processor             {} in-order cores, 1 IPC",
+        cfg.num_cores
+    );
     println!(
         "L1 cache              {} KB, {}-way set associative, 64B blocks ({} sets)",
         cfg.mem.l1.capacity_blocks() * 64 / 1024,
@@ -22,9 +25,15 @@ fn main() {
         cfg.mem.l2.ways,
         lat.l2_hit
     );
-    println!("Memory                {} cycles DRAM lookup latency", lat.dram);
+    println!(
+        "Memory                {} cycles DRAM lookup latency",
+        lat.dram
+    );
     println!("Permissions-only      unbounded overflow map (capacity aborts impossible)");
-    println!("Coherence             directory-based, {}-cycle hop latency", lat.hop);
+    println!(
+        "Coherence             directory-based, {}-cycle hop latency",
+        lat.hop
+    );
     println!(
         "RETCON structures     {}-entry initial value buffer, {}-entry constraint buffer, {}-entry symbolic store buffer",
         rc.ivb_capacity, rc.constraint_capacity, rc.ssb_capacity

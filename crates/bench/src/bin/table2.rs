@@ -6,23 +6,59 @@ use retcon_workloads::Workload;
 fn main() {
     print_header("Table 2: workloads (model inventory)", "");
     let descriptions: &[(&str, &str)] = &[
-        ("counter", "Figure 2 micro: two increments of one shared counter per tx"),
+        (
+            "counter",
+            "Figure 2 micro: two increments of one shared counter per tx",
+        ),
         ("genome", "hashtable segment inserts, fixed-size table"),
-        ("genome-sz", "variant with resizable table (shared size-field increment per insert)"),
-        ("intruder", "shared in/out queues feed addresses + tree-rebalance hot words"),
+        (
+            "genome-sz",
+            "variant with resizable table (shared size-field increment per insert)",
+        ),
+        (
+            "intruder",
+            "shared in/out queues feed addresses + tree-rebalance hot words",
+        ),
         ("intruder_opt", "thread-private queues, fixed hashtable map"),
-        ("intruder_opt-sz", "optimized variant with resizable (size-tracked) map"),
-        ("kmeans", "cluster-centre accumulation with untrackable (multiply) updates"),
-        ("labyrinth", "pre-tx grid copy; long variable-length routing transactions"),
-        ("ssca2", "tiny transactions, scattered graph updates (coherence-bound)"),
-        ("vacation", "read-mostly reservations + tree-rebalance hot words"),
+        (
+            "intruder_opt-sz",
+            "optimized variant with resizable (size-tracked) map",
+        ),
+        (
+            "kmeans",
+            "cluster-centre accumulation with untrackable (multiply) updates",
+        ),
+        (
+            "labyrinth",
+            "pre-tx grid copy; long variable-length routing transactions",
+        ),
+        (
+            "ssca2",
+            "tiny transactions, scattered graph updates (coherence-bound)",
+        ),
+        (
+            "vacation",
+            "read-mostly reservations + tree-rebalance hot words",
+        ),
         ("vacation_opt", "hashtable tables, no rebalancing"),
-        ("vacation_opt-sz", "optimized variant with size-tracked orders table"),
-        ("yada", "pointer-chasing cavity refinement (loaded values feed addresses)"),
-        ("python", "GIL elision: hot refcounts + shared address-feeding free list"),
-        ("python_opt", "interpreter globals made thread-private; refcounts remain"),
+        (
+            "vacation_opt-sz",
+            "optimized variant with size-tracked orders table",
+        ),
+        (
+            "yada",
+            "pointer-chasing cavity refinement (loaded values feed addresses)",
+        ),
+        (
+            "python",
+            "GIL elision: hot refcounts + shared address-feeding free list",
+        ),
+        (
+            "python_opt",
+            "interpreter globals made thread-private; refcounts remain",
+        ),
     ];
-    println!("{:<18} {}", "workload", "model");
+    println!("{:<18} model", "workload");
     for (name, desc) in descriptions {
         println!("{name:<18} {desc}");
     }
@@ -38,6 +74,12 @@ fn main() {
         let spec = w.build(32, SEED);
         let instr: usize = spec.programs.iter().map(|p| p.len()).sum();
         let tape: usize = spec.tapes.iter().map(|t| t.len()).sum();
-        println!("{:<18} {:>9} {:>12} {:>12}", w.label(), spec.programs.len(), instr, tape);
+        println!(
+            "{:<18} {:>9} {:>12} {:>12}",
+            w.label(),
+            spec.programs.len(),
+            instr,
+            tape
+        );
     }
 }

@@ -20,7 +20,14 @@ fn main() {
     );
     println!(
         "{:<18} {:>11} {:>11} {:>10} {:>11} {:>11} {:>8} {:>7}",
-        "workload", "blocks lost", "blk tracked", "sym regs", "priv stores", "constr addr", "commit", "stall%"
+        "workload",
+        "blocks lost",
+        "blk tracked",
+        "sym regs",
+        "priv stores",
+        "constr addr",
+        "commit",
+        "stall%"
     );
     let mut all = Workload::fig9();
     all.insert(0, Workload::Counter);
@@ -44,5 +51,7 @@ fn main() {
             rs.commit_stall_percent(),
         );
     }
-    println!("\n(violations are counted separately; a violation aborts and trains the predictor down)");
+    println!(
+        "\n(violations are counted separately; a violation aborts and trains the predictor down)"
+    );
 }

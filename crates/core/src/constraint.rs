@@ -322,14 +322,21 @@ mod tests {
     fn branch_matches_direct_predicate_on_small_values() {
         // For in-range values, the interval decision must equal direct
         // re-evaluation of the branch predicate.
-        for cmp in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for cmp in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for offset in [-3i64, 0, 2] {
                 for bound in [0u64, 1, 5, 9] {
                     for taken in [false, true] {
                         let mut c = Constraint::unconstrained();
                         c.add_branch(offset, cmp, bound, taken);
                         for x in 0u64..16 {
-                            let shifted = (x as i128 + offset as i128) as i128;
+                            let shifted = x as i128 + offset as i128;
                             if shifted < 0 {
                                 continue; // outside the no-wrap domain
                             }

@@ -369,7 +369,10 @@ impl Engine {
     /// written-bit hint (`true` = acquire write permission directly because
     /// commit-time stores target the block).
     pub fn precommit_blocks(&self) -> Vec<(BlockAddr, bool)> {
-        self.ivb.iter().map(|e| (e.block(), e.is_written())).collect()
+        self.ivb
+            .iter()
+            .map(|e| (e.block(), e.is_written()))
+            .collect()
     }
 
     /// Word addresses of buffered stores to *untracked* blocks, which the
@@ -626,7 +629,9 @@ mod tests {
 
         // Commit: remote left A = 6; constraint 0 < 6 < 7 holds; the store
         // to A repairs to 6 + 3 = 9 and r1 repairs to 9.
-        let repair = eng.validate_and_repair(|w| if w == a { 6 } else { 0 }).unwrap();
+        let repair = eng
+            .validate_and_repair(|w| if w == a { 6 } else { 0 })
+            .unwrap();
         assert_eq!(repair.stores, vec![(a, 9)]);
         assert!(repair.registers.contains(&(Reg(1), 9)));
     }
@@ -768,7 +773,9 @@ mod tests {
         // The block is marked for write-permission reacquire.
         assert!(eng.ivb().get(a.block()).unwrap().is_written());
         // Commit replays the store with its concrete value.
-        let repair = eng.validate_and_repair(|w| if w == a { 9 } else { 0 }).unwrap();
+        let repair = eng
+            .validate_and_repair(|w| if w == a { 9 } else { 0 })
+            .unwrap();
         assert_eq!(repair.stores, vec![(a2, 42)]);
     }
 
@@ -780,8 +787,10 @@ mod tests {
 
     #[test]
     fn ssb_overflow_reported() {
-        let mut cfg = RetconConfig::default();
-        cfg.ssb_capacity = 1;
+        let cfg = RetconConfig {
+            ssb_capacity: 1,
+            ..RetconConfig::default()
+        };
         let mut eng = Engine::new(cfg);
         eng.begin();
         track(&mut eng, Addr(0), 5);
@@ -793,9 +802,11 @@ mod tests {
 
     #[test]
     fn ivb_capacity_disables_tracking() {
-        let mut cfg = RetconConfig::default();
-        cfg.ivb_capacity = 1;
-        cfg.initial_threshold = 0; // track everything
+        let cfg = RetconConfig {
+            ivb_capacity: 1,
+            initial_threshold: 0, // track everything
+            ..RetconConfig::default()
+        };
         let mut eng = Engine::new(cfg);
         eng.begin();
         assert!(eng.wants_tracking(Addr(0)));
@@ -807,9 +818,11 @@ mod tests {
 
     #[test]
     fn constraint_buffer_overflow_falls_back_to_equality() {
-        let mut cfg = RetconConfig::default();
-        cfg.constraint_capacity = 1;
-        cfg.ivb_capacity = 4;
+        let cfg = RetconConfig {
+            constraint_capacity: 1,
+            ivb_capacity: 4,
+            ..RetconConfig::default()
+        };
         let mut eng = Engine::new(cfg);
         eng.begin();
         let a = Addr(0);

@@ -44,13 +44,21 @@ impl IvbEntry {
     ///
     /// Panics if `addr` is not within this entry's block.
     pub fn initial(&self, addr: Addr) -> u64 {
-        assert!(self.block.contains(addr), "{addr:?} not in {:?}", self.block);
+        assert!(
+            self.block.contains(addr),
+            "{addr:?} not in {:?}",
+            self.block
+        );
         self.initial[addr.offset_in_block() as usize]
     }
 
     /// The current (commit-time) value recorded for `addr`.
     pub fn current(&self, addr: Addr) -> u64 {
-        assert!(self.block.contains(addr), "{addr:?} not in {:?}", self.block);
+        assert!(
+            self.block.contains(addr),
+            "{addr:?} not in {:?}",
+            self.block
+        );
         self.current[addr.offset_in_block() as usize]
     }
 
@@ -240,7 +248,7 @@ mod tests {
         let mut ivb = Ivb::new(2);
         assert!(ivb.allocate(blk(0), |_| 0));
         assert!(ivb.allocate(blk(1), |_| 0));
-        assert!(ivb.has_room() == false);
+        assert!(!ivb.has_room());
         assert!(!ivb.allocate(blk(2), |_| 0));
         // Re-allocating a tracked block still succeeds.
         assert!(ivb.allocate(blk(1), |_| 99));

@@ -85,8 +85,10 @@ impl RetconStats {
         self.sum.commit_cycles += other.sum.commit_cycles;
         self.max.blocks_lost = self.max.blocks_lost.max(other.max.blocks_lost);
         self.max.blocks_tracked = self.max.blocks_tracked.max(other.max.blocks_tracked);
-        self.max.symbolic_registers =
-            self.max.symbolic_registers.max(other.max.symbolic_registers);
+        self.max.symbolic_registers = self
+            .max
+            .symbolic_registers
+            .max(other.max.symbolic_registers);
         self.max.private_stores = self.max.private_stores.max(other.max.private_stores);
         self.max.constraint_addrs = self.max.constraint_addrs.max(other.max.constraint_addrs);
         self.max.commit_cycles = self.max.commit_cycles.max(other.max.commit_cycles);
@@ -145,7 +147,14 @@ impl RetconStats {
 mod tests {
     use super::*;
 
-    fn snap(lost: u64, tracked: u64, regs: u64, stores: u64, constr: u64, cycles: u64) -> TxSnapshot {
+    fn snap(
+        lost: u64,
+        tracked: u64,
+        regs: u64,
+        stores: u64,
+        constr: u64,
+        cycles: u64,
+    ) -> TxSnapshot {
         TxSnapshot {
             blocks_lost: lost,
             blocks_tracked: tracked,

@@ -52,6 +52,7 @@ impl SymValue {
     /// Returns `self + k` (collapsing into the cumulative increment).
     #[inline]
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // deliberately not `ops::Add`: k is a plain i64 offset
     pub fn add(self, k: i64) -> Self {
         SymValue {
             root: self.root,

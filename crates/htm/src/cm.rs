@@ -107,11 +107,19 @@ mod tests {
     fn ties_break_by_core_id() {
         // Same birth cycle: the smaller core id counts as older.
         assert_eq!(
-            decide(ConflictPolicy::OldestWins, Some((50, 0)), &[(CoreId(1), (50, 1))]),
+            decide(
+                ConflictPolicy::OldestWins,
+                Some((50, 0)),
+                &[(CoreId(1), (50, 1))]
+            ),
             Decision::AbortVictims
         );
         assert_eq!(
-            decide(ConflictPolicy::OldestWins, Some((50, 2)), &[(CoreId(1), (50, 1))]),
+            decide(
+                ConflictPolicy::OldestWins,
+                Some((50, 2)),
+                &[(CoreId(1), (50, 1))]
+            ),
             Decision::StallRequester
         );
     }

@@ -289,13 +289,22 @@ mod tests {
         tm.tx_begin(C0, 0);
         tm.tx_begin(C1, 1);
         // C0 increments once; C1 reads the forwarded value.
-        assert!(matches!(increment(&mut tm, &mut mem, C0), MemResult::Value { .. }));
+        assert!(matches!(
+            increment(&mut tm, &mut mem, C0),
+            MemResult::Value { .. }
+        ));
         let v = value(tm.read(C1, Reg(1), A, None, &mut mem, 2));
         assert_eq!(v, 1, "speculative value forwarded");
         // C1 must commit after C0.
         assert_eq!(tm.commit(C1, &mut mem, 3), CommitResult::Stall);
-        assert!(matches!(tm.commit(C0, &mut mem, 4), CommitResult::Committed { .. }));
-        assert!(matches!(tm.commit(C1, &mut mem, 5), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C0, &mut mem, 4),
+            CommitResult::Committed { .. }
+        ));
+        assert!(matches!(
+            tm.commit(C1, &mut mem, 5),
+            CommitResult::Committed { .. }
+        ));
     }
 
     #[test]
@@ -306,9 +315,18 @@ mod tests {
         let (mut mem, mut tm) = setup();
         tm.tx_begin(C0, 0);
         tm.tx_begin(C1, 1);
-        assert!(matches!(increment(&mut tm, &mut mem, C0), MemResult::Value { .. }));
-        assert!(matches!(increment(&mut tm, &mut mem, C1), MemResult::Value { .. }));
-        assert!(matches!(increment(&mut tm, &mut mem, C1), MemResult::Value { .. }));
+        assert!(matches!(
+            increment(&mut tm, &mut mem, C0),
+            MemResult::Value { .. }
+        ));
+        assert!(matches!(
+            increment(&mut tm, &mut mem, C1),
+            MemResult::Value { .. }
+        ));
+        assert!(matches!(
+            increment(&mut tm, &mut mem, C1),
+            MemResult::Value { .. }
+        ));
         // P0's second increment reads the block P1 wrote: edge P1->P0 closes
         // the cycle; P1 (younger) aborts and its writes roll back.
         let r = increment(&mut tm, &mut mem, C0);
@@ -316,13 +334,25 @@ mod tests {
         assert!(tm.take_aborted(C1));
         assert_eq!(tm.stats(C1).aborts_cycle, 1);
         // P0 commits with its two increments.
-        assert!(matches!(tm.commit(C0, &mut mem, 9), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C0, &mut mem, 9),
+            CommitResult::Committed { .. }
+        ));
         assert_eq!(mem.read_word(A), 2);
         // P1 retries and commits.
         tm.tx_begin(C1, 10);
-        assert!(matches!(increment(&mut tm, &mut mem, C1), MemResult::Value { .. }));
-        assert!(matches!(increment(&mut tm, &mut mem, C1), MemResult::Value { .. }));
-        assert!(matches!(tm.commit(C1, &mut mem, 11), CommitResult::Committed { .. }));
+        assert!(matches!(
+            increment(&mut tm, &mut mem, C1),
+            MemResult::Value { .. }
+        ));
+        assert!(matches!(
+            increment(&mut tm, &mut mem, C1),
+            MemResult::Value { .. }
+        ));
+        assert!(matches!(
+            tm.commit(C1, &mut mem, 11),
+            CommitResult::Committed { .. }
+        ));
         assert_eq!(mem.read_word(A), 4);
     }
 
@@ -350,7 +380,13 @@ mod tests {
         tm.tx_begin(C1, 1);
         let _ = tm.write(C0, None, 5, Addr(0), None, &mut mem, 2);
         let _ = tm.write(C1, None, 7, Addr(64), None, &mut mem, 3);
-        assert!(matches!(tm.commit(C1, &mut mem, 4), CommitResult::Committed { .. }));
-        assert!(matches!(tm.commit(C0, &mut mem, 5), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C1, &mut mem, 4),
+            CommitResult::Committed { .. }
+        ));
+        assert!(matches!(
+            tm.commit(C0, &mut mem, 5),
+            CommitResult::Committed { .. }
+        ));
     }
 }

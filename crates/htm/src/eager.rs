@@ -79,7 +79,13 @@ impl EagerTm {
             .collect()
     }
 
-    fn abort_core(&mut self, core: CoreId, mem: &mut MemorySystem, cause: AbortCause, remote: bool) {
+    fn abort_core(
+        &mut self,
+        core: CoreId,
+        mem: &mut MemorySystem,
+        cause: AbortCause,
+        remote: bool,
+    ) {
         let cs = &mut self.cores[core.0];
         debug_assert!(cs.active, "aborting an inactive transaction on {core}");
         cs.undo.rollback(mem.memory_mut());
@@ -127,7 +133,10 @@ impl Protocol for EagerTm {
 
     fn tx_begin(&mut self, core: CoreId, now: u64) {
         let cs = &mut self.cores[core.0];
-        debug_assert!(!cs.active, "nested transactions are flattened by the simulator");
+        debug_assert!(
+            !cs.active,
+            "nested transactions are flattened by the simulator"
+        );
         cs.active = true;
         cs.birth.get_or_insert(now);
     }
@@ -343,7 +352,13 @@ mod tests {
         tm.tx_begin(C1, 1);
         assert_eq!(value(tm.read(C0, Reg(0), A, None, &mut mem, 2)), 3);
         assert_eq!(value(tm.read(C1, Reg(0), A, None, &mut mem, 3)), 3);
-        assert!(matches!(tm.commit(C0, &mut mem, 4), CommitResult::Committed { .. }));
-        assert!(matches!(tm.commit(C1, &mut mem, 5), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C0, &mut mem, 4),
+            CommitResult::Committed { .. }
+        ));
+        assert!(matches!(
+            tm.commit(C1, &mut mem, 5),
+            CommitResult::Committed { .. }
+        ));
     }
 }

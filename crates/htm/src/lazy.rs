@@ -76,7 +76,10 @@ impl Protocol for LazyTm {
         let active = self.cores[core.0].active;
         if active {
             if let Some(v) = self.cores[core.0].wb.read(addr) {
-                return MemResult::Value { value: v, latency: 1 };
+                return MemResult::Value {
+                    value: v,
+                    latency: 1,
+                };
             }
         }
         // No write ever sets speculative-written bits under this protocol,
@@ -205,8 +208,14 @@ mod tests {
         tm.tx_begin(C1, 1);
         tm.write(C0, None, 5, Addr(0), None, &mut mem, 2);
         tm.write(C1, None, 7, Addr(64), None, &mut mem, 3);
-        assert!(matches!(tm.commit(C0, &mut mem, 4), CommitResult::Committed { .. }));
-        assert!(matches!(tm.commit(C1, &mut mem, 5), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C0, &mut mem, 4),
+            CommitResult::Committed { .. }
+        ));
+        assert!(matches!(
+            tm.commit(C1, &mut mem, 5),
+            CommitResult::Committed { .. }
+        ));
         assert_eq!(mem.read_word(Addr(0)), 5);
         assert_eq!(mem.read_word(Addr(64)), 7);
         assert!(!tm.take_aborted(C0) && !tm.take_aborted(C1));

@@ -29,8 +29,8 @@ struct CoreState {
 
 impl CoreState {
     fn log_read(&mut self, addr: Addr, value: u64) {
-        if !self.rmap.contains_key(&addr.0) {
-            self.rmap.insert(addr.0, value);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.rmap.entry(addr.0) {
+            e.insert(value);
             self.rlog.push((addr, value));
         }
     }
@@ -110,13 +110,19 @@ impl Protocol for LazyVbTm {
         let cs = &mut self.cores[core.0];
         if cs.active {
             if let Some(v) = cs.wb.read(addr) {
-                return MemResult::Value { value: v, latency: 1 };
+                return MemResult::Value {
+                    value: v,
+                    latency: 1,
+                };
             }
             if let Some(&v) = cs.rmap.get(&addr.0) {
                 // Snapshot semantics: repeated reads observe the logged
                 // value even if memory has moved on; validation decides at
                 // commit.
-                return MemResult::Value { value: v, latency: 1 };
+                return MemResult::Value {
+                    value: v,
+                    latency: 1,
+                };
             }
         }
         let active = self.cores[core.0].active;
@@ -218,7 +224,10 @@ mod tests {
         tm.tx_begin(C0, 0);
         assert_eq!(value(tm.read(C0, Reg(0), A, None, &mut mem, 1)), 3);
         tm.write(C0, None, 4, A, None, &mut mem, 2);
-        assert!(matches!(tm.commit(C0, &mut mem, 3), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C0, &mut mem, 3),
+            CommitResult::Committed { .. }
+        ));
         assert_eq!(mem.read_word(A), 4);
         assert_eq!(tm.stats(C0).commits, 1);
     }
@@ -247,7 +256,10 @@ mod tests {
         assert_eq!(value(tm.read(C0, Reg(0), A, None, &mut mem, 1)), 5);
         let _ = tm.write(C1, None, 9, A, None, &mut mem, 2);
         let _ = tm.write(C1, None, 5, A, None, &mut mem, 3);
-        assert!(matches!(tm.commit(C0, &mut mem, 4), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C0, &mut mem, 4),
+            CommitResult::Committed { .. }
+        ));
     }
 
     #[test]
@@ -259,7 +271,10 @@ mod tests {
         tm.tx_begin(C0, 0);
         assert_eq!(value(tm.read(C0, Reg(0), Addr(0), None, &mut mem, 1)), 0);
         let _ = tm.write(C1, None, 7, Addr(1), None, &mut mem, 2);
-        assert!(matches!(tm.commit(C0, &mut mem, 3), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C0, &mut mem, 3),
+            CommitResult::Committed { .. }
+        ));
     }
 
     #[test]
@@ -281,7 +296,10 @@ mod tests {
         assert_eq!(value(tm.read(C0, Reg(0), A, None, &mut mem, 2)), 8);
         // A read that only ever saw own writes does not validate against
         // memory at all.
-        assert!(matches!(tm.commit(C0, &mut mem, 3), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C0, &mut mem, 3),
+            CommitResult::Committed { .. }
+        ));
     }
 
     #[test]
@@ -295,7 +313,10 @@ mod tests {
         let v1 = value(tm.read(C1, Reg(0), A, None, &mut mem, 3));
         tm.write(C0, None, v0 + 1, A, None, &mut mem, 4);
         tm.write(C1, None, v1 + 1, A, None, &mut mem, 5);
-        assert!(matches!(tm.commit(C0, &mut mem, 6), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C0, &mut mem, 6),
+            CommitResult::Committed { .. }
+        ));
         assert_eq!(tm.commit(C1, &mut mem, 7), CommitResult::Abort);
         assert_eq!(mem.read_word(A), 1);
     }

@@ -48,6 +48,7 @@ pub trait Protocol {
 
     /// Performs a store of `value` to `addr`. `src` names the source
     /// register (`None` for an immediate operand).
+    #[allow(clippy::too_many_arguments)]
     fn write(
         &mut self,
         core: CoreId,
@@ -73,6 +74,7 @@ pub trait Protocol {
 
     /// Hook: ALU operation; returns the concrete result. RETCON overrides
     /// this to propagate symbolic tags.
+    #[allow(clippy::too_many_arguments)]
     fn on_alu(
         &mut self,
         _core: CoreId,

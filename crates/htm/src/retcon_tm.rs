@@ -146,7 +146,13 @@ impl RetconTm {
         }
     }
 
-    fn abort_core(&mut self, core: CoreId, mem: &mut MemorySystem, cause: AbortCause, remote: bool) {
+    fn abort_core(
+        &mut self,
+        core: CoreId,
+        mem: &mut MemorySystem,
+        cause: AbortCause,
+        remote: bool,
+    ) {
         let cs = &mut self.cores[core.0];
         debug_assert!(cs.active, "aborting an inactive transaction on {core}");
         cs.undo.rollback(mem.memory_mut());
@@ -183,12 +189,21 @@ impl RetconTm {
     /// steal); remaining victims go through the §2 contention manager. Every
     /// conflict trains the predictor on both sides, which is how blocks
     /// *become* symbolic in the first place.
-    fn resolve(&mut self, core: CoreId, addr: Addr, conflicts: Vec<Conflict>, mem: &mut MemorySystem) -> Resolve {
+    fn resolve(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        conflicts: Vec<Conflict>,
+        mem: &mut MemorySystem,
+    ) -> Resolve {
         let block = addr.block();
         let mut hard: Vec<(CoreId, Age)> = Vec::new();
         for c in &conflicts {
             // Both parties learn that this block is contended.
-            self.cores[c.core.0].engine.predictor_mut().on_conflict(block);
+            self.cores[c.core.0]
+                .engine
+                .predictor_mut()
+                .on_conflict(block);
             self.cores[core.0].engine.predictor_mut().on_conflict(block);
             let victim = &self.cores[c.core.0];
             let stealable = victim.active && victim.engine.is_tracking(block) && !c.bits.written;
@@ -196,7 +211,9 @@ impl RetconTm {
                 mem.invalidate_block(c.core, block);
                 self.cores[c.core.0].engine.on_steal(block);
             } else {
-                let age = self.age(c.core).expect("speculative bits imply an active tx");
+                let age = self
+                    .age(c.core)
+                    .expect("speculative bits imply an active tx");
                 hard.push((c.core, age));
             }
         }
@@ -387,7 +404,16 @@ impl Protocol for RetconTm {
             .engine
             .precommit_blocks()
             .into_iter()
-            .map(|(b, written)| (b, if written { AccessKind::Write } else { AccessKind::Read }))
+            .map(|(b, written)| {
+                (
+                    b,
+                    if written {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                )
+            })
             .collect();
         acquisitions.extend(
             self.cores[core.0]
@@ -484,7 +510,9 @@ impl Protocol for RetconTm {
         lhs_val: u64,
         rhs_val: u64,
     ) -> u64 {
-        self.cores[core.0].engine.on_alu(op, dst, lhs, rhs, lhs_val, rhs_val)
+        self.cores[core.0]
+            .engine
+            .on_alu(op, dst, lhs, rhs, lhs_val, rhs_val)
     }
 
     fn on_branch(
@@ -496,7 +524,9 @@ impl Protocol for RetconTm {
         lhs_val: u64,
         rhs_val: u64,
     ) -> bool {
-        self.cores[core.0].engine.on_branch(cmp, lhs, rhs, lhs_val, rhs_val)
+        self.cores[core.0]
+            .engine
+            .on_branch(cmp, lhs, rhs, lhs_val, rhs_val)
     }
 
     fn stats(&self, core: CoreId) -> &ProtocolStats {
@@ -522,8 +552,10 @@ mod tests {
     const A: Addr = Addr(0);
 
     fn setup() -> (MemorySystem, RetconTm) {
-        let mut cfg = RetconConfig::default();
-        cfg.initial_threshold = 0; // track everything (simplifies tests)
+        let cfg = RetconConfig {
+            initial_threshold: 0, // track everything (simplifies tests)
+            ..RetconConfig::default()
+        };
         (
             MemorySystem::new(MemConfig::default(), 2),
             RetconTm::new(2, cfg),
@@ -584,7 +616,10 @@ mod tests {
         // C0's later read still sees the initial value (0).
         assert_eq!(value(tm.read(C0, Reg(2), A, None, &mut mem, 3)), 0);
         // And C0 commits fine (no constraints were generated).
-        assert!(matches!(tm.commit(C0, &mut mem, 4), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C0, &mut mem, 4),
+            CommitResult::Committed { .. }
+        ));
         let rs = tm.retcon_stats().unwrap();
         assert_eq!(rs.sum.blocks_lost, 1);
     }
@@ -627,22 +662,29 @@ mod tests {
     fn written_blocks_are_not_stealable() {
         let (mut mem, tm) = setup();
         // Disable tracking so C0's write is a normal speculative write.
-        let mut cfg = RetconConfig::default();
-        cfg.initial_threshold = u32::MAX;
+        let cfg = RetconConfig {
+            initial_threshold: u32::MAX,
+            ..RetconConfig::default()
+        };
         let mut tm2 = RetconTm::new(2, cfg);
         tm2.tx_begin(C0, 0);
         let _ = tm2.write(C0, None, 7, A, None, &mut mem, 1);
         // Younger C1 writing the same block must stall (oldest wins), not
         // steal.
         tm2.tx_begin(C1, 5);
-        assert_eq!(tm2.write(C1, None, 9, A, None, &mut mem, 6), MemResult::Stall);
+        assert_eq!(
+            tm2.write(C1, None, 9, A, None, &mut mem, 6),
+            MemResult::Stall
+        );
         let _ = tm; // silence unused
     }
 
     #[test]
     fn untracked_behaves_like_eager() {
-        let mut cfg = RetconConfig::default();
-        cfg.initial_threshold = u32::MAX; // never track
+        let cfg = RetconConfig {
+            initial_threshold: u32::MAX, // never track
+            ..RetconConfig::default()
+        };
         let mut mem = MemorySystem::new(MemConfig::default(), 2);
         let mut tm = RetconTm::new(2, cfg);
         tm.tx_begin(C0, 0);
@@ -655,9 +697,11 @@ mod tests {
 
     #[test]
     fn ssb_overflow_aborts() {
-        let mut cfg = RetconConfig::default();
-        cfg.initial_threshold = 0;
-        cfg.ssb_capacity = 1;
+        let cfg = RetconConfig {
+            initial_threshold: 0,
+            ssb_capacity: 1,
+            ..RetconConfig::default()
+        };
         let mut mem = MemorySystem::new(MemConfig::default(), 2);
         let mut tm = RetconTm::new(2, cfg);
         tm.tx_begin(C0, 0);
@@ -667,7 +711,10 @@ mod tests {
             tm.write(C0, None, 1, Addr(1), None, &mut mem, 2),
             MemResult::Value { .. }
         ));
-        assert_eq!(tm.write(C0, None, 2, Addr(2), None, &mut mem, 3), MemResult::Abort);
+        assert_eq!(
+            tm.write(C0, None, 2, Addr(2), None, &mut mem, 3),
+            MemResult::Abort
+        );
         assert_eq!(tm.stats(C0).aborts_overflow, 1);
     }
 
@@ -675,8 +722,10 @@ mod tests {
     fn predictor_learns_from_conflicts() {
         // With the real threshold (1 conflict), the first conflict aborts,
         // and the retry tracks the block symbolically.
-        let mut cfg = RetconConfig::default();
-        cfg.initial_threshold = 1;
+        let cfg = RetconConfig {
+            initial_threshold: 1,
+            ..RetconConfig::default()
+        };
         let mut mem = MemorySystem::new(MemConfig::default(), 2);
         let mut tm = RetconTm::new(2, cfg);
 
@@ -694,7 +743,10 @@ mod tests {
         // This time the same remote write steals instead of aborting.
         let _ = tm.write(C0, None, 9, A, None, &mut mem, 5);
         assert!(!tm.take_aborted(C1));
-        assert!(matches!(tm.commit(C1, &mut mem, 6), CommitResult::Committed { .. }));
+        assert!(matches!(
+            tm.commit(C1, &mut mem, 6),
+            CommitResult::Committed { .. }
+        ));
     }
 
     #[test]
@@ -708,10 +760,16 @@ mod tests {
             tm.tx_begin(C1, round * 100 + 1);
             increment(&mut tm, &mut mem, C0, A, 1);
             increment(&mut tm, &mut mem, C1, A, 1);
-            if matches!(tm.commit(C0, &mut mem, round * 100 + 50), CommitResult::Committed { .. }) {
+            if matches!(
+                tm.commit(C0, &mut mem, round * 100 + 50),
+                CommitResult::Committed { .. }
+            ) {
                 committed += 1;
             }
-            if matches!(tm.commit(C1, &mut mem, round * 100 + 51), CommitResult::Committed { .. }) {
+            if matches!(
+                tm.commit(C1, &mut mem, round * 100 + 51),
+                CommitResult::Committed { .. }
+            ) {
                 committed += 1;
             }
             // Clear any aborted flags for the next round.

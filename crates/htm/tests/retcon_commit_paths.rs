@@ -12,9 +12,14 @@ const C1: CoreId = CoreId(1);
 const A: Addr = Addr(0);
 
 fn setup() -> (MemorySystem, RetconTm) {
-    let mut cfg = RetconConfig::default();
-    cfg.initial_threshold = 0;
-    (MemorySystem::new(MemConfig::default(), 2), RetconTm::new(2, cfg))
+    let cfg = RetconConfig {
+        initial_threshold: 0,
+        ..RetconConfig::default()
+    };
+    (
+        MemorySystem::new(MemConfig::default(), 2),
+        RetconTm::new(2, cfg),
+    )
 }
 
 fn value(r: MemResult) -> u64 {
@@ -38,8 +43,10 @@ fn tracked_increment(tm: &mut RetconTm, mem: &mut MemorySystem, core: CoreId, no
 fn commit_stalls_behind_older_writer_then_succeeds() {
     // Tracking disabled on both cores so every speculative write is a hard
     // (non-stealable) conflict, exercising the oldest-wins stall path.
-    let mut cfg = RetconConfig::default();
-    cfg.initial_threshold = u32::MAX;
+    let cfg = RetconConfig {
+        initial_threshold: u32::MAX,
+        ..RetconConfig::default()
+    };
     let mut mem = MemorySystem::new(MemConfig::default(), 2);
     let mut tm = RetconTm::new(2, cfg);
     tm.tx_begin(C0, 0);
@@ -48,14 +55,23 @@ fn commit_stalls_behind_older_writer_then_succeeds() {
     tm.tx_begin(C1, 10);
     // C1 writes a different word of the same block: hard conflict with
     // C0's speculative write; younger C1 stalls.
-    assert_eq!(tm.write(C1, None, 9, Addr(1), None, &mut mem, 11), MemResult::Stall);
+    assert_eq!(
+        tm.write(C1, None, 9, Addr(1), None, &mut mem, 11),
+        MemResult::Stall
+    );
     // After C0 commits, C1 proceeds and commits.
-    assert!(matches!(tm.commit(C0, &mut mem, 12), CommitResult::Committed { .. }));
+    assert!(matches!(
+        tm.commit(C0, &mut mem, 12),
+        CommitResult::Committed { .. }
+    ));
     assert!(matches!(
         tm.write(C1, None, 9, Addr(1), None, &mut mem, 13),
         MemResult::Value { .. }
     ));
-    assert!(matches!(tm.commit(C1, &mut mem, 14), CommitResult::Committed { .. }));
+    assert!(matches!(
+        tm.commit(C1, &mut mem, 14),
+        CommitResult::Committed { .. }
+    ));
     assert_eq!(mem.read_word(A), 7);
     assert_eq!(mem.read_word(Addr(1)), 9);
 }
@@ -87,7 +103,10 @@ fn pending_commit_survives_steal_between_retries() {
     // C1's tracked copy of B was stolen, not aborted.
     assert!(!tm.take_aborted(C1));
     // C0 commits its blind write (it was buffered symbolically).
-    assert!(matches!(tm.commit(C0, &mut mem, 10), CommitResult::Committed { .. }));
+    assert!(matches!(
+        tm.commit(C0, &mut mem, 10),
+        CommitResult::Committed { .. }
+    ));
     assert_eq!(mem.read_word(b), 42);
     // C1 commits: reacquires both blocks and repairs both increments.
     match tm.commit(C1, &mut mem, 11) {
@@ -95,16 +114,22 @@ fn pending_commit_survives_steal_between_retries() {
         other => panic!("expected commit, got {other:?}"),
     }
     assert_eq!(mem.read_word(A), 1);
-    assert_eq!(mem.read_word(b), 43, "increment repaired on top of the blind write");
+    assert_eq!(
+        mem.read_word(b),
+        43,
+        "increment repaired on top of the blind write"
+    );
 }
 
 #[test]
 fn overflow_abort_recovers_and_makes_progress() {
     // SSB of 2 entries; a transaction with 3 buffered stores overflows,
     // aborts, trains the predictor down, and the retry succeeds untracked.
-    let mut cfg = RetconConfig::default();
-    cfg.initial_threshold = 0;
-    cfg.ssb_capacity = 2;
+    let cfg = RetconConfig {
+        initial_threshold: 0,
+        ssb_capacity: 2,
+        ..RetconConfig::default()
+    };
     let mut mem = MemorySystem::new(MemConfig::default(), 1);
     let mut tm = RetconTm::new(1, cfg);
 
@@ -113,7 +138,10 @@ fn overflow_abort_recovers_and_makes_progress() {
     let _ = tm.write(C0, None, 1, Addr(0), None, &mut mem, 2);
     let _ = tm.write(C0, None, 2, Addr(1), None, &mut mem, 3);
     // Third store to the tracked block overflows the 2-entry SSB.
-    assert_eq!(tm.write(C0, None, 3, Addr(2), None, &mut mem, 4), MemResult::Abort);
+    assert_eq!(
+        tm.write(C0, None, 3, Addr(2), None, &mut mem, 4),
+        MemResult::Abort
+    );
     assert_eq!(tm.stats(C0).aborts_overflow, 1);
     // Retry: the predictor was trained down, the block is no longer
     // tracked, all three stores take the plain path, and the tx commits.
@@ -125,7 +153,10 @@ fn overflow_abort_recovers_and_makes_progress() {
             MemResult::Value { .. }
         ));
     }
-    assert!(matches!(tm.commit(C0, &mut mem, 7), CommitResult::Committed { .. }));
+    assert!(matches!(
+        tm.commit(C0, &mut mem, 7),
+        CommitResult::Committed { .. }
+    ));
     assert_eq!(mem.read_word(Addr(0)), 1);
     assert_eq!(mem.read_word(Addr(1)), 2);
     assert_eq!(mem.read_word(Addr(2)), 3);

@@ -191,7 +191,9 @@ impl ProgramBuilder {
     /// Returns [`BuildError::Invalid`] if the program violates any structural
     /// invariant (see [`Program::validate`]).
     pub fn build(self) -> Result<Program, BuildError> {
-        let program = Program { blocks: self.blocks };
+        let program = Program {
+            blocks: self.blocks,
+        };
         program.validate()?;
         Ok(program)
     }

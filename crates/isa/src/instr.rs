@@ -74,20 +74,8 @@ impl BinOp {
             BinOp::Add => lhs.wrapping_add(rhs),
             BinOp::Sub => lhs.wrapping_sub(rhs),
             BinOp::Mul => lhs.wrapping_mul(rhs),
-            BinOp::Div => {
-                if rhs == 0 {
-                    0
-                } else {
-                    lhs / rhs
-                }
-            }
-            BinOp::Mod => {
-                if rhs == 0 {
-                    0
-                } else {
-                    lhs % rhs
-                }
-            }
+            BinOp::Div => lhs.checked_div(rhs).unwrap_or(0),
+            BinOp::Mod => lhs.checked_rem(rhs).unwrap_or(0),
             BinOp::And => lhs & rhs,
             BinOp::Or => lhs | rhs,
             BinOp::Xor => lhs ^ rhs,
@@ -257,7 +245,10 @@ impl Instr {
     /// `true` for instructions that must terminate a basic block.
     #[inline]
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Instr::Branch { .. } | Instr::Jump { .. } | Instr::Halt)
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::Halt
+        )
     }
 }
 
@@ -284,7 +275,11 @@ impl fmt::Display for Instr {
                 rhs,
                 taken,
                 not_taken,
-            } => write!(f, "br.{op:?} {lhs}, {rhs} -> b{}, b{}", taken.0, not_taken.0),
+            } => write!(
+                f,
+                "br.{op:?} {lhs}, {rhs} -> b{}, b{}",
+                taken.0, not_taken.0
+            ),
             Instr::Jump { target } => write!(f, "jmp b{}", target.0),
             Instr::Input { dst } => write!(f, "input {dst}"),
             Instr::Work { cycles } => write!(f, "work {cycles}"),
@@ -357,7 +352,14 @@ mod tests {
 
     #[test]
     fn cmp_negation_is_involutive_and_complementary() {
-        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
         for op in ops {
             assert_eq!(op.negate().negate(), op);
             for (a, b) in [(0u64, 0u64), (1, 2), (2, 1), (u64::MAX, 0)] {
@@ -368,7 +370,14 @@ mod tests {
 
     #[test]
     fn cmp_swap_swaps_operands() {
-        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
         for op in ops {
             for (a, b) in [(0u64, 0u64), (1, 2), (2, 1), (7, 7)] {
                 assert_eq!(op.apply(a, b), op.swap().apply(b, a), "{op:?} {a} {b}");

@@ -72,10 +72,18 @@ impl fmt::Display for ValidateError {
                 write!(f, "terminator in the middle of block b{} at index {i}", b.0)
             }
             ValidateError::BadRegister(b, i, r) => {
-                write!(f, "instruction {i} of block b{} names invalid register {r}", b.0)
+                write!(
+                    f,
+                    "instruction {i} of block b{} names invalid register {r}",
+                    b.0
+                )
             }
             ValidateError::BadTarget(b, i, t) => {
-                write!(f, "instruction {i} of block b{} targets missing block b{}", b.0, t.0)
+                write!(
+                    f,
+                    "instruction {i} of block b{} targets missing block b{}",
+                    b.0, t.0
+                )
             }
             ValidateError::NoBlocks => write!(f, "program has no blocks"),
         }
@@ -233,7 +241,10 @@ mod tests {
             blocks: vec![
                 BasicBlock {
                     instrs: vec![
-                        Instr::Imm { dst: Reg(0), value: 5 },
+                        Instr::Imm {
+                            dst: Reg(0),
+                            value: 5,
+                        },
                         Instr::Jump { target: BlockId(1) },
                     ],
                 },
@@ -275,8 +286,18 @@ mod tests {
         let pc = p.entry();
         assert!(matches!(p.fetch(pc), Some(Instr::Imm { .. })));
         assert!(matches!(p.fetch(pc.next()), Some(Instr::Jump { .. })));
-        assert!(p.fetch(Pc { block: BlockId(9), index: 0 }).is_none());
-        assert!(p.fetch(Pc { block: BlockId(0), index: 99 }).is_none());
+        assert!(p
+            .fetch(Pc {
+                block: BlockId(9),
+                index: 0
+            })
+            .is_none());
+        assert!(p
+            .fetch(Pc {
+                block: BlockId(0),
+                index: 99
+            })
+            .is_none());
     }
 
     #[test]
@@ -298,7 +319,10 @@ mod tests {
                 instrs: vec![Instr::TxBegin],
             }],
         };
-        assert_eq!(p.validate(), Err(ValidateError::MissingTerminator(BlockId(0))));
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::MissingTerminator(BlockId(0)))
+        );
     }
 
     #[test]
@@ -308,14 +332,23 @@ mod tests {
                 instrs: vec![Instr::Halt, Instr::Halt],
             }],
         };
-        assert_eq!(p.validate(), Err(ValidateError::EarlyTerminator(BlockId(0), 0)));
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::EarlyTerminator(BlockId(0), 0))
+        );
     }
 
     #[test]
     fn bad_register_rejected() {
         let p = Program {
             blocks: vec![BasicBlock {
-                instrs: vec![Instr::Imm { dst: Reg(200), value: 0 }, Instr::Halt],
+                instrs: vec![
+                    Instr::Imm {
+                        dst: Reg(200),
+                        value: 0,
+                    },
+                    Instr::Halt,
+                ],
             }],
         };
         assert_eq!(

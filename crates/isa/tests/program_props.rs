@@ -21,14 +21,16 @@ fn nonterminal_instr(max_block: u32) -> impl Strategy<Value = Instr> {
             lhs,
             rhs: Operand::Imm(k),
         }),
-        (reg_strategy(), reg_strategy(), -8i64..8)
-            .prop_map(|(dst, addr, offset)| Instr::Load { dst, addr, offset }),
-        (reg_strategy(), reg_strategy(), -8i64..8)
-            .prop_map(|(src, addr, offset)| Instr::Store {
-                src: Operand::Reg(src),
-                addr,
-                offset
-            }),
+        (reg_strategy(), reg_strategy(), -8i64..8).prop_map(|(dst, addr, offset)| Instr::Load {
+            dst,
+            addr,
+            offset
+        }),
+        (reg_strategy(), reg_strategy(), -8i64..8).prop_map(|(src, addr, offset)| Instr::Store {
+            src: Operand::Reg(src),
+            addr,
+            offset
+        }),
         (0u32..1000).prop_map(|cycles| Instr::Work { cycles }),
         Just(Instr::TxBegin),
         Just(Instr::TxCommit),
@@ -96,6 +98,112 @@ proptest! {
             }],
         };
         prop_assert!(p.validate().is_err());
+    }
+
+    /// Builder output still validates when blocks end in *randomized*
+    /// branch/jump terminators targeting any reserved block (not just the
+    /// straight-line chain of `builder_output_always_validates`).
+    #[test]
+    fn builder_with_random_terminators_validates(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(nonterminal_instr(4), 0..8),
+            1..6
+        ),
+        term_choices in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 6),
+    ) {
+        let mut b = ProgramBuilder::new();
+        let nblocks = bodies.len();
+        let blocks: Vec<BlockId> = std::iter::once(b.entry())
+            .chain((1..nblocks).map(|_| b.block()))
+            .collect();
+        for (i, body) in bodies.iter().enumerate() {
+            b.select(blocks[i]);
+            for instr in body {
+                b.emit(*instr);
+            }
+            let (kind, t1, t2) = term_choices[i];
+            match kind % 3 {
+                0 => {
+                    b.halt();
+                }
+                1 => {
+                    b.jump(blocks[t1 as usize % nblocks]);
+                }
+                _ => {
+                    b.branch(
+                        CmpOp::Ne,
+                        Reg(0),
+                        Operand::Imm(0),
+                        blocks[t1 as usize % nblocks],
+                        blocks[t2 as usize % nblocks],
+                    );
+                }
+            }
+        }
+        let program = b.build().expect("builder output must validate");
+        prop_assert!(program.validate().is_ok());
+    }
+
+    /// Validation rejects an out-of-range register planted in *any* operand
+    /// position of *any* register-bearing instruction kind.
+    #[test]
+    fn validation_catches_bad_register_in_any_position(
+        reg_idx in NUM_REGS as u8..=255u8,
+        shape in 0u8..8,
+    ) {
+        let bad = Reg(reg_idx);
+        let ok = Reg(0);
+        let instr = match shape {
+            0 => Instr::Imm { dst: bad, value: 1 },
+            1 => Instr::Mov { dst: bad, src: ok },
+            2 => Instr::Mov { dst: ok, src: bad },
+            3 => Instr::Bin { op: BinOp::Add, dst: ok, lhs: bad, rhs: Operand::Imm(1) },
+            4 => Instr::Bin { op: BinOp::Add, dst: ok, lhs: ok, rhs: Operand::Reg(bad) },
+            5 => Instr::Load { dst: ok, addr: bad, offset: 0 },
+            6 => Instr::Store { src: Operand::Reg(bad), addr: ok, offset: 0 },
+            _ => Instr::Store { src: Operand::Imm(3), addr: bad, offset: 0 },
+        };
+        let p = Program {
+            blocks: vec![BasicBlock {
+                instrs: vec![instr, Instr::Halt],
+            }],
+        };
+        prop_assert!(
+            matches!(p.validate(), Err(retcon_isa::ValidateError::BadRegister(_, _, r)) if r == bad)
+        );
+    }
+
+    /// Validation rejects an out-of-range block id whether it appears as a
+    /// jump target, the taken arm, or the not-taken arm.
+    #[test]
+    fn validation_catches_bad_block_in_any_arm(
+        target in 1u32..100,
+        arm in 0u8..3,
+    ) {
+        let bad = BlockId(target);
+        let instr = match arm {
+            0 => Instr::Jump { target: bad },
+            1 => Instr::Branch {
+                op: CmpOp::Eq,
+                lhs: Reg(0),
+                rhs: Operand::Imm(0),
+                taken: bad,
+                not_taken: BlockId(0),
+            },
+            _ => Instr::Branch {
+                op: CmpOp::Eq,
+                lhs: Reg(0),
+                rhs: Operand::Imm(0),
+                taken: BlockId(0),
+                not_taken: bad,
+            },
+        };
+        let p = Program {
+            blocks: vec![BasicBlock { instrs: vec![instr] }],
+        };
+        prop_assert!(
+            matches!(p.validate(), Err(retcon_isa::ValidateError::BadTarget(_, _, t)) if t == bad)
+        );
     }
 
     /// `fetch` returns `Some` exactly for in-range program counters.

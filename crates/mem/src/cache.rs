@@ -290,7 +290,13 @@ mod tests {
         let mut c = tiny();
         c.insert(BlockAddr(0));
         c.insert(BlockAddr(2));
-        c.mark_spec(BlockAddr(0), SpecBits { read: true, written: false });
+        c.mark_spec(
+            BlockAddr(0),
+            SpecBits {
+                read: true,
+                written: false,
+            },
+        );
         // Block 0 is LRU but speculative; block 2 should be evicted instead.
         let evicted = c.insert(BlockAddr(4)).expect("eviction");
         assert_eq!(evicted.0, BlockAddr(2));
@@ -302,8 +308,20 @@ mod tests {
         let mut c = tiny();
         c.insert(BlockAddr(0));
         c.insert(BlockAddr(2));
-        c.mark_spec(BlockAddr(0), SpecBits { read: true, written: false });
-        c.mark_spec(BlockAddr(2), SpecBits { read: false, written: true });
+        c.mark_spec(
+            BlockAddr(0),
+            SpecBits {
+                read: true,
+                written: false,
+            },
+        );
+        c.mark_spec(
+            BlockAddr(2),
+            SpecBits {
+                read: false,
+                written: true,
+            },
+        );
         let (block, bits) = c.insert(BlockAddr(4)).expect("eviction");
         assert_eq!(block, BlockAddr(0)); // LRU among speculative lines
         assert!(bits.read);
@@ -324,21 +342,45 @@ mod tests {
     fn spec_bit_lifecycle() {
         let mut c = tiny();
         c.insert(BlockAddr(1));
-        assert!(c.mark_spec(BlockAddr(1), SpecBits { read: true, written: false }));
-        assert!(c.mark_spec(BlockAddr(1), SpecBits { read: false, written: true }));
+        assert!(c.mark_spec(
+            BlockAddr(1),
+            SpecBits {
+                read: true,
+                written: false
+            }
+        ));
+        assert!(c.mark_spec(
+            BlockAddr(1),
+            SpecBits {
+                read: false,
+                written: true
+            }
+        ));
         let bits = c.spec_bits(BlockAddr(1)).unwrap();
         assert!(bits.read && bits.written);
         assert_eq!(c.spec_blocks().count(), 1);
         assert_eq!(c.clear_all_spec(), 1);
         assert_eq!(c.spec_blocks().count(), 0);
-        assert!(!c.mark_spec(BlockAddr(9), SpecBits { read: true, written: false }));
+        assert!(!c.mark_spec(
+            BlockAddr(9),
+            SpecBits {
+                read: true,
+                written: false
+            }
+        ));
     }
 
     #[test]
     fn remove_returns_bits() {
         let mut c = tiny();
         c.insert(BlockAddr(3));
-        c.mark_spec(BlockAddr(3), SpecBits { read: true, written: true });
+        c.mark_spec(
+            BlockAddr(3),
+            SpecBits {
+                read: true,
+                written: true,
+            },
+        );
         let bits = c.remove(BlockAddr(3)).unwrap();
         assert!(bits.read && bits.written);
         assert!(!c.contains(BlockAddr(3)));
@@ -349,9 +391,15 @@ mod tests {
     fn spec_bits_merge() {
         let mut b = SpecBits::NONE;
         assert!(!b.any());
-        b.merge(SpecBits { read: true, written: false });
+        b.merge(SpecBits {
+            read: true,
+            written: false,
+        });
         assert!(b.any() && b.read && !b.written);
-        b.merge(SpecBits { read: false, written: true });
+        b.merge(SpecBits {
+            read: false,
+            written: true,
+        });
         assert!(b.read && b.written);
     }
 }

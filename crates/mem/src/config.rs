@@ -32,7 +32,11 @@ impl LatencyModel {
     /// owner's cache (one extra hop) or a DRAM lookup.
     #[inline]
     pub fn l2_miss(&self, forwarded_from_owner: bool) -> u64 {
-        let transfer = if forwarded_from_owner { self.hop } else { self.dram };
+        let transfer = if forwarded_from_owner {
+            self.hop
+        } else {
+            self.dram
+        };
         2 * self.hop + transfer
     }
 

@@ -263,8 +263,14 @@ impl MemorySystem {
         // Speculative bit update.
         if speculative {
             let bits = match kind {
-                AccessKind::Read => SpecBits { read: true, written: false },
-                AccessKind::Write => SpecBits { read: false, written: true },
+                AccessKind::Read => SpecBits {
+                    read: true,
+                    written: false,
+                },
+                AccessKind::Write => SpecBits {
+                    read: false,
+                    written: true,
+                },
             };
             self.mark_spec(core, block, bits);
         }
@@ -318,8 +324,7 @@ impl MemorySystem {
 
     /// Blocks on which `core` currently holds speculative bits.
     pub fn spec_blocks(&self, core: CoreId) -> Vec<(BlockAddr, SpecBits)> {
-        let mut blocks: Vec<(BlockAddr, SpecBits)> =
-            self.l1[core.0].spec_blocks().collect();
+        let mut blocks: Vec<(BlockAddr, SpecBits)> = self.l1[core.0].spec_blocks().collect();
         for (&b, &bits) in &self.po[core.0] {
             blocks.push((BlockAddr(b), bits));
         }
@@ -448,7 +453,7 @@ mod tests {
         let mut m = ms(2);
         let a = Addr(0);
         m.access(C0, a, AccessKind::Write, false); // C0 Modified
-        // C1 read: forwarded from owner = 2*20 + 20 = 60.
+                                                   // C1 read: forwarded from owner = 2*20 + 20 = 60.
         assert_eq!(m.access(C1, a, AccessKind::Read, false), 60);
         // Both now share.
         assert!(m.directory().state(a.block()).holds(C0));
@@ -543,7 +548,14 @@ mod tests {
         let mut m = ms(1);
         let a = Addr(0);
         m.access(C0, a, AccessKind::Read, true);
-        m.mark_spec(C0, a.block(), SpecBits { read: false, written: true });
+        m.mark_spec(
+            C0,
+            a.block(),
+            SpecBits {
+                read: false,
+                written: true,
+            },
+        );
         let blocks = m.spec_blocks(C0);
         assert_eq!(blocks.len(), 1);
         assert!(blocks[0].1.read && blocks[0].1.written);

@@ -320,10 +320,14 @@ impl Machine {
             }
             Instr::Load { dst, addr, offset } => {
                 let a = Addr(self.cores[c].regs[addr.index()]).offset(offset);
-                match self
-                    .protocol
-                    .read(core_id, dst, a, Some(addr), &mut self.mem, self.cores[c].now)
-                {
+                match self.protocol.read(
+                    core_id,
+                    dst,
+                    a,
+                    Some(addr),
+                    &mut self.mem,
+                    self.cores[c].now,
+                ) {
                     MemResult::Value { value, latency } => {
                         self.cores[c].regs[dst.index()] = value;
                         self.cores[c].pc = pc.next();
@@ -490,11 +494,8 @@ mod tests {
 
     #[test]
     fn single_core_counter_is_exact() {
-        let (report, value) = run_counter(
-            Box::new(EagerTm::new(1, ConflictPolicy::OldestWins)),
-            1,
-            50,
-        );
+        let (report, value) =
+            run_counter(Box::new(EagerTm::new(1, ConflictPolicy::OldestWins)), 1, 50);
         assert_eq!(value, 100);
         assert_eq!(report.protocol.commits, 50);
         assert_eq!(report.protocol.aborts(), 0);
@@ -503,11 +504,8 @@ mod tests {
 
     #[test]
     fn eager_counter_serializes_correctly() {
-        let (report, value) = run_counter(
-            Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)),
-            4,
-            25,
-        );
+        let (report, value) =
+            run_counter(Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)), 4, 25);
         assert_eq!(value, 4 * 25 * 2, "no lost updates");
         assert_eq!(report.protocol.commits, 100);
         // Heavy contention: conflicts must show up in the breakdown.
@@ -532,8 +530,10 @@ mod tests {
 
     #[test]
     fn retcon_counter_eliminates_aborts() {
-        let mut cfg = RetconConfig::default();
-        cfg.initial_threshold = 0;
+        let cfg = RetconConfig {
+            initial_threshold: 0,
+            ..RetconConfig::default()
+        };
         let (report, value) = run_counter(Box::new(RetconTm::new(4, cfg)), 4, 25);
         assert_eq!(value, 200, "symbolic repair preserves every increment");
         assert_eq!(report.protocol.commits, 100);
@@ -549,13 +549,11 @@ mod tests {
 
     #[test]
     fn retcon_scales_better_than_eager_on_counter() {
-        let (eager, _) = run_counter(
-            Box::new(EagerTm::new(8, ConflictPolicy::OldestWins)),
-            8,
-            25,
-        );
-        let mut cfg = RetconConfig::default();
-        cfg.initial_threshold = 0;
+        let (eager, _) = run_counter(Box::new(EagerTm::new(8, ConflictPolicy::OldestWins)), 8, 25);
+        let cfg = RetconConfig {
+            initial_threshold: 0,
+            ..RetconConfig::default()
+        };
         let (retcon, _) = run_counter(Box::new(RetconTm::new(8, cfg)), 8, 25);
         assert!(
             retcon.cycles < eager.cycles,
@@ -567,14 +565,7 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let run = || {
-            run_counter(
-                Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)),
-                4,
-                10,
-            )
-            .0
-        };
+        let run = || run_counter(Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)), 4, 10).0;
         let a = run();
         let b = run();
         assert_eq!(a.cycles, b.cycles);
@@ -602,7 +593,10 @@ mod tests {
         let report = m.run().unwrap();
         assert_eq!(report.per_core[0].breakdown.barrier, 0);
         assert_eq!(report.per_core[1].breakdown.barrier, 990);
-        assert_eq!(report.per_core[0].finished_at, report.per_core[1].finished_at);
+        assert_eq!(
+            report.per_core[0].finished_at,
+            report.per_core[1].finished_at
+        );
     }
 
     #[test]
@@ -698,11 +692,7 @@ mod tests {
 
     #[test]
     fn breakdown_buckets_sum_to_core_time() {
-        let (report, _) = run_counter(
-            Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)),
-            4,
-            10,
-        );
+        let (report, _) = run_counter(Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)), 4, 10);
         for core in &report.per_core {
             assert_eq!(core.breakdown.total(), core.finished_at);
         }

@@ -46,6 +46,7 @@ impl InputTape {
     ///
     /// Panics if the tape is exhausted — a workload-generation bug (the
     /// generator must provision enough inputs for every iteration).
+    #[allow(clippy::should_implement_trait)] // not an Iterator: exhaustion is a panic, not None
     pub fn next(&mut self) -> u64 {
         let v = *self
             .values

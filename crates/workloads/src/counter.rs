@@ -13,6 +13,12 @@ const WORK: u32 = 10;
 /// Builds the counter micro-benchmark: `TOTAL_TXS` transactions split
 /// across `num_cores`, each performing `load; +1; store; work; load; +1;
 /// store` on the single shared counter — the exact schedule of Figure 2.
+/// Total transactions the counter workload commits at `num_cores`
+/// ([`TOTAL_TXS`] rounded to an even per-core split).
+pub fn total_transactions(num_cores: usize) -> u64 {
+    (TOTAL_TXS / num_cores as u64).max(1) * num_cores as u64
+}
+
 pub fn build(num_cores: usize, _seed: u64) -> WorkloadSpec {
     let mut alloc = Alloc::new();
     let counter = alloc.alloc_words(1);
@@ -65,7 +71,7 @@ mod tests {
 
     /// The expected final counter value when every transaction commits.
     fn expected_total(num_cores: usize) -> u64 {
-        (TOTAL_TXS / num_cores as u64).max(1) * num_cores as u64 * 2
+        total_transactions(num_cores) * 2
     }
 
     #[test]

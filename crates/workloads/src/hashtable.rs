@@ -53,13 +53,7 @@ impl HashTable {
     /// The emitted code starts in the builder's currently selected block
     /// (which it terminates) and finishes by jumping to `after`; the caller
     /// selects `after` to continue emitting.
-    pub fn emit_insert(
-        &self,
-        b: &mut ProgramBuilder,
-        key: Reg,
-        scratch: [Reg; 3],
-        after: BlockId,
-    ) {
+    pub fn emit_insert(&self, b: &mut ProgramBuilder, key: Reg, scratch: [Reg; 3], after: BlockId) {
         let [s0, s1, s2] = scratch;
         let store_slot = b.block();
         let bump_size = b.block();

@@ -95,7 +95,12 @@ pub fn build(num_cores: usize, seed: u64, optimized: bool, resizable: bool) -> W
             b.imm(r_a, in_head.0);
             b.load(r_b, r_a, 0); // head
             b.mov(r_key, r_b);
-            b.bin(BinOp::And, r_key, r_key, Operand::Imm((RING_CAP - 1) as i64));
+            b.bin(
+                BinOp::And,
+                r_key,
+                r_key,
+                Operand::Imm((RING_CAP - 1) as i64),
+            );
             b.bin(BinOp::Add, r_key, r_key, Operand::Imm(in_ring.0 as i64));
             b.load(r_key, r_key, 0); // the packet
             b.bin(BinOp::Add, r_b, r_b, Operand::Imm(1));
@@ -114,7 +119,12 @@ pub fn build(num_cores: usize, seed: u64, optimized: bool, resizable: bool) -> W
             b.imm(r_a, out_tail.0);
             b.load(r_b, r_a, 0); // tail
             b.mov(Reg(6), r_b);
-            b.bin(BinOp::And, Reg(6), Reg(6), Operand::Imm((RING_CAP - 1) as i64));
+            b.bin(
+                BinOp::And,
+                Reg(6),
+                Reg(6),
+                Operand::Imm((RING_CAP - 1) as i64),
+            );
             b.bin(BinOp::Add, Reg(6), Reg(6), Operand::Imm(out_ring.0 as i64));
             b.store(Operand::Reg(r_key), Reg(6), 0);
             b.bin(BinOp::Add, r_b, r_b, Operand::Imm(1));
@@ -216,6 +226,9 @@ mod tests {
         assert!(sz_r.cycles < sz_e.cycles);
         // base: RETCON within noise of eager (no large win).
         let ratio = base_r.cycles as f64 / base_e.cycles as f64;
-        assert!(ratio > 0.5, "unexpected RETCON speedup on base intruder: {ratio}");
+        assert!(
+            ratio > 0.5,
+            "unexpected RETCON speedup on base intruder: {ratio}"
+        );
     }
 }

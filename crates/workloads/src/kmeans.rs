@@ -51,7 +51,12 @@ pub fn build(num_cores: usize, seed: u64) -> WorkloadSpec {
         b.tx_begin();
         // centre = centers + (point & (CLUSTERS-1)) * 8
         b.mov(r_addr, r_pt);
-        b.bin(BinOp::And, r_addr, r_addr, Operand::Imm((CLUSTERS - 1) as i64));
+        b.bin(
+            BinOp::And,
+            r_addr,
+            r_addr,
+            Operand::Imm((CLUSTERS - 1) as i64),
+        );
         b.bin(BinOp::Shl, r_addr, r_addr, Operand::Imm(3));
         b.bin(BinOp::Add, r_addr, r_addr, Operand::Imm(centers.0 as i64));
         // count += 1 (word 0).

@@ -42,6 +42,7 @@ mod ssca2;
 mod vacation;
 mod yada;
 
+pub use counter::total_transactions as counter_total_transactions;
 pub use hashtable::HashTable;
 pub use rng::SplitMix64;
 pub use spec::{Alloc, WorkloadSpec};
@@ -93,15 +94,11 @@ impl System {
     pub fn protocol(self, num_cores: usize) -> Box<dyn Protocol> {
         match self {
             System::Eager => Box::new(EagerTm::new(num_cores, ConflictPolicy::OldestWins)),
-            System::EagerAbort => {
-                Box::new(EagerTm::new(num_cores, ConflictPolicy::RequesterLoses))
-            }
+            System::EagerAbort => Box::new(EagerTm::new(num_cores, ConflictPolicy::RequesterLoses)),
             System::Lazy => Box::new(LazyTm::new(num_cores)),
             System::LazyVb => Box::new(LazyVbTm::new(num_cores)),
             System::Retcon => Box::new(RetconTm::new(num_cores, RetconConfig::default())),
-            System::RetconIdeal => {
-                Box::new(RetconTm::new(num_cores, RetconConfig::idealized()))
-            }
+            System::RetconIdeal => Box::new(RetconTm::new(num_cores, RetconConfig::idealized())),
             System::Datm => Box::new(DatmLite::new(num_cores)),
         }
     }
@@ -274,7 +271,12 @@ impl Workload {
 ///
 /// Propagates [`SimError`] from the simulator (cycle-limit or program
 /// validation failures — both indicate workload bugs).
-pub fn run(workload: Workload, system: System, num_cores: usize, seed: u64) -> Result<SimReport, SimError> {
+pub fn run(
+    workload: Workload,
+    system: System,
+    num_cores: usize,
+    seed: u64,
+) -> Result<SimReport, SimError> {
     let spec = workload.build(num_cores, seed);
     run_spec(&spec, system, num_cores)
 }
@@ -284,7 +286,11 @@ pub fn run(workload: Workload, system: System, num_cores: usize, seed: u64) -> R
 /// # Errors
 ///
 /// Propagates [`SimError`] from the simulator.
-pub fn run_spec(spec: &WorkloadSpec, system: System, num_cores: usize) -> Result<SimReport, SimError> {
+pub fn run_spec(
+    spec: &WorkloadSpec,
+    system: System,
+    num_cores: usize,
+) -> Result<SimReport, SimError> {
     let cfg = SimConfig::with_cores(num_cores);
     let mut machine = Machine::new(cfg, system.protocol(num_cores), spec.programs.clone());
     for (i, tape) in spec.tapes.iter().enumerate() {

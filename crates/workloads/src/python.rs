@@ -228,6 +228,9 @@ mod tests {
         let eager = run_spec(&spec, System::Eager, 8).unwrap();
         let retcon = run_spec(&spec, System::Retcon, 8).unwrap();
         let ratio = retcon.cycles as f64 / eager.cycles as f64;
-        assert!(ratio > 0.55, "unexpected RETCON rescue of base python: {ratio}");
+        assert!(
+            ratio > 0.55,
+            "unexpected RETCON rescue of base python: {ratio}"
+        );
     }
 }

@@ -111,12 +111,7 @@ pub fn build(num_cores: usize, seed: u64, optimized: bool, resizable: bool) -> W
             b.bin(BinOp::Shr, r_a, r_a, Operand::Imm(4 * t as i64));
             b.bin(BinOp::And, r_a, r_a, Operand::Imm((ITEMS - 1) as i64));
             b.bin(BinOp::Shl, r_a, r_a, Operand::Imm(3));
-            b.bin(
-                BinOp::Add,
-                r_a,
-                r_a,
-                Operand::Imm(table.0 as i64),
-            );
+            b.bin(BinOp::Add, r_a, r_a, Operand::Imm(table.0 as i64));
             b.load(r_v, r_a, 0);
         }
         // Reserve: decrement the availability of the last-browsed item if
@@ -194,7 +189,12 @@ mod tests {
     fn opt_beats_base() {
         let base = run_spec(&build(8, 6, false, false), System::Eager, 8).unwrap();
         let opt = run_spec(&build(8, 6, true, false), System::Eager, 8).unwrap();
-        assert!(opt.cycles < base.cycles, "opt {} !< base {}", opt.cycles, base.cycles);
+        assert!(
+            opt.cycles < base.cycles,
+            "opt {} !< base {}",
+            opt.cycles,
+            base.cycles
+        );
     }
 
     #[test]

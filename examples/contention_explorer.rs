@@ -57,7 +57,10 @@ fn run(system: System, pool: u64, trackable: bool) -> u64 {
     );
     let mut rng = SplitMix64::new(3);
     for core in 0..CORES {
-        machine.set_tape(core, (0..TXS_PER_CORE).map(|_| rng.next_u64() >> 8).collect());
+        machine.set_tape(
+            core,
+            (0..TXS_PER_CORE).map(|_| rng.next_u64() >> 8).collect(),
+        );
     }
     machine.run().expect("run completes").cycles
 }
@@ -65,7 +68,10 @@ fn run(system: System, pool: u64, trackable: bool) -> u64 {
 fn main() {
     println!("contention sweep, {CORES} cores, one counter update per transaction\n");
     println!("-- repairable updates (increment) --");
-    println!("{:>12} {:>12} {:>12} {:>9}", "pool size", "eager cyc", "RetCon cyc", "RetCon+");
+    println!(
+        "{:>12} {:>12} {:>12} {:>9}",
+        "pool size", "eager cyc", "RetCon cyc", "RetCon+"
+    );
     for pool in [1024u64, 64, 8, 1] {
         let eager = run(System::Eager, pool, true);
         let retcon = run(System::Retcon, pool, true);
@@ -78,7 +84,10 @@ fn main() {
         );
     }
     println!("\n-- untrackable updates (multiply) --");
-    println!("{:>12} {:>12} {:>12} {:>9}", "pool size", "eager cyc", "RetCon cyc", "RetCon+");
+    println!(
+        "{:>12} {:>12} {:>12} {:>9}",
+        "pool size", "eager cyc", "RetCon cyc", "RetCon+"
+    );
     for pool in [1024u64, 64, 8, 1] {
         let eager = run(System::Eager, pool, false);
         let retcon = run(System::Retcon, pool, false);

@@ -80,7 +80,11 @@ fn main() {
     // t3: br r2 > 1 (taken) — constraint A+1 > 1, i.e. A > 0.
     let taken = eng.on_branch(CmpOp::Gt, Reg(2), None, r2, 1);
     assert!(taken);
-    dump("t3: br r2 > 1 (taken)  =>  A > 0", &eng, &[("r1", r1), ("r2", r2)]);
+    dump(
+        "t3: br r2 > 1 (taken)  =>  A > 0",
+        &eng,
+        &[("r1", r1), ("r2", r2)],
+    );
 
     // t4: st r2 -> [B] — symbolic store buffered.
     eng.on_store(B, Some(Reg(2)), r2);
@@ -103,7 +107,11 @@ fn main() {
     // t7: br r1 < 10 (taken) — combined constraint 0 < A < 7.
     let taken = eng.on_branch(CmpOp::Lt, Reg(1), None, r1, 10);
     assert!(taken);
-    dump("t7: br r1 < 10 (taken)  =>  0 < A < 7", &eng, &[("r1", r1), ("r2", r2)]);
+    dump(
+        "t7: br r1 < 10 (taken)  =>  0 < A < 7",
+        &eng,
+        &[("r1", r1), ("r2", r2)],
+    );
 
     // t8: st r1 -> [A] — symbolic store to the tracked block.
     eng.on_store(A, Some(Reg(1)), r1);
@@ -111,7 +119,11 @@ fn main() {
 
     // t9: st 0 -> [B] — non-symbolic store invalidates B's SSB entry.
     eng.on_store(B, None, 0);
-    dump("t9: st 0 -> [B] (non-symbolic; B's SSB entry invalidated)", &eng, &[("r1", r1), ("r2", r2)]);
+    dump(
+        "t9: st 0 -> [B] (non-symbolic; B's SSB entry invalidated)",
+        &eng,
+        &[("r1", r1), ("r2", r2)],
+    );
 
     // Commit: the remote transaction left A = 6; constraints hold; repair.
     println!("commit: reacquire A (final value 6), check 0 < 6 < 7, repair:");

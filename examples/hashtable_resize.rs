@@ -48,22 +48,17 @@ fn build_program(table: &HashTable, iters: u64) -> retcon_isa::Program {
 fn run(system: System, resizable: bool) -> (u64, u64, u64) {
     // Layout: word 0 = size field (own block), buckets after it.
     let size_addr = Addr(0);
-    let table = HashTable::new(
-        Addr(8),
-        BUCKETS,
-        resizable.then_some(size_addr),
-        1_000_000,
-    );
+    let table = HashTable::new(Addr(8), BUCKETS, resizable.then_some(size_addr), 1_000_000);
     let mut machine = Machine::new(
         SimConfig::with_cores(CORES),
         system.protocol(CORES),
-        (0..CORES).map(|_| build_program(&table, INSERTS_PER_CORE)).collect(),
+        (0..CORES)
+            .map(|_| build_program(&table, INSERTS_PER_CORE))
+            .collect(),
     );
     let mut rng = SplitMix64::new(99);
     for core in 0..CORES {
-        let keys: Vec<u64> = (0..INSERTS_PER_CORE)
-            .map(|_| rng.next_u64() >> 8)
-            .collect();
+        let keys: Vec<u64> = (0..INSERTS_PER_CORE).map(|_| rng.next_u64() >> 8).collect();
         machine.set_tape(core, keys);
     }
     let report = machine.run().expect("run completes");

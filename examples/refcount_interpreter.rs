@@ -23,7 +23,10 @@ fn main() {
     let seed = 7;
     let seq = sequential_baseline(w, seed).expect("sequential run");
     println!("transactionalized python interpreter (python_opt), speedup over sequential\n");
-    println!("{:>7} {:>9} {:>9} {:>9}", "cores", "eager", "lazy-vb", "RetCon");
+    println!(
+        "{:>7} {:>9} {:>9} {:>9}",
+        "cores", "eager", "lazy-vb", "RetCon"
+    );
     for cores in [2usize, 4, 8, 16, 32] {
         let mut row = format!("{cores:>7}");
         for system in [System::Eager, System::LazyVb, System::Retcon] {
@@ -37,9 +40,28 @@ fn main() {
     let rs = report.retcon.expect("RETCON stats");
     println!("\nRETCON at 32 cores:");
     println!("  committed transactions      {}", rs.transactions);
-    println!("  avg blocks lost / tx        {:.1} (max {})", rs.avg_blocks_lost(), rs.max.blocks_lost);
-    println!("  avg blocks tracked / tx     {:.1} (max {})", rs.avg_blocks_tracked(), rs.max.blocks_tracked);
-    println!("  avg symbolic stores / tx    {:.1} (max {})", rs.avg_private_stores(), rs.max.private_stores);
-    println!("  avg constraints checked     {:.1} (max {})", rs.avg_constraint_addrs(), rs.max.constraint_addrs);
-    println!("  pre-commit repair overhead  {:.2}% of transaction lifetime", rs.commit_stall_percent());
+    println!(
+        "  avg blocks lost / tx        {:.1} (max {})",
+        rs.avg_blocks_lost(),
+        rs.max.blocks_lost
+    );
+    println!(
+        "  avg blocks tracked / tx     {:.1} (max {})",
+        rs.avg_blocks_tracked(),
+        rs.max.blocks_tracked
+    );
+    println!(
+        "  avg symbolic stores / tx    {:.1} (max {})",
+        rs.avg_private_stores(),
+        rs.max.private_stores
+    );
+    println!(
+        "  avg constraints checked     {:.1} (max {})",
+        rs.avg_constraint_addrs(),
+        rs.max.constraint_addrs
+    );
+    println!(
+        "  pre-commit repair overhead  {:.2}% of transaction lifetime",
+        rs.commit_stall_percent()
+    );
 }

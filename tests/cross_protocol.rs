@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use retcon_isa::{Addr, BinOp, CmpOp, Operand, Program, ProgramBuilder, Reg};
 use retcon_sim::{Machine, SimConfig};
-use retcon_workloads::{SplitMix64, System};
+use retcon_workloads::{counter_total_transactions, SplitMix64, System, Workload};
 
 /// Each transaction adds tape-provided deltas to `updates` counters chosen
 /// by tape-provided indices (mod `pool`), with optional work between them.
@@ -71,7 +71,74 @@ fn final_state(
         machine.set_tape(c, tape);
     }
     machine.run().expect("run completes");
-    (0..pool).map(|i| machine.mem().read_word(Addr(i * 8))).collect()
+    (0..pool)
+        .map(|i| machine.mem().read_word(Addr(i * 8)))
+        .collect()
+}
+
+/// Smoke-test matrix: the paper's shared-counter program (Figure 2) run
+/// under every protocol of the evaluation. Each transaction increments the
+/// single shared counter at `Addr(0)` twice, so *any* serializable commit
+/// order ends with `counter == 2 * transactions`; a protocol that loses or
+/// phantoms an update, or double-commits a transaction, fails one of the
+/// assertions below.
+#[test]
+fn shared_counter_smoke_matrix_all_protocols() {
+    let cores = 4usize;
+    let seed = 7u64;
+    let mut states: Vec<(&'static str, Vec<u64>)> = Vec::new();
+    for system in [
+        System::Eager,
+        System::Lazy,
+        System::LazyVb,
+        System::Retcon,
+        System::Datm,
+    ] {
+        let spec = Workload::Counter.build(cores, seed);
+        let txs = counter_total_transactions(cores);
+        let mut machine = Machine::new(
+            SimConfig::with_cores(cores),
+            system.protocol(cores),
+            spec.programs.clone(),
+        );
+        for (i, tape) in spec.tapes.iter().enumerate() {
+            machine.set_tape(i, tape.clone());
+        }
+        for &(addr, value) in &spec.init {
+            machine.init_word(addr, value);
+        }
+        let report = machine.run().expect("counter workload completes");
+
+        // Serializable commit order: every transaction commits exactly once,
+        // and the final counter equals the outcome of every serial order of
+        // those commits.
+        assert_eq!(
+            report.protocol.commits,
+            txs,
+            "commit count under {} is not one-per-transaction",
+            system.label()
+        );
+        assert_eq!(
+            machine.mem().read_word(Addr(0)),
+            2 * txs,
+            "final counter under {} diverges from the serial oracle",
+            system.label()
+        );
+
+        // Snapshot the counter's block for the cross-protocol comparison.
+        let state: Vec<u64> = (0..8)
+            .map(|w| machine.mem().read_word(Addr(w * 8)))
+            .collect();
+        states.push((system.label(), state));
+    }
+    // Identical final memory state across the whole matrix.
+    let (first_label, first_state) = &states[0];
+    for (label, state) in &states[1..] {
+        assert_eq!(
+            state, first_state,
+            "final memory under {label} differs from {first_label}"
+        );
+    }
 }
 
 proptest! {

@@ -87,9 +87,7 @@ fn oracle(
     for s in steps {
         match *s {
             Step::Load { dst, loc } => regs[dst as usize] = mem[loc as usize],
-            Step::Alu { dst, op, k } => {
-                regs[dst as usize] = op.apply(regs[dst as usize], k as u64)
-            }
+            Step::Alu { dst, op, k } => regs[dst as usize] = op.apply(regs[dst as usize], k as u64),
             Step::Branch { src, cmp, k } => branches.push(cmp.apply(regs[src as usize], k as u64)),
             Step::Store { src, loc } => {
                 mem[loc as usize] = regs[src as usize];
@@ -108,8 +106,10 @@ fn engine_run(
     initial: &[u64; NUM_LOCS],
     fin: &[u64; NUM_LOCS],
 ) -> Option<([u64; NUM_REGS_USED as usize], [u64; NUM_LOCS])> {
-    let mut cfg = RetconConfig::default();
-    cfg.initial_threshold = 0; // track everything
+    let cfg = RetconConfig {
+        initial_threshold: 0, // track everything
+        ..RetconConfig::default()
+    };
     let mut eng = Engine::new(cfg);
     eng.begin();
     let mut regs = [0u64; NUM_REGS_USED as usize];

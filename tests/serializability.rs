@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 
-use retcon_isa::{Addr, BinOp, CmpOp, Operand, ProgramBuilder, Program, Reg};
+use retcon_isa::{Addr, BinOp, CmpOp, Operand, Program, ProgramBuilder, Reg};
 use retcon_sim::{Machine, SimConfig};
 use retcon_workloads::System;
 
@@ -43,15 +43,27 @@ fn pool_counter_program(pool: u64, iters: u64, incs: u32, work: u32) -> Program 
 }
 
 fn total_of_pool(machine: &Machine, pool: u64) -> u64 {
-    (0..pool).map(|i| machine.mem().read_word(Addr(i * 8))).sum()
+    (0..pool)
+        .map(|i| machine.mem().read_word(Addr(i * 8)))
+        .sum()
 }
 
-fn check_no_lost_updates(system: System, cores: usize, pool: u64, iters: u64, incs: u32, work: u32, seed: u64) {
+fn check_no_lost_updates(
+    system: System,
+    cores: usize,
+    pool: u64,
+    iters: u64,
+    incs: u32,
+    work: u32,
+    seed: u64,
+) {
     let cfg = SimConfig::with_cores(cores);
     let mut machine = Machine::new(
         cfg,
         system.protocol(cores),
-        (0..cores).map(|_| pool_counter_program(pool, iters, incs, work)).collect(),
+        (0..cores)
+            .map(|_| pool_counter_program(pool, iters, incs, work))
+            .collect(),
     );
     let mut rng = retcon_workloads::SplitMix64::new(seed);
     for c in 0..cores {
@@ -199,7 +211,14 @@ fn transfer_conservation_under_all_systems() {
             machine.set_tape(c, (0..2 * iters).map(|_| rng.next_u64() >> 8).collect());
         }
         machine.run().expect("run completes");
-        let total: u64 = (0..pool).map(|i| machine.mem().read_word(Addr(i * 8))).sum();
-        assert_eq!(total, initial_total, "conservation violated under {}", system.label());
+        let total: u64 = (0..pool)
+            .map(|i| machine.mem().read_word(Addr(i * 8)))
+            .sum();
+        assert_eq!(
+            total,
+            initial_total,
+            "conservation violated under {}",
+            system.label()
+        );
     }
 }

@@ -62,7 +62,12 @@ fn genome_table_contents_identical_across_systems() {
     let mut reference: Option<Vec<(u64, u64)>> = None;
     for system in SYSTEMS {
         let machine = run_machine(&spec, system);
-        let mut words: Vec<(u64, u64)> = machine.mem().memory().iter().map(|(a, v)| (a.0, v)).collect();
+        let mut words: Vec<(u64, u64)> = machine
+            .mem()
+            .memory()
+            .iter()
+            .map(|(a, v)| (a.0, v))
+            .collect();
         words.sort();
         // Compare only the multiset of stored values (slot order within a
         // bucket is interleaving-dependent).
@@ -109,7 +114,11 @@ fn vacation_inventory_balances() {
             let mut reserved = 0u64;
             for &(a, init_v) in &spec.init {
                 let now = machine.mem().read_word(a);
-                assert!(now <= init_v, "availability increased under {}", system.label());
+                assert!(
+                    now <= init_v,
+                    "availability increased under {}",
+                    system.label()
+                );
                 reserved += init_v - now;
             }
             assert_eq!(
@@ -130,7 +139,12 @@ fn ssca2_degree_sum_matches_edges() {
     for system in SYSTEMS {
         let machine = run_machine(&spec, system);
         let sum: u64 = machine.mem().memory().iter().map(|(_, v)| v).sum();
-        assert_eq!(sum, total_endpoint_updates, "degree sum wrong under {}", system.label());
+        assert_eq!(
+            sum,
+            total_endpoint_updates,
+            "degree sum wrong under {}",
+            system.label()
+        );
     }
 }
 
@@ -166,7 +180,12 @@ fn kmeans_point_counts_are_exact() {
         let machine = run_machine(&spec, system);
         // Word 0 of each cluster block is the point count.
         let sum: u64 = (0..256).map(|c| machine.mem().read_word(Addr(c * 8))).sum();
-        assert_eq!(sum, total_points, "cluster counts wrong under {}", system.label());
+        assert_eq!(
+            sum,
+            total_points,
+            "cluster counts wrong under {}",
+            system.label()
+        );
     }
 }
 
@@ -187,7 +206,12 @@ fn every_workload_completes_under_every_fig9_system() {
                 machine.init_word(a, v);
             }
             let report = machine.run().expect("completes");
-            assert!(report.protocol.commits > 0, "{} under {}", w.label(), system.label());
+            assert!(
+                report.protocol.commits > 0,
+                "{} under {}",
+                w.label(),
+                system.label()
+            );
             // Accounting invariant: per-core buckets cover the whole run.
             for core in &report.per_core {
                 assert_eq!(core.breakdown.total(), core.finished_at);

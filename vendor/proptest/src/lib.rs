@@ -1,0 +1,271 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors a
+//! minimal, API-compatible subset of proptest sufficient for the test suites
+//! in this repository:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_filter`, and `boxed`;
+//! * strategies for integer ranges, tuples, [`Just`](strategy::Just),
+//!   `any::<T>()`, `prop_oneof!`, `proptest::collection::vec`, and
+//!   `proptest::array::uniform4`;
+//! * the [`proptest!`] macro with optional `#![proptest_config(..)]`, and
+//!   the `prop_assert!` family.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * **Deterministic**: every test function derives its RNG seed from its
+//!   module path and name, so runs are exactly reproducible.
+//! * **No shrinking**: a failing case panics with the generated inputs in
+//!   the assertion message instead of minimizing them.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Configuration for a `proptest!` block (subset: case count only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic xorshift-based RNG used to generate test inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a fixed seed (zero is remapped).
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed | 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next pseudo-random word (splitmix64 output function over a
+        /// xorshift state walk — plenty for test-input generation).
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Modulo bias is irrelevant at test-generation quality.
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: a fixed length or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing fixed-size arrays from one element strategy.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fn {
+        ($($name:ident => $n:literal),+ $(,)?) => {
+            $(
+                /// Generates arrays of the given arity from `element`.
+                pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                    UniformArray { element }
+                }
+            )+
+        };
+    }
+
+    uniform_fn!(
+        uniform2 => 2,
+        uniform3 => 3,
+        uniform4 => 4,
+        uniform8 => 8,
+        uniform16 => 16,
+    );
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Compile-time FNV-1a hash used to derive per-test RNG seeds.
+#[must_use]
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+/// Defines deterministic property tests.
+///
+/// Supported grammar (the subset this repository uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///
+///     #[test]
+///     fn my_property(x in 0u64..10, v in proptest::collection::vec(any::<bool>(), 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
