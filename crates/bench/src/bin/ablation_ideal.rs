@@ -4,33 +4,15 @@
 //! state, reacquired blocks in parallel at commit, and assumed no latency
 //! to reperform stores into the cache at commit. These changes did not
 //! significantly impact results on any of our workloads."*
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon_bench::{print_header, run_at_scale, seq_cycles};
-use retcon_workloads::{System, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    print_header(
-        "§5.3 ablation: default RETCON vs idealized (unlimited state, parallel reacquire, free stores)",
-        "",
-    );
-    println!(
-        "{:<18} {:>9} {:>9} {:>8}",
-        "workload", "RetCon", "ideal", "delta%"
-    );
-    let mut worst: f64 = 0.0;
-    for w in Workload::fig9() {
-        let seq = seq_cycles(w);
-        let default = run_at_scale(w, System::Retcon).speedup_over(seq);
-        let ideal = run_at_scale(w, System::RetconIdeal).speedup_over(seq);
-        let delta = 100.0 * (ideal - default) / default;
-        worst = worst.max(delta.abs());
-        println!(
-            "{:<18} {:>9.1} {:>9.1} {:>+8.1}",
-            w.label(),
-            default,
-            ideal,
-            delta
-        );
-    }
-    println!("\nLargest |delta|: {worst:.1}% (paper: \"did not significantly impact results\")");
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::AblationIdeal)
 }

@@ -5,100 +5,15 @@
 //! 32-entry symbolic store buffer, plus the predictor's train-down backoff.
 //! This harness sweeps each and reports speedups on the auxiliary-data
 //! workloads, showing where capacity starts to matter.
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon::RetconConfig;
-use retcon_bench::{print_header, seq_cycles, CORES, SEED};
-use retcon_htm::RetconTm;
-use retcon_sim::{Machine, SimConfig};
-use retcon_workloads::Workload;
+use std::process::ExitCode;
 
-fn run_with(cfg: RetconConfig, w: Workload) -> f64 {
-    let spec = w.build(CORES, SEED);
-    let sim = SimConfig::with_cores(CORES);
-    let mut machine = Machine::new(
-        sim,
-        Box::new(RetconTm::new(CORES, cfg)),
-        spec.programs.clone(),
-    );
-    for (i, tape) in spec.tapes.iter().enumerate() {
-        machine.set_tape(i, tape.clone());
-    }
-    for &(a, v) in &spec.init {
-        machine.init_word(a, v);
-    }
-    let report = machine.run().expect("workload runs");
-    seq_cycles(w) as f64 / report.cycles as f64
-}
-
-fn main() {
-    let workloads = [
-        Workload::Genome { resizable: true },
-        Workload::Python { optimized: true },
-        Workload::Vacation {
-            optimized: true,
-            resizable: true,
-        },
-    ];
-
-    print_header("Ablation: initial-value-buffer capacity sweep", "");
-    println!(
-        "{:<18} {:>6} {:>6} {:>6} {:>6} {:>6}",
-        "workload", "ivb=1", "2", "4", "16", "64"
-    );
-    for w in workloads {
-        let mut row = format!("{:<18}", w.label());
-        for cap in [1usize, 2, 4, 16, 64] {
-            let cfg = RetconConfig {
-                ivb_capacity: cap,
-                ..RetconConfig::default()
-            };
-            row += &format!(" {:>6.1}", run_with(cfg, w));
-        }
-        println!("{row}");
-    }
-
-    print_header("Ablation: symbolic-store-buffer capacity sweep", "");
-    println!(
-        "{:<18} {:>6} {:>6} {:>6} {:>6}",
-        "workload", "ssb=2", "8", "32", "128"
-    );
-    for w in workloads {
-        let mut row = format!("{:<18}", w.label());
-        for cap in [2usize, 8, 32, 128] {
-            let cfg = RetconConfig {
-                ssb_capacity: cap,
-                ..RetconConfig::default()
-            };
-            row += &format!(" {:>6.1}", run_with(cfg, w));
-        }
-        println!("{row}");
-    }
-
-    print_header("Ablation: constraint-buffer capacity sweep", "");
-    println!(
-        "{:<18} {:>6} {:>6} {:>6} {:>6}",
-        "workload", "cb=1", "4", "16", "64"
-    );
-    for w in workloads {
-        let mut row = format!("{:<18}", w.label());
-        for cap in [1usize, 4, 16, 64] {
-            let cfg = RetconConfig {
-                constraint_capacity: cap,
-                ..RetconConfig::default()
-            };
-            row += &format!(" {:>6.1}", run_with(cfg, w));
-        }
-        println!("{row}");
-    }
-
-    print_header("Ablation: predictor violation-backoff sweep (yada)", "");
-    println!("{:>12} {:>9}", "backoff", "speedup");
-    for backoff in [0u32, 10, 100, 1000] {
-        let cfg = RetconConfig {
-            violation_backoff: backoff,
-            ..RetconConfig::default()
-        };
-        println!("{:>12} {:>9.1}", backoff, run_with(cfg, Workload::Yada));
-    }
-    println!("\n(paper setting: 16/16/32 entries, backoff 100)");
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::AblationSizes)
 }

@@ -1,34 +1,19 @@
 //! Figure 1: scalability of the aggressive eager HTM on 32 processors.
 //!
 //! Paper reference (approximate bar heights read from the figure): genome
-//! ~24×, intruder ~5×, kmeans ~13×, labyrinth ~7×, ssca2 ~10×, vacation
-//! ~15×, yada ~3×, python ~1×. Our shape target: a bimodal pattern — some
-//! workloads near-linear, at least half below 10×, python/intruder/yada at
+//! ~24x, intruder ~5x, kmeans ~13x, labyrinth ~7x, ssca2 ~10x, vacation
+//! ~15x, yada ~3x, python ~1x. Our shape target: a bimodal pattern — some
+//! workloads near-linear, at least half below 10x, python/intruder/yada at
 //! the bottom.
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon_bench::{print_header, run_at_scale, seq_cycles, CORES};
-use retcon_workloads::{System, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    print_header(
-        "Figure 1: speedup over sequential, eager HTM baseline, 32 cores",
-        "(zero-cycle rollback, oldest-wins contention management)",
-    );
-    println!(
-        "{:<14} {:>10} {:>10} {:>9} {:>9}",
-        "workload", "seq cyc", "par cyc", "speedup", "aborts/commit"
-    );
-    for w in Workload::fig1() {
-        let seq = seq_cycles(w);
-        let r = run_at_scale(w, System::Eager);
-        println!(
-            "{:<14} {:>10} {:>10} {:>9.1} {:>9.3}",
-            w.label(),
-            seq,
-            r.cycles,
-            r.speedup_over(seq),
-            r.abort_ratio(),
-        );
-    }
-    println!("\n({CORES} cores; deterministic seed; see EXPERIMENTS.md for paper-vs-measured)");
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::Fig1)
 }

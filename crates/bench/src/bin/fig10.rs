@@ -1,40 +1,18 @@
 //! Figure 10: runtime breakdown normalized to the eager baseline.
 //!
-//! For each workload and system, bars are scaled so eager's total is 1.0;
-//! a RETCON bar shorter than 1.0 means RETCON finished in less total
-//! core-time than eager, and its conflict component shows how much
-//! conflict time repair eliminated.
+//! For each workload and system (including DATM, a ROADMAP addition), bars
+//! are scaled so eager's total is 1.0; a RETCON bar shorter than 1.0 means
+//! RETCON finished in less total core-time than eager, and its conflict
+//! component shows how much conflict time repair eliminated.
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon_bench::{breakdown_row, print_header, run_at_scale};
-use retcon_workloads::{System, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    print_header(
-        "Figure 10: time breakdown normalized to eager (busy/conflict/barrier/other)",
-        "",
-    );
-    println!(
-        "{:<18} {:<9} {:>7} {:>9} {:>9} {:>7} {:>7}",
-        "workload", "system", "busy", "conflict", "barrier", "other", "total"
-    );
-    for w in Workload::fig9() {
-        let eager_total = run_at_scale(w, System::Eager).breakdown().total();
-        for s in System::FIG9 {
-            let r = run_at_scale(w, s);
-            let (busy, conflict, barrier, other) = breakdown_row(&r, eager_total);
-            println!(
-                "{:<18} {:<9} {:>7.3} {:>9.3} {:>9.3} {:>7.3} {:>7.3}",
-                w.label(),
-                s.label(),
-                busy,
-                conflict,
-                barrier,
-                other,
-                busy + conflict + barrier + other,
-            );
-        }
-        println!();
-    }
-    println!("Expected shape: RetCon's conflict component collapses on the -sz");
-    println!("variants and python_opt; elsewhere bars match eager.");
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::Fig10)
 }

@@ -10,49 +10,15 @@
 //!   winner commits;
 //! * (d) Eager-Stall (oldest wins): the younger stalls instead of aborting;
 //! * (e) Lazy: the loser runs to commit and then aborts.
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon_bench::{print_header, SEED};
-use retcon_workloads::{run_spec, System, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    print_header(
-        "Figure 2: RETCON vs DATM vs Eager vs Eager-Stall vs Lazy",
-        "counter micro-benchmark, 2 cores, two increments per transaction",
-    );
-    let spec = Workload::Counter.build(2, SEED);
-    println!(
-        "{:<14} {:>10} {:>9} {:>9} {:>9} {:>11}",
-        "system", "cycles", "commits", "aborts", "stalls", "final-count"
-    );
-    let systems = [
-        ("(a) RetCon", System::Retcon),
-        ("(b) DATM", System::Datm),
-        ("(c) Eager", System::EagerAbort),
-        ("(d) EagerStall", System::Eager),
-        ("(e) Lazy", System::Lazy),
-    ];
-    let mut rows = Vec::new();
-    for (label, system) in systems {
-        let report = run_spec(&spec, system, 2).expect("counter runs");
-        println!(
-            "{:<14} {:>10} {:>9} {:>9} {:>9} {:>11}",
-            label,
-            report.cycles,
-            report.protocol.commits,
-            report.protocol.aborts(),
-            report.protocol.stalls,
-            report.protocol.commits * 2,
-        );
-        rows.push((label, report));
-    }
-    // The paper's qualitative ordering: RETCON runs conflict-free; every
-    // other design pays for the conflict somehow.
-    let retcon = &rows[0].1;
-    println!();
-    println!(
-        "RetCon aborts: {} (expected 0 after predictor warmup); eager aborts: {}; lazy aborts: {}",
-        retcon.protocol.aborts(),
-        rows[2].1.protocol.aborts(),
-        rows[4].1.protocol.aborts(),
-    );
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::Fig2)
 }

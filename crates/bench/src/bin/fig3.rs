@@ -1,28 +1,17 @@
 //! Figure 3: scalability before and after software restructurings.
 //!
-//! Paper reference: the `_opt` restructurings rescue intruder (5× → >20×)
-//! and vacation (15× → >20×), but leave the `-sz` variants and python
+//! Paper reference: the `_opt` restructurings rescue intruder (5x → >20x)
+//! and vacation (15x → >20x), but leave the `-sz` variants and python
 //! abort-bound.
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon_bench::{print_header, run_at_scale, seq_cycles};
-use retcon_workloads::{System, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    print_header(
-        "Figure 3: baseline (eager) scalability before/after software restructurings",
-        "",
-    );
-    println!("{:<18} {:>9} {:>14}", "workload", "speedup", "abort/commit");
-    for w in Workload::fig9() {
-        let seq = seq_cycles(w);
-        let r = run_at_scale(w, System::Eager);
-        println!(
-            "{:<18} {:>9.1} {:>14.3}",
-            w.label(),
-            r.speedup_over(seq),
-            r.abort_ratio()
-        );
-    }
-    println!("\nExpected shape: intruder_opt and vacation_opt jump past 20x;");
-    println!("the -sz variants and python(-_opt) stay conflict-bound.");
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::Fig3)
 }

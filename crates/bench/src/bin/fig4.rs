@@ -3,32 +3,15 @@
 //! Buckets per the paper: busy (useful work), conflict (stalled by another
 //! processor or work in ultimately-aborted transactions), barrier (load
 //! imbalance), other (commit processing).
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon_bench::{breakdown_row, print_header, run_at_scale};
-use retcon_workloads::{System, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    print_header(
-        "Figure 4: time breakdown on the eager baseline (fractions of total)",
-        "",
-    );
-    println!(
-        "{:<18} {:>8} {:>9} {:>9} {:>8}",
-        "workload", "busy", "conflict", "barrier", "other"
-    );
-    for w in Workload::fig9() {
-        let r = run_at_scale(w, System::Eager);
-        let total = r.breakdown().total();
-        let (busy, conflict, barrier, other) = breakdown_row(&r, total);
-        println!(
-            "{:<18} {:>8.3} {:>9.3} {:>9.3} {:>8.3}",
-            w.label(),
-            busy,
-            conflict,
-            barrier,
-            other
-        );
-    }
-    println!("\nExpected shape: -sz variants and python dominated by conflict;");
-    println!("labyrinth by barrier (load imbalance); ssca2 mostly busy (memory-bound).");
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::Fig4)
 }

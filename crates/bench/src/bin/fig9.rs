@@ -1,76 +1,18 @@
 //! Figure 9: scalability over sequential execution — eager vs lazy-vb vs
-//! RETCON.
+//! RETCON, plus DATM (a ROADMAP addition over the paper's three bars).
 //!
 //! The paper's headline numbers: RETCON turns python_opt from no scaling
-//! into ~30×; genome-sz 14× → 24×; intruder_opt-sz 6× → 21×;
-//! vacation_opt-sz 19× → 24×; yada/intruder/python unaffected.
+//! into ~30x; genome-sz 14x → 24x; intruder_opt-sz 6x → 21x;
+//! vacation_opt-sz 19x → 24x; yada/intruder/python unaffected.
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon_bench::{fmt_speedup, print_header, run_at_scale, seq_cycles};
-use retcon_workloads::{System, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    print_header(
-        "Figure 9: speedup over sequential — eager vs lazy-vb vs RetCon (32 cores)",
-        "",
-    );
-    println!(
-        "{:<18} {:>8} {:>8} {:>8}   shape check",
-        "workload", "eager", "lazy-vb", "RetCon"
-    );
-    for w in Workload::fig9() {
-        let seq = seq_cycles(w);
-        let mut speedups = Vec::new();
-        for s in System::FIG9 {
-            let r = run_at_scale(w, s);
-            speedups.push(r.speedup_over(seq));
-        }
-        let (eager, lazy_vb, retcon) = (speedups[0], speedups[1], speedups[2]);
-        let verdict = shape_verdict(w, eager, lazy_vb, retcon);
-        println!(
-            "{:<18}{}{}{}   {}",
-            w.label(),
-            fmt_speedup(eager),
-            fmt_speedup(lazy_vb),
-            fmt_speedup(retcon),
-            verdict
-        );
-    }
-}
-
-/// Checks each row against the paper's qualitative claim.
-fn shape_verdict(w: Workload, eager: f64, lazy_vb: f64, retcon: f64) -> &'static str {
-    let rescued = retcon > 2.0 * lazy_vb.max(eager);
-    match w.label() {
-        // Auxiliary-data workloads: RETCON must be the clear winner.
-        "genome-sz" | "intruder_opt-sz" | "vacation_opt-sz" | "python_opt" => {
-            if rescued {
-                "OK: RetCon rescues (paper: same)"
-            } else {
-                "MISMATCH: expected RetCon >> others"
-            }
-        }
-        // Vacation base: lazy-vb (and RETCON) beat eager.
-        "vacation" => {
-            if lazy_vb > 1.5 * eager && retcon > 1.5 * eager {
-                "OK: value-based detection helps (paper: same)"
-            } else {
-                "MISMATCH: expected lazy-vb/RetCon > eager"
-            }
-        }
-        // Unrepairable workloads: all three within a small factor.
-        "intruder" | "yada" | "python" => {
-            if retcon < 2.0 * eager.max(1.0) {
-                "OK: repair cannot help (paper: same)"
-            } else {
-                "MISMATCH: unexpected RetCon win"
-            }
-        }
-        _ => {
-            if (retcon / eager).abs() < 2.0 {
-                "OK: insensitive (paper: same)"
-            } else {
-                "MISMATCH"
-            }
-        }
-    }
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::Fig9)
 }

@@ -1,32 +1,15 @@
 //! Core-count scaling sweep (supplementary): speedup at 1–32 cores for the
 //! workloads whose scaling curves the paper discusses qualitatively
 //! (python_opt's "near-linear scaling on 32 cores" being the headline).
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon_bench::{print_header, seq_cycles, SEED};
-use retcon_workloads::{run, System, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    print_header("Scaling sweep: speedup vs cores (eager | RetCon)", "");
-    let workloads = [
-        Workload::Counter,
-        Workload::Genome { resizable: true },
-        Workload::Python { optimized: true },
-    ];
-    let cores = [1usize, 2, 4, 8, 16, 32];
-    for w in workloads {
-        let seq = seq_cycles(w);
-        println!("\n{}:", w.label());
-        println!("{:>7} {:>9} {:>9}", "cores", "eager", "RetCon");
-        for &n in &cores {
-            let eager = run(w, System::Eager, n, SEED)
-                .expect("runs")
-                .speedup_over(seq);
-            let retcon = run(w, System::Retcon, n, SEED)
-                .expect("runs")
-                .speedup_over(seq);
-            println!("{n:>7} {eager:>9.1} {retcon:>9.1}");
-        }
-    }
-    println!("\nExpected: RetCon tracks ideal scaling on auxiliary-data workloads;");
-    println!("eager flattens (or degrades) as contention on the hot words grows.");
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::Scaling)
 }

@@ -1,45 +1,13 @@
 //! Table 1: the simulated machine configuration.
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon::RetconConfig;
-use retcon_bench::print_header;
-use retcon_sim::SimConfig;
+use std::process::ExitCode;
 
-fn main() {
-    print_header("Table 1: simulated machine configuration", "");
-    let cfg = SimConfig::default();
-    let rc = RetconConfig::default();
-    let lat = cfg.mem.latency;
-    println!(
-        "Processor             {} in-order cores, 1 IPC",
-        cfg.num_cores
-    );
-    println!(
-        "L1 cache              {} KB, {}-way set associative, 64B blocks ({} sets)",
-        cfg.mem.l1.capacity_blocks() * 64 / 1024,
-        cfg.mem.l1.ways,
-        cfg.mem.l1.sets
-    );
-    println!(
-        "L2 cache              Private, {} MB, {}-way, 64B blocks, {}-cycle hit latency",
-        cfg.mem.l2.capacity_blocks() * 64 / 1024 / 1024,
-        cfg.mem.l2.ways,
-        lat.l2_hit
-    );
-    println!(
-        "Memory                {} cycles DRAM lookup latency",
-        lat.dram
-    );
-    println!("Permissions-only      unbounded overflow map (capacity aborts impossible)");
-    println!(
-        "Coherence             directory-based, {}-cycle hop latency",
-        lat.hop
-    );
-    println!(
-        "RETCON structures     {}-entry initial value buffer, {}-entry constraint buffer, {}-entry symbolic store buffer",
-        rc.ivb_capacity, rc.constraint_capacity, rc.ssb_capacity
-    );
-    println!(
-        "Predictor             track after {} conflict(s); back off {} conflicts on violation",
-        rc.initial_threshold, rc.violation_backoff
-    );
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::Table1)
 }

@@ -1,85 +1,13 @@
 //! Table 2: the workload inventory, with the model parameters actually used.
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon_bench::{print_header, SEED};
-use retcon_workloads::Workload;
+use std::process::ExitCode;
 
-fn main() {
-    print_header("Table 2: workloads (model inventory)", "");
-    let descriptions: &[(&str, &str)] = &[
-        (
-            "counter",
-            "Figure 2 micro: two increments of one shared counter per tx",
-        ),
-        ("genome", "hashtable segment inserts, fixed-size table"),
-        (
-            "genome-sz",
-            "variant with resizable table (shared size-field increment per insert)",
-        ),
-        (
-            "intruder",
-            "shared in/out queues feed addresses + tree-rebalance hot words",
-        ),
-        ("intruder_opt", "thread-private queues, fixed hashtable map"),
-        (
-            "intruder_opt-sz",
-            "optimized variant with resizable (size-tracked) map",
-        ),
-        (
-            "kmeans",
-            "cluster-centre accumulation with untrackable (multiply) updates",
-        ),
-        (
-            "labyrinth",
-            "pre-tx grid copy; long variable-length routing transactions",
-        ),
-        (
-            "ssca2",
-            "tiny transactions, scattered graph updates (coherence-bound)",
-        ),
-        (
-            "vacation",
-            "read-mostly reservations + tree-rebalance hot words",
-        ),
-        ("vacation_opt", "hashtable tables, no rebalancing"),
-        (
-            "vacation_opt-sz",
-            "optimized variant with size-tracked orders table",
-        ),
-        (
-            "yada",
-            "pointer-chasing cavity refinement (loaded values feed addresses)",
-        ),
-        (
-            "python",
-            "GIL elision: hot refcounts + shared address-feeding free list",
-        ),
-        (
-            "python_opt",
-            "interpreter globals made thread-private; refcounts remain",
-        ),
-    ];
-    println!("{:<18} model", "workload");
-    for (name, desc) in descriptions {
-        println!("{name:<18} {desc}");
-    }
-    println!();
-    println!("Per-workload static footprint (one 32-core build, seed {SEED}):");
-    println!(
-        "{:<18} {:>9} {:>12} {:>12}",
-        "workload", "programs", "instr total", "tape words"
-    );
-    let mut all = Workload::fig9();
-    all.insert(0, Workload::Counter);
-    for w in all {
-        let spec = w.build(32, SEED);
-        let instr: usize = spec.programs.iter().map(|p| p.len()).sum();
-        let tape: usize = spec.tapes.iter().map(|t| t.len()).sum();
-        println!(
-            "{:<18} {:>9} {:>12} {:>12}",
-            w.label(),
-            spec.programs.len(),
-            instr,
-            tape
-        );
-    }
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::Table2)
 }

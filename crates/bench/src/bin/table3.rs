@@ -9,49 +9,15 @@
 //! Paper expectations: structures stay small (≤16 IVB entries even for
 //! python), commit stall under 1% for all but two workloads and under 4%
 //! everywhere.
+//!
+//! Like every figure/table bin, this is a thin wrapper over the
+//! `retcon-lab` dataset of the same name: it regenerates the record
+//! (job-parallel with `--jobs N`) and renders the historical stdout
+//! table, or emits the machine-readable record with `--json` / `--csv`
+//! (`--out DIR` writes both files).
 
-use retcon_bench::{print_header, run_at_scale};
-use retcon_workloads::{System, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    print_header(
-        "Table 3: RETCON structure utilization and pre-commit overhead (32 cores)",
-        "avg (max) per committed transaction",
-    );
-    println!(
-        "{:<18} {:>11} {:>11} {:>10} {:>11} {:>11} {:>8} {:>7}",
-        "workload",
-        "blocks lost",
-        "blk tracked",
-        "sym regs",
-        "priv stores",
-        "constr addr",
-        "commit",
-        "stall%"
-    );
-    let mut all = Workload::fig9();
-    all.insert(0, Workload::Counter);
-    for w in all {
-        let r = run_at_scale(w, System::Retcon);
-        let rs = r.retcon.expect("RETCON stats present");
-        println!(
-            "{:<18} {:>5.1} ({:>3}) {:>5.1} ({:>3}) {:>4.1} ({:>3}) {:>5.1} ({:>3}) {:>5.1} ({:>3}) {:>8.1} {:>6.2}",
-            w.label(),
-            rs.avg_blocks_lost(),
-            rs.max.blocks_lost,
-            rs.avg_blocks_tracked(),
-            rs.max.blocks_tracked,
-            rs.avg_symbolic_registers(),
-            rs.max.symbolic_registers,
-            rs.avg_private_stores(),
-            rs.max.private_stores,
-            rs.avg_constraint_addrs(),
-            rs.max.constraint_addrs,
-            rs.avg_commit_cycles(),
-            rs.commit_stall_percent(),
-        );
-    }
-    println!(
-        "\n(violations are counted separately; a violation aborts and trains the predictor down)"
-    );
+fn main() -> ExitCode {
+    retcon_lab::cli::bin_main(retcon_lab::Dataset::Table3)
 }

@@ -24,6 +24,13 @@
 //! result — who wins, by roughly what factor, where the crossovers are — is
 //! expected to match the paper. `EXPERIMENTS.md` records paper-vs-measured
 //! for every row.
+//!
+//! Since the `retcon-lab` refactor each bin is a thin wrapper over the
+//! dataset of the same name: it builds a `retcon_lab::ExperimentRecord`
+//! (job-parallel with `--jobs N`) and renders the historical stdout table,
+//! or emits machine-readable output with `--json` / `--csv`. The helpers
+//! below remain the convenient one-call API for ad-hoc experiments at the
+//! paper's scale.
 
 #![forbid(unsafe_code)]
 

@@ -7,7 +7,7 @@
 /// addresses, and a 32-entry symbolic store buffer. The three `idealized_*`
 /// flags reproduce the §5.3 "comparison to idealized system" configuration
 /// (unlimited state, parallel block reacquisition, free commit-time stores).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RetconConfig {
     /// Maximum number of blocks the initial value buffer tracks
     /// ("16-entry original value buffer").

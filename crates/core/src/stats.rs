@@ -23,6 +23,44 @@ pub struct TxSnapshot {
     pub commit_cycles: u64,
 }
 
+impl TxSnapshot {
+    /// Stable field names, in the order [`TxSnapshot::as_array`] uses.
+    /// This is the schema contract for machine-readable records
+    /// (`retcon-lab`); extend it only by appending.
+    pub const FIELDS: [&'static str; 6] = [
+        "blocks_lost",
+        "blocks_tracked",
+        "symbolic_registers",
+        "private_stores",
+        "constraint_addrs",
+        "commit_cycles",
+    ];
+
+    /// The counters in [`TxSnapshot::FIELDS`] order.
+    pub fn as_array(&self) -> [u64; 6] {
+        [
+            self.blocks_lost,
+            self.blocks_tracked,
+            self.symbolic_registers,
+            self.private_stores,
+            self.constraint_addrs,
+            self.commit_cycles,
+        ]
+    }
+
+    /// Rebuilds a snapshot from [`TxSnapshot::FIELDS`]-ordered counters.
+    pub fn from_array(values: [u64; 6]) -> Self {
+        TxSnapshot {
+            blocks_lost: values[0],
+            blocks_tracked: values[1],
+            symbolic_registers: values[2],
+            private_stores: values[3],
+            constraint_addrs: values[4],
+            commit_cycles: values[5],
+        }
+    }
+}
+
 /// Aggregate Table 3 statistics over many transactions: average and maximum
 /// of each [`TxSnapshot`] column, plus the fraction of transaction lifetime
 /// spent in pre-commit repair ("commit stall %").

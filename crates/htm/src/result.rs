@@ -74,6 +74,42 @@ pub struct ProtocolStats {
 }
 
 impl ProtocolStats {
+    /// Stable field names, in the order [`ProtocolStats::as_array`] uses.
+    /// This is the schema contract for machine-readable records
+    /// (`retcon-lab`); extend it only by appending.
+    pub const FIELDS: [&'static str; 6] = [
+        "commits",
+        "aborts_conflict",
+        "aborts_validation",
+        "aborts_overflow",
+        "aborts_cycle",
+        "stalls",
+    ];
+
+    /// The counters in [`ProtocolStats::FIELDS`] order.
+    pub fn as_array(&self) -> [u64; 6] {
+        [
+            self.commits,
+            self.aborts_conflict,
+            self.aborts_validation,
+            self.aborts_overflow,
+            self.aborts_cycle,
+            self.stalls,
+        ]
+    }
+
+    /// Rebuilds statistics from [`ProtocolStats::FIELDS`]-ordered counters.
+    pub fn from_array(values: [u64; 6]) -> Self {
+        ProtocolStats {
+            commits: values[0],
+            aborts_conflict: values[1],
+            aborts_validation: values[2],
+            aborts_overflow: values[3],
+            aborts_cycle: values[4],
+            stalls: values[5],
+        }
+    }
+
     /// Total aborts across all causes.
     pub fn aborts(&self) -> u64 {
         self.aborts_conflict + self.aborts_validation + self.aborts_overflow + self.aborts_cycle

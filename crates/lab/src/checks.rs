@@ -1,0 +1,714 @@
+//! Executable paper-shape expectations.
+//!
+//! EXPERIMENTS.md's qualitative claims — who wins, by roughly what
+//! factor, where the crossovers sit — live here as a declarative table of
+//! [`Check`]s evaluated against fresh [`ExperimentRecord`]s. `retcon-lab
+//! -- check` runs the full table against 32-core records; `--quick` runs
+//! a reduced-scale subset (2-core fig2 plus an 8-core fig9 slice) cheap
+//! enough to gate merges in CI.
+//!
+//! Absolute cycle counts are substrate-specific (see `EXPERIMENTS.md`),
+//! so every expectation is a *ratio* or a *budget* — scale-free claims
+//! that must survive simulator refactors.
+
+use crate::datasets::Dataset;
+use crate::record::ExperimentRecord;
+use crate::runner::{run_jobs, Job};
+use crate::SEED;
+use retcon_sim::SimError;
+use retcon_workloads::{System, Workload};
+use std::collections::BTreeMap;
+
+/// The core count `--quick` checks run at.
+pub const QUICK_CORES: usize = 8;
+
+/// A qualitative claim about one dataset.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// The dataset the claim reads.
+    pub dataset: Dataset,
+    /// Short display name.
+    pub name: &'static str,
+    /// The claim itself.
+    pub expect: Expect,
+}
+
+/// The expectation language: every variant is a scale-free comparison.
+#[derive(Debug, Clone)]
+pub enum Expect {
+    /// `winner`'s speedup exceeds `factor ×` every system in `over`.
+    Rescued {
+        /// Workload label.
+        workload: &'static str,
+        /// The winning system label.
+        winner: &'static str,
+        /// The systems it must dominate.
+        over: &'static [&'static str],
+        /// The required ratio.
+        factor: f64,
+    },
+    /// `winner`'s speedup exceeds `factor ×` `loser`'s.
+    Beats {
+        /// Workload label.
+        workload: &'static str,
+        /// Faster system label.
+        winner: &'static str,
+        /// Slower system label.
+        loser: &'static str,
+        /// The required ratio.
+        factor: f64,
+    },
+    /// `system`'s speedup stays below `factor × max(reference, 1)` —
+    /// repair must *not* rescue this workload.
+    NotRescued {
+        /// Workload label.
+        workload: &'static str,
+        /// The system that should not win.
+        system: &'static str,
+        /// The reference system.
+        reference: &'static str,
+        /// The allowed ratio.
+        factor: f64,
+    },
+    /// The systems' speedups all lie within `within ×` of each other.
+    Insensitive {
+        /// Workload label.
+        workload: &'static str,
+        /// Systems to compare.
+        systems: &'static [&'static str],
+        /// Allowed max/min ratio.
+        within: f64,
+    },
+    /// Every listed system commits the same transaction count (no lost
+    /// or phantom transactions across designs).
+    CommitsAgree {
+        /// Workload label.
+        workload: &'static str,
+        /// Systems to compare.
+        systems: &'static [&'static str],
+    },
+    /// `system` aborts at most `max` times.
+    AbortsAtMost {
+        /// Workload label.
+        workload: &'static str,
+        /// System label.
+        system: &'static str,
+        /// Inclusive bound.
+        max: u64,
+    },
+    /// `winner` aborts strictly fewer times than `loser`.
+    FewerAborts {
+        /// Workload label.
+        workload: &'static str,
+        /// System expected to abort less.
+        winner: &'static str,
+        /// System expected to abort more.
+        loser: &'static str,
+    },
+    /// `system`'s conflict cycles collapse below `factor ×` those of
+    /// `reference` (the Figure 10 claim).
+    ConflictCollapses {
+        /// Workload label.
+        workload: &'static str,
+        /// System whose conflict time must shrink.
+        system: &'static str,
+        /// Reference system.
+        reference: &'static str,
+        /// Allowed ratio.
+        factor: f64,
+    },
+    /// Table 3 budget: RETCON's structures stay small and pre-commit
+    /// repair stays a bounded fraction of transaction lifetime.
+    StructureBudget {
+        /// Workload label.
+        workload: &'static str,
+        /// Max IVB entries observed.
+        blocks_tracked: u64,
+        /// Max symbolic store buffer entries observed.
+        private_stores: u64,
+        /// Max constraint addresses observed.
+        constraint_addrs: u64,
+        /// Max commit-stall percentage.
+        stall_pct: f64,
+    },
+    /// The idealized variant changes the speedup by at most `pct`%.
+    DeltaWithin {
+        /// Workload label.
+        workload: &'static str,
+        /// Default system label.
+        a: &'static str,
+        /// Idealized system label.
+        b: &'static str,
+        /// Allowed |delta| percentage.
+        pct: f64,
+    },
+    /// `system`'s speedup reaches at least `min` (used for the Figure 1
+    /// bimodal split, which is inherently a 32-core absolute claim).
+    SpeedupAtLeast {
+        /// Workload label.
+        workload: &'static str,
+        /// System label.
+        system: &'static str,
+        /// Minimum speedup.
+        min: f64,
+    },
+    /// `system`'s speedup stays below `max`.
+    SpeedupBelow {
+        /// Workload label.
+        workload: &'static str,
+        /// System label.
+        system: &'static str,
+        /// Maximum speedup.
+        max: f64,
+    },
+}
+
+/// Outcome of evaluating one check.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The dataset read.
+    pub dataset: &'static str,
+    /// The check's display name.
+    pub name: &'static str,
+    /// Did the claim hold?
+    pub passed: bool,
+    /// Human-readable evidence (measured values).
+    pub detail: String,
+}
+
+fn speedup(r: &ExperimentRecord, workload: &str, system: &str) -> Result<f64, String> {
+    r.speedup_of(workload, system)
+        .ok_or_else(|| format!("no baselined run for {workload}/{system}"))
+}
+
+fn outcome(check: &Check, result: Result<(bool, String), String>) -> CheckOutcome {
+    let (passed, detail) = match result {
+        Ok((passed, detail)) => (passed, detail),
+        Err(missing) => (false, missing),
+    };
+    CheckOutcome {
+        dataset: check.dataset.name(),
+        name: check.name,
+        passed,
+        detail,
+    }
+}
+
+/// Evaluates one check against its dataset's record.
+pub fn evaluate(check: &Check, r: &ExperimentRecord) -> CheckOutcome {
+    let result = match &check.expect {
+        Expect::Rescued {
+            workload,
+            winner,
+            over,
+            factor,
+        } => (|| {
+            let win = speedup(r, workload, winner)?;
+            let mut best_other: f64 = 0.0;
+            for s in *over {
+                best_other = best_other.max(speedup(r, workload, s)?);
+            }
+            Ok((
+                win > factor * best_other,
+                format!("{winner} {win:.1}x vs best other {best_other:.1}x (need >{factor}x)"),
+            ))
+        })(),
+        Expect::Beats {
+            workload,
+            winner,
+            loser,
+            factor,
+        } => (|| {
+            let win = speedup(r, workload, winner)?;
+            let lose = speedup(r, workload, loser)?;
+            Ok((
+                win > factor * lose,
+                format!("{winner} {win:.1}x vs {loser} {lose:.1}x (need >{factor}x)"),
+            ))
+        })(),
+        Expect::NotRescued {
+            workload,
+            system,
+            reference,
+            factor,
+        } => (|| {
+            let sys = speedup(r, workload, system)?;
+            let reference = speedup(r, workload, reference)?.max(1.0);
+            Ok((
+                sys < factor * reference,
+                format!("{system} {sys:.1}x vs reference {reference:.1}x (must stay <{factor}x)"),
+            ))
+        })(),
+        Expect::Insensitive {
+            workload,
+            systems,
+            within,
+        } => (|| {
+            let mut lo = f64::INFINITY;
+            let mut hi: f64 = 0.0;
+            for s in *systems {
+                let v = speedup(r, workload, s)?;
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            Ok((
+                hi <= within * lo,
+                format!("spread {lo:.1}x..{hi:.1}x (allowed ratio {within})"),
+            ))
+        })(),
+        Expect::CommitsAgree { workload, systems } => (|| {
+            let mut counts = Vec::new();
+            for s in *systems {
+                let run = r
+                    .find(workload, s)
+                    .ok_or_else(|| format!("no run for {workload}/{s}"))?;
+                counts.push(run.report.protocol.commits);
+            }
+            let agree = counts.windows(2).all(|w| w[0] == w[1]);
+            Ok((agree, format!("commit counts {counts:?}")))
+        })(),
+        Expect::AbortsAtMost {
+            workload,
+            system,
+            max,
+        } => (|| {
+            let run = r
+                .find(workload, system)
+                .ok_or_else(|| format!("no run for {workload}/{system}"))?;
+            let aborts = run.report.protocol.aborts();
+            Ok((
+                aborts <= *max,
+                format!("{system} aborted {aborts} times (≤{max})"),
+            ))
+        })(),
+        Expect::FewerAborts {
+            workload,
+            winner,
+            loser,
+        } => (|| {
+            let win = r
+                .find(workload, winner)
+                .ok_or_else(|| format!("no run for {workload}/{winner}"))?
+                .report
+                .protocol
+                .aborts();
+            let lose = r
+                .find(workload, loser)
+                .ok_or_else(|| format!("no run for {workload}/{loser}"))?
+                .report
+                .protocol
+                .aborts();
+            Ok((
+                win < lose,
+                format!("{winner} {win} aborts vs {loser} {lose}"),
+            ))
+        })(),
+        Expect::ConflictCollapses {
+            workload,
+            system,
+            reference,
+            factor,
+        } => (|| {
+            let sys = r
+                .find(workload, system)
+                .ok_or_else(|| format!("no run for {workload}/{system}"))?
+                .report
+                .breakdown()
+                .conflict;
+            let reference = r
+                .find(workload, reference)
+                .ok_or_else(|| format!("no run for {workload}/{reference}"))?
+                .report
+                .breakdown()
+                .conflict;
+            Ok((
+                (sys as f64) < factor * reference as f64,
+                format!("conflict cycles {sys} vs {reference} (must shrink below {factor}x)"),
+            ))
+        })(),
+        Expect::StructureBudget {
+            workload,
+            blocks_tracked,
+            private_stores,
+            constraint_addrs,
+            stall_pct,
+        } => (|| {
+            let run = r
+                .find(workload, System::Retcon.label())
+                .ok_or_else(|| format!("no RetCon run for {workload}"))?;
+            let rs = run
+                .report
+                .retcon
+                .as_ref()
+                .ok_or_else(|| format!("{workload}: RetCon run lacks structure stats"))?;
+            let ok = rs.max.blocks_tracked <= *blocks_tracked
+                && rs.max.private_stores <= *private_stores
+                && rs.max.constraint_addrs <= *constraint_addrs
+                && rs.commit_stall_percent() < *stall_pct;
+            Ok((
+                ok,
+                format!(
+                    "max tracked {} (≤{blocks_tracked}), stores {} (≤{private_stores}), constraints {} (≤{constraint_addrs}), stall {:.1}% (<{stall_pct}%)",
+                    rs.max.blocks_tracked,
+                    rs.max.private_stores,
+                    rs.max.constraint_addrs,
+                    rs.commit_stall_percent()
+                ),
+            ))
+        })(),
+        Expect::DeltaWithin {
+            workload,
+            a,
+            b,
+            pct,
+        } => (|| {
+            let va = speedup(r, workload, a)?;
+            let vb = speedup(r, workload, b)?;
+            let delta = 100.0 * (vb - va).abs() / va;
+            Ok((
+                delta <= *pct,
+                format!("{a} {va:.1}x vs {b} {vb:.1}x: |delta| {delta:.1}% (≤{pct}%)"),
+            ))
+        })(),
+        Expect::SpeedupAtLeast {
+            workload,
+            system,
+            min,
+        } => (|| {
+            let v = speedup(r, workload, system)?;
+            Ok((v >= *min, format!("{system} {v:.1}x (need ≥{min})")))
+        })(),
+        Expect::SpeedupBelow {
+            workload,
+            system,
+            max,
+        } => (|| {
+            let v = speedup(r, workload, system)?;
+            Ok((v < *max, format!("{system} {v:.1}x (must stay <{max})")))
+        })(),
+    };
+    outcome(check, result)
+}
+
+const RETCON: &str = "RetCon";
+const EAGER: &str = "eager";
+const LAZY_VB: &str = "lazy-vb";
+const DATM: &str = "datm";
+const COMPARED: &[&str] = &[EAGER, LAZY_VB];
+const FIG2_SYSTEMS: &[&str] = &["RetCon", "datm", "eager-abort", "eager", "lazy"];
+
+/// The Figure 2 checks: scale-free, so shared by full and quick modes.
+fn fig2_checks() -> Vec<Check> {
+    vec![
+        Check {
+            dataset: Dataset::Fig2,
+            name: "fig2: every design commits the same transactions",
+            expect: Expect::CommitsAgree {
+                workload: "counter",
+                systems: FIG2_SYSTEMS,
+            },
+        },
+        Check {
+            dataset: Dataset::Fig2,
+            name: "fig2: RetCon runs the counter essentially abort-free",
+            expect: Expect::AbortsAtMost {
+                workload: "counter",
+                system: RETCON,
+                max: 4,
+            },
+        },
+        Check {
+            dataset: Dataset::Fig2,
+            name: "fig2: DATM's forwarding beats eager-abort's livelock",
+            expect: Expect::FewerAborts {
+                workload: "counter",
+                winner: DATM,
+                loser: "eager-abort",
+            },
+        },
+        Check {
+            dataset: Dataset::Fig2,
+            name: "fig2: RetCon beats DATM on aborts",
+            expect: Expect::FewerAborts {
+                workload: "counter",
+                winner: RETCON,
+                loser: DATM,
+            },
+        },
+    ]
+}
+
+/// The rescue/insensitivity checks over a Figure 9-shaped record.
+///
+/// `rescued` lists the auxiliary-data workloads with the rescue factor
+/// RETCON must clear over every other system — 2.0 across the board at
+/// 32 cores, per-workload-calibrated at quick scale where the gap has
+/// less room to open (genome-sz's eager baseline still reaches 6× on 8
+/// cores, so RETCON's win there is real but narrow).
+fn fig9_checks(rescued: &[(&'static str, f64)], workloads: &[&'static str]) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for &(w, factor) in rescued {
+        if !workloads.contains(&w) {
+            continue;
+        }
+        checks.push(Check {
+            dataset: Dataset::Fig9,
+            name: "fig9: RetCon rescues the auxiliary-data workload",
+            expect: Expect::Rescued {
+                workload: w,
+                winner: RETCON,
+                over: COMPARED,
+                factor,
+            },
+        });
+        // DATM forwards values but cannot repair, so it must not match
+        // RETCON on the auxiliary-data workloads either.
+        checks.push(Check {
+            dataset: Dataset::Fig9,
+            name: "fig9: DATM forwarding alone does not rescue",
+            expect: Expect::Beats {
+                workload: w,
+                winner: RETCON,
+                loser: DATM,
+                factor,
+            },
+        });
+    }
+    for w in ["intruder", "yada", "python"] {
+        if !workloads.contains(&w) {
+            continue;
+        }
+        checks.push(Check {
+            dataset: Dataset::Fig9,
+            name: "fig9: address-feeding workloads stay unrescued",
+            expect: Expect::NotRescued {
+                workload: w,
+                system: RETCON,
+                reference: EAGER,
+                factor: 2.0,
+            },
+        });
+    }
+    for w in ["genome", "kmeans", "ssca2", "intruder_opt", "vacation_opt"] {
+        if !workloads.contains(&w) {
+            continue;
+        }
+        checks.push(Check {
+            dataset: Dataset::Fig9,
+            name: "fig9: conflict-free workloads are insensitive to the protocol",
+            expect: Expect::Insensitive {
+                workload: w,
+                systems: &[EAGER, LAZY_VB, RETCON],
+                within: 1.5,
+            },
+        });
+    }
+    if workloads.contains(&"vacation") {
+        checks.push(Check {
+            dataset: Dataset::Fig9,
+            name: "fig9: value-based detection helps vacation",
+            expect: Expect::Beats {
+                workload: "vacation",
+                winner: LAZY_VB,
+                loser: EAGER,
+                factor: 1.5,
+            },
+        });
+    }
+    checks
+}
+
+/// The full-scale (32-core) expectation table.
+pub fn full_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
+    // Figure 1 — the bimodal baseline that motivates the paper: some
+    // workloads near-linear, the conflict-bound ones at the bottom.
+    for (w, min) in [("genome", 15.0), ("kmeans", 10.0)] {
+        checks.push(Check {
+            dataset: Dataset::Fig1,
+            name: "fig1: scaling workloads stay near-linear under eager",
+            expect: Expect::SpeedupAtLeast {
+                workload: w,
+                system: EAGER,
+                min,
+            },
+        });
+    }
+    for (w, max) in [("python", 4.0), ("intruder", 5.0), ("yada", 10.0)] {
+        checks.push(Check {
+            dataset: Dataset::Fig1,
+            name: "fig1: conflict-bound workloads stay at the bottom",
+            expect: Expect::SpeedupBelow {
+                workload: w,
+                system: EAGER,
+                max,
+            },
+        });
+    }
+    checks.extend(fig2_checks());
+    let all_fig9: Vec<&'static str> = Workload::fig9().iter().map(|w| w.label()).collect();
+    checks.extend(fig9_checks(
+        &[
+            ("genome-sz", 2.0),
+            ("intruder_opt-sz", 2.0),
+            ("vacation_opt-sz", 2.0),
+            ("python_opt", 2.0),
+        ],
+        &all_fig9,
+    ));
+    // Figure 10 — repair collapses the conflict component on the
+    // auxiliary-data workloads.
+    for w in ["genome-sz", "vacation_opt-sz", "python_opt"] {
+        checks.push(Check {
+            dataset: Dataset::Fig10,
+            name: "fig10: RetCon collapses the conflict component",
+            expect: Expect::ConflictCollapses {
+                workload: w,
+                system: RETCON,
+                reference: EAGER,
+                factor: 0.5,
+            },
+        });
+    }
+    // Table 3 — the hardware budget of Table 1 suffices.
+    for w in ["genome-sz", "python_opt"] {
+        checks.push(Check {
+            dataset: Dataset::Table3,
+            name: "table3: structures stay inside the Table 1 budget",
+            expect: Expect::StructureBudget {
+                workload: w,
+                blocks_tracked: 16,
+                private_stores: 32,
+                constraint_addrs: 24,
+                stall_pct: 35.0,
+            },
+        });
+    }
+    // §5.3 — idealizing RETCON does not significantly change results.
+    for w in ["genome-sz", "python_opt", "vacation_opt-sz", "yada"] {
+        checks.push(Check {
+            dataset: Dataset::AblationIdeal,
+            name: "ablation_ideal: idealization does not significantly matter",
+            expect: Expect::DeltaWithin {
+                workload: w,
+                a: RETCON,
+                b: "RetCon-ideal",
+                pct: 30.0,
+            },
+        });
+    }
+    checks
+}
+
+/// The workloads the quick fig9 slice runs.
+pub fn quick_workloads() -> [Workload; 4] {
+    [
+        Workload::Genome { resizable: false },
+        Workload::Genome { resizable: true },
+        Workload::Python { optimized: true },
+        Workload::Intruder {
+            optimized: false,
+            resizable: false,
+        },
+    ]
+}
+
+/// The reduced-scale expectation table for `--quick` (CI).
+pub fn quick_checks() -> Vec<Check> {
+    let mut checks = fig2_checks();
+    let quick: Vec<&'static str> = quick_workloads().iter().map(|w| w.label()).collect();
+    // Measured at 8 cores (seed 42): genome-sz RetCon 7.4× vs eager 6.0×
+    // (ratio 1.23) and python_opt 6.6× vs lazy-vb 1.9× (ratio 3.4) — so
+    // the quick factors are 1.15 and 2.0 with real margin.
+    checks.extend(fig9_checks(
+        &[("genome-sz", 1.15), ("python_opt", 2.0)],
+        &quick,
+    ));
+    checks
+}
+
+/// Builds the reduced-scale records `--quick` evaluates: the full fig2
+/// matrix (2 cores — it is the paper's own micro-schedule scale) plus a
+/// [`QUICK_CORES`]-core slice of fig9.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+pub fn quick_records(workers: usize) -> Result<BTreeMap<String, ExperimentRecord>, SimError> {
+    let mut records = BTreeMap::new();
+    records.insert(
+        Dataset::Fig2.name().to_string(),
+        Dataset::Fig2.collect(workers)?,
+    );
+    let mut jobs = Vec::new();
+    for w in quick_workloads() {
+        jobs.push(Job::new(w, System::Eager, 1, SEED));
+        for s in System::FIG9 {
+            jobs.push(Job::new(w, s, QUICK_CORES, SEED));
+        }
+    }
+    let mut runs = run_jobs(&jobs, workers)?;
+    crate::datasets::wire_baselines(&mut runs);
+    records.insert(
+        Dataset::Fig9.name().to_string(),
+        ExperimentRecord {
+            name: Dataset::Fig9.name().to_string(),
+            seed: SEED,
+            meta: vec![("quick".to_string(), QUICK_CORES.to_string())],
+            runs,
+        },
+    );
+    Ok(records)
+}
+
+/// Evaluates `checks` against `records`; checks whose dataset is missing
+/// fail with a "record not available" outcome.
+pub fn run_checks(
+    checks: &[Check],
+    records: &BTreeMap<String, ExperimentRecord>,
+) -> Vec<CheckOutcome> {
+    checks
+        .iter()
+        .map(|check| match records.get(check.dataset.name()) {
+            Some(record) => evaluate(check, record),
+            None => CheckOutcome {
+                dataset: check.dataset.name(),
+                name: check.name,
+                passed: false,
+                detail: "record not available".to_string(),
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_checks_pass_on_fresh_records() {
+        let records = quick_records(4).unwrap();
+        let outcomes = run_checks(&quick_checks(), &records);
+        assert!(!outcomes.is_empty());
+        for o in &outcomes {
+            assert!(o.passed, "{} [{}]: {}", o.name, o.dataset, o.detail);
+        }
+    }
+
+    #[test]
+    fn missing_records_fail_closed() {
+        let outcomes = run_checks(&quick_checks(), &BTreeMap::new());
+        assert!(outcomes.iter().all(|o| !o.passed));
+        assert!(outcomes[0].detail.contains("not available"));
+    }
+
+    #[test]
+    fn check_tables_are_nonempty_and_well_formed() {
+        for check in full_checks().iter().chain(quick_checks().iter()) {
+            assert!(!check.name.is_empty());
+            assert!(!check.dataset.name().is_empty());
+        }
+        assert!(full_checks().len() >= 15);
+        assert!(quick_checks().len() >= 8);
+    }
+}

@@ -1,0 +1,398 @@
+//! CSV emission and parsing for experiment records.
+//!
+//! The CSV form is a **flat projection** for spreadsheets and plotting
+//! scripts: one row per run, per-core detail aggregated into the four
+//! breakdown buckets (the lossless form is the JSON emitter in
+//! [`crate::record`]). The projection is *stable*: parsing a CSV and
+//! re-emitting it reproduces the bytes exactly — the `emit ∘ parse ∘ emit
+//! = emit` property the test suite pins.
+//!
+//! Layout:
+//!
+//! ```text
+//! # experiment=fig9
+//! # seed=42
+//! # meta <key>=<value>          (one line per metadata entry)
+//! workload,system,protocol,cores,seed,knobs,...   (header)
+//! genome,eager,eager,32,42,,123,...               (one row per run)
+//! ```
+//!
+//! Knobs are packed `key=value;key=value`. Cells never need quoting: every
+//! label in this workspace is comma-free, and the emitter rejects rather
+//! than quietly corrupts if that ever changes.
+
+use crate::record::{ExperimentRecord, RunRecord};
+use retcon::{RetconStats, TxSnapshot};
+use retcon_htm::ProtocolStats;
+use retcon_sim::{CoreReport, SimReport, TimeBreakdown};
+
+/// The fixed column set, in emission order.
+pub fn columns() -> &'static [&'static str] {
+    static COLUMNS: std::sync::OnceLock<Vec<&'static str>> = std::sync::OnceLock::new();
+    COLUMNS.get_or_init(|| {
+        let mut cols = vec![
+            "workload",
+            "system",
+            "protocol",
+            "cores",
+            "seed",
+            "knobs",
+            "seq_cycles",
+            "cycles",
+        ];
+        cols.extend(TimeBreakdown::FIELDS);
+        cols.push("instructions");
+        cols.extend(ProtocolStats::FIELDS);
+        cols.push("retcon");
+        cols.extend(["transactions", "tx_cycles", "violations"]);
+        for f in TxSnapshot::FIELDS {
+            cols.push(&*Box::leak(format!("sum_{f}").into_boxed_str()));
+        }
+        for f in TxSnapshot::FIELDS {
+            cols.push(&*Box::leak(format!("max_{f}").into_boxed_str()));
+        }
+        cols
+    })
+}
+
+fn check_cell(kind: &str, value: &str) -> Result<(), String> {
+    if value.contains(',') || value.contains('\n') || value.contains('\r') {
+        Err(format!("{kind} `{value}` contains a CSV delimiter"))
+    } else {
+        Ok(())
+    }
+}
+
+fn knobs_cell(knobs: &[(String, String)]) -> Result<String, String> {
+    let mut parts = Vec::with_capacity(knobs.len());
+    for (k, v) in knobs {
+        check_cell("knob key", k)?;
+        check_cell("knob value", v)?;
+        if k.contains('=') || k.contains(';') || v.contains('=') || v.contains(';') {
+            return Err(format!("knob `{k}={v}` contains a knob delimiter"));
+        }
+        parts.push(format!("{k}={v}"));
+    }
+    Ok(parts.join(";"))
+}
+
+fn parse_knobs(cell: &str) -> Result<Vec<(String, String)>, String> {
+    if cell.is_empty() {
+        return Ok(Vec::new());
+    }
+    cell.split(';')
+        .map(|part| {
+            part.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .ok_or_else(|| format!("malformed knob `{part}`"))
+        })
+        .collect()
+}
+
+/// Emits the experiment as CSV (see the module docs for the layout).
+///
+/// # Errors
+///
+/// Rejects labels or metadata containing CSV delimiters instead of
+/// emitting a corrupt file.
+pub fn to_csv(exp: &ExperimentRecord) -> Result<String, String> {
+    let mut out = String::new();
+    check_cell("experiment name", &exp.name)?;
+    out.push_str(&format!("# experiment={}\n", exp.name));
+    out.push_str(&format!("# seed={}\n", exp.seed));
+    for (k, v) in &exp.meta {
+        // '\r' matters too: `lines()` strips a trailing CR on parse, which
+        // would silently corrupt the round trip instead of failing loudly.
+        if k.contains('=') || k.contains('\n') || k.contains('\r') {
+            return Err(format!("meta key `{k}` contains a delimiter"));
+        }
+        if v.contains('\n') || v.contains('\r') {
+            return Err(format!("meta `{k}` value contains a line break"));
+        }
+        out.push_str(&format!("# meta {k}={v}\n"));
+    }
+    out.push_str(&columns().join(","));
+    out.push('\n');
+    for run in &exp.runs {
+        check_cell("workload", &run.workload)?;
+        check_cell("system", &run.system)?;
+        check_cell("protocol", &run.report.protocol_name)?;
+        let breakdown = run.report.breakdown();
+        let mut cells: Vec<String> = vec![
+            run.workload.clone(),
+            run.system.clone(),
+            run.report.protocol_name.clone(),
+            run.cores.to_string(),
+            run.seed.to_string(),
+            knobs_cell(&run.knobs)?,
+            run.seq_cycles.to_string(),
+            run.report.cycles.to_string(),
+        ];
+        cells.extend(breakdown.as_array().iter().map(u64::to_string));
+        cells.push(run.report.total_instructions().to_string());
+        cells.extend(run.report.protocol.as_array().iter().map(u64::to_string));
+        match &run.report.retcon {
+            None => {
+                cells.push("0".to_string());
+                cells.extend((0..15).map(|_| String::new()));
+            }
+            Some(rs) => {
+                cells.push("1".to_string());
+                cells.push(rs.transactions.to_string());
+                cells.push(rs.tx_cycles.to_string());
+                cells.push(rs.violations.to_string());
+                cells.extend(rs.sum.as_array().iter().map(u64::to_string));
+                cells.extend(rs.max.as_array().iter().map(u64::to_string));
+            }
+        }
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn parse_u64(cell: &str, line: usize, col: &str) -> Result<u64, String> {
+    cell.parse()
+        .map_err(|_| format!("line {line}: column `{col}` is not an integer: `{cell}`"))
+}
+
+/// Parses the [`to_csv`] form back into an experiment record.
+///
+/// The reconstruction carries the flat projection: per-core detail is
+/// collapsed into a single aggregate [`CoreReport`] whose `finished_at`
+/// is the run's total cycles. Re-emitting the result reproduces the input
+/// bytes.
+///
+/// # Errors
+///
+/// Reports the first malformed line, with its line number.
+pub fn from_csv(text: &str) -> Result<ExperimentRecord, String> {
+    let mut name = None;
+    let mut seed = None;
+    let mut meta = Vec::new();
+    let mut runs = Vec::new();
+    let mut saw_header = false;
+    let expected = columns();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if let Some(comment) = line.strip_prefix("# ") {
+            if let Some(v) = comment.strip_prefix("experiment=") {
+                name = Some(v.to_string());
+            } else if let Some(v) = comment.strip_prefix("seed=") {
+                seed = Some(parse_u64(v, lineno, "seed")?);
+            } else if let Some(entry) = comment.strip_prefix("meta ") {
+                let (k, v) = entry
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {lineno}: malformed meta line"))?;
+                meta.push((k.to_string(), v.to_string()));
+            } else {
+                return Err(format!("line {lineno}: unknown comment `{comment}`"));
+            }
+            continue;
+        }
+        if !saw_header {
+            if line != expected.join(",") {
+                return Err(format!("line {lineno}: unexpected header"));
+            }
+            saw_header = true;
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != expected.len() {
+            return Err(format!(
+                "line {lineno}: {} cells, expected {}",
+                cells.len(),
+                expected.len()
+            ));
+        }
+        let cell = |col: &str| -> &str {
+            let i = expected
+                .iter()
+                .position(|c| *c == col)
+                .expect("known column");
+            cells[i]
+        };
+        let cycles = parse_u64(cell("cycles"), lineno, "cycles")?;
+        let mut buckets = [0u64; 4];
+        for (slot, field) in buckets.iter_mut().zip(TimeBreakdown::FIELDS) {
+            *slot = parse_u64(cell(field), lineno, field)?;
+        }
+        let mut stats = [0u64; 6];
+        for (slot, field) in stats.iter_mut().zip(ProtocolStats::FIELDS) {
+            *slot = parse_u64(cell(field), lineno, field)?;
+        }
+        let retcon = match cell("retcon") {
+            "0" => None,
+            "1" => {
+                let snapshot = |prefix: &str| -> Result<TxSnapshot, String> {
+                    let mut values = [0u64; 6];
+                    for (slot, field) in values.iter_mut().zip(TxSnapshot::FIELDS) {
+                        let col = format!("{prefix}_{field}");
+                        *slot = parse_u64(cell(&col), lineno, &col)?;
+                    }
+                    Ok(TxSnapshot::from_array(values))
+                };
+                Some(RetconStats {
+                    transactions: parse_u64(cell("transactions"), lineno, "transactions")?,
+                    tx_cycles: parse_u64(cell("tx_cycles"), lineno, "tx_cycles")?,
+                    violations: parse_u64(cell("violations"), lineno, "violations")?,
+                    sum: snapshot("sum")?,
+                    max: snapshot("max")?,
+                })
+            }
+            other => return Err(format!("line {lineno}: bad retcon flag `{other}`")),
+        };
+        runs.push(RunRecord {
+            workload: cell("workload").to_string(),
+            system: cell("system").to_string(),
+            cores: parse_u64(cell("cores"), lineno, "cores")?,
+            seed: parse_u64(cell("seed"), lineno, "seed")?,
+            knobs: parse_knobs(cell("knobs")).map_err(|e| format!("line {lineno}: {e}"))?,
+            seq_cycles: parse_u64(cell("seq_cycles"), lineno, "seq_cycles")?,
+            report: SimReport {
+                protocol_name: cell("protocol").to_string(),
+                cycles,
+                per_core: vec![CoreReport {
+                    breakdown: TimeBreakdown::from_array(buckets),
+                    instructions: parse_u64(cell("instructions"), lineno, "instructions")?,
+                    finished_at: cycles,
+                }],
+                protocol: ProtocolStats::from_array(stats),
+                retcon,
+            },
+        });
+    }
+    if !saw_header {
+        return Err("missing CSV header".to_string());
+    }
+    Ok(ExperimentRecord {
+        name: name.ok_or("missing `# experiment=` line")?,
+        seed: seed.ok_or("missing `# seed=` line")?,
+        meta,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentRecord {
+        let mut report = SimReport {
+            protocol_name: "RetCon".to_string(),
+            cycles: 500,
+            ..Default::default()
+        };
+        report.per_core.push(CoreReport {
+            breakdown: TimeBreakdown {
+                busy: 100,
+                conflict: 200,
+                barrier: 0,
+                other: 50,
+            },
+            instructions: 90,
+            finished_at: 400,
+        });
+        report.per_core.push(CoreReport {
+            breakdown: TimeBreakdown {
+                busy: 150,
+                conflict: 0,
+                barrier: 0,
+                other: 0,
+            },
+            instructions: 10,
+            finished_at: 500,
+        });
+        report.protocol = ProtocolStats::from_array([5, 1, 0, 0, 0, 2]);
+        let mut rs = RetconStats::new();
+        rs.record_commit(TxSnapshot::from_array([1, 2, 3, 4, 5, 6]), 60);
+        report.retcon = Some(rs);
+        ExperimentRecord {
+            name: "sample".to_string(),
+            seed: 42,
+            meta: vec![("k".to_string(), "v with = sign".to_string())],
+            runs: vec![
+                RunRecord {
+                    workload: "counter".to_string(),
+                    system: "RetCon".to_string(),
+                    cores: 2,
+                    seed: 42,
+                    knobs: vec![("ivb".to_string(), "4".to_string())],
+                    seq_cycles: 900,
+                    report,
+                },
+                RunRecord {
+                    workload: "counter".to_string(),
+                    system: "eager".to_string(),
+                    cores: 1,
+                    seed: 42,
+                    knobs: vec![],
+                    seq_cycles: 0,
+                    report: SimReport {
+                        protocol_name: "eager".to_string(),
+                        cycles: 900,
+                        ..Default::default()
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_projection_is_stable() {
+        let exp = sample();
+        let csv = to_csv(&exp).unwrap();
+        let parsed = from_csv(&csv).unwrap();
+        // The projection collapses per-core detail...
+        assert_eq!(parsed.runs[0].report.per_core.len(), 1);
+        // ...but preserves aggregates and context exactly...
+        assert_eq!(
+            parsed.runs[0].report.breakdown(),
+            exp.runs[0].report.breakdown()
+        );
+        assert_eq!(parsed.runs[0].report.protocol, exp.runs[0].report.protocol);
+        assert_eq!(parsed.runs[0].report.retcon, exp.runs[0].report.retcon);
+        assert_eq!(parsed.runs[0].knobs, exp.runs[0].knobs);
+        assert_eq!(parsed.meta, exp.meta);
+        // ...and is byte-stable under re-emission.
+        assert_eq!(to_csv(&parsed).unwrap(), csv);
+    }
+
+    #[test]
+    fn csv_rejects_delimiter_labels() {
+        let mut exp = sample();
+        exp.runs[0].workload = "a,b".to_string();
+        assert!(to_csv(&exp).is_err());
+    }
+
+    #[test]
+    fn csv_rejects_line_breaks_in_meta() {
+        // A trailing '\r' would survive emission but be stripped by the
+        // parser's `lines()`, corrupting the round trip — reject it.
+        let mut exp = sample();
+        exp.meta = vec![("k".to_string(), "v\r".to_string())];
+        assert!(to_csv(&exp).is_err());
+        exp.meta = vec![("k\r".to_string(), "v".to_string())];
+        assert!(to_csv(&exp).is_err());
+        exp.meta = vec![("k".to_string(), "v\nx".to_string())];
+        assert!(to_csv(&exp).is_err());
+    }
+
+    #[test]
+    fn csv_parse_reports_line_numbers() {
+        let exp = sample();
+        let mut csv = to_csv(&exp).unwrap();
+        csv.push_str("short,row\n");
+        let err = from_csv(&csv).unwrap_err();
+        assert!(err.contains("line"), "{err}");
+    }
+
+    #[test]
+    fn csv_requires_header_and_name() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv(&columns().join(",")).is_err());
+    }
+}

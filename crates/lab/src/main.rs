@@ -1,0 +1,14 @@
+//! The `retcon-lab` experiment orchestrator.
+//!
+//! ```text
+//! cargo run --release -p retcon-lab -- all --jobs 8 --out results/
+//! cargo run --release -p retcon-lab -- run fig9 --jobs 8 --json
+//! cargo run --release -p retcon-lab -- check --quick
+//! cargo run --release -p retcon-lab -- list
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    retcon_lab::cli::lab_main()
+}

@@ -1,0 +1,323 @@
+//! Experiment records: the structured, machine-readable form of every
+//! figure and table dataset.
+//!
+//! A [`RunRecord`] captures one simulation run — which workload, under
+//! which system, at which core count and seed, with which configuration
+//! knobs — together with the full [`SimReport`] cycle breakdown. An
+//! [`ExperimentRecord`] groups the runs that regenerate one paper
+//! artifact (`fig9`, `table3`, …) with free-form metadata.
+//!
+//! Records store **integers only** (cycles and counters); derived
+//! quantities such as speedups are computed on demand. That choice makes
+//! the JSON emitters in this module exactly invertible — the round-trip
+//! property the test suite pins — and keeps the on-disk format
+//! diff-friendly across runs.
+
+use retcon_sim::json::Json;
+use retcon_sim::SimReport;
+
+/// One simulation run with its full context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Workload label (Table 2 name, e.g. `"genome-sz"`).
+    pub workload: String,
+    /// System label (e.g. `"eager"`, `"lazy-vb"`, `"RetCon"`).
+    pub system: String,
+    /// Core count of this run.
+    pub cores: u64,
+    /// Workload-build seed.
+    pub seed: u64,
+    /// Configuration knobs that deviate from the named system's defaults
+    /// (e.g. `("ivb", "4")` in a structure-size sweep). Empty for plain
+    /// runs.
+    pub knobs: Vec<(String, String)>,
+    /// Sequential-baseline cycles for the same workload and seed, or 0
+    /// when the dataset does not measure a baseline.
+    pub seq_cycles: u64,
+    /// The complete simulator report.
+    pub report: SimReport,
+}
+
+impl RunRecord {
+    /// Speedup over the sequential baseline, when one was measured.
+    pub fn speedup(&self) -> Option<f64> {
+        if self.seq_cycles == 0 || self.report.cycles == 0 {
+            None
+        } else {
+            Some(self.seq_cycles as f64 / self.report.cycles as f64)
+        }
+    }
+
+    /// The value of knob `key`, if this run set it.
+    pub fn knob(&self, key: &str) -> Option<&str> {
+        self.knobs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes the run (losslessly) as JSON. The shape is shared with
+    /// `retcon-run --json`:
+    ///
+    /// ```text
+    /// { "workload": "...", "system": "...", "cores": N, "seed": N,
+    ///   "knobs": [["key","value"], ...], "seq_cycles": N,
+    ///   "report": { SimReport::to_json ... } }
+    /// ```
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::str(&self.workload)),
+            ("system", Json::str(&self.system)),
+            ("cores", Json::UInt(self.cores)),
+            ("seed", Json::UInt(self.seed)),
+            (
+                "knobs",
+                Json::Arr(
+                    self.knobs
+                        .iter()
+                        .map(|(k, v)| Json::Arr(vec![Json::str(k), Json::str(v)]))
+                        .collect(),
+                ),
+            ),
+            ("seq_cycles", Json::UInt(self.seq_cycles)),
+            ("report", self.report.to_json()),
+        ])
+    }
+
+    /// Reconstructs a run from the [`RunRecord::to_json`] shape.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<RunRecord, String> {
+        let mut knobs = Vec::new();
+        for (i, pair) in json.req_arr("knobs")?.iter().enumerate() {
+            let items = pair
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| format!("knobs[{i}]: expected a [key, value] pair"))?;
+            let key = items[0]
+                .as_str()
+                .ok_or_else(|| format!("knobs[{i}]: non-string key"))?;
+            let value = items[1]
+                .as_str()
+                .ok_or_else(|| format!("knobs[{i}]: non-string value"))?;
+            knobs.push((key.to_string(), value.to_string()));
+        }
+        Ok(RunRecord {
+            workload: json.req_str("workload")?.to_string(),
+            system: json.req_str("system")?.to_string(),
+            cores: json.req_u64("cores")?,
+            seed: json.req_u64("seed")?,
+            knobs,
+            seq_cycles: json.req_u64("seq_cycles")?,
+            report: SimReport::from_json(
+                json.get("report")
+                    .ok_or_else(|| "missing field `report`".to_string())?,
+            )?,
+        })
+    }
+}
+
+/// One regenerated paper artifact: a named group of runs plus metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRecord {
+    /// Dataset name (`"fig9"`, `"table3"`, …).
+    pub name: String,
+    /// The seed every run used.
+    pub seed: u64,
+    /// Free-form metadata (configuration tables, static inventories);
+    /// order is preserved.
+    pub meta: Vec<(String, String)>,
+    /// The runs, in the dataset's canonical (serial) order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl ExperimentRecord {
+    /// Finds the run for `workload` under `system` with the *highest* core
+    /// count — the headline configuration when a dataset also carries
+    /// 1-core baselines.
+    pub fn find(&self, workload: &str, system: &str) -> Option<&RunRecord> {
+        self.runs
+            .iter()
+            .filter(|r| r.workload == workload && r.system == system)
+            .max_by_key(|r| r.cores)
+    }
+
+    /// Finds the run for `workload` under `system` at exactly `cores`.
+    pub fn find_at(&self, workload: &str, system: &str, cores: u64) -> Option<&RunRecord> {
+        self.runs
+            .iter()
+            .find(|r| r.workload == workload && r.system == system && r.cores == cores)
+    }
+
+    /// Speedup of `workload` under `system` (highest-core run), when a
+    /// baseline was measured.
+    pub fn speedup_of(&self, workload: &str, system: &str) -> Option<f64> {
+        self.find(workload, system).and_then(RunRecord::speedup)
+    }
+
+    /// The value of meta key `key`.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes the experiment (losslessly) as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("experiment", Json::str(&self.name)),
+            ("seed", Json::UInt(self.seed)),
+            (
+                "meta",
+                Json::Arr(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| Json::Arr(vec![Json::str(k), Json::str(v)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "runs",
+                Json::Arr(self.runs.iter().map(RunRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The stable on-disk JSON text (pretty-printed, trailing newline).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
+    /// Reconstructs an experiment from the [`ExperimentRecord::to_json`]
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<ExperimentRecord, String> {
+        let mut meta = Vec::new();
+        for (i, pair) in json.req_arr("meta")?.iter().enumerate() {
+            let items = pair
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| format!("meta[{i}]: expected a [key, value] pair"))?;
+            meta.push((
+                items[0]
+                    .as_str()
+                    .ok_or_else(|| format!("meta[{i}]: non-string key"))?
+                    .to_string(),
+                items[1]
+                    .as_str()
+                    .ok_or_else(|| format!("meta[{i}]: non-string value"))?
+                    .to_string(),
+            ));
+        }
+        let mut runs = Vec::new();
+        for (i, run) in json.req_arr("runs")?.iter().enumerate() {
+            runs.push(RunRecord::from_json(run).map_err(|e| format!("runs[{i}]: {e}"))?);
+        }
+        Ok(ExperimentRecord {
+            name: json.req_str("experiment")?.to_string(),
+            seed: json.req_u64("seed")?,
+            meta,
+            runs,
+        })
+    }
+
+    /// Parses the on-disk JSON text form.
+    ///
+    /// # Errors
+    ///
+    /// Reports JSON syntax errors and schema mismatches.
+    pub fn from_json_str(text: &str) -> Result<ExperimentRecord, String> {
+        let json = Json::parse(text).map_err(|e| e.to_string())?;
+        ExperimentRecord::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retcon_sim::{CoreReport, TimeBreakdown};
+
+    fn sample_run() -> RunRecord {
+        let mut report = SimReport {
+            protocol_name: "eager".to_string(),
+            cycles: 1000,
+            ..Default::default()
+        };
+        report.per_core.push(CoreReport {
+            breakdown: TimeBreakdown {
+                busy: 600,
+                conflict: 300,
+                barrier: 50,
+                other: 50,
+            },
+            instructions: 700,
+            finished_at: 1000,
+        });
+        report.protocol.commits = 64;
+        report.protocol.aborts_conflict = 3;
+        RunRecord {
+            workload: "counter".to_string(),
+            system: "eager".to_string(),
+            cores: 1,
+            seed: 42,
+            knobs: vec![("ivb".to_string(), "4".to_string())],
+            seq_cycles: 2000,
+            report,
+        }
+    }
+
+    #[test]
+    fn run_roundtrips_and_derives() {
+        let run = sample_run();
+        assert_eq!(RunRecord::from_json(&run.to_json()).unwrap(), run);
+        assert_eq!(run.speedup(), Some(2.0));
+        assert_eq!(run.knob("ivb"), Some("4"));
+        assert_eq!(run.knob("ssb"), None);
+    }
+
+    #[test]
+    fn experiment_roundtrips_through_text() {
+        let exp = ExperimentRecord {
+            name: "fig_test".to_string(),
+            seed: 42,
+            meta: vec![("note".to_string(), "a, b = c".to_string())],
+            runs: vec![sample_run()],
+        };
+        let text = exp.to_json_string();
+        assert_eq!(ExperimentRecord::from_json_str(&text).unwrap(), exp);
+    }
+
+    #[test]
+    fn find_prefers_highest_core_count() {
+        let mut base = sample_run();
+        base.seq_cycles = 0;
+        let mut big = base.clone();
+        big.cores = 32;
+        big.report.cycles = 100;
+        big.seq_cycles = 1000;
+        let exp = ExperimentRecord {
+            name: "x".to_string(),
+            seed: 42,
+            meta: vec![],
+            runs: vec![base, big],
+        };
+        assert_eq!(exp.find("counter", "eager").unwrap().cores, 32);
+        assert_eq!(exp.find_at("counter", "eager", 1).unwrap().cores, 1);
+        assert_eq!(exp.speedup_of("counter", "eager"), Some(10.0));
+        assert_eq!(exp.find("missing", "eager"), None);
+    }
+
+    #[test]
+    fn schema_errors_are_descriptive() {
+        let err = ExperimentRecord::from_json_str("{\"experiment\": \"x\"}").unwrap_err();
+        assert!(err.contains("meta"), "{err}");
+        let err = ExperimentRecord::from_json_str("not json").unwrap_err();
+        assert!(err.contains("parse error"), "{err}");
+    }
+}

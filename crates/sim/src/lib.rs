@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 
 mod config;
+pub mod json;
 mod machine;
 mod report;
 mod tape;

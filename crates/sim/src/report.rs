@@ -1,7 +1,15 @@
 //! Simulation reports: the measurement side of Figures 1, 3, 4, 9, 10 and
 //! Table 3.
+//!
+//! Besides the in-memory accounting types, this module owns the report's
+//! *stable serialization surface*: field-name constants
+//! ([`TimeBreakdown::FIELDS`]) and the [`SimReport::to_json`] /
+//! [`SimReport::from_json`] pair that the experiment-record layer
+//! (`retcon-lab`) and `retcon-run --json` both build on, so there is one
+//! schema definition for every machine-readable emitter.
 
-use retcon::RetconStats;
+use crate::json::Json;
+use retcon::{RetconStats, TxSnapshot};
 use retcon_htm::ProtocolStats;
 
 /// Cycle breakdown of one core's execution, matching the categories of
@@ -26,6 +34,25 @@ pub struct TimeBreakdown {
 }
 
 impl TimeBreakdown {
+    /// Stable bucket names, in the order [`TimeBreakdown::as_array`] uses —
+    /// the schema contract for machine-readable records.
+    pub const FIELDS: [&'static str; 4] = ["busy", "conflict", "barrier", "other"];
+
+    /// The buckets in [`TimeBreakdown::FIELDS`] order.
+    pub fn as_array(&self) -> [u64; 4] {
+        [self.busy, self.conflict, self.barrier, self.other]
+    }
+
+    /// Rebuilds a breakdown from [`TimeBreakdown::FIELDS`]-ordered buckets.
+    pub fn from_array(values: [u64; 4]) -> Self {
+        TimeBreakdown {
+            busy: values[0],
+            conflict: values[1],
+            barrier: values[2],
+            other: values[3],
+        }
+    }
+
     /// Sum of all buckets.
     pub fn total(&self) -> u64 {
         self.busy + self.conflict + self.barrier + self.other
@@ -69,7 +96,7 @@ pub struct CoreReport {
 }
 
 /// The complete result of a simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// Protocol name (e.g. `"eager"`, `"lazy-vb"`, `"RetCon"`).
     pub protocol_name: String,
@@ -109,6 +136,149 @@ impl SimReport {
         }
         self.protocol.aborts() as f64 / self.protocol.commits as f64
     }
+
+    /// Dynamic instructions executed across all cores (committed and
+    /// aborted work).
+    pub fn total_instructions(&self) -> u64 {
+        self.per_core.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Serializes the full report (per-core detail included) as JSON.
+    ///
+    /// The shape is stable and lossless — [`SimReport::from_json`]
+    /// reconstructs an identical report:
+    ///
+    /// ```text
+    /// { "protocol": "...", "cycles": N,
+    ///   "per_core": [{"busy":..,"conflict":..,"barrier":..,"other":..,
+    ///                 "instructions":..,"finished_at":..}, ...],
+    ///   "stats": { ProtocolStats::FIELDS... },
+    ///   "retcon": null | {"transactions":..,"tx_cycles":..,"violations":..,
+    ///                     "sum":{TxSnapshot::FIELDS...},
+    ///                     "max":{TxSnapshot::FIELDS...}} }
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let per_core = self
+            .per_core
+            .iter()
+            .map(|c| {
+                let mut fields: Vec<(String, Json)> = TimeBreakdown::FIELDS
+                    .iter()
+                    .zip(c.breakdown.as_array())
+                    .map(|(name, v)| (name.to_string(), Json::UInt(v)))
+                    .collect();
+                fields.push(("instructions".to_string(), Json::UInt(c.instructions)));
+                fields.push(("finished_at".to_string(), Json::UInt(c.finished_at)));
+                Json::Obj(fields)
+            })
+            .collect();
+        let stats = Json::Obj(
+            ProtocolStats::FIELDS
+                .iter()
+                .zip(self.protocol.as_array())
+                .map(|(name, v)| (name.to_string(), Json::UInt(v)))
+                .collect(),
+        );
+        let retcon = match &self.retcon {
+            None => Json::Null,
+            Some(rs) => Json::obj(vec![
+                ("transactions", Json::UInt(rs.transactions)),
+                ("tx_cycles", Json::UInt(rs.tx_cycles)),
+                ("violations", Json::UInt(rs.violations)),
+                ("sum", snapshot_json(&rs.sum)),
+                ("max", snapshot_json(&rs.max)),
+            ]),
+        };
+        Json::obj(vec![
+            ("protocol", Json::str(&self.protocol_name)),
+            ("cycles", Json::UInt(self.cycles)),
+            ("per_core", Json::Arr(per_core)),
+            ("stats", stats),
+            ("retcon", retcon),
+        ])
+    }
+
+    /// Reconstructs a report from the [`SimReport::to_json`] shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<SimReport, String> {
+        let mut per_core = Vec::new();
+        for (i, core) in json.req_arr("per_core")?.iter().enumerate() {
+            let mut buckets = [0u64; 4];
+            for (slot, name) in buckets.iter_mut().zip(TimeBreakdown::FIELDS) {
+                *slot = core
+                    .req_u64(name)
+                    .map_err(|e| format!("per_core[{i}]: {e}"))?;
+            }
+            per_core.push(CoreReport {
+                breakdown: TimeBreakdown::from_array(buckets),
+                instructions: core
+                    .req_u64("instructions")
+                    .map_err(|e| format!("per_core[{i}]: {e}"))?,
+                finished_at: core
+                    .req_u64("finished_at")
+                    .map_err(|e| format!("per_core[{i}]: {e}"))?,
+            });
+        }
+        let stats_json = json
+            .get("stats")
+            .ok_or_else(|| "missing field `stats`".to_string())?;
+        let mut stats = [0u64; 6];
+        for (slot, name) in stats.iter_mut().zip(ProtocolStats::FIELDS) {
+            *slot = stats_json
+                .req_u64(name)
+                .map_err(|e| format!("stats: {e}"))?;
+        }
+        let retcon = match json.get("retcon") {
+            None | Some(Json::Null) => None,
+            Some(rs) => Some(RetconStats {
+                transactions: rs
+                    .req_u64("transactions")
+                    .map_err(|e| format!("retcon: {e}"))?,
+                tx_cycles: rs
+                    .req_u64("tx_cycles")
+                    .map_err(|e| format!("retcon: {e}"))?,
+                violations: rs
+                    .req_u64("violations")
+                    .map_err(|e| format!("retcon: {e}"))?,
+                sum: snapshot_from_json(
+                    rs.get("sum")
+                        .ok_or_else(|| "missing field `retcon.sum`".to_string())?,
+                )?,
+                max: snapshot_from_json(
+                    rs.get("max")
+                        .ok_or_else(|| "missing field `retcon.max`".to_string())?,
+                )?,
+            }),
+        };
+        Ok(SimReport {
+            protocol_name: json.req_str("protocol")?.to_string(),
+            cycles: json.req_u64("cycles")?,
+            per_core,
+            protocol: ProtocolStats::from_array(stats),
+            retcon,
+        })
+    }
+}
+
+fn snapshot_json(snap: &TxSnapshot) -> Json {
+    Json::Obj(
+        TxSnapshot::FIELDS
+            .iter()
+            .zip(snap.as_array())
+            .map(|(name, v)| (name.to_string(), Json::UInt(v)))
+            .collect(),
+    )
+}
+
+fn snapshot_from_json(json: &Json) -> Result<TxSnapshot, String> {
+    let mut values = [0u64; 6];
+    for (slot, name) in values.iter_mut().zip(TxSnapshot::FIELDS) {
+        *slot = json.req_u64(name).map_err(|e| format!("snapshot: {e}"))?;
+    }
+    Ok(TxSnapshot::from_array(values))
 }
 
 #[cfg(test)]
@@ -151,6 +321,51 @@ mod tests {
             other: 40,
         });
         assert_eq!(a.total(), 110);
+    }
+
+    #[test]
+    fn report_json_roundtrip_is_lossless() {
+        let mut r = SimReport {
+            protocol_name: "RetCon".to_string(),
+            cycles: 98765,
+            ..Default::default()
+        };
+        r.per_core.push(CoreReport {
+            breakdown: TimeBreakdown {
+                busy: 1,
+                conflict: 2,
+                barrier: 3,
+                other: 4,
+            },
+            instructions: 500,
+            finished_at: 98765,
+        });
+        r.per_core.push(CoreReport::default());
+        r.protocol = ProtocolStats::from_array([10, 1, 2, 3, 4, 5]);
+        let mut rs = RetconStats::new();
+        rs.record_commit(TxSnapshot::from_array([1, 2, 3, 4, 5, 6]), 100);
+        rs.record_violation();
+        r.retcon = Some(rs);
+
+        let json = r.to_json();
+        assert_eq!(SimReport::from_json(&json).unwrap(), r);
+        // And through text.
+        let reparsed = crate::json::Json::parse(&json.to_pretty_string()).unwrap();
+        assert_eq!(SimReport::from_json(&reparsed).unwrap(), r);
+
+        // A report without RETCON stats round-trips too.
+        r.retcon = None;
+        assert_eq!(SimReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn report_json_rejects_missing_fields() {
+        let r = SimReport::default();
+        let Json::Obj(mut fields) = r.to_json() else {
+            panic!("report JSON is an object");
+        };
+        fields.retain(|(k, _)| k != "cycles");
+        assert!(SimReport::from_json(&Json::Obj(fields)).is_err());
     }
 
     #[test]

@@ -9,37 +9,23 @@
 //! simulator's report: cycles, speedup over the sequential baseline,
 //! commit/abort/stall counts, the time breakdown, and — under RETCON — the
 //! Table 3 structure-utilization statistics.
+//!
+//! `--json` instead emits the run as a machine-readable record in exactly
+//! the `retcon-lab` `RunRecord` JSON shape (workload/system/cores/seed
+//! context plus the full [`retcon_sim::SimReport`] serialization), so ad-hoc
+//! runs can be concatenated with harness-generated result sets.
 
 use std::process::ExitCode;
 
+use retcon_sim::json::Json;
 use retcon_workloads::{run, sequential_baseline, System, Workload};
 
-fn parse_workload(name: &str) -> Option<Workload> {
-    let mut all = Workload::fig9();
-    all.push(Workload::Counter);
-    all.into_iter().find(|w| w.label() == name)
-}
-
-fn parse_system(name: &str) -> Option<System> {
-    [
-        System::Eager,
-        System::EagerAbort,
-        System::Lazy,
-        System::LazyVb,
-        System::Retcon,
-        System::RetconIdeal,
-        System::Datm,
-    ]
-    .into_iter()
-    .find(|s| s.label().eq_ignore_ascii_case(name))
-}
-
 fn usage() -> ExitCode {
-    eprintln!("usage: retcon-run --workload <name> [--system <name>] [--cores <n>] [--seed <n>]");
+    eprintln!(
+        "usage: retcon-run --workload <name> [--system <name>] [--cores <n>] [--seed <n>] [--json]"
+    );
     eprintln!();
-    let mut all = Workload::fig9();
-    all.push(Workload::Counter);
-    let names: Vec<&str> = all.iter().map(|w| w.label()).collect();
+    let names: Vec<&str> = Workload::all().iter().map(|w| w.label()).collect();
     eprintln!("workloads: {}", names.join(", "));
     eprintln!("systems:   eager, eager-abort, lazy, lazy-vb, RetCon, RetCon-ideal, datm");
     ExitCode::FAILURE
@@ -50,17 +36,18 @@ fn main() -> ExitCode {
     let mut system = System::Retcon;
     let mut cores = 32usize;
     let mut seed = 42u64;
+    let mut json = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| -> Option<&String> { args.get(i + 1) };
         match args[i].as_str() {
-            "--workload" | "-w" => match value(i).and_then(|v| parse_workload(v)) {
+            "--workload" | "-w" => match value(i).and_then(|v| Workload::parse(v)) {
                 Some(w) => workload = Some(w),
                 None => return usage(),
             },
-            "--system" | "-s" => match value(i).and_then(|v| parse_system(v)) {
+            "--system" | "-s" => match value(i).and_then(|v| System::parse(v)) {
                 Some(s) => system = s,
                 None => return usage(),
             },
@@ -72,6 +59,11 @@ fn main() -> ExitCode {
                 Some(n) => seed = n,
                 None => return usage(),
             },
+            "--json" => {
+                json = true;
+                i += 1;
+                continue;
+            }
             "--help" | "-h" => {
                 let _ = usage();
                 return ExitCode::SUCCESS;
@@ -98,6 +90,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if json {
+        // The `retcon-lab` RunRecord shape, with no sweep knobs.
+        let record = Json::obj(vec![
+            ("workload", Json::str(workload.label())),
+            ("system", Json::str(system.label())),
+            ("cores", Json::UInt(cores as u64)),
+            ("seed", Json::UInt(seed)),
+            ("knobs", Json::Arr(Vec::new())),
+            ("seq_cycles", Json::UInt(seq)),
+            ("report", report.to_json()),
+        ]);
+        print!("{}", record.to_pretty_string());
+        return ExitCode::SUCCESS;
+    }
 
     println!("workload   {}", workload.label());
     println!("system     {}", system.label());

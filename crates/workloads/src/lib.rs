@@ -54,7 +54,7 @@ use retcon_sim::{
 };
 
 /// The hardware configurations compared in the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum System {
     /// The §2 baseline: eager HTM, timestamp contention management.
     Eager,
@@ -74,8 +74,28 @@ pub enum System {
 }
 
 impl System {
-    /// All systems of the Figure 9 / Figure 10 comparison.
-    pub const FIG9: [System; 3] = [System::Eager, System::LazyVb, System::Retcon];
+    /// All systems of the Figure 9 / Figure 10 comparison: the paper's
+    /// three (eager, lazy-vb, RETCON) plus DATM, which the ROADMAP adds to
+    /// the scalability/breakdown comparisons.
+    pub const FIG9: [System; 4] = [System::Eager, System::LazyVb, System::Retcon, System::Datm];
+
+    /// Every hardware configuration, in a stable display order.
+    pub const ALL: [System; 7] = [
+        System::Eager,
+        System::EagerAbort,
+        System::Lazy,
+        System::LazyVb,
+        System::Retcon,
+        System::RetconIdeal,
+        System::Datm,
+    ];
+
+    /// Looks a system up by its [`System::label`], case-insensitively.
+    pub fn parse(name: &str) -> Option<System> {
+        System::ALL
+            .into_iter()
+            .find(|s| s.label().eq_ignore_ascii_case(name))
+    }
 
     /// Display name matching the paper's figures.
     pub fn label(self) -> &'static str {
@@ -105,7 +125,7 @@ impl System {
 }
 
 /// The workloads of Table 2 (and their software-restructured variants).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// Figure 2 micro-benchmark: two increments of one shared counter per
     /// transaction.
@@ -241,6 +261,19 @@ impl Workload {
         ]
     }
 
+    /// Every workload variant: `counter` plus the fourteen of
+    /// [`Workload::fig9`].
+    pub fn all() -> Vec<Workload> {
+        let mut all = vec![Workload::Counter];
+        all.extend(Workload::fig9());
+        all
+    }
+
+    /// Looks a workload up by its [`Workload::label`].
+    pub fn parse(name: &str) -> Option<Workload> {
+        Workload::all().into_iter().find(|w| w.label() == name)
+    }
+
     /// Builds the workload for `num_cores` cores, dividing the (fixed)
     /// total work among them. The same `seed` yields the same inputs at any
     /// core count, so speedups compare identical work.
@@ -291,8 +324,23 @@ pub fn run_spec(
     system: System,
     num_cores: usize,
 ) -> Result<SimReport, SimError> {
+    run_spec_with(spec, system.protocol(num_cores), num_cores)
+}
+
+/// Runs an already-built [`WorkloadSpec`] under an explicit protocol
+/// instance — the hook sweep harnesses use to vary [`RetconConfig`] knobs
+/// beyond the named [`System`] configurations.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_spec_with(
+    spec: &WorkloadSpec,
+    protocol: Box<dyn Protocol>,
+    num_cores: usize,
+) -> Result<SimReport, SimError> {
     let cfg = SimConfig::with_cores(num_cores);
-    let mut machine = Machine::new(cfg, system.protocol(num_cores), spec.programs.clone());
+    let mut machine = Machine::new(cfg, protocol, spec.programs.clone());
     for (i, tape) in spec.tapes.iter().enumerate() {
         machine.set_tape(i, tape.clone());
     }

@@ -47,6 +47,46 @@ fn contended_counter_deterministic_under_every_system() {
     }
 }
 
+/// The `retcon-lab` runner must produce record sets *byte-identical* to
+/// serial execution at any worker count — the property that makes
+/// `results/*.json` reproducible regardless of `--jobs`.
+#[test]
+fn parallel_runner_is_byte_identical_at_any_job_count() {
+    use retcon_lab::runner::{run_jobs, Job};
+    use retcon_lab::ExperimentRecord;
+
+    let mut jobs = Vec::new();
+    for w in [
+        Workload::Counter,
+        Workload::Genome { resizable: true },
+        Workload::Ssca2,
+    ] {
+        jobs.push(Job::new(w, System::Eager, 1, 42));
+        for s in [System::Eager, System::LazyVb, System::Retcon, System::Datm] {
+            jobs.push(Job::new(w, s, 4, 42));
+        }
+    }
+
+    let as_bytes = |runs: Vec<retcon_lab::RunRecord>| {
+        ExperimentRecord {
+            name: "determinism".to_string(),
+            seed: 42,
+            meta: vec![],
+            runs,
+        }
+        .to_json_string()
+    };
+
+    let serial = as_bytes(run_jobs(&jobs, 1).expect("serial run"));
+    for workers in [4, 8] {
+        let parallel = as_bytes(run_jobs(&jobs, workers).expect("parallel run"));
+        assert_eq!(
+            serial, parallel,
+            "record set differs between --jobs 1 and --jobs {workers}"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let a = run(Workload::Genome { resizable: false }, System::Eager, 4, 1).unwrap();
