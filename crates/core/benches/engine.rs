@@ -1,0 +1,79 @@
+//! Micro-benchmarks for the RETCON engine's per-instruction paths
+//! (vendored criterion shim).
+//!
+//! `on_alu` runs once per ALU instruction of every transactional region and
+//! `load_path` once per load; both must stay allocation-free and a handful
+//! of nanoseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use retcon::{Engine, LoadPath, RetconConfig};
+use retcon_isa::{Addr, BinOp, Reg};
+
+fn tracked_engine() -> Engine {
+    let mut eng = Engine::new(RetconConfig::default());
+    eng.begin();
+    assert!(eng.begin_tracking(Addr(0).block(), |_| 7));
+    eng
+}
+
+fn bench_on_alu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_alu");
+    group.bench_function("symbolic_add_propagation", |b| {
+        let mut eng = tracked_engine();
+        let v = eng.finish_tracked_load(Reg(1), Addr(0));
+        b.iter(|| black_box(eng.on_alu(BinOp::Add, Reg(1), Reg(1), None, black_box(v), 1)))
+    });
+    group.bench_function("concrete_add", |b| {
+        // No symbolic inputs: the common non-tracked case.
+        let mut eng = tracked_engine();
+        eng.on_imm(Reg(2));
+        b.iter(|| black_box(eng.on_alu(BinOp::Add, Reg(2), Reg(2), None, black_box(5), 1)))
+    });
+    group.finish();
+}
+
+fn bench_load_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_path");
+    group.bench_function("initial_value_hit", |b| {
+        let eng = tracked_engine();
+        b.iter(|| {
+            let p = eng.load_path(Addr(0));
+            debug_assert!(matches!(p, LoadPath::InitialValue { .. }));
+            black_box(p)
+        })
+    });
+    group.bench_function("store_forward_hit", |b| {
+        let mut eng = tracked_engine();
+        let v = eng.finish_tracked_load(Reg(1), Addr(0));
+        eng.on_store(Addr(0), Some(Reg(1)), v);
+        b.iter(|| {
+            let p = eng.load_path(Addr(0));
+            debug_assert!(matches!(p, LoadPath::StoreForward { .. }));
+            black_box(p)
+        })
+    });
+    group.bench_function("memory_miss", |b| {
+        let eng = tracked_engine();
+        b.iter(|| black_box(eng.load_path(Addr(512))))
+    });
+    group.finish();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit");
+    group.bench_function("validate_and_repair_one_block", |b| {
+        b.iter(|| {
+            let mut eng = tracked_engine();
+            let v = eng.finish_tracked_load(Reg(1), Addr(0));
+            let v = eng.on_alu(BinOp::Add, Reg(1), Reg(1), None, v, 1);
+            eng.on_store(Addr(0), Some(Reg(1)), v);
+            black_box(eng.validate_and_repair(|_| 9).expect("repairs"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_on_alu, bench_load_path, bench_commit);
+criterion_main!(benches);

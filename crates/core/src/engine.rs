@@ -410,14 +410,10 @@ impl Engine {
         &mut self,
         mut read_word: impl FnMut(Addr) -> u64,
     ) -> Result<Repair, Violation> {
-        // Step 1a: capture final values.
-        let blocks: Vec<BlockAddr> = self.ivb.iter().map(|e| e.block()).collect();
-        for b in &blocks {
-            for w in b.words() {
-                let v = read_word(w);
-                self.ivb.set_current(w, v);
-            }
-        }
+        // Step 1a: capture final values (same visit order as the old
+        // collect-then-set loop: entries in allocation order, words
+        // ascending).
+        self.ivb.capture_currents(&mut read_word);
         // Step 1b: equality bits.
         for e in self.ivb.iter() {
             for w in e.block().words() {

@@ -185,6 +185,19 @@ impl Ivb {
         }
     }
 
+    /// Captures the commit-time value of every word of every tracked block
+    /// (pre-commit step 1a) via `read_word`, visiting entries in allocation
+    /// order and words in ascending address order — one pass, no per-commit
+    /// scratch allocation.
+    pub fn capture_currents(&mut self, mut read_word: impl FnMut(Addr) -> u64) {
+        for e in &mut self.entries {
+            let base = e.block.base().0;
+            for (i, cur) in e.current.iter_mut().enumerate() {
+                *cur = read_word(Addr(base + i as u64));
+            }
+        }
+    }
+
     /// Records the commit-time value of `addr` (pre-commit step 1).
     pub fn set_current(&mut self, addr: Addr, value: u64) {
         if let Some(e) = self.get_mut(addr.block()) {

@@ -8,8 +8,7 @@
 //! observation of 100 conflicts on that block before attempting symbolic
 //! tracking on that block again."*
 
-use std::collections::HashMap;
-
+use retcon_isa::fx::FxHashMap;
 use retcon_isa::BlockAddr;
 
 /// Per-block conflict-history predictor deciding which blocks to track
@@ -37,7 +36,7 @@ use retcon_isa::BlockAddr;
 pub struct Predictor {
     initial_threshold: u32,
     violation_backoff: u32,
-    entries: HashMap<u64, Entry>,
+    entries: FxHashMap<u64, Entry>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -56,7 +55,7 @@ impl Predictor {
         Predictor {
             initial_threshold,
             violation_backoff,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
         }
     }
 

@@ -25,7 +25,7 @@
 use std::collections::HashSet;
 
 use retcon_isa::{Addr, Reg};
-use retcon_mem::{AccessKind, CoreId, MemorySystem, UndoLog};
+use retcon_mem::{AccessKind, CoreId, FxHashSet, MemorySystem, UndoLog};
 
 use crate::protocol::Protocol;
 use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats};
@@ -35,8 +35,8 @@ struct CoreState {
     active: bool,
     birth: Option<u64>,
     undo: UndoLog,
-    read_set: HashSet<u64>,
-    write_set: HashSet<u64>,
+    read_set: FxHashSet<u64>,
+    write_set: FxHashSet<u64>,
     aborted: bool,
     stats: ProtocolStats,
 }
@@ -46,7 +46,7 @@ struct CoreState {
 pub struct DatmLite {
     cores: Vec<CoreState>,
     /// Dependence edges `(pred, succ)`: `succ` must commit after `pred`.
-    edges: HashSet<(usize, usize)>,
+    edges: FxHashSet<(usize, usize)>,
 }
 
 impl DatmLite {
@@ -54,7 +54,7 @@ impl DatmLite {
     pub fn new(num_cores: usize) -> Self {
         DatmLite {
             cores: (0..num_cores).map(|_| CoreState::default()).collect(),
-            edges: HashSet::new(),
+            edges: FxHashSet::default(),
         }
     }
 

@@ -1,7 +1,7 @@
 //! The eager-conflict-detection HTM baseline (§2 of the paper).
 
 use retcon_isa::{Addr, Reg};
-use retcon_mem::{AccessKind, Conflict, CoreId, MemorySystem, UndoLog};
+use retcon_mem::{AccessKind, ConflictSet, CoreId, MemorySystem, UndoLog};
 
 use crate::cm::{decide, Age, ConflictPolicy, Decision};
 use crate::protocol::Protocol;
@@ -66,7 +66,7 @@ impl EagerTm {
         }
     }
 
-    fn victim_ages(&self, conflicts: &[Conflict]) -> Vec<(CoreId, Age)> {
+    fn victim_ages(&self, conflicts: &ConflictSet) -> Vec<(CoreId, Age)> {
         conflicts
             .iter()
             .map(|c| {
@@ -100,7 +100,7 @@ impl EagerTm {
     fn resolve(
         &mut self,
         core: CoreId,
-        conflicts: &[Conflict],
+        conflicts: &ConflictSet,
         mem: &mut MemorySystem,
     ) -> Option<MemResult> {
         let victims = self.victim_ages(conflicts);
@@ -154,14 +154,17 @@ impl Protocol for EagerTm {
         mem: &mut MemorySystem,
         _now: u64,
     ) -> MemResult {
-        let conflicts = mem.conflicts(core, addr, AccessKind::Read);
-        if !conflicts.is_empty() {
-            if let Some(result) = self.resolve(core, &conflicts, mem) {
+        let plan = mem.plan(core, addr, AccessKind::Read);
+        let spec = self.cores[core.0].active;
+        let latency = if plan.has_conflicts() {
+            if let Some(result) = self.resolve(core, &plan.conflicts, mem) {
                 return result;
             }
-        }
-        let spec = self.cores[core.0].active;
-        let latency = mem.access(core, addr, AccessKind::Read, spec);
+            // Resolution may have changed coherence state: re-classify.
+            mem.access(core, addr, AccessKind::Read, spec)
+        } else {
+            mem.access_planned(&plan, spec)
+        };
         MemResult::Value {
             value: mem.read_word(addr),
             latency,
@@ -178,11 +181,13 @@ impl Protocol for EagerTm {
         mem: &mut MemorySystem,
         _now: u64,
     ) -> MemResult {
-        let conflicts = mem.conflicts(core, addr, AccessKind::Write);
-        if !conflicts.is_empty() {
-            if let Some(result) = self.resolve(core, &conflicts, mem) {
+        let plan = mem.plan(core, addr, AccessKind::Write);
+        let mut resolved = false;
+        if plan.has_conflicts() {
+            if let Some(result) = self.resolve(core, &plan.conflicts, mem) {
                 return result;
             }
+            resolved = true;
         }
         let spec = self.cores[core.0].active;
         if spec {
@@ -191,7 +196,12 @@ impl Protocol for EagerTm {
             let cs = &mut self.cores[core.0];
             cs.undo.record(mem.memory(), addr);
         }
-        let latency = mem.access(core, addr, AccessKind::Write, spec);
+        let latency = if resolved {
+            // Resolution may have changed coherence state: re-classify.
+            mem.access(core, addr, AccessKind::Write, spec)
+        } else {
+            mem.access_planned(&plan, spec)
+        };
         mem.write_word(addr, value);
         MemResult::Value { value, latency }
     }

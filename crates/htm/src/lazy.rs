@@ -84,7 +84,7 @@ impl Protocol for LazyTm {
         }
         // No write ever sets speculative-written bits under this protocol,
         // so reads cannot conflict.
-        debug_assert!(mem.conflicts(core, addr, AccessKind::Read).is_empty());
+        debug_assert!(!mem.has_conflicts(core, addr, AccessKind::Read));
         let latency = mem.access(core, addr, AccessKind::Read, active);
         MemResult::Value {
             value: mem.read_word(addr),
@@ -108,8 +108,8 @@ impl Protocol for LazyTm {
             return MemResult::Value { value, latency: 1 };
         }
         // Non-transactional write: abort any speculative readers.
-        let conflicts = mem.conflicts(core, addr, AccessKind::Write);
-        for c in conflicts {
+        let conflicts = mem.conflict_set(core, addr, AccessKind::Write);
+        for c in conflicts.iter() {
             self.abort_victim(c.core, mem);
         }
         let latency = mem.access(core, addr, AccessKind::Write, false);
@@ -119,19 +119,23 @@ impl Protocol for LazyTm {
 
     fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, _now: u64) -> CommitResult {
         debug_assert!(self.cores[core.0].active);
-        let stores: Vec<(Addr, u64)> = self.cores[core.0].wb.iter().collect();
+        // Take the buffer so its entries can be drained while `self` aborts
+        // victims; hand the allocation back afterwards (steady-state commits
+        // allocate nothing).
+        let wb = std::mem::take(&mut self.cores[core.0].wb);
         let mut latency = 0;
-        for &(addr, value) in &stores {
+        for (addr, value) in wb.iter() {
             // Committer wins: every transaction that speculatively read the
             // block aborts.
-            let conflicts = mem.conflicts(core, addr, AccessKind::Write);
-            for c in conflicts {
+            let conflicts = mem.conflict_set(core, addr, AccessKind::Write);
+            for c in conflicts.iter() {
                 self.abort_victim(c.core, mem);
             }
             latency += mem.access(core, addr, AccessKind::Write, false);
             mem.write_word(addr, value);
         }
         let cs = &mut self.cores[core.0];
+        cs.wb = wb;
         cs.wb.discard();
         cs.active = false;
         cs.birth = None;

@@ -7,10 +7,8 @@
 //! false/silent sharing but does not allow commits where a value read has
 //! been changed remotely."*
 
-use std::collections::HashMap;
-
 use retcon_isa::{Addr, BlockAddr, Reg};
-use retcon_mem::{AccessKind, CoreId, MemorySystem, WriteBuffer};
+use retcon_mem::{AccessKind, CoreId, FxHashMap, MemorySystem, WriteBuffer};
 
 use crate::protocol::Protocol;
 use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats};
@@ -22,7 +20,7 @@ struct CoreState {
     wb: WriteBuffer,
     /// First-read value per word, in read order (the value log).
     rlog: Vec<(Addr, u64)>,
-    rmap: HashMap<u64, u64>,
+    rmap: FxHashMap<u64, u64>,
     aborted: bool,
     stats: ProtocolStats,
 }
@@ -155,8 +153,10 @@ impl Protocol for LazyVbTm {
 
     fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, _now: u64) -> CommitResult {
         debug_assert!(self.cores[core.0].active);
-        // Step 1: reacquire and revalidate every read word by value.
-        let rlog: Vec<(Addr, u64)> = self.cores[core.0].rlog.clone();
+        // Step 1: reacquire and revalidate every read word by value. The
+        // log is taken (not cloned) and handed back below so steady-state
+        // commits allocate nothing.
+        let rlog: Vec<(Addr, u64)> = std::mem::take(&mut self.cores[core.0].rlog);
         let mut latency = 0;
         let mut acquired: Option<BlockAddr> = None;
         for &(addr, expected) in &rlog {
@@ -166,19 +166,22 @@ impl Protocol for LazyVbTm {
             }
             if mem.read_word(addr) != expected {
                 let cs = &mut self.cores[core.0];
+                cs.rlog = rlog;
                 cs.reset_tx();
                 cs.stats.record_abort(AbortCause::Validation);
                 mem.clear_spec(core);
                 return CommitResult::Abort;
             }
         }
-        // Step 2: drain the write buffer.
-        let stores: Vec<(Addr, u64)> = self.cores[core.0].wb.iter().collect();
-        for &(addr, value) in &stores {
+        // Step 2: drain the write buffer (same take-and-return dance).
+        let wb = std::mem::take(&mut self.cores[core.0].wb);
+        for (addr, value) in wb.iter() {
             latency += mem.access(core, addr, AccessKind::Write, false);
             mem.write_word(addr, value);
         }
         let cs = &mut self.cores[core.0];
+        cs.wb = wb;
+        cs.rlog = rlog;
         cs.reset_tx();
         cs.birth = None;
         cs.stats.commits += 1;

@@ -1,10 +1,8 @@
 //! The full RETCON protocol: the symbolic engine wired into coherence.
 
-use std::collections::HashSet;
-
 use retcon::{Engine, LoadPath, RetconConfig, RetconStats, StorePath};
 use retcon_isa::{Addr, BinOp, BlockAddr, CmpOp, Reg};
-use retcon_mem::{AccessKind, Conflict, CoreId, MemorySystem, UndoLog};
+use retcon_mem::{AccessKind, ConflictSet, CoreId, FxHashSet, MemorySystem, UndoLog};
 
 use crate::cm::{decide, Age, ConflictPolicy, Decision};
 use crate::protocol::Protocol;
@@ -25,7 +23,7 @@ struct CoreState {
     /// would let a steal invalidate that value without any constraint —
     /// an unserializable commit. Such blocks stay plain until the
     /// transaction ends.
-    plain_blocks: HashSet<u64>,
+    plain_blocks: FxHashSet<u64>,
     aborted: bool,
     stats: ProtocolStats,
     rstats: RetconStats,
@@ -39,7 +37,7 @@ impl CoreState {
             start_cycle: 0,
             engine: Engine::new(cfg),
             undo: UndoLog::new(),
-            plain_blocks: HashSet::new(),
+            plain_blocks: FxHashSet::default(),
             aborted: false,
             stats: ProtocolStats::default(),
             rstats: RetconStats::new(),
@@ -193,12 +191,12 @@ impl RetconTm {
         &mut self,
         core: CoreId,
         addr: Addr,
-        conflicts: Vec<Conflict>,
+        conflicts: &ConflictSet,
         mem: &mut MemorySystem,
     ) -> Resolve {
         let block = addr.block();
         let mut hard: Vec<(CoreId, Age)> = Vec::new();
-        for c in &conflicts {
+        for c in conflicts.iter() {
             // Both parties learn that this block is contended.
             self.cores[c.core.0]
                 .engine
@@ -286,27 +284,26 @@ impl Protocol for RetconTm {
                 LoadPath::Memory => {}
             }
         }
-        let conflicts = mem.conflicts(core, addr, AccessKind::Read);
-        if !conflicts.is_empty() {
-            match self.resolve(core, addr, conflicts, mem) {
+        let plan = mem.plan(core, addr, AccessKind::Read);
+        let latency = if plan.has_conflicts() {
+            match self.resolve(core, addr, &plan.conflicts, mem) {
                 Resolve::Proceed => {}
                 Resolve::Stall => return MemResult::Stall,
                 Resolve::AbortSelf => return MemResult::Abort,
             }
-        }
-        let latency = mem.access(core, addr, AccessKind::Read, active);
+            // Resolution (steal/abort) may have changed coherence state:
+            // re-classify.
+            mem.access(core, addr, AccessKind::Read, active)
+        } else {
+            mem.access_planned(&plan, active)
+        };
         let value = mem.read_word(addr);
         if active {
             let block = addr.block();
             let cs = &mut self.cores[core.0];
             if cs.engine.wants_tracking(addr) && !cs.plain_blocks.contains(&block.0) {
-                let words: Vec<u64> = block.words().map(|w| mem.read_word(w)).collect();
-                let mut i = 0;
-                let ok = cs.engine.begin_tracking(block, |_| {
-                    let v = words[i];
-                    i += 1;
-                    v
-                });
+                let memory = &*mem;
+                let ok = cs.engine.begin_tracking(block, |w| memory.read_word(w));
                 debug_assert!(ok, "wants_tracking implies room");
                 let v = cs.engine.finish_tracked_load(dst, addr);
                 debug_assert_eq!(v, value);
@@ -343,13 +340,15 @@ impl Protocol for RetconTm {
                 StorePath::Normal => {}
             }
         }
-        let conflicts = mem.conflicts(core, addr, AccessKind::Write);
-        if !conflicts.is_empty() {
-            match self.resolve(core, addr, conflicts, mem) {
+        let plan = mem.plan(core, addr, AccessKind::Write);
+        let mut resolved = false;
+        if plan.has_conflicts() {
+            match self.resolve(core, addr, &plan.conflicts, mem) {
                 Resolve::Proceed => {}
                 Resolve::Stall => return MemResult::Stall,
                 Resolve::AbortSelf => return MemResult::Abort,
             }
+            resolved = true;
         }
         if active {
             let block = addr.block();
@@ -362,13 +361,8 @@ impl Protocol for RetconTm {
             // §5.1). Conflicts were resolved above, so memory holds no other
             // core's uncommitted data for this block.
             if cs.engine.wants_tracking(addr) && !cs.plain_blocks.contains(&block.0) {
-                let words: Vec<u64> = block.words().map(|w| mem.read_word(w)).collect();
-                let mut i = 0;
-                let ok = cs.engine.begin_tracking(block, |_| {
-                    let v = words[i];
-                    i += 1;
-                    v
-                });
+                let memory = &*mem;
+                let ok = cs.engine.begin_tracking(block, |w| memory.read_word(w));
                 debug_assert!(ok, "wants_tracking implies room");
                 match cs.engine.on_store(addr, src, value) {
                     StorePath::Buffered => return MemResult::Value { value, latency: 1 },
@@ -383,7 +377,12 @@ impl Protocol for RetconTm {
             cs.plain_blocks.insert(block.0);
             cs.undo.record(mem.memory(), addr);
         }
-        let latency = mem.access(core, addr, AccessKind::Write, active);
+        let latency = if resolved {
+            // Resolution may have changed coherence state: re-classify.
+            mem.access(core, addr, AccessKind::Write, active)
+        } else {
+            mem.access_planned(&plan, active)
+        };
         mem.write_word(addr, value);
         MemResult::Value { value, latency }
     }
@@ -424,9 +423,9 @@ impl Protocol for RetconTm {
         );
         for (block, kind) in acquisitions {
             let addr = block.base();
-            let conflicts = mem.conflicts(core, addr, kind);
+            let conflicts = mem.conflict_set(core, addr, kind);
             if !conflicts.is_empty() {
-                match self.resolve(core, addr, conflicts, mem) {
+                match self.resolve(core, addr, &conflicts, mem) {
                     Resolve::Proceed => {}
                     Resolve::Stall => return CommitResult::Stall,
                     Resolve::AbortSelf => return CommitResult::Abort,
@@ -459,7 +458,7 @@ impl Protocol for RetconTm {
             Ok(repair) => {
                 for &(addr, value) in &repair.stores {
                     debug_assert!(
-                        mem.conflicts(core, addr, AccessKind::Write).is_empty(),
+                        !mem.has_conflicts(core, addr, AccessKind::Write),
                         "store blocks were acquired above"
                     );
                     let l = mem.access(core, addr, AccessKind::Write, false);

@@ -67,6 +67,7 @@
 
 mod addr;
 mod builder;
+pub mod fx;
 mod instr;
 mod program;
 mod reg;

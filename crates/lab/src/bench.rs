@@ -1,0 +1,154 @@
+//! Wall-clock benchmarking of the dataset matrix: the machine-readable
+//! perf trajectory (`BENCH_hotpath.json`).
+//!
+//! `retcon-lab -- bench` times the same shared-cache regeneration flow as
+//! `retcon-lab -- all` (dataset by dataset, records discarded) and emits a
+//! small JSON report so successive PRs can diff simulator wall-clock
+//! without re-deriving it from CI logs. Cycle *counts* are pinned
+//! byte-identical by the golden snapshot and `tests/determinism.rs`;
+//! this file tracks the only thing allowed to change: how fast the
+//! simulator produces them.
+
+use crate::datasets::Dataset;
+use crate::runner::ReportCache;
+use retcon_sim::SimError;
+use std::time::Instant;
+
+/// Wall-clock timing of one dataset's regeneration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetBench {
+    /// Dataset name (`fig9`, `scaling`, ...).
+    pub name: &'static str,
+    /// Number of simulation runs the dataset's record holds.
+    pub runs: u64,
+    /// Wall-clock microseconds to regenerate the dataset (shared cache, so
+    /// datasets that reuse earlier simulations are cheap — same as `all`).
+    pub micros: u64,
+}
+
+/// The full benchmark report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchReport {
+    /// Worker threads used (`--jobs`).
+    pub jobs: u64,
+    /// Seconds since the Unix epoch when the benchmark ran.
+    pub unix_time: u64,
+    /// Per-dataset timings, in regeneration order.
+    pub datasets: Vec<DatasetBench>,
+}
+
+impl BenchReport {
+    /// Total wall-clock microseconds across all datasets.
+    pub fn total_micros(&self) -> u64 {
+        self.datasets.iter().map(|d| d.micros).sum()
+    }
+
+    /// Total simulation runs across all datasets.
+    pub fn total_runs(&self) -> u64 {
+        self.datasets.iter().map(|d| d.runs).sum()
+    }
+
+    /// Mean microseconds per simulation run, rounded down.
+    pub fn mean_micros_per_run(&self) -> u64 {
+        self.total_micros()
+            .checked_div(self.total_runs())
+            .unwrap_or(0)
+    }
+
+    /// The report as pretty-printed JSON (hand-rolled and integer-only,
+    /// like every other record emitter in this crate).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"bench_hotpath_v1\",\n");
+        out.push_str(&format!("  \"unix_time\": {},\n", self.unix_time));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"total_runs\": {},\n", self.total_runs()));
+        out.push_str(&format!("  \"total_micros\": {},\n", self.total_micros()));
+        out.push_str(&format!(
+            "  \"mean_micros_per_run\": {},\n",
+            self.mean_micros_per_run()
+        ));
+        out.push_str("  \"datasets\": [\n");
+        for (i, d) in self.datasets.iter().enumerate() {
+            let mean = d.micros.checked_div(d.runs).unwrap_or(0);
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"runs\": {}, \"micros\": {}, \"mean_micros_per_run\": {}}}{}\n",
+                d.name,
+                d.runs,
+                d.micros,
+                mean,
+                if i + 1 < self.datasets.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Regenerates every dataset once (shared report cache, records discarded)
+/// and returns the wall-clock trajectory.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] (fatal — indicates a workload bug).
+pub fn run_bench(jobs: usize) -> Result<BenchReport, SimError> {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let cache = ReportCache::new();
+    let mut datasets = Vec::new();
+    for dataset in Dataset::ALL {
+        let t = Instant::now();
+        let record = dataset.collect_cached(jobs, &cache)?;
+        datasets.push(DatasetBench {
+            name: dataset.name(),
+            runs: record.runs.len() as u64,
+            micros: t.elapsed().as_micros() as u64,
+        });
+    }
+    Ok(BenchReport {
+        jobs: jobs as u64,
+        unix_time,
+        datasets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = BenchReport {
+            jobs: 1,
+            unix_time: 1000,
+            datasets: vec![
+                DatasetBench {
+                    name: "fig2",
+                    runs: 5,
+                    micros: 1500,
+                },
+                DatasetBench {
+                    name: "table1",
+                    runs: 0,
+                    micros: 2,
+                },
+            ],
+        };
+        let json = report.to_json_string();
+        assert!(json.contains("\"schema\": \"bench_hotpath_v1\""));
+        assert!(json.contains("\"total_runs\": 5"));
+        assert!(json.contains("\"total_micros\": 1502"));
+        assert!(json.contains("\"mean_micros_per_run\": 300,"));
+        assert!(json.contains(
+            "{\"name\": \"fig2\", \"runs\": 5, \"micros\": 1500, \"mean_micros_per_run\": 300},"
+        ));
+        // Zero-run datasets do not divide by zero.
+        assert!(json.contains(
+            "{\"name\": \"table1\", \"runs\": 0, \"micros\": 2, \"mean_micros_per_run\": 0}"
+        ));
+    }
+}

@@ -1,6 +1,7 @@
 //! Command-line plumbing shared by the `retcon-lab` binary and the
 //! `crates/bench` figure/table bins.
 
+use crate::bench;
 use crate::checks::{self, Check};
 use crate::csv;
 use crate::datasets::Dataset;
@@ -136,6 +137,7 @@ fn usage() -> ExitCode {
     );
     eprintln!("  run   <dataset> [--jobs N] [--json | --csv] [--out DIR]");
     eprintln!("  check [--quick] [--jobs N] [--in DIR]");
+    eprintln!("  bench [--jobs N] [--out FILE]       time every dataset, write BENCH_hotpath.json");
     eprintln!("  list");
     eprintln!();
     eprintln!(
@@ -343,6 +345,60 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut jobs = 1usize;
+    let mut out = PathBuf::from("BENCH_hotpath.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" | "-j" => {
+                let Some(v) = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|n| (1..=256).contains(n))
+                else {
+                    return usage();
+                };
+                jobs = v;
+                i += 2;
+            }
+            "--out" | "-o" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                out = PathBuf::from(v);
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+    let report = match bench::run_bench(jobs) {
+        Ok(report) => report,
+        Err(e) => return run_error(e),
+    };
+    for d in &report.datasets {
+        println!(
+            "{:<16} {:>4} runs  {:>9.3}ms",
+            d.name,
+            d.runs,
+            d.micros as f64 / 1000.0
+        );
+    }
+    println!(
+        "total: {} runs in {:.3}s ({} us/run mean, jobs={})",
+        report.total_runs(),
+        report.total_micros() as f64 / 1e6,
+        report.mean_micros_per_run(),
+        report.jobs
+    );
+    if let Err(e) = std::fs::write(&out, report.to_json_string()) {
+        eprintln!("writing {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
 fn cmd_list() -> ExitCode {
     println!("{:<16} runs  artifact", "dataset");
     for dataset in Dataset::ALL {
@@ -363,6 +419,7 @@ pub fn lab_main() -> ExitCode {
         Some("all") => cmd_all(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help" | "-h" | "help") => {
             let _ = usage();

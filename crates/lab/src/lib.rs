@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench;
 pub mod checks;
 pub mod cli;
 pub mod csv;

@@ -1,0 +1,106 @@
+//! Micro-benchmarks for the memory-system hot path (vendored criterion
+//! shim; layout mirrors the `benches/` convention of the related
+//! `Erigara__mv` repo's storage benches).
+//!
+//! The `plan`/`access_planned` pair and the conflict check are the
+//! per-memory-access inner loop of every protocol; these benches pin their
+//! cost so regressions show up without running the full `retcon-lab`
+//! macro-benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use retcon_isa::Addr;
+use retcon_mem::{AccessKind, CoreId, MemConfig, MemorySystem};
+
+/// The conflict-free cache-hit path: one `plan` + `access_planned` per
+/// iteration, exactly what a protocol issues for a warm load.
+fn bench_hit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hit_path");
+    group.bench_function("plan_access_read_l1_hit", |b| {
+        let mut ms = MemorySystem::new(MemConfig::default(), 4);
+        ms.access(CoreId(0), Addr(0), AccessKind::Read, false);
+        b.iter(|| {
+            let plan = ms.plan(CoreId(0), Addr(0), AccessKind::Read);
+            debug_assert!(!plan.has_conflicts());
+            black_box(ms.access_planned(&plan, false))
+        })
+    });
+    group.bench_function("plan_access_write_owned_l1_hit", |b| {
+        let mut ms = MemorySystem::new(MemConfig::default(), 4);
+        ms.access(CoreId(0), Addr(0), AccessKind::Write, false);
+        b.iter(|| {
+            let plan = ms.plan(CoreId(0), Addr(0), AccessKind::Write);
+            black_box(ms.access_planned(&plan, false))
+        })
+    });
+    group.bench_function("speculative_hit_and_clear", |b| {
+        // A two-access transaction: spec-read + spec-write on warm blocks,
+        // then commit-time clear. Steady state allocates nothing.
+        let mut ms = MemorySystem::new(MemConfig::default(), 4);
+        ms.access(CoreId(0), Addr(0), AccessKind::Write, false);
+        ms.access(CoreId(0), Addr(8), AccessKind::Write, false);
+        b.iter(|| {
+            let plan = ms.plan(CoreId(0), Addr(0), AccessKind::Read);
+            black_box(ms.access_planned(&plan, true));
+            let plan = ms.plan(CoreId(0), Addr(8), AccessKind::Write);
+            black_box(ms.access_planned(&plan, true));
+            black_box(ms.clear_spec(CoreId(0)))
+        })
+    });
+    group.finish();
+}
+
+/// Conflict detection against live speculative state.
+fn bench_conflicts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflicts");
+    group.bench_function("probe_no_conflict_32core", |b| {
+        // 31 other cores, none speculative: the O(1) mask lookup.
+        let mut ms = MemorySystem::new(MemConfig::default(), 32);
+        ms.access(CoreId(0), Addr(0), AccessKind::Read, false);
+        b.iter(|| black_box(ms.has_conflicts(CoreId(0), Addr(0), AccessKind::Write)))
+    });
+    group.bench_function("conflict_set_one_writer", |b| {
+        let mut ms = MemorySystem::new(MemConfig::default(), 32);
+        ms.access(CoreId(1), Addr(0), AccessKind::Write, true);
+        b.iter(|| {
+            let set = ms.conflict_set(CoreId(0), Addr(0), AccessKind::Read);
+            black_box(set.len())
+        })
+    });
+    group.bench_function("conflict_set_seven_readers", |b| {
+        // Spills past the inline capacity: the rare wide-conflict shape.
+        let mut ms = MemorySystem::new(MemConfig::default(), 8);
+        for i in 1..8 {
+            ms.access(CoreId(i), Addr(0), AccessKind::Read, true);
+        }
+        b.iter(|| {
+            let set = ms.conflict_set(CoreId(0), Addr(0), AccessKind::Write);
+            black_box(set.len())
+        })
+    });
+    group.finish();
+}
+
+/// The paged architectural memory.
+fn bench_memory_words(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_memory");
+    group.bench_function("read_warm_page", |b| {
+        let mut ms = MemorySystem::new(MemConfig::default(), 1);
+        ms.write_word(Addr(100), 7);
+        b.iter(|| black_box(ms.read_word(Addr(100))))
+    });
+    group.bench_function("write_warm_page", |b| {
+        let mut ms = MemorySystem::new(MemConfig::default(), 1);
+        ms.write_word(Addr(100), 7);
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(1) | 1;
+            ms.write_word(Addr(100), v);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hit_path, bench_conflicts, bench_memory_words);
+criterion_main!(benches);

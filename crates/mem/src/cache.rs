@@ -204,6 +204,21 @@ impl CacheArray {
         }
     }
 
+    /// Clears the speculative bits of `block` if it is resident. Returns
+    /// `true` if the block was present with at least one bit set. Unlike
+    /// [`clear_all_spec`](Self::clear_all_spec) this touches one set only,
+    /// so a commit clearing N tracked blocks costs O(N), not O(cache).
+    pub fn clear_spec(&mut self, block: BlockAddr) -> bool {
+        let set = self.geometry.set_of(block);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.block == block) {
+            let had = line.spec.any();
+            line.spec = SpecBits::NONE;
+            had
+        } else {
+            false
+        }
+    }
+
     /// Clears the speculative bits of every resident block, returning how
     /// many blocks had any bit set.
     pub fn clear_all_spec(&mut self) -> usize {

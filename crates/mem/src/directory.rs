@@ -1,12 +1,67 @@
 //! Directory coherence state.
+//!
+//! Entries are stored compactly as a per-block *sharer bitmask* plus an
+//! optional owner index, so the hot-path questions — "who must be
+//! invalidated", "can the data be forwarded", "does this core hold the block
+//! modified" — are single-word bit operations instead of `BTreeSet`
+//! traversals. The [`DirState`] enum remains as a read-only *view* for tests
+//! and diagnostics.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use retcon_isa::BlockAddr;
 
+use crate::fx::FxHashMap;
 use crate::system::CoreId;
 
-/// Coherence state of one block as seen by the directory.
+/// The directory supports at most this many cores (sharer sets are 64-bit
+/// masks; the paper's machine is 32 cores).
+pub const MAX_CORES: usize = 64;
+
+/// Sentinel for "no modified owner".
+const NO_OWNER: u8 = u8::MAX;
+
+/// Compact per-block directory entry: either one modified owner, or a
+/// bitmask of read-only sharers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    /// Bit `i` set: core `i` holds a read-only copy (only meaningful when
+    /// `owner == NO_OWNER`).
+    sharers: u64,
+    /// Index of the modified owner, or [`NO_OWNER`].
+    owner: u8,
+}
+
+impl Entry {
+    #[inline]
+    fn modified(core: CoreId) -> Entry {
+        debug_assert!(core.0 < MAX_CORES);
+        Entry {
+            sharers: 0,
+            owner: core.0 as u8,
+        }
+    }
+
+    #[inline]
+    fn shared(mask: u64) -> Entry {
+        Entry {
+            sharers: mask,
+            owner: NO_OWNER,
+        }
+    }
+
+    #[inline]
+    fn holder_mask(self) -> u64 {
+        if self.owner == NO_OWNER {
+            self.sharers
+        } else {
+            1u64 << self.owner
+        }
+    }
+}
+
+/// Coherence state of one block as seen by the directory (a view assembled
+/// on demand; the directory's storage is the compact [`Entry`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DirState {
     /// No core caches the block.
@@ -53,7 +108,7 @@ impl DirState {
 /// this state for latency and speculative-bit lookups.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: HashMap<u64, DirState>,
+    entries: FxHashMap<u64, Entry>,
 }
 
 impl Directory {
@@ -62,99 +117,140 @@ impl Directory {
         Self::default()
     }
 
-    /// The current state of `block`.
+    /// The current state of `block`, as an assembled view (allocates for
+    /// shared blocks; intended for tests and diagnostics, not the hot path).
     pub fn state(&self, block: BlockAddr) -> DirState {
-        self.entries
-            .get(&block.0)
-            .cloned()
-            .unwrap_or(DirState::Uncached)
+        match self.entries.get(&block.0) {
+            None => DirState::Uncached,
+            Some(e) if e.owner != NO_OWNER => DirState::Modified(CoreId(e.owner as usize)),
+            Some(e) => DirState::Shared(
+                (0..MAX_CORES)
+                    .filter(|i| e.sharers & (1u64 << i) != 0)
+                    .map(CoreId)
+                    .collect(),
+            ),
+        }
     }
 
-    /// Cores whose copies must change state for `core` to perform the given
-    /// access: for a write, every other holder; for a read, the remote
-    /// modified owner (who must downgrade), if any.
-    pub fn victims(&self, core: CoreId, block: BlockAddr, write: bool) -> Vec<CoreId> {
-        match self.state(block) {
-            DirState::Uncached => Vec::new(),
-            DirState::Shared(s) => {
-                if write {
-                    s.iter().copied().filter(|&c| c != core).collect()
-                } else {
-                    Vec::new()
-                }
-            }
-            DirState::Modified(o) => {
-                if o == core {
-                    Vec::new()
-                } else {
-                    vec![o]
-                }
-            }
+    /// Debug-asserts that `core` fits the one-word sharer masks. The
+    /// `MemorySystem` constructor enforces this for protocol-driven use;
+    /// this guard covers direct `Directory` users.
+    #[inline]
+    fn check_core(core: CoreId) {
+        debug_assert!(
+            core.0 < MAX_CORES,
+            "CoreId {core} exceeds MAX_CORES ({MAX_CORES})"
+        );
+    }
+
+    /// `true` if `core` holds any copy of `block`.
+    #[inline]
+    pub fn holds(&self, core: CoreId, block: BlockAddr) -> bool {
+        Self::check_core(core);
+        self.entries
+            .get(&block.0)
+            .is_some_and(|e| e.holder_mask() & (1u64 << core.0) != 0)
+    }
+
+    /// `true` if `core` holds `block` with write permission.
+    #[inline]
+    pub fn holds_modified(&self, core: CoreId, block: BlockAddr) -> bool {
+        Self::check_core(core);
+        self.entries
+            .get(&block.0)
+            .is_some_and(|e| e.owner == core.0 as u8)
+    }
+
+    /// Bitmask of cores whose copies must change state for `core` to perform
+    /// the given access: for a write, every other holder; for a read, the
+    /// remote modified owner (who must downgrade), if any.
+    #[inline]
+    pub fn victims_mask(&self, core: CoreId, block: BlockAddr, write: bool) -> u64 {
+        Self::check_core(core);
+        let Some(e) = self.entries.get(&block.0) else {
+            return 0;
+        };
+        let me = 1u64 << core.0;
+        if e.owner != NO_OWNER {
+            e.holder_mask() & !me
+        } else if write {
+            e.sharers & !me
+        } else {
+            0
         }
+    }
+
+    /// [`victims_mask`](Self::victims_mask) as a `Vec` (tests and
+    /// diagnostics).
+    pub fn victims(&self, core: CoreId, block: BlockAddr, write: bool) -> Vec<CoreId> {
+        let mut mask = self.victims_mask(core, block, write);
+        let mut out = Vec::new();
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            out.push(CoreId(i));
+        }
+        out
     }
 
     /// `true` if a miss by `core` would be serviced by a remote owner's cache
     /// (dirty forward) rather than DRAM.
+    #[inline]
     pub fn forwarded_from_owner(&self, core: CoreId, block: BlockAddr) -> bool {
-        matches!(self.state(block), DirState::Modified(o) if o != core)
+        Self::check_core(core);
+        self.entries
+            .get(&block.0)
+            .is_some_and(|e| e.owner != NO_OWNER && e.owner != core.0 as u8)
     }
 
     /// Records that `core` has been granted a read-only copy, downgrading a
     /// remote modified owner to shared. Returns the downgraded owner, if any.
     pub fn grant_read(&mut self, core: CoreId, block: BlockAddr) -> Option<CoreId> {
-        let state = self.state(block);
-        let (new, downgraded) = match state {
-            DirState::Uncached => (DirState::Shared(BTreeSet::from([core])), None),
-            DirState::Shared(mut s) => {
-                s.insert(core);
-                (DirState::Shared(s), None)
+        Self::check_core(core);
+        let me = 1u64 << core.0;
+        match self.entries.get_mut(&block.0) {
+            None => {
+                self.entries.insert(block.0, Entry::shared(me));
+                None
             }
-            DirState::Modified(o) => {
-                if o == core {
-                    (DirState::Modified(o), None)
-                } else {
-                    (DirState::Shared(BTreeSet::from([o, core])), Some(o))
-                }
+            Some(e) if e.owner == NO_OWNER => {
+                e.sharers |= me;
+                None
             }
-        };
-        self.entries.insert(block.0, new);
-        downgraded
+            Some(e) if e.owner == core.0 as u8 => None,
+            Some(e) => {
+                let owner = CoreId(e.owner as usize);
+                *e = Entry::shared(me | (1u64 << owner.0));
+                Some(owner)
+            }
+        }
     }
 
     /// Records that `core` has been granted an exclusive (writable) copy,
-    /// invalidating all other holders. Returns the invalidated cores.
-    pub fn grant_write(&mut self, core: CoreId, block: BlockAddr) -> Vec<CoreId> {
-        let victims = self.victims(core, block, true);
-        self.entries.insert(block.0, DirState::Modified(core));
+    /// invalidating all other holders. Returns the bitmask of invalidated
+    /// cores.
+    pub fn grant_write(&mut self, core: CoreId, block: BlockAddr) -> u64 {
+        let victims = self.victims_mask(core, block, true);
+        self.entries.insert(block.0, Entry::modified(core));
         victims
     }
 
     /// Records that `core` no longer caches `block` (eviction or
     /// invalidation acknowledged).
     pub fn drop_holder(&mut self, core: CoreId, block: BlockAddr) {
-        let state = self.state(block);
-        let new = match state {
-            DirState::Uncached => DirState::Uncached,
-            DirState::Shared(mut s) => {
-                s.remove(&core);
-                if s.is_empty() {
-                    DirState::Uncached
-                } else {
-                    DirState::Shared(s)
-                }
-            }
-            DirState::Modified(o) => {
-                if o == core {
-                    DirState::Uncached
-                } else {
-                    DirState::Modified(o)
-                }
-            }
+        Self::check_core(core);
+        let Some(e) = self.entries.get_mut(&block.0) else {
+            return;
         };
-        if new == DirState::Uncached {
-            self.entries.remove(&block.0);
+        if e.owner != NO_OWNER {
+            if e.owner == core.0 as u8 {
+                self.entries.remove(&block.0);
+            }
         } else {
-            self.entries.insert(block.0, new);
+            e.sharers &= !(1u64 << core.0);
+            if e.sharers == 0 {
+                self.entries.remove(&block.0);
+            }
         }
     }
 
@@ -178,6 +274,7 @@ mod tests {
         let d = Directory::new();
         assert_eq!(d.state(B), DirState::Uncached);
         assert!(d.victims(C0, B, true).is_empty());
+        assert_eq!(d.victims_mask(C0, B, true), 0);
         assert_eq!(d.tracked_blocks(), 0);
     }
 
@@ -189,6 +286,8 @@ mod tests {
         let s = d.state(B);
         assert!(s.holds(C0) && s.holds(C1));
         assert!(!s.holds_modified(C0));
+        assert!(d.holds(C0, B) && d.holds(C1, B));
+        assert!(!d.holds_modified(C0, B));
     }
 
     #[test]
@@ -197,9 +296,9 @@ mod tests {
         d.grant_read(C0, B);
         d.grant_read(C1, B);
         let victims = d.grant_write(C2, B);
-        assert_eq!(victims.len(), 2);
-        assert!(victims.contains(&C0) && victims.contains(&C1));
+        assert_eq!(victims, 0b11);
         assert!(d.state(B).holds_modified(C2));
+        assert!(d.holds_modified(C2, B));
     }
 
     #[test]
@@ -227,7 +326,7 @@ mod tests {
         let mut d = Directory::new();
         d.grant_write(C0, B);
         let victims = d.grant_write(C1, B);
-        assert_eq!(victims, vec![C0]);
+        assert_eq!(victims, 0b01);
         assert!(d.state(B).holds_modified(C1));
     }
 
@@ -256,5 +355,13 @@ mod tests {
         d.grant_write(C0, B);
         assert_eq!(d.victims(C1, B, false), vec![C0]);
         assert_eq!(d.victims(C0, B, false), Vec::<CoreId>::new());
+    }
+
+    #[test]
+    fn drop_of_non_holder_is_noop() {
+        let mut d = Directory::new();
+        d.grant_write(C0, B);
+        d.drop_holder(C1, B);
+        assert!(d.state(B).holds_modified(C0));
     }
 }

@@ -58,8 +58,10 @@ mod version;
 
 pub use cache::{CacheArray, CacheGeometry, SpecBits};
 pub use config::{LatencyModel, MemConfig};
-pub use directory::{DirState, Directory};
+pub use directory::{DirState, Directory, MAX_CORES};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use memory::GlobalMemory;
+pub use retcon_isa::fx;
 pub use stats::MemStats;
-pub use system::{AccessKind, Conflict, CoreId, MemorySystem, Probe};
+pub use system::{AccessKind, AccessPlan, Conflict, ConflictSet, CoreId, MemorySystem, Probe};
 pub use version::{UndoLog, WriteBuffer};

@@ -1,12 +1,24 @@
 //! Architectural memory state.
 
-use std::collections::HashMap;
-
 use retcon_isa::Addr;
 
-/// The architectural memory of the simulated machine: a sparse map from word
-/// addresses to 64-bit values. Unwritten words read as zero, like
-/// zero-initialized physical memory.
+use crate::fx::FxHashMap;
+
+/// Words per page: 512 × 8-byte words = 4 KiB pages.
+const PAGE_WORDS: usize = 512;
+/// log2(PAGE_WORDS), for shift/mask addressing.
+const PAGE_SHIFT: u32 = PAGE_WORDS.trailing_zeros();
+const PAGE_MASK: u64 = PAGE_WORDS as u64 - 1;
+
+/// The architectural memory of the simulated machine: 64-bit words, unwritten
+/// words read as zero, like zero-initialized physical memory.
+///
+/// Storage is a paged flat store: a small [`FxHashMap`] index from page
+/// number to a 4 KiB page of words, so the hot-path word load/store is one
+/// cheap hash lookup plus an array index — no per-word map entries, no
+/// allocation after the working set's pages exist. Workloads allocate
+/// addresses densely from zero (see `retcon_workloads::Alloc`), so the page
+/// index stays tiny.
 ///
 /// `GlobalMemory` holds *values only*; which core may access a word, at what
 /// latency, and whether doing so conflicts with a speculative region is the
@@ -27,7 +39,9 @@ use retcon_isa::Addr;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct GlobalMemory {
-    words: HashMap<u64, u64>,
+    pages: FxHashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    /// Number of words currently holding a nonzero value.
+    nonzero: usize,
 }
 
 impl GlobalMemory {
@@ -39,30 +53,71 @@ impl GlobalMemory {
     /// Reads the word at `addr` (zero if never written).
     #[inline]
     pub fn read(&self, addr: Addr) -> u64 {
-        self.words.get(&addr.0).copied().unwrap_or(0)
+        match self.pages.get(&(addr.0 >> PAGE_SHIFT)) {
+            Some(page) => page[(addr.0 & PAGE_MASK) as usize],
+            None => 0,
+        }
     }
 
     /// Writes `value` to the word at `addr`.
     #[inline]
     pub fn write(&mut self, addr: Addr, value: u64) {
+        let idx = (addr.0 & PAGE_MASK) as usize;
         if value == 0 {
-            // Keep the map sparse: zero is the default.
-            self.words.remove(&addr.0);
+            // Zero is the default: only touch pages that already exist.
+            if let Some(page) = self.pages.get_mut(&(addr.0 >> PAGE_SHIFT)) {
+                if page[idx] != 0 {
+                    page[idx] = 0;
+                    self.nonzero -= 1;
+                }
+            }
         } else {
-            self.words.insert(addr.0, value);
+            let page = self
+                .pages
+                .entry(addr.0 >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u64; PAGE_WORDS]));
+            if page[idx] == 0 {
+                self.nonzero += 1;
+            }
+            page[idx] = value;
         }
     }
 
     /// Number of words holding a nonzero value.
     pub fn nonzero_words(&self) -> usize {
-        self.words.len()
+        self.nonzero
     }
 
     /// Iterates over `(address, value)` pairs of nonzero words in arbitrary
-    /// order. Intended for test assertions and debugging dumps.
+    /// order. Intended for test assertions and debugging dumps; use
+    /// [`iter_sorted`](Self::iter_sorted) when a stable order matters.
     pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
-        self.words.iter().map(|(&a, &v)| (Addr(a), v))
+        self.pages
+            .iter()
+            .flat_map(|(&pno, page)| nonzero_words_of(pno, page))
     }
+
+    /// Iterates over `(address, value)` pairs of nonzero words in ascending
+    /// address order. Only the page *index* is sorted (one small allocation);
+    /// words within a page are already stored in address order — the
+    /// sorted-dump helper workload final-state verification shares.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
+        let mut pnos: Vec<u64> = self.pages.keys().copied().collect();
+        pnos.sort_unstable();
+        pnos.into_iter()
+            .flat_map(move |pno| nonzero_words_of(pno, &self.pages[&pno]))
+    }
+}
+
+/// The nonzero `(address, value)` pairs of one page, in address order.
+fn nonzero_words_of(pno: u64, page: &[u64; PAGE_WORDS]) -> impl Iterator<Item = (Addr, u64)> + '_ {
+    page.iter().enumerate().filter_map(move |(i, &v)| {
+        if v != 0 {
+            Some((Addr((pno << PAGE_SHIFT) | i as u64), v))
+        } else {
+            None
+        }
+    })
 }
 
 #[cfg(test)]
@@ -93,6 +148,9 @@ mod tests {
         mem.write(Addr(5), 0);
         assert_eq!(mem.read(Addr(5)), 0);
         assert_eq!(mem.nonzero_words(), 0);
+        // Writing zero to a never-written word allocates nothing.
+        mem.write(Addr(1 << 40), 0);
+        assert_eq!(mem.read(Addr(1 << 40)), 0);
     }
 
     #[test]
@@ -103,5 +161,44 @@ mod tests {
         let mut pairs: Vec<(Addr, u64)> = mem.iter().collect();
         pairs.sort();
         assert_eq!(pairs, vec![(Addr(1), 10), (Addr(2), 20)]);
+    }
+
+    #[test]
+    fn iter_sorted_is_ascending_across_pages() {
+        let mut mem = GlobalMemory::new();
+        // Spread across three pages, written out of order.
+        for &(a, v) in &[(5000u64, 3u64), (1, 1), (600, 2), (5001, 4)] {
+            mem.write(Addr(a), v);
+        }
+        let pairs: Vec<(Addr, u64)> = mem.iter_sorted().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (Addr(1), 1),
+                (Addr(600), 2),
+                (Addr(5000), 3),
+                (Addr(5001), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn cross_page_boundary_addressing() {
+        let mut mem = GlobalMemory::new();
+        let boundary = PAGE_WORDS as u64;
+        mem.write(Addr(boundary - 1), 7);
+        mem.write(Addr(boundary), 8);
+        assert_eq!(mem.read(Addr(boundary - 1)), 7);
+        assert_eq!(mem.read(Addr(boundary)), 8);
+        assert_eq!(mem.nonzero_words(), 2);
+    }
+
+    #[test]
+    fn overwrite_nonzero_keeps_count() {
+        let mut mem = GlobalMemory::new();
+        mem.write(Addr(3), 1);
+        mem.write(Addr(3), 2);
+        assert_eq!(mem.nonzero_words(), 1);
+        assert_eq!(mem.read(Addr(3)), 2);
     }
 }

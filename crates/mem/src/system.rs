@@ -1,13 +1,13 @@
 //! The memory-system façade: caches + directory + latency + speculative bits.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use retcon_isa::{Addr, BlockAddr};
 
 use crate::cache::{CacheArray, SpecBits};
 use crate::config::MemConfig;
-use crate::directory::Directory;
+use crate::directory::{Directory, MAX_CORES};
+use crate::fx::FxHashMap;
 use crate::memory::GlobalMemory;
 use crate::stats::MemStats;
 
@@ -42,6 +42,62 @@ pub struct Conflict {
     pub bits: SpecBits,
 }
 
+const INLINE_CONFLICTS: usize = 4;
+
+/// The conflicts of one access, stored inline for the common cases (zero or
+/// a handful of conflicting cores) and spilling to the heap only for wide
+/// fan-outs. The conflict-free hot path allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictSet {
+    len: usize,
+    inline: [Option<Conflict>; INLINE_CONFLICTS],
+    spill: Vec<Conflict>,
+}
+
+impl ConflictSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, c: Conflict) {
+        if self.spill.is_empty() && self.len < INLINE_CONFLICTS {
+            self.inline[self.len] = Some(c);
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill
+                    .extend(self.inline[..self.len].iter().map(|o| o.expect("filled")));
+                self.len = 0;
+            }
+            self.spill.push(c);
+        }
+    }
+
+    /// Number of conflicts.
+    pub fn len(&self) -> usize {
+        self.len + self.spill.len()
+    }
+
+    /// `true` if the access conflicts with no core.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the conflicts in ascending core order.
+    pub fn iter(&self) -> impl Iterator<Item = &Conflict> {
+        self.inline[..self.len]
+            .iter()
+            .filter_map(|o| o.as_ref())
+            .chain(self.spill.iter())
+    }
+
+    /// The conflicts as a `Vec` (diagnostics and the [`Probe`] view).
+    pub fn to_vec(&self) -> Vec<Conflict> {
+        self.iter().copied().collect()
+    }
+}
+
 /// Result of [`MemorySystem::probe`]: what an access *would* cost and whom it
 /// would conflict with, without changing any state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +118,50 @@ enum Service {
     Miss { forwarded: bool },
 }
 
+/// The allocation-free probe result handed back to
+/// [`MemorySystem::access_planned`]: the cache classification (and the
+/// latency derived from it) computed once at probe time, plus the conflict
+/// set. Valid only while the memory system is untouched — resolving a
+/// conflict (abort, steal, invalidate) can change the classification, so
+/// after resolution protocols must fall back to [`MemorySystem::access`],
+/// which re-classifies.
+#[derive(Debug, Clone)]
+pub struct AccessPlan {
+    /// Cycles the access will take (if performed before any state change).
+    pub latency: u64,
+    /// Cores with conflicting speculative permissions on the block.
+    pub conflicts: ConflictSet,
+    core: CoreId,
+    addr: Addr,
+    kind: AccessKind,
+    service: Service,
+}
+
+impl AccessPlan {
+    /// `true` if the planned access conflicts with at least one core.
+    pub fn has_conflicts(&self) -> bool {
+        !self.conflicts.is_empty()
+    }
+}
+
+/// Bitmasks of cores holding speculative permissions on one block: the
+/// directory-side sharer/speculative summary that makes conflict detection
+/// O(1) instead of an O(num_cores) cache snoop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SpecMask {
+    /// Bit `i`: core `i` holds a speculative-read bit on the block.
+    readers: u64,
+    /// Bit `i`: core `i` holds a speculative-written bit on the block.
+    writers: u64,
+}
+
+impl SpecMask {
+    #[inline]
+    fn is_empty(self) -> bool {
+        self.readers == 0 && self.writers == 0
+    }
+}
+
 /// The complete simulated memory system: architectural memory, per-core
 /// L1/L2 tag arrays, a directory, per-core permissions-only overflow caches,
 /// and latency/statistics accounting.
@@ -70,26 +170,46 @@ enum Service {
 ///
 /// Concurrency-control protocols drive the system with a two-phase pattern:
 ///
-/// 1. [`probe`](Self::probe) — returns the latency and any conflicting cores
-///    without changing state;
+/// 1. [`plan`](Self::plan) (or the allocating [`probe`](Self::probe) view) —
+///    returns the latency, the cache classification and any conflicting
+///    cores without changing state;
 /// 2. the protocol resolves each conflict (abort the victim and clear its
 ///    speculative bits via [`clear_spec`](Self::clear_spec), steal the block
 ///    via [`invalidate_block`](Self::invalidate_block), or stall the
 ///    requester);
-/// 3. [`access`](Self::access) — performs the coherence transitions, cache
-///    fills/evictions and speculative-bit updates, and returns the latency.
+/// 3. [`access_planned`](Self::access_planned) — on the conflict-free fast
+///    path, performs the coherence transitions, cache fills/evictions and
+///    speculative-bit updates using the classification already computed in
+///    step 1; after a conflict *resolution* (which may change coherence
+///    state), [`access`](Self::access) re-classifies instead.
 ///
 /// Calling `access` while another core still holds conflicting speculative
 /// bits is a protocol bug; debug builds panic on it.
+///
+/// # Speculative-permission bookkeeping
+///
+/// Speculative read/written bits are kept three ways, each serving one
+/// consumer at O(1):
+///
+/// * per-core **union maps** (`spec`) — the authoritative bits per block,
+///   covering both cache-resident and overflowed ("permissions-only cache")
+///   state; this is what [`spec_bits`](Self::spec_bits) reads;
+/// * a global **per-block mask** (`masks`) — reader/writer core bitmasks
+///   consulted by conflict detection, replacing the per-core snoop loop;
+/// * **cache-line bits** — kept solely so LRU victim selection can prefer
+///   non-speculative lines; eviction migrates nothing (the union map already
+///   has the bits) and only counts a `spec_overflows` statistic.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     mem: GlobalMemory,
     l1: Vec<CacheArray>,
     l2: Vec<CacheArray>,
     dir: Directory,
-    /// Per-core permissions-only cache: speculative bits for blocks evicted
-    /// from the core's caches mid-transaction (OneTM-style overflow safety).
-    po: Vec<HashMap<u64, SpecBits>>,
+    /// Per-core authoritative speculative bits (cache + permissions-only
+    /// overflow united), keyed by block.
+    spec: Vec<FxHashMap<u64, SpecBits>>,
+    /// Per-block reader/writer core masks (union of `spec` across cores).
+    masks: FxHashMap<u64, SpecMask>,
     cfg: MemConfig,
     stats: Vec<MemStats>,
 }
@@ -98,12 +218,17 @@ impl MemorySystem {
     /// Creates a memory system for `num_cores` cores.
     pub fn new(cfg: MemConfig, num_cores: usize) -> Self {
         assert!(num_cores > 0, "need at least one core");
+        assert!(
+            num_cores <= MAX_CORES,
+            "sharer bitmasks support at most {MAX_CORES} cores"
+        );
         MemorySystem {
             mem: GlobalMemory::new(),
             l1: (0..num_cores).map(|_| CacheArray::new(cfg.l1)).collect(),
             l2: (0..num_cores).map(|_| CacheArray::new(cfg.l2)).collect(),
             dir: Directory::new(),
-            po: vec![HashMap::new(); num_cores],
+            spec: (0..num_cores).map(|_| FxHashMap::default()).collect(),
+            masks: FxHashMap::default(),
             cfg,
             stats: vec![MemStats::default(); num_cores],
         }
@@ -146,15 +271,14 @@ impl MemorySystem {
 
     fn classify(&self, core: CoreId, block: BlockAddr, kind: AccessKind) -> Service {
         let needs_exclusive = kind == AccessKind::Write;
-        let has_exclusive = self.dir.state(block).holds_modified(core);
         if self.l1[core.0].contains(block) {
-            if needs_exclusive && !has_exclusive {
+            if needs_exclusive && !self.dir.holds_modified(core, block) {
                 Service::L1Upgrade
             } else {
                 Service::L1Hit
             }
         } else if self.l2[core.0].contains(block) {
-            if needs_exclusive && !has_exclusive {
+            if needs_exclusive && !self.dir.holds_modified(core, block) {
                 Service::L2HitUpgrade
             } else {
                 Service::L2Hit
@@ -179,47 +303,83 @@ impl MemorySystem {
 
     /// The speculative bits `core` holds on `block`, whether resident in its
     /// L1 or overflowed into its permissions-only cache.
+    #[inline]
     pub fn spec_bits(&self, core: CoreId, block: BlockAddr) -> SpecBits {
-        let mut bits = self.l1[core.0].spec_bits(block).unwrap_or(SpecBits::NONE);
-        if let Some(over) = self.po[core.0].get(&block.0) {
-            bits.merge(*over);
+        self.spec[core.0]
+            .get(&block.0)
+            .copied()
+            .unwrap_or(SpecBits::NONE)
+    }
+
+    /// Computes the latency, classification and conflict set of an access
+    /// without performing it — the allocation-free probe. Hand the plan to
+    /// [`access_planned`](Self::access_planned) when it is conflict-free.
+    pub fn plan(&self, core: CoreId, addr: Addr, kind: AccessKind) -> AccessPlan {
+        let block = addr.block();
+        let service = self.classify(core, block, kind);
+        AccessPlan {
+            latency: self.latency_of(service),
+            conflicts: self.conflict_set(core, addr, kind),
+            core,
+            addr,
+            kind,
+            service,
         }
-        bits
     }
 
     /// Computes the latency and conflict set of an access without performing
-    /// it.
+    /// it ([`plan`](Self::plan) with a `Vec`-backed view; kept for tests and
+    /// diagnostics).
     pub fn probe(&self, core: CoreId, addr: Addr, kind: AccessKind) -> Probe {
-        let block = addr.block();
-        let latency = self.latency_of(self.classify(core, block, kind));
+        let plan = self.plan(core, addr, kind);
         Probe {
-            latency,
-            conflicts: self.conflicts(core, addr, kind),
+            latency: plan.latency,
+            conflicts: plan.conflicts.to_vec(),
         }
     }
 
+    /// The bitmask of cores whose speculative bits conflict with `core`
+    /// performing `kind` on `block`.
+    #[inline]
+    fn conflict_mask(&self, core: CoreId, block: BlockAddr, kind: AccessKind) -> u64 {
+        let Some(mask) = self.masks.get(&block.0) else {
+            return 0;
+        };
+        let conflicting = match kind {
+            AccessKind::Read => mask.writers,
+            AccessKind::Write => mask.readers | mask.writers,
+        };
+        conflicting & !(1u64 << core.0)
+    }
+
+    /// `true` if `core` performing `kind` on `addr`'s block would conflict
+    /// with at least one other core's speculative bits. O(1).
+    #[inline]
+    pub fn has_conflicts(&self, core: CoreId, addr: Addr, kind: AccessKind) -> bool {
+        self.conflict_mask(core, addr.block(), kind) != 0
+    }
+
     /// The cores whose speculative bits conflict with `core` performing
-    /// `kind` on `addr`'s block.
-    pub fn conflicts(&self, core: CoreId, addr: Addr, kind: AccessKind) -> Vec<Conflict> {
+    /// `kind` on `addr`'s block, in ascending core order.
+    pub fn conflict_set(&self, core: CoreId, addr: Addr, kind: AccessKind) -> ConflictSet {
         let block = addr.block();
-        let mut out = Vec::new();
-        for other in 0..self.num_cores() {
-            if other == core.0 {
-                continue;
-            }
-            let bits = self.spec_bits(CoreId(other), block);
-            let conflicting = match kind {
-                AccessKind::Read => bits.written,
-                AccessKind::Write => bits.read || bits.written,
-            };
-            if conflicting {
-                out.push(Conflict {
-                    core: CoreId(other),
-                    bits,
-                });
-            }
+        let mut out = ConflictSet::new();
+        let mut mask = self.conflict_mask(core, block, kind);
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            out.push(Conflict {
+                core: CoreId(i),
+                bits: self.spec_bits(CoreId(i), block),
+            });
         }
         out
+    }
+
+    /// [`conflict_set`](Self::conflict_set) as a `Vec` (tests and
+    /// diagnostics).
+    pub fn conflicts(&self, core: CoreId, addr: Addr, kind: AccessKind) -> Vec<Conflict> {
+        self.conflict_set(core, addr, kind).to_vec()
     }
 
     /// Performs the access: directory transition, cache fills (with
@@ -233,28 +393,67 @@ impl MemorySystem {
     /// speculative bits (the protocol must resolve conflicts first).
     pub fn access(&mut self, core: CoreId, addr: Addr, kind: AccessKind, speculative: bool) -> u64 {
         let block = addr.block();
+        let service = self.classify(core, block, kind);
+        self.perform(core, addr, kind, speculative, service)
+    }
+
+    /// Performs a conflict-free planned access, reusing the classification
+    /// computed by [`plan`](Self::plan) instead of re-deriving it. Returns
+    /// the access latency in cycles.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the plan has unresolved conflicts, or if
+    /// memory-system state changed since the plan was taken (the plan's
+    /// classification is then stale — use [`access`](Self::access)).
+    pub fn access_planned(&mut self, plan: &AccessPlan, speculative: bool) -> u64 {
         debug_assert!(
-            self.conflicts(core, addr, kind).is_empty(),
+            plan.conflicts.is_empty(),
+            "access_planned with unresolved conflicts; resolve, then use access()"
+        );
+        debug_assert_eq!(
+            self.classify(plan.core, plan.addr.block(), plan.kind),
+            plan.service,
+            "stale AccessPlan: state changed since plan() was taken"
+        );
+        self.perform(plan.core, plan.addr, plan.kind, speculative, plan.service)
+    }
+
+    fn perform(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+        speculative: bool,
+        service: Service,
+    ) -> u64 {
+        let block = addr.block();
+        debug_assert!(
+            !self.has_conflicts(core, addr, kind),
             "access by {core} to {addr:?} with unresolved conflicts: {:?}",
             self.conflicts(core, addr, kind)
         );
-        let service = self.classify(core, block, kind);
         let latency = self.latency_of(service);
 
         // Directory transition + remote copy removal.
-        let victims = match kind {
+        let n_victims = match kind {
             AccessKind::Read => {
                 // A remote modified owner is downgraded but keeps its copy.
                 self.dir.grant_read(core, block);
-                Vec::new()
+                0u64
             }
-            AccessKind::Write => self.dir.grant_write(core, block),
+            AccessKind::Write => {
+                let mut victims = self.dir.grant_write(core, block);
+                let n = u64::from(victims.count_ones());
+                while victims != 0 {
+                    let v = victims.trailing_zeros() as usize;
+                    victims &= victims - 1;
+                    self.drop_copy(CoreId(v), block);
+                    self.stats[v].invalidations_received += 1;
+                }
+                n
+            }
         };
-        let n_victims = victims.len() as u64;
-        for v in victims {
-            self.drop_copy(v, block);
-            self.stats[v.0].invalidations_received += 1;
-        }
         self.stats[core.0].invalidations_sent += n_victims;
 
         // Fill local caches (L2 then L1, maintaining inclusion).
@@ -290,9 +489,34 @@ impl MemorySystem {
     /// Sets speculative bits on a block the core already caches (or tracks in
     /// its permissions-only cache).
     pub fn mark_spec(&mut self, core: CoreId, block: BlockAddr, bits: SpecBits) {
-        if !self.l1[core.0].mark_spec(block, bits) {
-            let entry = self.po[core.0].entry(block.0).or_insert(SpecBits::NONE);
-            entry.merge(bits);
+        if !bits.any() {
+            return;
+        }
+        // Cache-line bits drive LRU victim preference only; absence (the
+        // block was evicted) is fine — the union map below is authoritative.
+        self.l1[core.0].mark_spec(block, bits);
+        let entry = self.spec[core.0].entry(block.0).or_insert(SpecBits::NONE);
+        entry.merge(bits);
+        let merged = *entry;
+        let mask = self.masks.entry(block.0).or_default();
+        let me = 1u64 << core.0;
+        if merged.read {
+            mask.readers |= me;
+        }
+        if merged.written {
+            mask.writers |= me;
+        }
+    }
+
+    /// Clears `core`'s bits from the per-block conflict mask.
+    fn clear_mask(&mut self, core: CoreId, block: u64) {
+        if let Some(mask) = self.masks.get_mut(&block) {
+            let me = !(1u64 << core.0);
+            mask.readers &= me;
+            mask.writers &= me;
+            if mask.is_empty() {
+                self.masks.remove(&block);
+            }
         }
     }
 
@@ -306,9 +530,10 @@ impl MemorySystem {
             bits.merge(b);
         }
         self.l2[core.0].remove(block);
-        if let Some(b) = self.po[core.0].remove(&block.0) {
+        if let Some(b) = self.spec[core.0].remove(&block.0) {
             bits.merge(b);
         }
+        self.clear_mask(core, block.0);
         self.dir.drop_holder(core, block);
         bits
     }
@@ -316,27 +541,29 @@ impl MemorySystem {
     /// Clears every speculative bit held by `core` (transaction commit or
     /// abort). Returns the number of blocks that had bits set.
     pub fn clear_spec(&mut self, core: CoreId) -> usize {
-        let cleared = self.l1[core.0].clear_all_spec();
-        let overflowed = self.po[core.0].len();
-        self.po[core.0].clear();
-        cleared + overflowed
+        // Take the union map so we can walk it while updating the caches and
+        // masks, then hand its (cleared) allocation back: steady-state
+        // commits and aborts allocate nothing.
+        let map = std::mem::take(&mut self.spec[core.0]);
+        let cleared = map.len();
+        for &block in map.keys() {
+            self.l1[core.0].clear_spec(BlockAddr(block));
+            self.clear_mask(core, block);
+        }
+        let mut map = map;
+        map.clear();
+        self.spec[core.0] = map;
+        cleared
     }
 
-    /// Blocks on which `core` currently holds speculative bits.
+    /// Blocks on which `core` currently holds speculative bits, in ascending
+    /// block order.
     pub fn spec_blocks(&self, core: CoreId) -> Vec<(BlockAddr, SpecBits)> {
-        let mut blocks: Vec<(BlockAddr, SpecBits)> = self.l1[core.0].spec_blocks().collect();
-        for (&b, &bits) in &self.po[core.0] {
-            blocks.push((BlockAddr(b), bits));
-        }
+        let mut blocks: Vec<(BlockAddr, SpecBits)> = self.spec[core.0]
+            .iter()
+            .map(|(&b, &bits)| (BlockAddr(b), bits))
+            .collect();
         blocks.sort_by_key(|(b, _)| b.0);
-        blocks.dedup_by(|(b1, bits1), (b2, bits2)| {
-            if b1 == b2 {
-                bits2.merge(*bits1);
-                true
-            } else {
-                false
-            }
-        });
         blocks
     }
 
@@ -365,9 +592,8 @@ impl MemorySystem {
     fn drop_copy(&mut self, core: CoreId, block: BlockAddr) {
         // Invalidation from a remote write: remove the copy everywhere. Any
         // speculative bits still present here are a protocol error (debug
-        // asserted in `access`), except bits the protocol deliberately left
-        // to be discarded after a steal; merge them into the permissions-only
-        // cache would *re-create* the conflict, so they are dropped.
+        // asserted in `perform`) — a write request conflicts with *any*
+        // remote speculative bit, so legal victims carry none.
         self.l1[core.0].remove(block);
         self.l2[core.0].remove(block);
         self.dir.drop_holder(core, block);
@@ -379,7 +605,7 @@ impl MemorySystem {
         if let Some((victim, _)) = self.l2[core.0].insert(block) {
             if let Some(bits) = self.l1[core.0].remove(victim) {
                 if bits.any() {
-                    self.overflow_spec(core, victim, bits);
+                    self.overflow_spec(core);
                 }
             }
             // The block leaves this core entirely.
@@ -388,7 +614,7 @@ impl MemorySystem {
         // L1 fill.
         if let Some((victim, bits)) = self.l1[core.0].insert(block) {
             if bits.any() {
-                self.overflow_spec(core, victim, bits);
+                self.overflow_spec(core);
             }
             // Victim may still be in L2; only drop the directory holding if
             // it is gone from both levels.
@@ -398,10 +624,11 @@ impl MemorySystem {
         }
     }
 
-    fn overflow_spec(&mut self, core: CoreId, block: BlockAddr, bits: SpecBits) {
+    /// Records that a speculative line was evicted. The permissions survive
+    /// in the union map (the OneTM-style permissions-only cache), so only
+    /// the statistic moves.
+    fn overflow_spec(&mut self, core: CoreId) {
         self.stats[core.0].spec_overflows += 1;
-        let entry = self.po[core.0].entry(block.0).or_insert(SpecBits::NONE);
-        entry.merge(bits);
     }
 }
 
@@ -432,6 +659,24 @@ mod tests {
         assert_eq!(st.accesses, 3);
         assert_eq!(st.misses, 1);
         assert_eq!(st.l1_hits, 2);
+    }
+
+    #[test]
+    fn planned_access_matches_plain_access() {
+        let mut m = ms(2);
+        let a = Addr(0);
+        let plan = m.plan(C0, a, AccessKind::Read);
+        assert!(!plan.has_conflicts());
+        assert_eq!(plan.latency, 140);
+        assert_eq!(m.access_planned(&plan, false), 140);
+        // Warm L1 hit through the planned path.
+        let plan = m.plan(C0, a, AccessKind::Write);
+        assert_eq!(m.access_planned(&plan, true), 41);
+        assert_eq!(m.stats(C0).accesses, 2);
+        // Conflicting plan reports the conflict.
+        let plan = m.plan(C1, a, AccessKind::Read);
+        assert_eq!(plan.conflicts.len(), 1);
+        assert_eq!(plan.conflicts.iter().next().unwrap().core, C0);
     }
 
     #[test]
@@ -480,10 +725,12 @@ mod tests {
 
         // Remote read does not conflict with a spec-read block.
         assert!(m.probe(C1, a, AccessKind::Read).conflicts.is_empty());
+        assert!(!m.has_conflicts(C1, a, AccessKind::Read));
         // Remote write does.
         let p = m.probe(C1, a, AccessKind::Write);
         assert_eq!(p.conflicts.len(), 1);
         assert_eq!(p.conflicts[0].core, C0);
+        assert!(m.has_conflicts(C1, a, AccessKind::Write));
     }
 
     #[test]
@@ -589,5 +836,25 @@ mod tests {
         assert!(m.caches_block(C1, a.block()));
         // C0 writing again needs an upgrade (it was downgraded to Shared).
         assert_eq!(m.access(C0, a, AccessKind::Write, false), 41);
+    }
+
+    #[test]
+    fn conflict_set_spills_past_inline_capacity() {
+        let mut m = MemorySystem::new(MemConfig::default(), 8);
+        let a = Addr(0);
+        for i in 0..7 {
+            m.access(CoreId(i), a, AccessKind::Read, true);
+        }
+        let set = m.conflict_set(CoreId(7), a, AccessKind::Write);
+        assert_eq!(set.len(), 7);
+        let cores: Vec<usize> = set.iter().map(|c| c.core.0).collect();
+        assert_eq!(cores, vec![0, 1, 2, 3, 4, 5, 6], "ascending core order");
+        assert_eq!(set.to_vec().len(), 7);
+    }
+
+    #[test]
+    fn too_many_cores_rejected() {
+        let result = std::panic::catch_unwind(|| MemorySystem::new(MemConfig::default(), 65));
+        assert!(result.is_err());
     }
 }

@@ -8,10 +8,9 @@
 //! until commit. Both mechanisms live here so every protocol in
 //! `retcon-htm` shares one tested implementation.
 
-use std::collections::HashMap;
-
 use retcon_isa::Addr;
 
+use crate::fx::FxHashMap;
 use crate::memory::GlobalMemory;
 
 /// An eager-version-management undo log.
@@ -39,7 +38,7 @@ use crate::memory::GlobalMemory;
 pub struct UndoLog {
     /// (address, pre-speculative value), in first-write order.
     entries: Vec<(Addr, u64)>,
-    seen: HashMap<u64, usize>,
+    seen: FxHashMap<u64, usize>,
 }
 
 impl UndoLog {
@@ -51,8 +50,8 @@ impl UndoLog {
     /// Records the current value of `addr` if this is the first speculative
     /// write to it in the current transaction.
     pub fn record(&mut self, mem: &GlobalMemory, addr: Addr) {
-        if !self.seen.contains_key(&addr.0) {
-            self.seen.insert(addr.0, self.entries.len());
+        if let std::collections::hash_map::Entry::Vacant(e) = self.seen.entry(addr.0) {
+            e.insert(self.entries.len());
             self.entries.push((addr, mem.read(addr)));
         }
     }
@@ -111,7 +110,7 @@ impl UndoLog {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct WriteBuffer {
-    words: HashMap<u64, u64>,
+    words: FxHashMap<u64, u64>,
     order: Vec<u64>,
 }
 

@@ -1,5 +1,7 @@
 //! The multicore machine: per-core interpreters plus the global scheduler.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use retcon_htm::{CommitResult, MemResult, Protocol};
@@ -164,23 +166,32 @@ impl Machine {
                 .validate()
                 .map_err(|error| SimError::InvalidProgram { core: i, error })?;
         }
+        // Scheduling: always advance the runnable core with the smallest
+        // `(clock, id)`. A min-heap maintains that running minimum — each
+        // runnable core has exactly one entry carrying its current clock
+        // (entries are consumed on pop and re-pushed only after the step,
+        // and a core's clock changes nowhere else), so the pop order is
+        // identical to re-scanning all cores every step, at O(log n).
+        let mut ready: BinaryHeap<Reverse<(u64, usize)>> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Reverse((c.now, i)))
+            .collect();
         loop {
-            // Pick the runnable core with the smallest (clock, id).
-            let next = self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| !c.halted && !c.at_barrier)
-                .min_by_key(|(i, c)| (c.now, *i))
-                .map(|(i, _)| i);
-            match next {
-                Some(c) => {
-                    if self.cores[c].now > self.cfg.max_cycles {
+            match ready.pop() {
+                Some(Reverse((now, c))) => {
+                    debug_assert_eq!(now, self.cores[c].now, "stale heap entry");
+                    if now > self.cfg.max_cycles {
                         return Err(SimError::CycleLimit {
                             limit: self.cfg.max_cycles,
                         });
                     }
                     self.step(c);
+                    let core = &self.cores[c];
+                    if !core.halted && !core.at_barrier {
+                        ready.push(Reverse((core.now, c)));
+                    }
                 }
                 None => {
                     // No runnable core: either everyone halted, or every
@@ -188,14 +199,14 @@ impl Machine {
                     if self.cores.iter().all(|c| c.halted) {
                         break;
                     }
-                    self.release_barrier();
+                    self.release_barrier(&mut ready);
                 }
             }
         }
         Ok(self.report())
     }
 
-    fn release_barrier(&mut self) {
+    fn release_barrier(&mut self, ready: &mut BinaryHeap<Reverse<(u64, usize)>>) {
         let release_at = self
             .cores
             .iter()
@@ -203,11 +214,12 @@ impl Machine {
             .map(|c| c.now)
             .max()
             .expect("release_barrier with no parked cores");
-        for c in &mut self.cores {
+        for (i, c) in self.cores.iter_mut().enumerate() {
             if c.at_barrier {
                 c.breakdown.barrier += release_at - c.now;
                 c.now = release_at;
                 c.at_barrier = false;
+                ready.push(Reverse((c.now, i)));
             }
         }
     }

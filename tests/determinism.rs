@@ -87,6 +87,34 @@ fn parallel_runner_is_byte_identical_at_any_job_count() {
     }
 }
 
+/// Golden cross-protocol cycle counts: the 8-core shared counter, every
+/// protocol, seed 42. These values were captured from the pre-optimization
+/// simulator (PR 2 HEAD) and pin *simulated timing itself* — not just
+/// record bytes — so a hot-path optimization that accidentally changes
+/// latency accounting, scheduling order, or conflict resolution fails here
+/// even if it is internally consistent.
+#[test]
+fn golden_cycle_counts_8core_counter() {
+    let expected = [
+        (System::Eager, 398_943),
+        (System::EagerAbort, 344_139),
+        (System::Lazy, 114_940),
+        (System::LazyVb, 55_312),
+        (System::Retcon, 54_750),
+        (System::RetconIdeal, 56_270),
+        (System::Datm, 702_185),
+    ];
+    for (system, cycles) in expected {
+        let report = run(Workload::Counter, system, 8, 42).expect("run completes");
+        assert_eq!(
+            report.cycles,
+            cycles,
+            "8-core counter cycle count changed under {} (golden value from the seed simulator)",
+            system.label()
+        );
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let a = run(Workload::Genome { resizable: false }, System::Eager, 4, 1).unwrap();

@@ -62,13 +62,14 @@ fn genome_table_contents_identical_across_systems() {
     let mut reference: Option<Vec<(u64, u64)>> = None;
     for system in SYSTEMS {
         let machine = run_machine(&spec, system);
-        let mut words: Vec<(u64, u64)> = machine
+        // `iter_sorted` is the memory's sorted-dump helper: address order
+        // without a collect-then-sort over every word.
+        let words: Vec<(u64, u64)> = machine
             .mem()
             .memory()
-            .iter()
+            .iter_sorted()
             .map(|(a, v)| (a.0, v))
             .collect();
-        words.sort();
         // Compare only the multiset of stored values (slot order within a
         // bucket is interleaving-dependent).
         let mut values: Vec<u64> = words.iter().map(|&(_, v)| v).collect();

@@ -1,0 +1,73 @@
+//! A counting global allocator for "this path must not allocate" tests.
+//!
+//! Register [`CountingAllocator`] as the test binary's `#[global_allocator]`
+//! and bracket the code under test with [`allocations`] snapshots:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+//!
+//! let before = alloc_counter::allocations();
+//! hot_path();
+//! assert_eq!(alloc_counter::allocations(), before);
+//! ```
+//!
+//! This crate is vendored (the build container has no registry access) and
+//! is the one place in the workspace allowed to use `unsafe`: a
+//! `GlobalAlloc` impl cannot be written without it. It only delegates to
+//! [`std::alloc::System`] and bumps atomic counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static REALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of `alloc`/`alloc_zeroed` calls since process start.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Number of `dealloc` calls since process start.
+pub fn deallocations() -> u64 {
+    DEALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Number of `realloc` calls since process start.
+pub fn reallocations() -> u64 {
+    REALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Sum of all heap-churn events (alloc + realloc + dealloc): the number a
+/// zero-allocation steady-state loop must leave unchanged.
+pub fn heap_events() -> u64 {
+    allocations() + reallocations() + deallocations()
+}
+
+/// The counting allocator; delegates every operation to the system
+/// allocator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        REALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
