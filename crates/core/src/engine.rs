@@ -179,6 +179,32 @@ impl Engine {
         LoadPath::Memory
     }
 
+    /// Fused Figure 6 load: classifies *and* completes a load serviced by
+    /// the symbolic store buffer or the initial value buffer in a single
+    /// pass over each structure, returning the concrete value. Returns
+    /// `None` when the load must go to memory ([`LoadPath::Memory`]) —
+    /// the caller then accesses the memory system and finishes with
+    /// [`begin_tracking`](Engine::begin_tracking)/
+    /// [`finish_tracked_load`](Engine::finish_tracked_load) or
+    /// [`finish_memory_load`](Engine::finish_memory_load).
+    ///
+    /// Behaviorally identical to [`load_path`](Engine::load_path) followed
+    /// by the matching `finish_*` call; this entry point exists because the
+    /// split API looks each buffer up twice, and the protocol read path is
+    /// the hottest loop in the simulator.
+    pub fn transactional_load(&mut self, dst: Reg, addr: Addr) -> Option<u64> {
+        if let Some(e) = self.ssb.lookup(addr) {
+            let (value, sym) = (e.value, e.sym);
+            self.sregs.set(dst, sym);
+            return Some(value);
+        }
+        if let Some(v) = self.ivb.initial(addr) {
+            self.sregs.set(dst, Some(SymValue::root(addr)));
+            return Some(v);
+        }
+        None
+    }
+
     /// Starts symbolic tracking of `block`, capturing initial word values
     /// via `read_word`. Returns `false` if the initial value buffer is full.
     pub fn begin_tracking(&mut self, block: BlockAddr, read_word: impl FnMut(Addr) -> u64) -> bool {
@@ -378,15 +404,24 @@ impl Engine {
     /// Word addresses of buffered stores to *untracked* blocks, which the
     /// commit process must acquire write permission for.
     pub fn precommit_store_blocks(&self) -> Vec<BlockAddr> {
-        let mut blocks: Vec<BlockAddr> = self
-            .ssb
-            .iter()
-            .map(|e| e.addr.block())
-            .filter(|b| !self.ivb.contains(*b))
-            .collect();
-        blocks.sort_by_key(|b| b.0);
-        blocks.dedup();
+        let mut blocks = Vec::new();
+        self.collect_precommit_store_blocks(&mut blocks);
         blocks
+    }
+
+    /// [`precommit_store_blocks`](Engine::precommit_store_blocks) into a
+    /// caller-owned scratch buffer (cleared first), so steady-state commits
+    /// reuse one allocation instead of collecting a fresh `Vec`.
+    pub fn collect_precommit_store_blocks(&self, out: &mut Vec<BlockAddr>) {
+        out.clear();
+        out.extend(
+            self.ssb
+                .iter()
+                .map(|e| e.addr.block())
+                .filter(|b| !self.ivb.contains(*b)),
+        );
+        out.sort_by_key(|b| b.0);
+        out.dedup();
     }
 
     /// Runs the Figure 7 pre-commit repair algorithm.
@@ -408,8 +443,29 @@ impl Engine {
     /// [`Predictor::on_violation`](crate::Predictor::on_violation).
     pub fn validate_and_repair(
         &mut self,
-        mut read_word: impl FnMut(Addr) -> u64,
+        read_word: impl FnMut(Addr) -> u64,
     ) -> Result<Repair, Violation> {
+        let mut out = Repair::default();
+        self.validate_and_repair_into(read_word, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`validate_and_repair`](Engine::validate_and_repair) into a
+    /// caller-owned [`Repair`] (its vectors are cleared and refilled), so
+    /// steady-state commits reuse the repair buffers instead of allocating
+    /// fresh ones every transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] in address order, exactly as
+    /// [`validate_and_repair`](Engine::validate_and_repair) does.
+    pub fn validate_and_repair_into(
+        &mut self,
+        mut read_word: impl FnMut(Addr) -> u64,
+        out: &mut Repair,
+    ) -> Result<(), Violation> {
+        out.stores.clear();
+        out.registers.clear();
         // Step 1a: capture final values (same visit order as the old
         // collect-then-set loop: entries in allocation order, words
         // ascending).
@@ -455,23 +511,19 @@ impl Engine {
                 .expect("symbolic root must be tracked");
             sym.eval(root_final)
         };
-        let stores = self
-            .ssb
-            .iter()
-            .map(|e| {
-                let v = match e.sym {
-                    Some(s) => eval(s, &self.ivb),
-                    None => e.value,
-                };
-                (e.addr, v)
-            })
-            .collect();
-        let registers = self
-            .sregs
-            .iter_symbolic()
-            .map(|(r, s)| (r, eval(s, &self.ivb)))
-            .collect();
-        Ok(Repair { stores, registers })
+        out.stores.extend(self.ssb.iter().map(|e| {
+            let v = match e.sym {
+                Some(s) => eval(s, &self.ivb),
+                None => e.value,
+            };
+            (e.addr, v)
+        }));
+        out.registers.extend(
+            self.sregs
+                .iter_symbolic()
+                .map(|(r, s)| (r, eval(s, &self.ivb))),
+        );
+        Ok(())
     }
 
     /// The Table 3 utilization snapshot of the current transaction

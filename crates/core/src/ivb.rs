@@ -92,6 +92,19 @@ impl IvbEntry {
 pub struct Ivb {
     entries: Vec<IvbEntry>,
     capacity: usize,
+    /// Presence filter: bit `block % 64` set for every tracked block. No
+    /// false negatives (entries are only removed by `clear`, which resets
+    /// it), so a clear bit short-circuits the miss path of every
+    /// `contains`/`get` without scanning — loads of untracked blocks are
+    /// the overwhelmingly common case.
+    filter: u64,
+}
+
+impl Ivb {
+    #[inline]
+    fn filter_bit(block: BlockAddr) -> u64 {
+        1u64 << (block.0 & 63)
+    }
 }
 
 impl Ivb {
@@ -100,6 +113,7 @@ impl Ivb {
         Ivb {
             entries: Vec::new(),
             capacity,
+            filter: 0,
         }
     }
 
@@ -119,16 +133,24 @@ impl Ivb {
     }
 
     /// `true` if `block` is tracked.
+    #[inline]
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.entries.iter().any(|e| e.block == block)
+        self.filter & Self::filter_bit(block) != 0 && self.entries.iter().any(|e| e.block == block)
     }
 
     /// The entry for `block`, if tracked.
+    #[inline]
     pub fn get(&self, block: BlockAddr) -> Option<&IvbEntry> {
+        if self.filter & Self::filter_bit(block) == 0 {
+            return None;
+        }
         self.entries.iter().find(|e| e.block == block)
     }
 
     fn get_mut(&mut self, block: BlockAddr) -> Option<&mut IvbEntry> {
+        if self.filter & Self::filter_bit(block) == 0 {
+            return None;
+        }
         self.entries.iter_mut().find(|e| e.block == block)
     }
 
@@ -155,6 +177,7 @@ impl Ivb {
             written: false,
             lost: false,
         });
+        self.filter |= Self::filter_bit(block);
         true
     }
 
@@ -220,6 +243,17 @@ impl Ivb {
         self.entries.iter()
     }
 
+    /// The `i`-th entry in allocation order (index-based iteration lets the
+    /// commit path interleave entry visits with `&mut` protocol work
+    /// without collecting the entries first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn entry_at(&self, i: usize) -> &IvbEntry {
+        &self.entries[i]
+    }
+
     /// Number of blocks marked lost.
     pub fn lost_count(&self) -> usize {
         self.entries.iter().filter(|e| e.lost).count()
@@ -233,6 +267,7 @@ impl Ivb {
     /// Forgets all entries (transaction end).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.filter = 0;
     }
 }
 

@@ -8,7 +8,7 @@
 //! observation of 100 conflicts on that block before attempting symbolic
 //! tracking on that block again."*
 
-use retcon_isa::fx::FxHashMap;
+use retcon_isa::table::BlockTable;
 use retcon_isa::BlockAddr;
 
 /// Per-block conflict-history predictor deciding which blocks to track
@@ -36,11 +36,14 @@ use retcon_isa::BlockAddr;
 pub struct Predictor {
     initial_threshold: u32,
     violation_backoff: u32,
-    entries: FxHashMap<u64, Entry>,
+    entries: BlockTable<Entry>,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Entry {
+    /// `false` until the block's first conflict/violation is recorded (the
+    /// dense-table equivalent of map absence).
+    seen: bool,
     conflicts: u32,
     /// Conflicts required before tracking; starts at `initial_threshold` and
     /// is raised on violations.
@@ -55,26 +58,42 @@ impl Predictor {
         Predictor {
             initial_threshold,
             violation_backoff,
-            entries: FxHashMap::default(),
+            entries: BlockTable::new(),
         }
     }
 
     /// Should loads from `block` initiate symbolic tracking?
+    #[inline]
     pub fn should_track(&self, block: BlockAddr) -> bool {
-        match self.entries.get(&block.0) {
-            Some(e) => e.conflicts >= e.required,
-            None => self.initial_threshold == 0,
+        let e = self.entries.get(block.0);
+        if e.seen {
+            e.conflicts >= e.required
+        } else {
+            self.initial_threshold == 0
         }
+    }
+
+    /// The entry for `block`, initialized on first touch (map-absence
+    /// equivalent).
+    #[inline]
+    fn entry(&mut self, block: BlockAddr) -> &mut Entry {
+        let threshold = self.initial_threshold;
+        let e = self.entries.entry(block.0);
+        if !e.seen {
+            *e = Entry {
+                seen: true,
+                conflicts: 0,
+                required: threshold,
+            };
+        }
+        e
     }
 
     /// Records that a conflict was observed on `block` (an abort or stall
     /// whose contended block this was).
+    #[inline]
     pub fn on_conflict(&mut self, block: BlockAddr) {
-        let threshold = self.initial_threshold;
-        let e = self.entries.entry(block.0).or_insert(Entry {
-            conflicts: 0,
-            required: threshold,
-        });
+        let e = self.entry(block);
         e.conflicts = e.conflicts.saturating_add(1);
     }
 
@@ -82,18 +101,14 @@ impl Predictor {
     /// tracking is disabled until `violation_backoff` further conflicts
     /// accumulate.
     pub fn on_violation(&mut self, block: BlockAddr) {
-        let threshold = self.initial_threshold;
         let backoff = self.violation_backoff;
-        let e = self.entries.entry(block.0).or_insert(Entry {
-            conflicts: 0,
-            required: threshold,
-        });
+        let e = self.entry(block);
         e.required = e.conflicts.saturating_add(backoff);
     }
 
     /// Number of blocks with recorded history.
     pub fn tracked_history(&self) -> usize {
-        self.entries.len()
+        self.entries.occupied()
     }
 }
 

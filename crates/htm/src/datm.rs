@@ -24,19 +24,25 @@
 
 use std::collections::HashSet;
 
+use retcon_isa::table::{BlockTable, EpochSet};
 use retcon_isa::{Addr, Reg};
 use retcon_mem::{AccessKind, CoreId, FxHashSet, MemorySystem, UndoLog};
 
 use crate::protocol::Protocol;
-use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats};
+use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats, RegUpdates};
 
 #[derive(Debug, Default)]
 struct CoreState {
     active: bool,
     birth: Option<u64>,
     undo: UndoLog,
-    read_set: FxHashSet<u64>,
-    write_set: FxHashSet<u64>,
+    read_set: EpochSet,
+    write_set: EpochSet,
+    /// Distinct blocks in `read_set`/`write_set`, in first-touch order —
+    /// the worklist for clearing this core's bits out of the shared
+    /// reader/writer masks at transaction end.
+    read_blocks: Vec<u64>,
+    write_blocks: Vec<u64>,
     aborted: bool,
     stats: ProtocolStats,
 }
@@ -47,6 +53,12 @@ pub struct DatmLite {
     cores: Vec<CoreState>,
     /// Dependence edges `(pred, succ)`: `succ` must commit after `pred`.
     edges: FxHashSet<(usize, usize)>,
+    /// Per-block bitmask of *active* cores whose read set holds the block
+    /// (the O(1) replacement for snooping every core's read set on every
+    /// access).
+    readers: BlockTable<u64>,
+    /// Per-block bitmask of active cores whose write set holds the block.
+    writers: BlockTable<u64>,
 }
 
 impl DatmLite {
@@ -55,7 +67,26 @@ impl DatmLite {
         DatmLite {
             cores: (0..num_cores).map(|_| CoreState::default()).collect(),
             edges: FxHashSet::default(),
+            readers: BlockTable::new(),
+            writers: BlockTable::new(),
         }
+    }
+
+    /// Drops every trace of `core`'s transaction footprint: its bits in the
+    /// shared reader/writer masks, then its sets and worklists.
+    fn clear_footprint(&mut self, core: usize) {
+        let cs = &mut self.cores[core];
+        let not_me = !(1u64 << core);
+        for &b in &cs.read_blocks {
+            *self.readers.entry(b) &= not_me;
+        }
+        for &b in &cs.write_blocks {
+            *self.writers.entry(b) &= not_me;
+        }
+        cs.read_blocks.clear();
+        cs.write_blocks.clear();
+        cs.read_set.clear();
+        cs.write_set.clear();
     }
 
     fn age(&self, c: usize) -> (u64, usize) {
@@ -108,10 +139,9 @@ impl DatmLite {
         let mut victims: Vec<usize> = seen.into_iter().filter(|c| self.cores[*c].active).collect();
         victims.sort_by_key(|&c| std::cmp::Reverse((self.cores[c].birth.unwrap_or(0), c)));
         for v in victims {
+            self.cores[v].undo.rollback(mem.memory_mut());
+            self.clear_footprint(v);
             let cs = &mut self.cores[v];
-            cs.undo.rollback(mem.memory_mut());
-            cs.read_set.clear();
-            cs.write_set.clear();
             cs.active = false;
             cs.aborted = true;
             cs.stats.record_abort(AbortCause::Cycle);
@@ -119,20 +149,16 @@ impl DatmLite {
         }
     }
 
-    fn writers_and_readers(&self, block: u64, except: usize) -> (Vec<usize>, Vec<usize>) {
-        let mut writers = Vec::new();
-        let mut readers = Vec::new();
-        for (i, cs) in self.cores.iter().enumerate() {
-            if i == except || !cs.active {
-                continue;
-            }
-            if cs.write_set.contains(&block) {
-                writers.push(i);
-            } else if cs.read_set.contains(&block) {
-                readers.push(i);
-            }
-        }
-        (writers, readers)
+    /// Bitmasks of the *other* active cores whose write set (resp. only
+    /// read set) holds `block`. A core appearing in both sets counts as a
+    /// writer, exactly like the old per-core snoop; ascending-bit iteration
+    /// of the masks reproduces its ascending core order.
+    #[inline]
+    fn writers_and_readers(&self, block: u64, except: usize) -> (u64, u64) {
+        let not_me = !(1u64 << except);
+        let w = self.writers.get(block) & not_me;
+        let r = self.readers.get(block) & not_me & !w;
+        (w, r)
     }
 }
 
@@ -165,14 +191,19 @@ impl Protocol for DatmLite {
         if self.cores[core.0].active {
             // Forwarding: reading a block another transaction wrote creates
             // a dependence writer -> reader (we must commit after them).
-            let (writers, _) = self.writers_and_readers(block, core.0);
-            for w in writers {
+            let (mut writers, _) = self.writers_and_readers(block, core.0);
+            while writers != 0 {
+                let w = writers.trailing_zeros() as usize;
+                writers &= writers - 1;
                 if !self.add_edge(w, core.0, mem, core.0) {
                     return MemResult::Abort;
                 }
             }
             if self.cores[core.0].active {
-                self.cores[core.0].read_set.insert(block);
+                if self.cores[core.0].read_set.insert(block) {
+                    self.cores[core.0].read_blocks.push(block);
+                    *self.readers.entry(block) |= 1u64 << core.0;
+                }
             } else {
                 // Cascaded abort caught us.
                 return MemResult::Abort;
@@ -198,19 +229,26 @@ impl Protocol for DatmLite {
         let block = addr.block().0;
         if self.cores[core.0].active {
             // Anti- and output-dependences: prior readers and writers must
-            // commit before us.
+            // commit before us (writers first, then pure readers, each in
+            // ascending core order, as the old per-core snoop produced).
             let (writers, readers) = self.writers_and_readers(block, core.0);
-            for other in writers.into_iter().chain(readers) {
-                if !self.add_edge(other, core.0, mem, core.0) {
-                    return MemResult::Abort;
+            for mut group in [writers, readers] {
+                while group != 0 {
+                    let other = group.trailing_zeros() as usize;
+                    group &= group - 1;
+                    if !self.add_edge(other, core.0, mem, core.0) {
+                        return MemResult::Abort;
+                    }
                 }
             }
             if !self.cores[core.0].active {
                 return MemResult::Abort;
             }
-            let cs = &mut self.cores[core.0];
-            cs.write_set.insert(block);
-            cs.undo.record(mem.memory(), addr);
+            if self.cores[core.0].write_set.insert(block) {
+                self.cores[core.0].write_blocks.push(block);
+                *self.writers.entry(block) |= 1u64 << core.0;
+            }
+            self.cores[core.0].undo.record(mem.memory(), addr);
         }
         let latency = mem.access(core, addr, AccessKind::Write, false);
         mem.write_word(addr, value);
@@ -231,10 +269,9 @@ impl Protocol for DatmLite {
             self.cores[core.0].stats.stalls += 1;
             return CommitResult::Stall;
         }
+        self.cores[core.0].undo.clear();
+        self.clear_footprint(core.0);
         let cs = &mut self.cores[core.0];
-        cs.undo.clear();
-        cs.read_set.clear();
-        cs.write_set.clear();
         cs.active = false;
         cs.birth = None;
         cs.stats.commits += 1;
@@ -242,7 +279,7 @@ impl Protocol for DatmLite {
         mem.clear_spec(core);
         CommitResult::Committed {
             latency: 0,
-            reg_updates: Vec::new(),
+            reg_updates: RegUpdates::EMPTY,
         }
     }
 

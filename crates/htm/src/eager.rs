@@ -1,11 +1,11 @@
 //! The eager-conflict-detection HTM baseline (§2 of the paper).
 
 use retcon_isa::{Addr, Reg};
-use retcon_mem::{AccessKind, ConflictSet, CoreId, MemorySystem, UndoLog};
+use retcon_mem::{AccessKind, CoreId, MemorySystem, UndoLog};
 
 use crate::cm::{decide, Age, ConflictPolicy, Decision};
 use crate::protocol::Protocol;
-use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats};
+use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats, RegUpdates};
 
 #[derive(Debug, Default)]
 struct CoreState {
@@ -45,6 +45,9 @@ struct CoreState {
 pub struct EagerTm {
     policy: ConflictPolicy,
     cores: Vec<CoreState>,
+    /// Scratch: the victims of the conflict being resolved (reused so the
+    /// contended steady state never allocates).
+    victims: Vec<(CoreId, Age)>,
 }
 
 impl EagerTm {
@@ -54,6 +57,7 @@ impl EagerTm {
         EagerTm {
             policy,
             cores: (0..num_cores).map(|_| CoreState::default()).collect(),
+            victims: Vec::new(),
         }
     }
 
@@ -64,19 +68,6 @@ impl EagerTm {
         } else {
             None
         }
-    }
-
-    fn victim_ages(&self, conflicts: &ConflictSet) -> Vec<(CoreId, Age)> {
-        conflicts
-            .iter()
-            .map(|c| {
-                (
-                    c.core,
-                    self.age(c.core)
-                        .expect("speculative bits imply an active transaction"),
-                )
-            })
-            .collect()
     }
 
     fn abort_core(
@@ -95,18 +86,29 @@ impl EagerTm {
         cs.stats.record_abort(cause);
     }
 
-    /// Resolves the conflicts of a pending access. Returns `None` when the
-    /// requester may proceed (victims aborted), or the result to hand back.
+    /// Resolves the conflicts of a pending access (`conflicts` is the
+    /// bitmask of conflicting cores). Returns `None` when the requester may
+    /// proceed (victims aborted), or the result to hand back.
     fn resolve(
         &mut self,
         core: CoreId,
-        conflicts: &ConflictSet,
+        mut conflicts: u64,
         mem: &mut MemorySystem,
     ) -> Option<MemResult> {
-        let victims = self.victim_ages(conflicts);
-        match decide(self.policy, self.age(core), &victims) {
+        let mut victims = std::mem::take(&mut self.victims);
+        victims.clear();
+        while conflicts != 0 {
+            let c = CoreId(conflicts.trailing_zeros() as usize);
+            conflicts &= conflicts - 1;
+            victims.push((
+                c,
+                self.age(c)
+                    .expect("speculative bits imply an active transaction"),
+            ));
+        }
+        let result = match decide(self.policy, self.age(core), &victims) {
             Decision::AbortVictims => {
-                for (v, _) in victims {
+                for &(v, _) in &victims {
                     self.abort_core(v, mem, AbortCause::Conflict, true);
                 }
                 None
@@ -119,7 +121,9 @@ impl EagerTm {
                 self.abort_core(core, mem, AbortCause::Conflict, false);
                 Some(MemResult::Abort)
             }
-        }
+        };
+        self.victims = victims;
+        result
     }
 }
 
@@ -154,16 +158,16 @@ impl Protocol for EagerTm {
         mem: &mut MemorySystem,
         _now: u64,
     ) -> MemResult {
-        let plan = mem.plan(core, addr, AccessKind::Read);
         let spec = self.cores[core.0].active;
-        let latency = if plan.has_conflicts() {
-            if let Some(result) = self.resolve(core, &plan.conflicts, mem) {
-                return result;
+        let latency = match mem.plan_if_clean(core, addr, AccessKind::Read) {
+            Ok(plan) => mem.access_planned(&plan, spec),
+            Err(conflicts) => {
+                if let Some(result) = self.resolve(core, conflicts, mem) {
+                    return result;
+                }
+                // Resolution may have changed coherence state: classify now.
+                mem.access(core, addr, AccessKind::Read, spec)
             }
-            // Resolution may have changed coherence state: re-classify.
-            mem.access(core, addr, AccessKind::Read, spec)
-        } else {
-            mem.access_planned(&plan, spec)
         };
         MemResult::Value {
             value: mem.read_word(addr),
@@ -181,14 +185,15 @@ impl Protocol for EagerTm {
         mem: &mut MemorySystem,
         _now: u64,
     ) -> MemResult {
-        let plan = mem.plan(core, addr, AccessKind::Write);
-        let mut resolved = false;
-        if plan.has_conflicts() {
-            if let Some(result) = self.resolve(core, &plan.conflicts, mem) {
-                return result;
+        let clean_plan = match mem.plan_if_clean(core, addr, AccessKind::Write) {
+            Ok(plan) => Some(plan),
+            Err(conflicts) => {
+                if let Some(result) = self.resolve(core, conflicts, mem) {
+                    return result;
+                }
+                None
             }
-            resolved = true;
-        }
+        };
         let spec = self.cores[core.0].active;
         if spec {
             // Eager version management: log the pre-speculative value, then
@@ -196,11 +201,10 @@ impl Protocol for EagerTm {
             let cs = &mut self.cores[core.0];
             cs.undo.record(mem.memory(), addr);
         }
-        let latency = if resolved {
-            // Resolution may have changed coherence state: re-classify.
-            mem.access(core, addr, AccessKind::Write, spec)
-        } else {
-            mem.access_planned(&plan, spec)
+        let latency = match clean_plan {
+            Some(plan) => mem.access_planned(&plan, spec),
+            // Resolution may have changed coherence state: classify now.
+            None => mem.access(core, addr, AccessKind::Write, spec),
         };
         mem.write_word(addr, value);
         MemResult::Value { value, latency }
@@ -216,7 +220,7 @@ impl Protocol for EagerTm {
         mem.clear_spec(core);
         CommitResult::Committed {
             latency: 0,
-            reg_updates: Vec::new(),
+            reg_updates: RegUpdates::EMPTY,
         }
     }
 

@@ -4,7 +4,7 @@ use retcon_isa::{Addr, Reg};
 use retcon_mem::{AccessKind, CoreId, MemorySystem, WriteBuffer};
 
 use crate::protocol::Protocol;
-use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats};
+use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats, RegUpdates};
 
 #[derive(Debug, Default)]
 struct CoreState {
@@ -107,10 +107,13 @@ impl Protocol for LazyTm {
             self.cores[core.0].wb.write(addr, value);
             return MemResult::Value { value, latency: 1 };
         }
-        // Non-transactional write: abort any speculative readers.
-        let conflicts = mem.conflict_set(core, addr, AccessKind::Write);
-        for c in conflicts.iter() {
-            self.abort_victim(c.core, mem);
+        // Non-transactional write: abort any speculative readers
+        // (ascending-bit mask iteration = ascending core order).
+        let mut conflicts = mem.conflict_mask_of(core, addr, AccessKind::Write);
+        while conflicts != 0 {
+            let victim = CoreId(conflicts.trailing_zeros() as usize);
+            conflicts &= conflicts - 1;
+            self.abort_victim(victim, mem);
         }
         let latency = mem.access(core, addr, AccessKind::Write, false);
         mem.write_word(addr, value);
@@ -127,9 +130,11 @@ impl Protocol for LazyTm {
         for (addr, value) in wb.iter() {
             // Committer wins: every transaction that speculatively read the
             // block aborts.
-            let conflicts = mem.conflict_set(core, addr, AccessKind::Write);
-            for c in conflicts.iter() {
-                self.abort_victim(c.core, mem);
+            let mut conflicts = mem.conflict_mask_of(core, addr, AccessKind::Write);
+            while conflicts != 0 {
+                let victim = CoreId(conflicts.trailing_zeros() as usize);
+                conflicts &= conflicts - 1;
+                self.abort_victim(victim, mem);
             }
             latency += mem.access(core, addr, AccessKind::Write, false);
             mem.write_word(addr, value);
@@ -143,7 +148,7 @@ impl Protocol for LazyTm {
         mem.clear_spec(core);
         CommitResult::Committed {
             latency,
-            reg_updates: Vec::new(),
+            reg_updates: RegUpdates::EMPTY,
         }
     }
 

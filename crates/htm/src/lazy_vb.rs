@@ -7,11 +7,12 @@
 //! false/silent sharing but does not allow commits where a value read has
 //! been changed remotely."*
 
+use retcon_isa::table::EpochMap;
 use retcon_isa::{Addr, BlockAddr, Reg};
-use retcon_mem::{AccessKind, CoreId, FxHashMap, MemorySystem, WriteBuffer};
+use retcon_mem::{AccessKind, CoreId, MemorySystem, WriteBuffer};
 
 use crate::protocol::Protocol;
-use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats};
+use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats, RegUpdates};
 
 #[derive(Debug, Default)]
 struct CoreState {
@@ -20,15 +21,17 @@ struct CoreState {
     wb: WriteBuffer,
     /// First-read value per word, in read order (the value log).
     rlog: Vec<(Addr, u64)>,
-    rmap: FxHashMap<u64, u64>,
+    /// Word -> first-read value, epoch-stamped (one array probe per read,
+    /// O(1) per-transaction clear).
+    rmap: EpochMap<u64>,
     aborted: bool,
     stats: ProtocolStats,
 }
 
 impl CoreState {
+    #[inline]
     fn log_read(&mut self, addr: Addr, value: u64) {
-        if let std::collections::hash_map::Entry::Vacant(e) = self.rmap.entry(addr.0) {
-            e.insert(value);
+        if self.rmap.insert_if_absent(addr.0, value) {
             self.rlog.push((addr, value));
         }
     }
@@ -113,7 +116,7 @@ impl Protocol for LazyVbTm {
                     latency: 1,
                 };
             }
-            if let Some(&v) = cs.rmap.get(&addr.0) {
+            if let Some(v) = cs.rmap.get(addr.0) {
                 // Snapshot semantics: repeated reads observe the logged
                 // value even if memory has moved on; validation decides at
                 // commit.
@@ -187,7 +190,7 @@ impl Protocol for LazyVbTm {
         cs.stats.commits += 1;
         CommitResult::Committed {
             latency,
-            reg_updates: Vec::new(),
+            reg_updates: RegUpdates::EMPTY,
         }
     }
 

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod any;
 mod cm;
 mod datm;
 mod eager;
@@ -42,11 +43,12 @@ mod protocol;
 mod result;
 mod retcon_tm;
 
+pub use any::AnyProtocol;
 pub use cm::{ConflictPolicy, Decision};
 pub use datm::DatmLite;
 pub use eager::EagerTm;
 pub use lazy::LazyTm;
 pub use lazy_vb::LazyVbTm;
 pub use protocol::Protocol;
-pub use result::{AbortCause, CommitResult, MemResult, ProtocolStats};
+pub use result::{AbortCause, CommitResult, MemResult, ProtocolStats, RegUpdates};
 pub use retcon_tm::RetconTm;

@@ -1,6 +1,85 @@
 //! Protocol result types and statistics.
 
-use retcon_isa::Reg;
+use retcon_isa::{Reg, NUM_REGS};
+
+/// Commit-time register repairs, stored inline.
+///
+/// A commit repairs at most one value per architectural register, so the
+/// updates fit in a fixed `NUM_REGS`-slot array — committing never touches
+/// the heap (the steady-state zero-allocation guarantee covers whole
+/// `Machine::run` loops, RETCON repairs included).
+#[derive(Clone, Copy)]
+pub struct RegUpdates {
+    len: u8,
+    items: [(Reg, u64); NUM_REGS],
+}
+
+impl RegUpdates {
+    /// No updates (every protocol except RETCON).
+    pub const EMPTY: RegUpdates = RegUpdates {
+        len: 0,
+        items: [(Reg(0), 0); NUM_REGS],
+    };
+
+    /// Appends an update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `NUM_REGS` updates are pushed (impossible for a
+    /// well-formed repair: one update per register).
+    pub fn push(&mut self, reg: Reg, value: u64) {
+        self.items[self.len as usize] = (reg, value);
+        self.len += 1;
+    }
+
+    /// The updates, in repair order.
+    pub fn as_slice(&self) -> &[(Reg, u64)] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Number of updates.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` if there are no updates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Debug for RegUpdates {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for RegUpdates {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for RegUpdates {}
+
+impl<'a> IntoIterator for &'a RegUpdates {
+    type Item = &'a (Reg, u64);
+    type IntoIter = std::slice::Iter<'a, (Reg, u64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<(Reg, u64)> for RegUpdates {
+    fn from_iter<T: IntoIterator<Item = (Reg, u64)>>(iter: T) -> Self {
+        let mut out = RegUpdates::EMPTY;
+        for (r, v) in iter {
+            out.push(r, v);
+        }
+        out
+    }
+}
 
 /// Outcome of a transactional (or plain) memory access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +101,12 @@ pub enum MemResult {
 }
 
 /// Outcome of a commit attempt.
+// The Committed variant carries the inline `RegUpdates` array by design:
+// boxing it would put an allocation back on every commit, which the
+// steady-state zero-allocation guarantee (tests/no_alloc_machine.rs)
+// exists to prevent. Commit results are constructed once per transaction
+// and consumed immediately; the transient stack size is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommitResult {
     /// The transaction committed.
@@ -30,7 +115,7 @@ pub enum CommitResult {
         latency: u64,
         /// Register repairs to apply to the concrete register file
         /// (RETCON's symbolic registers; empty for other protocols).
-        reg_updates: Vec<(Reg, u64)>,
+        reg_updates: RegUpdates,
     },
     /// The commit must wait (e.g. a RETCON pre-commit reacquire lost a
     /// conflict to an older transaction, or a DATM predecessor has not

@@ -1,12 +1,13 @@
 //! The full RETCON protocol: the symbolic engine wired into coherence.
 
-use retcon::{Engine, LoadPath, RetconConfig, RetconStats, StorePath};
+use retcon::{Engine, Repair, RetconConfig, RetconStats, StorePath};
+use retcon_isa::table::EpochSet;
 use retcon_isa::{Addr, BinOp, BlockAddr, CmpOp, Reg};
-use retcon_mem::{AccessKind, ConflictSet, CoreId, FxHashSet, MemorySystem, UndoLog};
+use retcon_mem::{AccessKind, CoreId, MemorySystem, UndoLog};
 
 use crate::cm::{decide, Age, ConflictPolicy, Decision};
 use crate::protocol::Protocol;
-use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats};
+use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats, RegUpdates};
 
 #[derive(Debug)]
 struct CoreState {
@@ -23,10 +24,17 @@ struct CoreState {
     /// would let a steal invalidate that value without any constraint —
     /// an unserializable commit. Such blocks stay plain until the
     /// transaction ends.
-    plain_blocks: FxHashSet<u64>,
+    plain_blocks: EpochSet,
     aborted: bool,
     stats: ProtocolStats,
     rstats: RetconStats,
+    /// Scratch: non-stealable conflicts handed to the contention manager
+    /// (reused across resolutions so conflict handling never allocates).
+    hard: Vec<(CoreId, Age)>,
+    /// Scratch: untracked blocks with buffered stores, reacquired at commit.
+    store_blocks: Vec<BlockAddr>,
+    /// Scratch: the pre-commit repair output buffers.
+    repair: Repair,
 }
 
 impl CoreState {
@@ -37,10 +45,13 @@ impl CoreState {
             start_cycle: 0,
             engine: Engine::new(cfg),
             undo: UndoLog::new(),
-            plain_blocks: FxHashSet::default(),
+            plain_blocks: EpochSet::new(),
             aborted: false,
             stats: ProtocolStats::default(),
             rstats: RetconStats::new(),
+            hard: Vec::new(),
+            store_blocks: Vec::new(),
+            repair: Repair::default(),
         }
     }
 }
@@ -191,49 +202,64 @@ impl RetconTm {
         &mut self,
         core: CoreId,
         addr: Addr,
-        conflicts: &ConflictSet,
+        conflicts: u64,
         mem: &mut MemorySystem,
     ) -> Resolve {
         let block = addr.block();
-        let mut hard: Vec<(CoreId, Age)> = Vec::new();
-        for c in conflicts.iter() {
+        // The non-stealable victims accumulate in the requester's reusable
+        // scratch buffer: conflict resolution runs on every contended
+        // access, so it must not allocate in steady state. `conflicts` is
+        // the conflicting-core bitmask; ascending-bit iteration reproduces
+        // the old `ConflictSet`'s ascending core order, and each victim's
+        // speculative bits are fetched only when the steal test needs them.
+        let mut hard = std::mem::take(&mut self.cores[core.0].hard);
+        hard.clear();
+        let mut pending = conflicts;
+        while pending != 0 {
+            let victim_id = CoreId(pending.trailing_zeros() as usize);
+            pending &= pending - 1;
             // Both parties learn that this block is contended.
-            self.cores[c.core.0]
+            self.cores[victim_id.0]
                 .engine
                 .predictor_mut()
                 .on_conflict(block);
             self.cores[core.0].engine.predictor_mut().on_conflict(block);
-            let victim = &self.cores[c.core.0];
-            let stealable = victim.active && victim.engine.is_tracking(block) && !c.bits.written;
+            let victim = &self.cores[victim_id.0];
+            let stealable = victim.active
+                && victim.engine.is_tracking(block)
+                && !mem.spec_bits(victim_id, block).written;
             if stealable {
-                mem.invalidate_block(c.core, block);
-                self.cores[c.core.0].engine.on_steal(block);
+                mem.invalidate_block(victim_id, block);
+                self.cores[victim_id.0].engine.on_steal(block);
             } else {
                 let age = self
-                    .age(c.core)
+                    .age(victim_id)
                     .expect("speculative bits imply an active tx");
-                hard.push((c.core, age));
+                hard.push((victim_id, age));
             }
         }
-        if hard.is_empty() {
-            return Resolve::Proceed;
-        }
-        match decide(self.policy, self.age(core), &hard) {
-            Decision::AbortVictims => {
-                for (v, _) in hard {
-                    self.abort_core(v, mem, AbortCause::Conflict, true);
+        let result = if hard.is_empty() {
+            Resolve::Proceed
+        } else {
+            match decide(self.policy, self.age(core), &hard) {
+                Decision::AbortVictims => {
+                    for &(v, _) in &hard {
+                        self.abort_core(v, mem, AbortCause::Conflict, true);
+                    }
+                    Resolve::Proceed
                 }
-                Resolve::Proceed
+                Decision::StallRequester => {
+                    self.cores[core.0].stats.stalls += 1;
+                    Resolve::Stall
+                }
+                Decision::AbortRequester => {
+                    self.abort_core(core, mem, AbortCause::Conflict, false);
+                    Resolve::AbortSelf
+                }
             }
-            Decision::StallRequester => {
-                self.cores[core.0].stats.stalls += 1;
-                Resolve::Stall
-            }
-            Decision::AbortRequester => {
-                self.abort_core(core, mem, AbortCause::Conflict, false);
-                Resolve::AbortSelf
-            }
-        }
+        };
+        self.cores[core.0].hard = hard;
+        result
     }
 }
 
@@ -267,48 +293,44 @@ impl Protocol for RetconTm {
     ) -> MemResult {
         let active = self.cores[core.0].active;
         if active {
+            let cs = &mut self.cores[core.0];
             if let Some(r) = addr_reg {
-                self.cores[core.0].engine.concretize_addr_reg(r);
+                cs.engine.concretize_addr_reg(r);
             }
             // Figure 6: symbolic store buffer, then initial value buffer,
-            // then memory.
-            match self.cores[core.0].engine.load_path(addr) {
-                LoadPath::StoreForward { .. } => {
-                    let value = self.cores[core.0].engine.finish_forwarded_load(dst, addr);
-                    return MemResult::Value { value, latency: 1 };
-                }
-                LoadPath::InitialValue { .. } => {
-                    let value = self.cores[core.0].engine.finish_tracked_load(dst, addr);
-                    return MemResult::Value { value, latency: 1 };
-                }
-                LoadPath::Memory => {}
+            // then memory — classified and completed in one fused pass.
+            if let Some(value) = cs.engine.transactional_load(dst, addr) {
+                return MemResult::Value { value, latency: 1 };
             }
         }
-        let plan = mem.plan(core, addr, AccessKind::Read);
-        let latency = if plan.has_conflicts() {
-            match self.resolve(core, addr, &plan.conflicts, mem) {
-                Resolve::Proceed => {}
-                Resolve::Stall => return MemResult::Stall,
-                Resolve::AbortSelf => return MemResult::Abort,
+        let latency = match mem.plan_if_clean(core, addr, AccessKind::Read) {
+            Ok(plan) => mem.access_planned(&plan, active),
+            Err(conflicts) => {
+                match self.resolve(core, addr, conflicts, mem) {
+                    Resolve::Proceed => {}
+                    Resolve::Stall => return MemResult::Stall,
+                    Resolve::AbortSelf => return MemResult::Abort,
+                }
+                // Resolution (steal/abort) may have changed coherence
+                // state: classify now.
+                mem.access(core, addr, AccessKind::Read, active)
             }
-            // Resolution (steal/abort) may have changed coherence state:
-            // re-classify.
-            mem.access(core, addr, AccessKind::Read, active)
-        } else {
-            mem.access_planned(&plan, active)
         };
         let value = mem.read_word(addr);
         if active {
             let block = addr.block();
             let cs = &mut self.cores[core.0];
-            if cs.engine.wants_tracking(addr) && !cs.plain_blocks.contains(&block.0) {
+            // `insert` doubles as the membership test (one hash lookup, not
+            // two) and the predictor is only consulted for blocks not
+            // already accessed plainly this transaction.
+            if cs.plain_blocks.insert(block.0) && cs.engine.wants_tracking(addr) {
+                cs.plain_blocks.remove(block.0);
                 let memory = &*mem;
                 let ok = cs.engine.begin_tracking(block, |w| memory.read_word(w));
                 debug_assert!(ok, "wants_tracking implies room");
                 let v = cs.engine.finish_tracked_load(dst, addr);
                 debug_assert_eq!(v, value);
             } else {
-                cs.plain_blocks.insert(block.0);
                 cs.engine.finish_memory_load(dst, value);
             }
         }
@@ -340,16 +362,17 @@ impl Protocol for RetconTm {
                 StorePath::Normal => {}
             }
         }
-        let plan = mem.plan(core, addr, AccessKind::Write);
-        let mut resolved = false;
-        if plan.has_conflicts() {
-            match self.resolve(core, addr, &plan.conflicts, mem) {
-                Resolve::Proceed => {}
-                Resolve::Stall => return MemResult::Stall,
-                Resolve::AbortSelf => return MemResult::Abort,
+        let clean_plan = match mem.plan_if_clean(core, addr, AccessKind::Write) {
+            Ok(plan) => Some(plan),
+            Err(conflicts) => {
+                match self.resolve(core, addr, conflicts, mem) {
+                    Resolve::Proceed => {}
+                    Resolve::Stall => return MemResult::Stall,
+                    Resolve::AbortSelf => return MemResult::Abort,
+                }
+                None
             }
-            resolved = true;
-        }
+        };
         if active {
             let block = addr.block();
             let cs = &mut self.cores[core.0];
@@ -359,8 +382,11 @@ impl Protocol for RetconTm {
             // store is buffered and reapplied at commit (this is how RETCON
             // "implicitly provides selective lazy conflict detection",
             // §5.1). Conflicts were resolved above, so memory holds no other
-            // core's uncommitted data for this block.
-            if cs.engine.wants_tracking(addr) && !cs.plain_blocks.contains(&block.0) {
+            // core's uncommitted data for this block. As on the read path,
+            // `insert` doubles as the membership test and gates the
+            // predictor lookup.
+            if cs.plain_blocks.insert(block.0) && cs.engine.wants_tracking(addr) {
+                cs.plain_blocks.remove(block.0);
                 let memory = &*mem;
                 let ok = cs.engine.begin_tracking(block, |w| memory.read_word(w));
                 debug_assert!(ok, "wants_tracking implies room");
@@ -374,14 +400,13 @@ impl Protocol for RetconTm {
                     StorePath::Normal => unreachable!("stores to tracked blocks buffer"),
                 }
             }
-            cs.plain_blocks.insert(block.0);
+            let cs = &mut self.cores[core.0];
             cs.undo.record(mem.memory(), addr);
         }
-        let latency = if resolved {
-            // Resolution may have changed coherence state: re-classify.
-            mem.access(core, addr, AccessKind::Write, active)
-        } else {
-            mem.access_planned(&plan, active)
+        let latency = match clean_plan {
+            Some(plan) => mem.access_planned(&plan, active),
+            // Resolution may have changed coherence state: classify now.
+            None => mem.access(core, addr, AccessKind::Write, active),
         };
         mem.write_word(addr, value);
         MemResult::Value { value, latency }
@@ -399,63 +424,74 @@ impl Protocol for RetconTm {
         // blocks. Conflicts go through the normal contention manager; a
         // stall reschedules the entire commit (partial acquisitions are
         // harmless — the blocks are simply cached).
-        let mut acquisitions: Vec<(BlockAddr, AccessKind)> = self.cores[core.0]
+        //
+        // Tracked blocks are visited by index straight out of the IVB (it
+        // cannot change mid-loop: resolution only ever mutates *other*
+        // cores unless it aborts us, and then we return immediately);
+        // untracked store blocks come from the reusable scratch buffer.
+        // Same visit order as the old collect-then-iterate, no per-commit
+        // allocation.
+        let tracked = self.cores[core.0].engine.ivb().len();
+        let mut store_blocks = std::mem::take(&mut self.cores[core.0].store_blocks);
+        self.cores[core.0]
             .engine
-            .precommit_blocks()
-            .into_iter()
-            .map(|(b, written)| {
+            .collect_precommit_store_blocks(&mut store_blocks);
+        for i in 0..tracked + store_blocks.len() {
+            let (block, kind): (BlockAddr, AccessKind) = if i < tracked {
+                let e = self.cores[core.0].engine.ivb().entry_at(i);
                 (
-                    b,
-                    if written {
+                    e.block(),
+                    if e.is_written() {
                         AccessKind::Write
                     } else {
                         AccessKind::Read
                     },
                 )
-            })
-            .collect();
-        acquisitions.extend(
-            self.cores[core.0]
-                .engine
-                .precommit_store_blocks()
-                .into_iter()
-                .map(|b| (b, AccessKind::Write)),
-        );
-        for (block, kind) in acquisitions {
+            } else {
+                (store_blocks[i - tracked], AccessKind::Write)
+            };
             let addr = block.base();
-            let conflicts = mem.conflict_set(core, addr, kind);
-            if !conflicts.is_empty() {
-                match self.resolve(core, addr, &conflicts, mem) {
-                    Resolve::Proceed => {}
-                    Resolve::Stall => return CommitResult::Stall,
-                    Resolve::AbortSelf => return CommitResult::Abort,
+            let conflicts = mem.conflict_mask_of(core, addr, kind);
+            if conflicts != 0 {
+                let resolved = self.resolve(core, addr, conflicts, mem);
+                if !matches!(resolved, Resolve::Proceed) {
+                    self.cores[core.0].store_blocks = store_blocks;
+                    return match resolved {
+                        Resolve::Stall => CommitResult::Stall,
+                        _ => CommitResult::Abort,
+                    };
                 }
             }
             let l = mem.access(core, addr, kind, true);
             serial_latency += l;
             parallel_latency = parallel_latency.max(l);
         }
+        self.cores[core.0].store_blocks = store_blocks;
         let mut latency = if cfg.parallel_reacquire {
             parallel_latency
         } else {
             serial_latency
         };
 
-        // Figure 7, steps 1 (validation) and 2 (repair).
+        // Figure 7, steps 1 (validation) and 2 (repair), into the reusable
+        // repair buffers.
+        let mut repair = std::mem::take(&mut self.cores[core.0].repair);
         let cs = &mut self.cores[core.0];
-        let repair = {
+        let validated = {
             // Split borrows: the engine reads final values from memory.
             let memory = &*mem;
-            cs.engine.validate_and_repair(|w| memory.read_word(w))
+            cs.engine
+                .validate_and_repair_into(|w| memory.read_word(w), &mut repair)
         };
-        match repair {
+        match validated {
             Err(v) => {
                 cs.engine.predictor_mut().on_violation(v.block);
                 cs.rstats.record_violation();
+                self.cores[core.0].repair = repair;
                 self.abort_core(core, mem, AbortCause::Validation, false);
                 CommitResult::Abort
             }
-            Ok(repair) => {
+            Ok(()) => {
                 for &(addr, value) in &repair.stores {
                     debug_assert!(
                         !mem.has_conflicts(core, addr, AccessKind::Write),
@@ -466,6 +502,10 @@ impl Protocol for RetconTm {
                         latency += l;
                     }
                     mem.write_word(addr, value);
+                }
+                let mut reg_updates = RegUpdates::EMPTY;
+                for &(r, v) in &repair.registers {
+                    reg_updates.push(r, v);
                 }
                 let cs = &mut self.cores[core.0];
                 let mut snap = cs.engine.snapshot();
@@ -478,10 +518,11 @@ impl Protocol for RetconTm {
                 cs.active = false;
                 cs.birth = None;
                 cs.stats.commits += 1;
+                cs.repair = repair;
                 mem.clear_spec(core);
                 CommitResult::Committed {
                     latency,
-                    reg_updates: repair.registers,
+                    reg_updates,
                 }
             }
         }
@@ -651,7 +692,7 @@ mod tests {
         let _ = tm.write(C1, None, 10, A, None, &mut mem, 2);
         match tm.commit(C0, &mut mem, 3) {
             CommitResult::Committed { reg_updates, .. } => {
-                assert_eq!(reg_updates, vec![(Reg(1), 13)]);
+                assert_eq!(reg_updates.as_slice(), &[(Reg(1), 13)]);
             }
             other => panic!("expected commit, got {other:?}"),
         }

@@ -181,7 +181,7 @@ fn steal_preserves_constraints_across_multiple_writers() {
     // 400 < 1000: constraint holds, commit succeeds, register repairs.
     match tm.commit(C0, &mut mem, 10) {
         CommitResult::Committed { reg_updates, .. } => {
-            assert_eq!(reg_updates, vec![(Reg(1), 400)]);
+            assert_eq!(reg_updates.as_slice(), &[(Reg(1), 400)]);
         }
         other => panic!("expected commit, got {other:?}"),
     }

@@ -71,6 +71,7 @@ pub mod fx;
 mod instr;
 mod program;
 mod reg;
+pub mod table;
 
 pub use addr::{Addr, BlockAddr, WORDS_PER_BLOCK};
 pub use builder::{BuildError, ProgramBuilder};

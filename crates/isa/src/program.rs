@@ -117,6 +117,17 @@ impl Program {
         self.blocks.get(pc.block.0 as usize)?.instrs.get(pc.index)
     }
 
+    /// The instruction slice of `block` (empty if `block` is out of range).
+    /// Interpreters cache this across the straight-line instructions of a
+    /// block so the per-instruction fetch is a single indexed load.
+    #[inline]
+    pub fn block_instrs(&self, block: BlockId) -> &[Instr] {
+        self.blocks
+            .get(block.0 as usize)
+            .map(|b| b.instrs.as_slice())
+            .unwrap_or(&[])
+    }
+
     /// Total number of instructions across all blocks.
     pub fn len(&self) -> usize {
         self.blocks.iter().map(|b| b.instrs.len()).sum()

@@ -2,15 +2,21 @@
 //! perf trajectory (`BENCH_hotpath.json`).
 //!
 //! `retcon-lab -- bench` times the same shared-cache regeneration flow as
-//! `retcon-lab -- all` (dataset by dataset, records discarded) and emits a
-//! small JSON report so successive PRs can diff simulator wall-clock
-//! without re-deriving it from CI logs. Cycle *counts* are pinned
-//! byte-identical by the golden snapshot and `tests/determinism.rs`;
-//! this file tracks the only thing allowed to change: how fast the
-//! simulator produces them.
+//! `retcon-lab -- all` (dataset by dataset, records discarded) and
+//! *appends* the result to a trajectory file, so successive PRs leave a
+//! diffable perf history instead of overwriting each other. Cycle *counts*
+//! are pinned byte-identical by the golden snapshot and
+//! `tests/determinism.rs`; this file tracks the only thing allowed to
+//! change: how fast the simulator produces them.
+//!
+//! The file schema is `bench_hotpath_v2`: `{"schema": ..., "entries":
+//! [...]}` where each entry is one benchmark run. A legacy
+//! `bench_hotpath_v1` file (a single run object, as PR 3 wrote) is read as
+//! a one-entry trajectory, so the first append preserves the PR 3 point.
 
 use crate::datasets::Dataset;
 use crate::runner::ReportCache;
+use retcon_sim::json::Json;
 use retcon_sim::SimError;
 use std::time::Instant;
 
@@ -18,7 +24,7 @@ use std::time::Instant;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatasetBench {
     /// Dataset name (`fig9`, `scaling`, ...).
-    pub name: &'static str,
+    pub name: String,
     /// Number of simulation runs the dataset's record holds.
     pub runs: u64,
     /// Wall-clock microseconds to regenerate the dataset (shared cache, so
@@ -26,7 +32,7 @@ pub struct DatasetBench {
     pub micros: u64,
 }
 
-/// The full benchmark report.
+/// One benchmark run: the full dataset matrix, timed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchReport {
     /// Worker threads used (`--jobs`).
@@ -55,25 +61,27 @@ impl BenchReport {
             .unwrap_or(0)
     }
 
-    /// The report as pretty-printed JSON (hand-rolled and integer-only,
-    /// like every other record emitter in this crate).
-    pub fn to_json_string(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        out.push_str("  \"schema\": \"bench_hotpath_v1\",\n");
-        out.push_str(&format!("  \"unix_time\": {},\n", self.unix_time));
-        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
-        out.push_str(&format!("  \"total_runs\": {},\n", self.total_runs()));
-        out.push_str(&format!("  \"total_micros\": {},\n", self.total_micros()));
+    /// The entry as JSON lines at `indent` spaces (hand-rolled and
+    /// integer-only, like every other record emitter in this crate).
+    fn push_json(&self, out: &mut String, indent: usize) {
+        let pad = " ".repeat(indent);
+        out.push_str(&format!("{pad}{{\n"));
+        out.push_str(&format!("{pad}  \"unix_time\": {},\n", self.unix_time));
+        out.push_str(&format!("{pad}  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("{pad}  \"total_runs\": {},\n", self.total_runs()));
         out.push_str(&format!(
-            "  \"mean_micros_per_run\": {},\n",
+            "{pad}  \"total_micros\": {},\n",
+            self.total_micros()
+        ));
+        out.push_str(&format!(
+            "{pad}  \"mean_micros_per_run\": {},\n",
             self.mean_micros_per_run()
         ));
-        out.push_str("  \"datasets\": [\n");
+        out.push_str(&format!("{pad}  \"datasets\": [\n"));
         for (i, d) in self.datasets.iter().enumerate() {
             let mean = d.micros.checked_div(d.runs).unwrap_or(0);
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"runs\": {}, \"micros\": {}, \"mean_micros_per_run\": {}}}{}\n",
+                "{pad}    {{\"name\": \"{}\", \"runs\": {}, \"micros\": {}, \"mean_micros_per_run\": {}}}{}\n",
                 d.name,
                 d.runs,
                 d.micros,
@@ -81,14 +89,93 @@ impl BenchReport {
                 if i + 1 < self.datasets.len() { "," } else { "" }
             ));
         }
+        out.push_str(&format!("{pad}  ]\n"));
+        out.push_str(&format!("{pad}}}"));
+    }
+
+    /// Rebuilds one entry from its parsed JSON object.
+    fn from_json(v: &Json) -> Result<BenchReport, String> {
+        let datasets = v
+            .req_arr("datasets")?
+            .iter()
+            .map(|d| {
+                Ok(DatasetBench {
+                    name: d.req_str("name")?.to_string(),
+                    runs: d.req_u64("runs")?,
+                    micros: d.req_u64("micros")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchReport {
+            jobs: v.req_u64("jobs")?,
+            unix_time: v.req_u64("unix_time")?,
+            datasets,
+        })
+    }
+}
+
+/// The perf-history file: every benchmark run ever appended, oldest first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BenchTrajectory {
+    /// Benchmark runs, in append order.
+    pub entries: Vec<BenchReport>,
+}
+
+impl BenchTrajectory {
+    /// The trajectory as pretty-printed JSON (`bench_hotpath_v2`).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"bench_hotpath_v2\",\n");
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            e.push_json(&mut out, 4);
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
         out.push_str("  ]\n");
         out.push_str("}\n");
         out
     }
+
+    /// Parses a trajectory file: `bench_hotpath_v2`, or a legacy
+    /// `bench_hotpath_v1` single-run file (read as one entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json_str(text: &str) -> Result<BenchTrajectory, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        match v.req_str("schema")? {
+            "bench_hotpath_v2" => Ok(BenchTrajectory {
+                entries: v
+                    .req_arr("entries")?
+                    .iter()
+                    .map(BenchReport::from_json)
+                    .collect::<Result<Vec<_>, String>>()?,
+            }),
+            "bench_hotpath_v1" => Ok(BenchTrajectory {
+                entries: vec![BenchReport::from_json(&v)?],
+            }),
+            other => Err(format!("unknown bench schema `{other}`")),
+        }
+    }
+
+    /// The last two entries, newest last, if the trajectory has at least
+    /// two points to compare.
+    pub fn last_two(&self) -> Option<(&BenchReport, &BenchReport)> {
+        match self.entries.as_slice() {
+            [.., prev, last] => Some((prev, last)),
+            _ => None,
+        }
+    }
 }
 
 /// Regenerates every dataset once (shared report cache, records discarded)
-/// and returns the wall-clock trajectory.
+/// and returns the wall-clock trajectory entry.
 ///
 /// # Errors
 ///
@@ -104,7 +191,7 @@ pub fn run_bench(jobs: usize) -> Result<BenchReport, SimError> {
         let t = Instant::now();
         let record = dataset.collect_cached(jobs, &cache)?;
         datasets.push(DatasetBench {
-            name: dataset.name(),
+            name: dataset.name().to_string(),
             runs: record.runs.len() as u64,
             micros: t.elapsed().as_micros() as u64,
         });
@@ -120,26 +207,32 @@ pub fn run_bench(jobs: usize) -> Result<BenchReport, SimError> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_shape_is_stable() {
-        let report = BenchReport {
+    fn report(unix_time: u64, micros: u64) -> BenchReport {
+        BenchReport {
             jobs: 1,
-            unix_time: 1000,
+            unix_time,
             datasets: vec![
                 DatasetBench {
-                    name: "fig2",
+                    name: "fig2".to_string(),
                     runs: 5,
-                    micros: 1500,
+                    micros,
                 },
                 DatasetBench {
-                    name: "table1",
+                    name: "table1".to_string(),
                     runs: 0,
                     micros: 2,
                 },
             ],
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let trajectory = BenchTrajectory {
+            entries: vec![report(1000, 1500)],
         };
-        let json = report.to_json_string();
-        assert!(json.contains("\"schema\": \"bench_hotpath_v1\""));
+        let json = trajectory.to_json_string();
+        assert!(json.contains("\"schema\": \"bench_hotpath_v2\""));
         assert!(json.contains("\"total_runs\": 5"));
         assert!(json.contains("\"total_micros\": 1502"));
         assert!(json.contains("\"mean_micros_per_run\": 300,"));
@@ -150,5 +243,48 @@ mod tests {
         assert!(json.contains(
             "{\"name\": \"table1\", \"runs\": 0, \"micros\": 2, \"mean_micros_per_run\": 0}"
         ));
+    }
+
+    #[test]
+    fn trajectory_round_trips_and_appends() {
+        let mut t = BenchTrajectory {
+            entries: vec![report(1000, 1500)],
+        };
+        let parsed = BenchTrajectory::from_json_str(&t.to_json_string()).unwrap();
+        assert_eq!(parsed, t);
+        t.entries.push(report(2000, 1200));
+        let parsed = BenchTrajectory::from_json_str(&t.to_json_string()).unwrap();
+        assert_eq!(parsed.entries.len(), 2);
+        let (prev, last) = parsed.last_two().unwrap();
+        assert_eq!(prev.unix_time, 1000);
+        assert_eq!(last.unix_time, 2000);
+    }
+
+    #[test]
+    fn legacy_v1_file_reads_as_one_entry() {
+        // The exact shape PR 3's emitter wrote.
+        let v1 = r#"{
+  "schema": "bench_hotpath_v1",
+  "unix_time": 1785276923,
+  "jobs": 1,
+  "total_runs": 329,
+  "total_micros": 7346546,
+  "mean_micros_per_run": 22329,
+  "datasets": [
+    {"name": "table1", "runs": 0, "micros": 11, "mean_micros_per_run": 0},
+    {"name": "fig9", "runs": 70, "micros": 2800833, "mean_micros_per_run": 40011}
+  ]
+}"#;
+        let t = BenchTrajectory::from_json_str(v1).unwrap();
+        assert_eq!(t.entries.len(), 1);
+        assert_eq!(t.entries[0].unix_time, 1785276923);
+        assert_eq!(t.entries[0].total_runs(), 70);
+        assert_eq!(t.entries[0].datasets[1].name, "fig9");
+        assert!(t.last_two().is_none(), "one entry has nothing to diff");
+    }
+
+    #[test]
+    fn unknown_schema_rejected() {
+        assert!(BenchTrajectory::from_json_str(r#"{"schema": "nope", "entries": []}"#).is_err());
     }
 }

@@ -137,7 +137,10 @@ fn usage() -> ExitCode {
     );
     eprintln!("  run   <dataset> [--jobs N] [--json | --csv] [--out DIR]");
     eprintln!("  check [--quick] [--jobs N] [--in DIR]");
-    eprintln!("  bench [--jobs N] [--out FILE]       time every dataset, write BENCH_hotpath.json");
+    eprintln!(
+        "  bench [--jobs N] [--out FILE]       time every dataset, append to BENCH_hotpath.json"
+    );
+    eprintln!("  perfdiff [FILE]                     diff the last two bench entries (non-gating)");
     eprintln!("  list");
     eprintln!();
     eprintln!(
@@ -391,11 +394,107 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         report.mean_micros_per_run(),
         report.jobs
     );
-    if let Err(e) = std::fs::write(&out, report.to_json_string()) {
+    // Append to the existing trajectory (a PR 3 single-run v1 file reads
+    // as its first entry), so the perf history stays diffable across PRs.
+    let mut trajectory = match std::fs::read_to_string(&out) {
+        Ok(text) => match bench::BenchTrajectory::from_json_str(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        // Only a genuinely missing file starts a fresh trajectory; any
+        // other read failure must not silently overwrite the accumulated
+        // history.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => bench::BenchTrajectory::default(),
+        Err(e) => {
+            eprintln!("reading {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    trajectory.entries.push(report);
+    if let Err(e) = std::fs::write(&out, trajectory.to_json_string()) {
         eprintln!("writing {}: {e}", out.display());
         return ExitCode::FAILURE;
     }
-    println!("wrote {}", out.display());
+    println!(
+        "wrote {} ({} trajectory entries)",
+        out.display(),
+        trajectory.entries.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Compares the last two trajectory entries and warns on regression.
+/// Non-gating by design: wall-clock on shared CI runners is noisy, so the
+/// exit code is success whenever the file is readable — the warning lines
+/// are the signal.
+fn cmd_perfdiff(args: &[String]) -> ExitCode {
+    let path = args
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_hotpath.json"));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("reading {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let trajectory = match bench::BenchTrajectory::from_json_str(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some((prev, last)) = trajectory.last_two() else {
+        println!(
+            "{}: {} entry, nothing to diff",
+            path.display(),
+            trajectory.entries.len()
+        );
+        return ExitCode::SUCCESS;
+    };
+    let ratio = |old: u64, new: u64| -> f64 {
+        if old == 0 {
+            1.0
+        } else {
+            new as f64 / old as f64
+        }
+    };
+    let total = ratio(prev.total_micros(), last.total_micros());
+    println!(
+        "total: {:.3}s -> {:.3}s ({:+.1}%)",
+        prev.total_micros() as f64 / 1e6,
+        last.total_micros() as f64 / 1e6,
+        (total - 1.0) * 100.0
+    );
+    let mut warned = false;
+    if total > 1.10 {
+        println!("WARNING: total wall-clock regressed by more than 10%");
+        warned = true;
+    }
+    for d in &last.datasets {
+        if let Some(p) = prev.datasets.iter().find(|p| p.name == d.name) {
+            let r = ratio(p.micros, d.micros);
+            // Millisecond-scale datasets are timer noise, not signal.
+            if r > 1.10 && d.micros > 5000 {
+                println!(
+                    "WARNING: {} regressed {:+.1}% ({} us -> {} us)",
+                    d.name,
+                    (r - 1.0) * 100.0,
+                    p.micros,
+                    d.micros
+                );
+                warned = true;
+            }
+        }
+    }
+    if !warned {
+        println!("no dataset regressed by more than 10%");
+    }
     ExitCode::SUCCESS
 }
 
@@ -420,6 +519,7 @@ pub fn lab_main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("perfdiff") => cmd_perfdiff(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help" | "-h" | "help") => {
             let _ = usage();

@@ -10,8 +10,8 @@
 
 use crate::record::RunRecord;
 use retcon::RetconConfig;
-use retcon_htm::RetconTm;
-use retcon_sim::{Protocol, SimError, SimReport};
+use retcon_htm::{AnyProtocol, RetconTm};
+use retcon_sim::{SimError, SimReport};
 use retcon_workloads::{run_spec_with, System, Workload};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -100,8 +100,8 @@ fn sim_key(job: &Job) -> SimKey {
 /// Runs the simulation a job describes (no caching).
 fn simulate(job: &Job) -> Result<SimReport, SimError> {
     let spec = job.workload.build(job.cores, job.seed);
-    let protocol: Box<dyn Protocol> = match job.cfg {
-        Some(cfg) => Box::new(RetconTm::new(job.cores, cfg)),
+    let protocol: AnyProtocol = match job.cfg {
+        Some(cfg) => RetconTm::new(job.cores, cfg).into(),
         None => job.system.protocol(job.cores),
     };
     run_spec_with(&spec, protocol, job.cores)

@@ -11,8 +11,8 @@ use std::collections::BTreeSet;
 
 use retcon_isa::BlockAddr;
 
-use crate::fx::FxHashMap;
 use crate::system::CoreId;
+use retcon_isa::table::BlockTable;
 
 /// The directory supports at most this many cores (sharer sets are 64-bit
 /// masks; the paper's machine is 32 cores).
@@ -30,6 +30,16 @@ struct Entry {
     sharers: u64,
     /// Index of the modified owner, or [`NO_OWNER`].
     owner: u8,
+}
+
+/// The default entry is the uncached state: no sharers, no owner.
+impl Default for Entry {
+    fn default() -> Self {
+        Entry {
+            sharers: 0,
+            owner: NO_OWNER,
+        }
+    }
 }
 
 impl Entry {
@@ -108,7 +118,9 @@ impl DirState {
 /// this state for latency and speculative-bit lookups.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: FxHashMap<u64, Entry>,
+    /// Per-block entries; the dense-first table makes every hot-path
+    /// question an array load for densely-allocated workloads.
+    entries: BlockTable<Entry>,
 }
 
 impl Directory {
@@ -120,15 +132,18 @@ impl Directory {
     /// The current state of `block`, as an assembled view (allocates for
     /// shared blocks; intended for tests and diagnostics, not the hot path).
     pub fn state(&self, block: BlockAddr) -> DirState {
-        match self.entries.get(&block.0) {
-            None => DirState::Uncached,
-            Some(e) if e.owner != NO_OWNER => DirState::Modified(CoreId(e.owner as usize)),
-            Some(e) => DirState::Shared(
+        let e = self.entries.get(block.0);
+        if e == Entry::default() {
+            DirState::Uncached
+        } else if e.owner != NO_OWNER {
+            DirState::Modified(CoreId(e.owner as usize))
+        } else {
+            DirState::Shared(
                 (0..MAX_CORES)
                     .filter(|i| e.sharers & (1u64 << i) != 0)
                     .map(CoreId)
                     .collect(),
-            ),
+            )
         }
     }
 
@@ -147,18 +162,14 @@ impl Directory {
     #[inline]
     pub fn holds(&self, core: CoreId, block: BlockAddr) -> bool {
         Self::check_core(core);
-        self.entries
-            .get(&block.0)
-            .is_some_and(|e| e.holder_mask() & (1u64 << core.0) != 0)
+        self.entries.get(block.0).holder_mask() & (1u64 << core.0) != 0
     }
 
     /// `true` if `core` holds `block` with write permission.
     #[inline]
     pub fn holds_modified(&self, core: CoreId, block: BlockAddr) -> bool {
         Self::check_core(core);
-        self.entries
-            .get(&block.0)
-            .is_some_and(|e| e.owner == core.0 as u8)
+        self.entries.get(block.0).owner == core.0 as u8
     }
 
     /// Bitmask of cores whose copies must change state for `core` to perform
@@ -167,9 +178,7 @@ impl Directory {
     #[inline]
     pub fn victims_mask(&self, core: CoreId, block: BlockAddr, write: bool) -> u64 {
         Self::check_core(core);
-        let Some(e) = self.entries.get(&block.0) else {
-            return 0;
-        };
+        let e = self.entries.get(block.0);
         let me = 1u64 << core.0;
         if e.owner != NO_OWNER {
             e.holder_mask() & !me
@@ -198,9 +207,8 @@ impl Directory {
     #[inline]
     pub fn forwarded_from_owner(&self, core: CoreId, block: BlockAddr) -> bool {
         Self::check_core(core);
-        self.entries
-            .get(&block.0)
-            .is_some_and(|e| e.owner != NO_OWNER && e.owner != core.0 as u8)
+        let owner = self.entries.get(block.0).owner;
+        owner != NO_OWNER && owner != core.0 as u8
     }
 
     /// Records that `core` has been granted a read-only copy, downgrading a
@@ -208,21 +216,17 @@ impl Directory {
     pub fn grant_read(&mut self, core: CoreId, block: BlockAddr) -> Option<CoreId> {
         Self::check_core(core);
         let me = 1u64 << core.0;
-        match self.entries.get_mut(&block.0) {
-            None => {
-                self.entries.insert(block.0, Entry::shared(me));
-                None
-            }
-            Some(e) if e.owner == NO_OWNER => {
-                e.sharers |= me;
-                None
-            }
-            Some(e) if e.owner == core.0 as u8 => None,
-            Some(e) => {
-                let owner = CoreId(e.owner as usize);
-                *e = Entry::shared(me | (1u64 << owner.0));
-                Some(owner)
-            }
+        let e = self.entries.entry(block.0);
+        if e.owner == NO_OWNER {
+            // Uncached or shared: join the sharer set.
+            e.sharers |= me;
+            None
+        } else if e.owner == core.0 as u8 {
+            None
+        } else {
+            let owner = CoreId(e.owner as usize);
+            *e = Entry::shared(me | (1u64 << owner.0));
+            Some(owner)
         }
     }
 
@@ -231,7 +235,7 @@ impl Directory {
     /// cores.
     pub fn grant_write(&mut self, core: CoreId, block: BlockAddr) -> u64 {
         let victims = self.victims_mask(core, block, true);
-        self.entries.insert(block.0, Entry::modified(core));
+        *self.entries.entry(block.0) = Entry::modified(core);
         victims
     }
 
@@ -239,24 +243,27 @@ impl Directory {
     /// invalidation acknowledged).
     pub fn drop_holder(&mut self, core: CoreId, block: BlockAddr) {
         Self::check_core(core);
-        let Some(e) = self.entries.get_mut(&block.0) else {
+        let mut e = self.entries.get(block.0);
+        if e == Entry::default() {
             return;
-        };
+        }
         if e.owner != NO_OWNER {
             if e.owner == core.0 as u8 {
-                self.entries.remove(&block.0);
+                self.entries.clear_entry(block.0);
             }
         } else {
             e.sharers &= !(1u64 << core.0);
             if e.sharers == 0 {
-                self.entries.remove(&block.0);
+                self.entries.clear_entry(block.0);
+            } else {
+                *self.entries.entry(block.0) = e;
             }
         }
     }
 
     /// Number of blocks with a non-`Uncached` entry.
     pub fn tracked_blocks(&self) -> usize {
-        self.entries.len()
+        self.entries.occupied()
     }
 }
 

@@ -62,6 +62,7 @@ pub use directory::{DirState, Directory, MAX_CORES};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use memory::GlobalMemory;
 pub use retcon_isa::fx;
+pub use retcon_isa::table::{BlockTable, EpochMap, EpochSet};
 pub use stats::MemStats;
 pub use system::{AccessKind, AccessPlan, Conflict, ConflictSet, CoreId, MemorySystem, Probe};
 pub use version::{UndoLog, WriteBuffer};

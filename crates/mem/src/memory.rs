@@ -10,15 +10,21 @@ const PAGE_WORDS: usize = 512;
 const PAGE_SHIFT: u32 = PAGE_WORDS.trailing_zeros();
 const PAGE_MASK: u64 = PAGE_WORDS as u64 - 1;
 
+/// Highest page number served by the dense direct-indexed table; pages
+/// above it live in the sparse fallback map. 4096 pages × 4 KiB = a 16 MiB
+/// simulated address space before any access ever hashes.
+const DENSE_PAGES: u64 = 4096;
+
 /// The architectural memory of the simulated machine: 64-bit words, unwritten
 /// words read as zero, like zero-initialized physical memory.
 ///
-/// Storage is a paged flat store: a small [`FxHashMap`] index from page
-/// number to a 4 KiB page of words, so the hot-path word load/store is one
-/// cheap hash lookup plus an array index — no per-word map entries, no
-/// allocation after the working set's pages exist. Workloads allocate
-/// addresses densely from zero (see `retcon_workloads::Alloc`), so the page
-/// index stays tiny.
+/// Storage is a paged flat store with a two-level index. Workloads allocate
+/// addresses densely from zero (see `retcon_workloads::Alloc`), so the
+/// first [`DENSE_PAGES`] page slots are a plain `Vec` — the hot-path word
+/// load/store is two array indexes, no hashing at all. Pages beyond the
+/// dense window (sparse test patterns, adversarial addresses) fall back to
+/// a small [`FxHashMap`]. Either way there are no per-word map entries and
+/// no allocation after the working set's pages exist.
 ///
 /// `GlobalMemory` holds *values only*; which core may access a word, at what
 /// latency, and whether doing so conflicts with a speculative region is the
@@ -39,7 +45,11 @@ const PAGE_MASK: u64 = PAGE_WORDS as u64 - 1;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct GlobalMemory {
-    pages: FxHashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    /// Dense page table for page numbers below [`DENSE_PAGES`], grown on
+    /// first write; `None` slots read as zero.
+    dense: Vec<Option<Box<[u64; PAGE_WORDS]>>>,
+    /// Sparse fallback for page numbers at or above [`DENSE_PAGES`].
+    sparse: FxHashMap<u64, Box<[u64; PAGE_WORDS]>>,
     /// Number of words currently holding a nonzero value.
     nonzero: usize,
 }
@@ -53,29 +63,50 @@ impl GlobalMemory {
     /// Reads the word at `addr` (zero if never written).
     #[inline]
     pub fn read(&self, addr: Addr) -> u64 {
-        match self.pages.get(&(addr.0 >> PAGE_SHIFT)) {
-            Some(page) => page[(addr.0 & PAGE_MASK) as usize],
-            None => 0,
+        let pno = addr.0 >> PAGE_SHIFT;
+        let idx = (addr.0 & PAGE_MASK) as usize;
+        if pno < DENSE_PAGES {
+            match self.dense.get(pno as usize) {
+                Some(Some(page)) => page[idx],
+                _ => 0,
+            }
+        } else {
+            match self.sparse.get(&pno) {
+                Some(page) => page[idx],
+                None => 0,
+            }
         }
     }
 
     /// Writes `value` to the word at `addr`.
     #[inline]
     pub fn write(&mut self, addr: Addr, value: u64) {
+        let pno = addr.0 >> PAGE_SHIFT;
         let idx = (addr.0 & PAGE_MASK) as usize;
         if value == 0 {
             // Zero is the default: only touch pages that already exist.
-            if let Some(page) = self.pages.get_mut(&(addr.0 >> PAGE_SHIFT)) {
+            let page = if pno < DENSE_PAGES {
+                self.dense.get_mut(pno as usize).and_then(Option::as_mut)
+            } else {
+                self.sparse.get_mut(&pno)
+            };
+            if let Some(page) = page {
                 if page[idx] != 0 {
                     page[idx] = 0;
                     self.nonzero -= 1;
                 }
             }
         } else {
-            let page = self
-                .pages
-                .entry(addr.0 >> PAGE_SHIFT)
-                .or_insert_with(|| Box::new([0u64; PAGE_WORDS]));
+            let page = if pno < DENSE_PAGES {
+                if self.dense.len() <= pno as usize {
+                    self.dense.resize(pno as usize + 1, None);
+                }
+                self.dense[pno as usize].get_or_insert_with(|| Box::new([0u64; PAGE_WORDS]))
+            } else {
+                self.sparse
+                    .entry(pno)
+                    .or_insert_with(|| Box::new([0u64; PAGE_WORDS]))
+            };
             if page[idx] == 0 {
                 self.nonzero += 1;
             }
@@ -88,13 +119,21 @@ impl GlobalMemory {
         self.nonzero
     }
 
+    /// The populated `(page number, page)` pairs, in arbitrary order.
+    fn pages(&self) -> impl Iterator<Item = (u64, &[u64; PAGE_WORDS])> {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter_map(|(pno, p)| Some((pno as u64, &**p.as_ref()?)))
+            .chain(self.sparse.iter().map(|(&pno, p)| (pno, &**p)))
+    }
+
     /// Iterates over `(address, value)` pairs of nonzero words in arbitrary
     /// order. Intended for test assertions and debugging dumps; use
     /// [`iter_sorted`](Self::iter_sorted) when a stable order matters.
     pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
-        self.pages
-            .iter()
-            .flat_map(|(&pno, page)| nonzero_words_of(pno, page))
+        self.pages()
+            .flat_map(|(pno, page)| nonzero_words_of(pno, page))
     }
 
     /// Iterates over `(address, value)` pairs of nonzero words in ascending
@@ -102,10 +141,11 @@ impl GlobalMemory {
     /// words within a page are already stored in address order — the
     /// sorted-dump helper workload final-state verification shares.
     pub fn iter_sorted(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
-        let mut pnos: Vec<u64> = self.pages.keys().copied().collect();
-        pnos.sort_unstable();
-        pnos.into_iter()
-            .flat_map(move |pno| nonzero_words_of(pno, &self.pages[&pno]))
+        let mut pages: Vec<(u64, &[u64; PAGE_WORDS])> = self.pages().collect();
+        pages.sort_unstable_by_key(|&(pno, _)| pno);
+        pages
+            .into_iter()
+            .flat_map(|(pno, page)| nonzero_words_of(pno, page))
     }
 }
 

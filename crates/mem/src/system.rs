@@ -7,9 +7,9 @@ use retcon_isa::{Addr, BlockAddr};
 use crate::cache::{CacheArray, SpecBits};
 use crate::config::MemConfig;
 use crate::directory::{Directory, MAX_CORES};
-use crate::fx::FxHashMap;
 use crate::memory::GlobalMemory;
 use crate::stats::MemStats;
+use retcon_isa::table::BlockTable;
 
 /// Identifier of a simulated core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -162,6 +162,18 @@ impl SpecMask {
     }
 }
 
+/// One core's authoritative speculative bits: a dense-first per-block table
+/// plus the list of blocks touched since the last
+/// [`clear_spec`](MemorySystem::clear_spec), so commit/abort clears walk
+/// only what the transaction marked (the table itself is never scanned).
+/// The list may hold a duplicate when a block was stolen mid-transaction
+/// and re-marked; cleared entries read back as `NONE` and are skipped.
+#[derive(Debug, Clone, Default)]
+struct SpecTable {
+    bits: BlockTable<SpecBits>,
+    touched: Vec<u64>,
+}
+
 /// The complete simulated memory system: architectural memory, per-core
 /// L1/L2 tag arrays, a directory, per-core permissions-only overflow caches,
 /// and latency/statistics accounting.
@@ -207,9 +219,9 @@ pub struct MemorySystem {
     dir: Directory,
     /// Per-core authoritative speculative bits (cache + permissions-only
     /// overflow united), keyed by block.
-    spec: Vec<FxHashMap<u64, SpecBits>>,
+    spec: Vec<SpecTable>,
     /// Per-block reader/writer core masks (union of `spec` across cores).
-    masks: FxHashMap<u64, SpecMask>,
+    masks: BlockTable<SpecMask>,
     cfg: MemConfig,
     stats: Vec<MemStats>,
 }
@@ -227,8 +239,8 @@ impl MemorySystem {
             l1: (0..num_cores).map(|_| CacheArray::new(cfg.l1)).collect(),
             l2: (0..num_cores).map(|_| CacheArray::new(cfg.l2)).collect(),
             dir: Directory::new(),
-            spec: (0..num_cores).map(|_| FxHashMap::default()).collect(),
-            masks: FxHashMap::default(),
+            spec: (0..num_cores).map(|_| SpecTable::default()).collect(),
+            masks: BlockTable::new(),
             cfg,
             stats: vec![MemStats::default(); num_cores],
         }
@@ -305,10 +317,7 @@ impl MemorySystem {
     /// L1 or overflowed into its permissions-only cache.
     #[inline]
     pub fn spec_bits(&self, core: CoreId, block: BlockAddr) -> SpecBits {
-        self.spec[core.0]
-            .get(&block.0)
-            .copied()
-            .unwrap_or(SpecBits::NONE)
+        self.spec[core.0].bits.get(block.0)
     }
 
     /// Computes the latency, classification and conflict set of an access
@@ -327,6 +336,52 @@ impl MemorySystem {
         }
     }
 
+    /// [`plan`](Self::plan) with the conflict check hoisted first:
+    /// classification (the cache/directory walk) is skipped entirely when
+    /// the access conflicts, because its result would be discarded — after
+    /// conflict *resolution* protocols must re-classify via
+    /// [`access`](Self::access) anyway. Stall-retry loops call this once
+    /// per retry, so the skipped walk — and the conflict representation
+    /// being a bare core bitmask rather than a materialized
+    /// [`ConflictSet`] — is the dominant saving on contended runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the non-zero conflicting-core bitmask when the access
+    /// conflicts (ascending-bit iteration reproduces [`ConflictSet`]'s
+    /// ascending core order; per-victim [`spec_bits`](Self::spec_bits) are
+    /// fetched on demand by the protocols that need them).
+    #[inline]
+    pub fn plan_if_clean(
+        &self,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> Result<AccessPlan, u64> {
+        let block = addr.block();
+        let mask = self.conflict_mask(core, block, kind);
+        if mask != 0 {
+            return Err(mask);
+        }
+        let service = self.classify(core, block, kind);
+        Ok(AccessPlan {
+            latency: self.latency_of(service),
+            conflicts: ConflictSet::new(),
+            core,
+            addr,
+            kind,
+            service,
+        })
+    }
+
+    /// The bitmask of cores whose speculative bits conflict with `core`
+    /// performing `kind` on `addr`'s block (the allocation- and
+    /// struct-free form of [`conflict_set`](Self::conflict_set)).
+    #[inline]
+    pub fn conflict_mask_of(&self, core: CoreId, addr: Addr, kind: AccessKind) -> u64 {
+        self.conflict_mask(core, addr.block(), kind)
+    }
+
     /// Computes the latency and conflict set of an access without performing
     /// it ([`plan`](Self::plan) with a `Vec`-backed view; kept for tests and
     /// diagnostics).
@@ -342,9 +397,7 @@ impl MemorySystem {
     /// performing `kind` on `block`.
     #[inline]
     fn conflict_mask(&self, core: CoreId, block: BlockAddr, kind: AccessKind) -> u64 {
-        let Some(mask) = self.masks.get(&block.0) else {
-            return 0;
-        };
+        let mask = self.masks.get(block.0);
         let conflicting = match kind {
             AccessKind::Read => mask.writers,
             AccessKind::Write => mask.readers | mask.writers,
@@ -493,12 +546,18 @@ impl MemorySystem {
             return;
         }
         // Cache-line bits drive LRU victim preference only; absence (the
-        // block was evicted) is fine — the union map below is authoritative.
+        // block was evicted) is fine — the union table below is
+        // authoritative.
         self.l1[core.0].mark_spec(block, bits);
-        let entry = self.spec[core.0].entry(block.0).or_insert(SpecBits::NONE);
+        let tbl = &mut self.spec[core.0];
+        let entry = tbl.bits.entry(block.0);
+        let was_none = !entry.any();
         entry.merge(bits);
         let merged = *entry;
-        let mask = self.masks.entry(block.0).or_default();
+        if was_none {
+            tbl.touched.push(block.0);
+        }
+        let mask = self.masks.entry(block.0);
         let me = 1u64 << core.0;
         if merged.read {
             mask.readers |= me;
@@ -510,13 +569,17 @@ impl MemorySystem {
 
     /// Clears `core`'s bits from the per-block conflict mask.
     fn clear_mask(&mut self, core: CoreId, block: u64) {
-        if let Some(mask) = self.masks.get_mut(&block) {
-            let me = !(1u64 << core.0);
-            mask.readers &= me;
-            mask.writers &= me;
-            if mask.is_empty() {
-                self.masks.remove(&block);
-            }
+        let mut mask = self.masks.get(block);
+        if mask.is_empty() {
+            return;
+        }
+        let me = !(1u64 << core.0);
+        mask.readers &= me;
+        mask.writers &= me;
+        if mask.is_empty() {
+            self.masks.clear_entry(block);
+        } else {
+            *self.masks.entry(block) = mask;
         }
     }
 
@@ -530,9 +593,7 @@ impl MemorySystem {
             bits.merge(b);
         }
         self.l2[core.0].remove(block);
-        if let Some(b) = self.spec[core.0].remove(&block.0) {
-            bits.merge(b);
-        }
+        bits.merge(self.spec[core.0].bits.clear_entry(block.0));
         self.clear_mask(core, block.0);
         self.dir.drop_holder(core, block);
         bits
@@ -541,29 +602,41 @@ impl MemorySystem {
     /// Clears every speculative bit held by `core` (transaction commit or
     /// abort). Returns the number of blocks that had bits set.
     pub fn clear_spec(&mut self, core: CoreId) -> usize {
-        // Take the union map so we can walk it while updating the caches and
-        // masks, then hand its (cleared) allocation back: steady-state
-        // commits and aborts allocate nothing.
-        let map = std::mem::take(&mut self.spec[core.0]);
-        let cleared = map.len();
-        for &block in map.keys() {
+        // Take the touched-block list so we can walk it while updating the
+        // caches and masks, then hand its (cleared) allocation back:
+        // steady-state commits and aborts allocate nothing. Entries whose
+        // bits were already stolen away read back as `NONE` and are
+        // skipped (they were cleared — and uncounted — at steal time).
+        let mut touched = std::mem::take(&mut self.spec[core.0].touched);
+        let mut cleared = 0;
+        for &block in &touched {
+            let bits = self.spec[core.0].bits.clear_entry(block);
+            if !bits.any() {
+                continue;
+            }
+            cleared += 1;
             self.l1[core.0].clear_spec(BlockAddr(block));
             self.clear_mask(core, block);
         }
-        let mut map = map;
-        map.clear();
-        self.spec[core.0] = map;
+        touched.clear();
+        self.spec[core.0].touched = touched;
         cleared
     }
 
     /// Blocks on which `core` currently holds speculative bits, in ascending
     /// block order.
     pub fn spec_blocks(&self, core: CoreId) -> Vec<(BlockAddr, SpecBits)> {
-        let mut blocks: Vec<(BlockAddr, SpecBits)> = self.spec[core.0]
+        let tbl = &self.spec[core.0];
+        let mut blocks: Vec<(BlockAddr, SpecBits)> = tbl
+            .touched
             .iter()
-            .map(|(&b, &bits)| (BlockAddr(b), bits))
+            .filter_map(|&b| {
+                let bits = tbl.bits.get(b);
+                bits.any().then_some((BlockAddr(b), bits))
+            })
             .collect();
         blocks.sort_by_key(|(b, _)| b.0);
+        blocks.dedup();
         blocks
     }
 

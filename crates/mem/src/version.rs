@@ -8,9 +8,9 @@
 //! until commit. Both mechanisms live here so every protocol in
 //! `retcon-htm` shares one tested implementation.
 
+use retcon_isa::table::EpochMap;
 use retcon_isa::Addr;
 
-use crate::fx::FxHashMap;
 use crate::memory::GlobalMemory;
 
 /// An eager-version-management undo log.
@@ -38,7 +38,9 @@ use crate::memory::GlobalMemory;
 pub struct UndoLog {
     /// (address, pre-speculative value), in first-write order.
     entries: Vec<(Addr, u64)>,
-    seen: FxHashMap<u64, usize>,
+    /// Word → index into `entries`; the epoch stamping makes membership one
+    /// array probe per write and the per-transaction clear O(1).
+    seen: EpochMap<u32>,
 }
 
 impl UndoLog {
@@ -49,9 +51,12 @@ impl UndoLog {
 
     /// Records the current value of `addr` if this is the first speculative
     /// write to it in the current transaction.
+    #[inline]
     pub fn record(&mut self, mem: &GlobalMemory, addr: Addr) {
-        if let std::collections::hash_map::Entry::Vacant(e) = self.seen.entry(addr.0) {
-            e.insert(self.entries.len());
+        if self
+            .seen
+            .insert_if_absent(addr.0, self.entries.len() as u32)
+        {
             self.entries.push((addr, mem.read(addr)));
         }
     }
@@ -84,7 +89,7 @@ impl UndoLog {
 
     /// The pre-speculative value recorded for `addr`, if any.
     pub fn old_value(&self, addr: Addr) -> Option<u64> {
-        self.seen.get(&addr.0).map(|&i| self.entries[i].1)
+        self.seen.get(addr.0).map(|i| self.entries[i as usize].1)
     }
 }
 
@@ -110,7 +115,7 @@ impl UndoLog {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct WriteBuffer {
-    words: FxHashMap<u64, u64>,
+    words: EpochMap<u64>,
     order: Vec<u64>,
 }
 
@@ -121,22 +126,24 @@ impl WriteBuffer {
     }
 
     /// Buffers a store of `value` to `addr`.
+    #[inline]
     pub fn write(&mut self, addr: Addr, value: u64) {
-        if self.words.insert(addr.0, value).is_none() {
+        if self.words.insert(addr.0, value) {
             self.order.push(addr.0);
         }
     }
 
     /// The buffered value for `addr`, if the transaction has stored to it.
+    #[inline]
     pub fn read(&self, addr: Addr) -> Option<u64> {
-        self.words.get(&addr.0).copied()
+        self.words.get(addr.0)
     }
 
     /// Writes every buffered store to memory (in first-store order) and
     /// clears the buffer.
     pub fn drain(&mut self, mem: &mut GlobalMemory) {
         for &a in &self.order {
-            mem.write(Addr(a), self.words[&a]);
+            mem.write(Addr(a), self.words.get(a).expect("ordered word present"));
         }
         self.discard();
     }
@@ -149,17 +156,19 @@ impl WriteBuffer {
 
     /// Number of distinct words buffered.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.order.len()
     }
 
     /// `true` if no stores are buffered.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.order.is_empty()
     }
 
     /// Iterates over buffered `(address, value)` pairs in first-store order.
     pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
-        self.order.iter().map(|&a| (Addr(a), self.words[&a]))
+        self.order
+            .iter()
+            .map(|&a| (Addr(a), self.words.get(a).expect("ordered word present")))
     }
 }
 

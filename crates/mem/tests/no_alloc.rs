@@ -6,6 +6,10 @@
 //! The test binary swaps in a counting global allocator and asserts that
 //! the heap-event counter (allocs + reallocs + frees) does not move across
 //! tens of thousands of hot-path iterations.
+//!
+//! The workspace-level `tests/no_alloc_machine.rs` extends this proof from
+//! the bare memory system to whole `Machine::run` executions under every
+//! protocol.
 
 use retcon_isa::Addr;
 use retcon_mem::{AccessKind, CoreId, MemConfig, MemorySystem};

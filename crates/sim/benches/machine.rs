@@ -1,0 +1,78 @@
+//! Whole-machine throughput benchmarks (vendored criterion shim).
+//!
+//! One bench per protocol, each a complete 4-core shared-counter
+//! simulation — interpreter, monomorphized protocol dispatch, coherence,
+//! scheduler, commit — so dispatch-level regressions show up without
+//! running the full `retcon-lab` macro-benchmark. Every iteration executes
+//! a fixed instruction count; instructions/sec per protocol is
+//! `instructions ÷ (reported ns/iter)`, and the bench prints the
+//! per-iteration instruction count so the division is one step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use retcon::RetconConfig;
+use retcon_isa::{BinOp, CmpOp, Operand, Program, ProgramBuilder, Reg};
+use retcon_sim::{
+    AnyProtocol, ConflictPolicy, DatmLite, EagerTm, LazyTm, LazyVbTm, Machine, RetconTm, SimConfig,
+};
+
+const CORES: usize = 4;
+const ITERS: u64 = 50;
+
+/// `iters` transactional double-increments of the shared counter at 0.
+fn counter_program(iters: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let body = b.block();
+    let done = b.block();
+    b.imm(Reg(0), iters);
+    b.imm(Reg(1), 0);
+    b.jump(body);
+    b.select(body);
+    b.tx_begin();
+    b.load(Reg(2), Reg(1), 0);
+    b.add_imm(Reg(2), 1);
+    b.store(Operand::Reg(Reg(2)), Reg(1), 0);
+    b.load(Reg(2), Reg(1), 0);
+    b.add_imm(Reg(2), 1);
+    b.store(Operand::Reg(Reg(2)), Reg(1), 0);
+    b.tx_commit();
+    b.bin(BinOp::Sub, Reg(0), Reg(0), Operand::Imm(1));
+    b.branch(CmpOp::Gt, Reg(0), Operand::Imm(0), body, done);
+    b.select(done);
+    b.halt();
+    b.build().unwrap()
+}
+
+fn protocol(name: &str) -> AnyProtocol {
+    match name {
+        "eager" => EagerTm::new(CORES, ConflictPolicy::OldestWins).into(),
+        "eager-abort" => EagerTm::new(CORES, ConflictPolicy::RequesterLoses).into(),
+        "lazy" => LazyTm::new(CORES).into(),
+        "lazy-vb" => LazyVbTm::new(CORES).into(),
+        "retcon" => RetconTm::new(CORES, RetconConfig::default()).into(),
+        "datm" => DatmLite::new(CORES).into(),
+        other => panic!("unknown protocol {other}"),
+    }
+}
+
+fn bench_whole_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whole_machine");
+    for name in ["eager", "eager-abort", "lazy", "lazy-vb", "retcon", "datm"] {
+        group.bench_function(name, |b| {
+            let mut instructions = 0;
+            b.iter(|| {
+                let programs = (0..CORES).map(|_| counter_program(ITERS)).collect();
+                let mut m = Machine::new(SimConfig::with_cores(CORES), protocol(name), programs);
+                let report = m.run().expect("run completes");
+                instructions = report.per_core.iter().map(|c| c.instructions).sum::<u64>();
+                black_box(report.cycles)
+            });
+            println!("    ({name}: {instructions} instructions per iteration)");
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_whole_machine);
+criterion_main!(benches);

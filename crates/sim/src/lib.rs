@@ -53,7 +53,7 @@
 //! }
 //!
 //! let cfg = SimConfig::with_cores(2);
-//! let protocol = Box::new(EagerTm::new(2, ConflictPolicy::OldestWins));
+//! let protocol = EagerTm::new(2, ConflictPolicy::OldestWins);
 //! let programs = vec![counter_program(100), counter_program(100)];
 //! let mut machine = Machine::new(cfg, protocol, programs);
 //! let report = machine.run()?;
@@ -78,8 +78,8 @@ pub use tape::InputTape;
 
 // Re-exports so workload crates need only depend on `retcon-sim`.
 pub use retcon_htm::{
-    AbortCause, CommitResult, ConflictPolicy, DatmLite, EagerTm, LazyTm, LazyVbTm, MemResult,
-    Protocol, ProtocolStats, RetconTm,
+    AbortCause, AnyProtocol, CommitResult, ConflictPolicy, DatmLite, EagerTm, LazyTm, LazyVbTm,
+    MemResult, Protocol, ProtocolStats, RegUpdates, RetconTm,
 };
 pub use retcon_isa::Program;
 pub use retcon_mem::{MemConfig, MemorySystem};

@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 
-use retcon_htm::{CommitResult, MemResult, Protocol};
+use retcon_htm::{AnyProtocol, CommitResult, MemResult};
 use retcon_isa::{Addr, Instr, Operand, Pc, Program, ValidateError, NUM_REGS};
 use retcon_mem::{CoreId, MemorySystem};
 
@@ -46,7 +46,6 @@ impl std::error::Error for SimError {}
 
 #[derive(Debug)]
 struct Core {
-    program: Program,
     pc: Pc,
     regs: [u64; NUM_REGS],
     reg_ckpt: [u64; NUM_REGS],
@@ -63,10 +62,8 @@ struct Core {
 }
 
 impl Core {
-    fn new(program: Program) -> Self {
-        let pc = program.entry();
+    fn new(pc: Pc) -> Self {
         Core {
-            program,
             pc,
             regs: [0; NUM_REGS],
             reg_ckpt: [0; NUM_REGS],
@@ -78,6 +75,49 @@ impl Core {
             attempt_cycles: 0,
             breakdown: TimeBreakdown::default(),
             instructions: 0,
+        }
+    }
+
+    /// Charges `latency` cycles (transaction attempt or busy) and counts
+    /// the instruction.
+    #[inline]
+    fn charge(&mut self, in_tx: bool, latency: u64) {
+        self.now += latency;
+        self.instructions += 1;
+        if in_tx {
+            self.attempt_cycles += latency;
+        } else {
+            self.breakdown.busy += latency;
+        }
+    }
+
+    /// Handles a stall: the core waits `retry` cycles (conflict time) and
+    /// retries the same instruction.
+    #[inline]
+    fn stall(&mut self, retry: u64) {
+        self.now += retry;
+        self.breakdown.conflict += retry;
+    }
+
+    /// Rolls control flow back to the transaction begin after an abort
+    /// (zero-cycle rollback per the paper's baseline: memory state was
+    /// restored by the protocol; only accounting and control flow happen
+    /// here).
+    fn restart_tx(&mut self) {
+        self.breakdown.conflict += self.attempt_cycles;
+        self.attempt_cycles = 0;
+        self.regs = self.reg_ckpt;
+        self.tape.rewind();
+        self.pc = self
+            .tx_begin_pc
+            .expect("abort outside a transaction attempt");
+    }
+
+    #[inline]
+    fn operand_value(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Imm(i) => i as u64,
         }
     }
 }
@@ -93,8 +133,12 @@ impl Core {
 pub struct Machine {
     cfg: SimConfig,
     mem: MemorySystem,
-    protocol: Box<dyn Protocol>,
+    protocol: AnyProtocol,
     cores: Vec<Core>,
+    /// One program per core, stored beside (not inside) the cores so the
+    /// batched interpreter can hold the current basic block's instruction
+    /// slice across the mutable per-core state it updates.
+    programs: Vec<Program>,
 }
 
 impl fmt::Debug for Machine {
@@ -110,10 +154,15 @@ impl fmt::Debug for Machine {
 impl Machine {
     /// Creates a machine running one program per core.
     ///
+    /// Accepts any built-in protocol by value (monomorphized dispatch), an
+    /// [`AnyProtocol`], or a `Box<dyn Protocol>` for external protocol
+    /// implementations (virtual dispatch through the
+    /// [`AnyProtocol::Dyn`] adapter).
+    ///
     /// # Panics
     ///
     /// Panics if `programs.len() != cfg.num_cores`.
-    pub fn new(cfg: SimConfig, protocol: Box<dyn Protocol>, programs: Vec<Program>) -> Self {
+    pub fn new(cfg: SimConfig, protocol: impl Into<AnyProtocol>, programs: Vec<Program>) -> Self {
         assert_eq!(
             programs.len(),
             cfg.num_cores,
@@ -121,8 +170,9 @@ impl Machine {
         );
         Machine {
             mem: MemorySystem::new(cfg.mem, cfg.num_cores),
-            protocol,
-            cores: programs.into_iter().map(Core::new).collect(),
+            protocol: protocol.into(),
+            cores: programs.iter().map(|p| Core::new(p.entry())).collect(),
+            programs,
             cfg,
         }
     }
@@ -150,8 +200,12 @@ impl Machine {
     }
 
     /// The concurrency-control protocol.
-    pub fn protocol(&self) -> &dyn Protocol {
-        &*self.protocol
+    ///
+    /// Returns the concrete [`AnyProtocol`] so callers reading counters
+    /// ([`AnyProtocol::stats`], [`AnyProtocol::retcon_stats`]) dispatch
+    /// through an inlined `match`, not a vtable.
+    pub fn protocol(&self) -> &AnyProtocol {
+        &self.protocol
     }
 
     /// Runs every core to completion and reports.
@@ -161,17 +215,20 @@ impl Machine {
     /// [`SimError::InvalidProgram`] if any program fails validation;
     /// [`SimError::CycleLimit`] if the run exceeds the configured cap.
     pub fn run(&mut self) -> Result<SimReport, SimError> {
-        for (i, core) in self.cores.iter().enumerate() {
-            core.program
+        for (i, program) in self.programs.iter().enumerate() {
+            program
                 .validate()
                 .map_err(|error| SimError::InvalidProgram { core: i, error })?;
         }
         // Scheduling: always advance the runnable core with the smallest
         // `(clock, id)`. A min-heap maintains that running minimum — each
-        // runnable core has exactly one entry carrying its current clock
-        // (entries are consumed on pop and re-pushed only after the step,
-        // and a core's clock changes nowhere else), so the pop order is
-        // identical to re-scanning all cores every step, at O(log n).
+        // runnable core has exactly one entry carrying its current clock.
+        // The popped core then *batches*: `run_core` keeps executing its
+        // instructions while `(clock, id)` stays strictly below the next
+        // heap key. A core's clock only grows and no other core runs in
+        // between, so the batched execution order is identical to
+        // re-popping after every instruction — but the heap is only
+        // touched at stall boundaries (overtaken, barrier, halt).
         let mut ready: BinaryHeap<Reverse<(u64, usize)>> = self
             .cores
             .iter()
@@ -182,12 +239,8 @@ impl Machine {
             match ready.pop() {
                 Some(Reverse((now, c))) => {
                     debug_assert_eq!(now, self.cores[c].now, "stale heap entry");
-                    if now > self.cfg.max_cycles {
-                        return Err(SimError::CycleLimit {
-                            limit: self.cfg.max_cycles,
-                        });
-                    }
-                    self.step(c);
+                    let bound = ready.peek().map(|&Reverse(key)| key);
+                    self.run_core(c, bound)?;
                     let core = &self.cores[c];
                     if !core.halted && !core.at_barrier {
                         ready.push(Reverse((core.now, c)));
@@ -246,216 +299,216 @@ impl Machine {
         }
     }
 
-    /// Charges `latency` cycles to core `c` (transaction attempt or busy)
-    /// and counts the instruction.
-    fn charge(&mut self, c: usize, latency: u64) {
-        let in_tx = self.protocol.tx_active(CoreId(c));
-        let core = &mut self.cores[c];
-        core.now += latency;
-        core.instructions += 1;
-        if in_tx {
-            core.attempt_cycles += latency;
-        } else {
-            core.breakdown.busy += latency;
-        }
-    }
-
-    /// Handles a stall: the core waits `stall_retry` cycles (conflict time)
-    /// and retries the same instruction.
-    fn stall(&mut self, c: usize) {
-        let retry = self.cfg.stall_retry;
-        let core = &mut self.cores[c];
-        core.now += retry;
-        core.breakdown.conflict += retry;
-    }
-
-    /// Rolls control flow back to the transaction begin after an abort
-    /// (zero-cycle rollback per the paper's baseline: memory state was
-    /// restored by the protocol; only accounting and control flow happen
-    /// here).
-    fn restart_tx(&mut self, c: usize) {
-        let core = &mut self.cores[c];
-        core.breakdown.conflict += core.attempt_cycles;
-        core.attempt_cycles = 0;
-        core.regs = core.reg_ckpt;
-        core.tape.rewind();
-        core.pc = core
-            .tx_begin_pc
-            .expect("abort outside a transaction attempt");
-    }
-
-    fn operand_value(&self, c: usize, op: Operand) -> u64 {
-        match op {
-            Operand::Reg(r) => self.cores[c].regs[r.index()],
-            Operand::Imm(i) => i as u64,
-        }
-    }
-
-    fn step(&mut self, c: usize) {
+    /// Executes instructions on core `c` until it stops being the
+    /// scheduler minimum: its `(clock, id)` reaches `bound` (the smallest
+    /// key among the other runnable cores), it parks at a barrier, or it
+    /// halts. `bound == None` means no other core is runnable.
+    ///
+    /// # Equivalence with single-stepping
+    ///
+    /// The old scheduler popped the heap, executed *one* instruction, and
+    /// re-pushed. Batching is observationally identical because between
+    /// two instructions of the same core (a) no other core's clock moves,
+    /// (b) this core's clock never decreases, and (c) the cycle-limit and
+    /// remote-abort checks run per instruction here exactly as they ran
+    /// per pop there. The loop exits the moment another core's `(clock,
+    /// id)` key becomes smaller, which is precisely when the old scheduler
+    /// would have popped a different core.
+    fn run_core(&mut self, c: usize, bound: Option<(u64, usize)>) -> Result<(), SimError> {
         let core_id = CoreId(c);
-        // A remote core may have aborted us since our last step.
-        if self.protocol.take_aborted(core_id) {
-            self.restart_tx(c);
-            return;
-        }
-        let pc = self.cores[c].pc;
-        let instr = *self.cores[c]
-            .program
-            .fetch(pc)
-            .expect("validated program cannot run off the end");
-        match instr {
-            Instr::Imm { dst, value } => {
-                self.protocol.on_imm(core_id, dst);
-                self.cores[c].regs[dst.index()] = value;
-                self.cores[c].pc = pc.next();
-                self.charge(c, 1);
-            }
-            Instr::Mov { dst, src } => {
-                self.protocol.on_mov(core_id, dst, src);
-                self.cores[c].regs[dst.index()] = self.cores[c].regs[src.index()];
-                self.cores[c].pc = pc.next();
-                self.charge(c, 1);
-            }
-            Instr::Bin { op, dst, lhs, rhs } => {
-                let lhs_val = self.cores[c].regs[lhs.index()];
-                let rhs_val = self.operand_value(c, rhs);
-                let rhs_reg = match rhs {
-                    Operand::Reg(r) => Some(r),
-                    Operand::Imm(_) => None,
-                };
-                let result = self
-                    .protocol
-                    .on_alu(core_id, op, dst, lhs, rhs_reg, lhs_val, rhs_val);
-                self.cores[c].regs[dst.index()] = result;
-                self.cores[c].pc = pc.next();
-                self.charge(c, 1);
-            }
-            Instr::Load { dst, addr, offset } => {
-                let a = Addr(self.cores[c].regs[addr.index()]).offset(offset);
-                match self.protocol.read(
-                    core_id,
-                    dst,
-                    a,
-                    Some(addr),
-                    &mut self.mem,
-                    self.cores[c].now,
-                ) {
-                    MemResult::Value { value, latency } => {
-                        self.cores[c].regs[dst.index()] = value;
-                        self.cores[c].pc = pc.next();
-                        self.charge(c, latency);
-                    }
-                    MemResult::Stall => self.stall(c),
-                    MemResult::Abort => self.restart_tx(c),
+        let max_cycles = self.cfg.max_cycles;
+        let stall_retry = self.cfg.stall_retry;
+        // Hoist the per-instruction borrows out of the loop: the protocol,
+        // the memory system and this core's interpreter state are disjoint
+        // fields, resolved once per batch instead of per instruction.
+        let Machine {
+            mem,
+            protocol,
+            cores,
+            programs,
+            ..
+        } = self;
+        let core = &mut cores[c];
+        let program = &programs[c];
+        // Current basic block's instruction slice, refreshed only on
+        // control transfers: the straight-line fetch is one indexed load.
+        let mut block = core.pc.block;
+        let mut instrs = program.block_instrs(block);
+        // Transactional status for cycle accounting, tracked locally — it
+        // only changes at the boundaries handled below, so the batch loop
+        // charges cycles without a protocol query per instruction.
+        let mut in_tx = protocol.tx_active(core_id);
+        loop {
+            if let Some(b) = bound {
+                if (core.now, c) >= b {
+                    return Ok(());
                 }
             }
-            Instr::Store { src, addr, offset } => {
-                let a = Addr(self.cores[c].regs[addr.index()]).offset(offset);
-                let value = self.operand_value(c, src);
-                let src_reg = match src {
-                    Operand::Reg(r) => Some(r),
-                    Operand::Imm(_) => None,
-                };
-                match self.protocol.write(
-                    core_id,
-                    src_reg,
-                    value,
-                    a,
-                    Some(addr),
-                    &mut self.mem,
-                    self.cores[c].now,
-                ) {
-                    MemResult::Value { latency, .. } => {
-                        self.cores[c].pc = pc.next();
-                        self.charge(c, latency);
-                    }
-                    MemResult::Stall => self.stall(c),
-                    MemResult::Abort => self.restart_tx(c),
+            if core.now > max_cycles {
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            // A remote core may have aborted us before this batch; the
+            // check stays per-instruction to mirror the protocols' abort
+            // handshake exactly (DATM's cascades can raise the flag from
+            // this core's own accesses).
+            if protocol.take_aborted(core_id) {
+                core.restart_tx();
+                in_tx = false;
+                continue;
+            }
+            debug_assert_eq!(
+                in_tx,
+                protocol.tx_active(core_id),
+                "batched in_tx fell out of sync on core {c}"
+            );
+            let pc = core.pc;
+            if pc.block != block {
+                block = pc.block;
+                instrs = program.block_instrs(block);
+            }
+            let instr = *instrs
+                .get(pc.index)
+                .expect("validated program cannot run off the end");
+            match instr {
+                Instr::Imm { dst, value } => {
+                    protocol.on_imm(core_id, dst);
+                    core.regs[dst.index()] = value;
+                    core.pc = pc.next();
+                    core.charge(in_tx, 1);
                 }
-            }
-            Instr::Branch {
-                op,
-                lhs,
-                rhs,
-                taken,
-                not_taken,
-            } => {
-                let lhs_val = self.cores[c].regs[lhs.index()];
-                let rhs_val = self.operand_value(c, rhs);
-                let rhs_reg = match rhs {
-                    Operand::Reg(r) => Some(r),
-                    Operand::Imm(_) => None,
-                };
-                let outcome = self
-                    .protocol
-                    .on_branch(core_id, op, lhs, rhs_reg, lhs_val, rhs_val);
-                self.cores[c].pc = Pc::at(if outcome { taken } else { not_taken });
-                self.charge(c, 1);
-            }
-            Instr::Jump { target } => {
-                self.cores[c].pc = Pc::at(target);
-                self.charge(c, 1);
-            }
-            Instr::Input { dst } => {
-                self.protocol.on_imm(core_id, dst);
-                let v = self.cores[c].tape.next();
-                self.cores[c].regs[dst.index()] = v;
-                self.cores[c].pc = pc.next();
-                self.charge(c, 1);
-            }
-            Instr::Work { cycles } => {
-                self.cores[c].pc = pc.next();
-                self.charge(c, cycles as u64);
-            }
-            Instr::TxBegin => {
-                debug_assert!(
-                    !self.protocol.tx_active(core_id),
-                    "nested TxBegin on core {c}"
-                );
-                let now = self.cores[c].now;
-                self.protocol.tx_begin(core_id, now);
-                let core = &mut self.cores[c];
-                core.tx_begin_pc = Some(pc);
-                core.reg_ckpt = core.regs;
-                core.tape.mark();
-                core.pc = pc.next();
-                self.charge(c, 1);
-            }
-            Instr::TxCommit => {
-                let now = self.cores[c].now;
-                match self.protocol.commit(core_id, &mut self.mem, now) {
-                    CommitResult::Committed {
-                        latency,
-                        reg_updates,
-                    } => {
-                        let core = &mut self.cores[c];
-                        for (r, v) in reg_updates {
-                            core.regs[r.index()] = v;
+                Instr::Mov { dst, src } => {
+                    protocol.on_mov(core_id, dst, src);
+                    core.regs[dst.index()] = core.regs[src.index()];
+                    core.pc = pc.next();
+                    core.charge(in_tx, 1);
+                }
+                Instr::Bin { op, dst, lhs, rhs } => {
+                    let lhs_val = core.regs[lhs.index()];
+                    let rhs_val = core.operand_value(rhs);
+                    let rhs_reg = match rhs {
+                        Operand::Reg(r) => Some(r),
+                        Operand::Imm(_) => None,
+                    };
+                    let result = protocol.on_alu(core_id, op, dst, lhs, rhs_reg, lhs_val, rhs_val);
+                    core.regs[dst.index()] = result;
+                    core.pc = pc.next();
+                    core.charge(in_tx, 1);
+                }
+                Instr::Load { dst, addr, offset } => {
+                    let a = Addr(core.regs[addr.index()]).offset(offset);
+                    match protocol.read(core_id, dst, a, Some(addr), mem, core.now) {
+                        MemResult::Value { value, latency } => {
+                            core.regs[dst.index()] = value;
+                            core.pc = pc.next();
+                            core.charge(in_tx, latency);
                         }
-                        // The attempt's work becomes useful; commit
-                        // processing is accounted as "other".
-                        core.breakdown.busy += core.attempt_cycles + 1;
-                        core.breakdown.other += latency;
-                        core.attempt_cycles = 0;
-                        core.tx_begin_pc = None;
-                        core.now += latency + 1;
-                        core.instructions += 1;
-                        core.pc = pc.next();
+                        MemResult::Stall => core.stall(stall_retry),
+                        MemResult::Abort => {
+                            core.restart_tx();
+                            in_tx = false;
+                        }
                     }
-                    CommitResult::Stall => self.stall(c),
-                    CommitResult::Abort => self.restart_tx(c),
                 }
-            }
-            Instr::Barrier => {
-                let core = &mut self.cores[c];
-                core.pc = pc.next();
-                core.at_barrier = true;
-                core.now += 1;
-                core.breakdown.busy += 1;
-                core.instructions += 1;
-            }
-            Instr::Halt => {
-                self.cores[c].halted = true;
+                Instr::Store { src, addr, offset } => {
+                    let a = Addr(core.regs[addr.index()]).offset(offset);
+                    let value = core.operand_value(src);
+                    let src_reg = match src {
+                        Operand::Reg(r) => Some(r),
+                        Operand::Imm(_) => None,
+                    };
+                    match protocol.write(core_id, src_reg, value, a, Some(addr), mem, core.now) {
+                        MemResult::Value { latency, .. } => {
+                            core.pc = pc.next();
+                            core.charge(in_tx, latency);
+                        }
+                        MemResult::Stall => core.stall(stall_retry),
+                        MemResult::Abort => {
+                            core.restart_tx();
+                            in_tx = false;
+                        }
+                    }
+                }
+                Instr::Branch {
+                    op,
+                    lhs,
+                    rhs,
+                    taken,
+                    not_taken,
+                } => {
+                    let lhs_val = core.regs[lhs.index()];
+                    let rhs_val = core.operand_value(rhs);
+                    let rhs_reg = match rhs {
+                        Operand::Reg(r) => Some(r),
+                        Operand::Imm(_) => None,
+                    };
+                    let outcome = protocol.on_branch(core_id, op, lhs, rhs_reg, lhs_val, rhs_val);
+                    core.pc = Pc::at(if outcome { taken } else { not_taken });
+                    core.charge(in_tx, 1);
+                }
+                Instr::Jump { target } => {
+                    core.pc = Pc::at(target);
+                    core.charge(in_tx, 1);
+                }
+                Instr::Input { dst } => {
+                    protocol.on_imm(core_id, dst);
+                    let v = core.tape.next();
+                    core.regs[dst.index()] = v;
+                    core.pc = pc.next();
+                    core.charge(in_tx, 1);
+                }
+                Instr::Work { cycles } => {
+                    core.pc = pc.next();
+                    core.charge(in_tx, cycles as u64);
+                }
+                Instr::TxBegin => {
+                    debug_assert!(!protocol.tx_active(core_id), "nested TxBegin on core {c}");
+                    protocol.tx_begin(core_id, core.now);
+                    core.tx_begin_pc = Some(pc);
+                    core.reg_ckpt = core.regs;
+                    core.tape.mark();
+                    core.pc = pc.next();
+                    in_tx = true;
+                    core.charge(in_tx, 1);
+                }
+                Instr::TxCommit => {
+                    match protocol.commit(core_id, mem, core.now) {
+                        CommitResult::Committed {
+                            latency,
+                            reg_updates,
+                        } => {
+                            for &(r, v) in &reg_updates {
+                                core.regs[r.index()] = v;
+                            }
+                            // The attempt's work becomes useful; commit
+                            // processing is accounted as "other".
+                            core.breakdown.busy += core.attempt_cycles + 1;
+                            core.breakdown.other += latency;
+                            core.attempt_cycles = 0;
+                            core.tx_begin_pc = None;
+                            core.now += latency + 1;
+                            core.instructions += 1;
+                            core.pc = pc.next();
+                            in_tx = false;
+                        }
+                        CommitResult::Stall => core.stall(stall_retry),
+                        CommitResult::Abort => {
+                            core.restart_tx();
+                            in_tx = false;
+                        }
+                    }
+                }
+                Instr::Barrier => {
+                    core.pc = pc.next();
+                    core.at_barrier = true;
+                    core.now += 1;
+                    core.breakdown.busy += 1;
+                    core.instructions += 1;
+                    return Ok(());
+                }
+                Instr::Halt => {
+                    core.halted = true;
+                    return Ok(());
+                }
             }
         }
     }
@@ -496,7 +549,7 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn run_counter(protocol: Box<dyn Protocol>, cores: usize, iters: u64) -> (SimReport, u64) {
+    fn run_counter(protocol: impl Into<AnyProtocol>, cores: usize, iters: u64) -> (SimReport, u64) {
         let cfg = SimConfig::with_cores(cores);
         let programs = (0..cores).map(|_| counter_program(0, iters, 5)).collect();
         let mut m = Machine::new(cfg, protocol, programs);
@@ -506,8 +559,7 @@ mod tests {
 
     #[test]
     fn single_core_counter_is_exact() {
-        let (report, value) =
-            run_counter(Box::new(EagerTm::new(1, ConflictPolicy::OldestWins)), 1, 50);
+        let (report, value) = run_counter(EagerTm::new(1, ConflictPolicy::OldestWins), 1, 50);
         assert_eq!(value, 100);
         assert_eq!(report.protocol.commits, 50);
         assert_eq!(report.protocol.aborts(), 0);
@@ -516,8 +568,7 @@ mod tests {
 
     #[test]
     fn eager_counter_serializes_correctly() {
-        let (report, value) =
-            run_counter(Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)), 4, 25);
+        let (report, value) = run_counter(EagerTm::new(4, ConflictPolicy::OldestWins), 4, 25);
         assert_eq!(value, 4 * 25 * 2, "no lost updates");
         assert_eq!(report.protocol.commits, 100);
         // Heavy contention: conflicts must show up in the breakdown.
@@ -526,14 +577,14 @@ mod tests {
 
     #[test]
     fn lazy_counter_serializes_correctly() {
-        let (report, value) = run_counter(Box::new(LazyTm::new(4)), 4, 25);
+        let (report, value) = run_counter(LazyTm::new(4), 4, 25);
         assert_eq!(value, 200);
         assert_eq!(report.protocol.commits, 100);
     }
 
     #[test]
     fn lazy_vb_counter_serializes_correctly() {
-        let (report, value) = run_counter(Box::new(LazyVbTm::new(4)), 4, 25);
+        let (report, value) = run_counter(LazyVbTm::new(4), 4, 25);
         assert_eq!(value, 200);
         assert_eq!(report.protocol.commits, 100);
         // Value validation aborts the racing increments.
@@ -546,7 +597,7 @@ mod tests {
             initial_threshold: 0,
             ..RetconConfig::default()
         };
-        let (report, value) = run_counter(Box::new(RetconTm::new(4, cfg)), 4, 25);
+        let (report, value) = run_counter(RetconTm::new(4, cfg), 4, 25);
         assert_eq!(value, 200, "symbolic repair preserves every increment");
         assert_eq!(report.protocol.commits, 100);
         assert_eq!(
@@ -561,12 +612,12 @@ mod tests {
 
     #[test]
     fn retcon_scales_better_than_eager_on_counter() {
-        let (eager, _) = run_counter(Box::new(EagerTm::new(8, ConflictPolicy::OldestWins)), 8, 25);
+        let (eager, _) = run_counter(EagerTm::new(8, ConflictPolicy::OldestWins), 8, 25);
         let cfg = RetconConfig {
             initial_threshold: 0,
             ..RetconConfig::default()
         };
-        let (retcon, _) = run_counter(Box::new(RetconTm::new(8, cfg)), 8, 25);
+        let (retcon, _) = run_counter(RetconTm::new(8, cfg), 8, 25);
         assert!(
             retcon.cycles < eager.cycles,
             "RETCON {} !< eager {}",
@@ -577,7 +628,7 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let run = || run_counter(Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)), 4, 10).0;
+        let run = || run_counter(EagerTm::new(4, ConflictPolicy::OldestWins), 4, 10).0;
         let a = run();
         let b = run();
         assert_eq!(a.cycles, b.cycles);
@@ -600,7 +651,7 @@ mod tests {
             b.build().unwrap()
         };
         let cfg = SimConfig::with_cores(2);
-        let protocol = Box::new(EagerTm::new(2, ConflictPolicy::OldestWins));
+        let protocol = EagerTm::new(2, ConflictPolicy::OldestWins);
         let mut m = Machine::new(cfg, protocol, vec![prog(1000), prog(10)]);
         let report = m.run().unwrap();
         assert_eq!(report.per_core[0].breakdown.barrier, 0);
@@ -636,7 +687,7 @@ mod tests {
             b.build().unwrap()
         };
         let cfg = SimConfig::with_cores(2);
-        let protocol = Box::new(EagerTm::new(2, ConflictPolicy::OldestWins));
+        let protocol = EagerTm::new(2, ConflictPolicy::OldestWins);
         let mut m = Machine::new(cfg, protocol, vec![prog.clone(), prog]);
         m.set_tape(0, vec![1; 20]);
         m.set_tape(1, vec![1; 20]);
@@ -673,7 +724,7 @@ mod tests {
         };
         // Run under heavy contention so aborts actually happen.
         let cfg = SimConfig::with_cores(2);
-        let protocol = Box::new(EagerTm::new(2, ConflictPolicy::OldestWins));
+        let protocol = EagerTm::new(2, ConflictPolicy::OldestWins);
         let mut programs = Vec::new();
         for _ in 0..2 {
             programs.push(prog.clone());
@@ -694,17 +745,13 @@ mod tests {
         let prog = b.build().unwrap();
         let mut cfg = SimConfig::with_cores(1);
         cfg.max_cycles = 1000;
-        let mut m = Machine::new(
-            cfg,
-            Box::new(EagerTm::new(1, ConflictPolicy::OldestWins)),
-            vec![prog],
-        );
+        let mut m = Machine::new(cfg, EagerTm::new(1, ConflictPolicy::OldestWins), vec![prog]);
         assert!(matches!(m.run(), Err(SimError::CycleLimit { .. })));
     }
 
     #[test]
     fn breakdown_buckets_sum_to_core_time() {
-        let (report, _) = run_counter(Box::new(EagerTm::new(4, ConflictPolicy::OldestWins)), 4, 10);
+        let (report, _) = run_counter(EagerTm::new(4, ConflictPolicy::OldestWins), 4, 10);
         for core in &report.per_core {
             assert_eq!(core.breakdown.total(), core.finished_at);
         }

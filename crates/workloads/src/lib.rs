@@ -49,7 +49,7 @@ pub use spec::{Alloc, WorkloadSpec};
 
 use retcon::RetconConfig;
 use retcon_sim::{
-    ConflictPolicy, DatmLite, EagerTm, LazyTm, LazyVbTm, Machine, Protocol, RetconTm, SimConfig,
+    AnyProtocol, ConflictPolicy, DatmLite, EagerTm, LazyTm, LazyVbTm, Machine, RetconTm, SimConfig,
     SimError, SimReport,
 };
 
@@ -111,15 +111,18 @@ impl System {
     }
 
     /// Instantiates the protocol for `num_cores` cores.
-    pub fn protocol(self, num_cores: usize) -> Box<dyn Protocol> {
+    ///
+    /// Returns the monomorphized [`AnyProtocol`] — the simulator dispatches
+    /// it by `match`, with no boxing or virtual calls on the hot path.
+    pub fn protocol(self, num_cores: usize) -> AnyProtocol {
         match self {
-            System::Eager => Box::new(EagerTm::new(num_cores, ConflictPolicy::OldestWins)),
-            System::EagerAbort => Box::new(EagerTm::new(num_cores, ConflictPolicy::RequesterLoses)),
-            System::Lazy => Box::new(LazyTm::new(num_cores)),
-            System::LazyVb => Box::new(LazyVbTm::new(num_cores)),
-            System::Retcon => Box::new(RetconTm::new(num_cores, RetconConfig::default())),
-            System::RetconIdeal => Box::new(RetconTm::new(num_cores, RetconConfig::idealized())),
-            System::Datm => Box::new(DatmLite::new(num_cores)),
+            System::Eager => EagerTm::new(num_cores, ConflictPolicy::OldestWins).into(),
+            System::EagerAbort => EagerTm::new(num_cores, ConflictPolicy::RequesterLoses).into(),
+            System::Lazy => LazyTm::new(num_cores).into(),
+            System::LazyVb => LazyVbTm::new(num_cores).into(),
+            System::Retcon => RetconTm::new(num_cores, RetconConfig::default()).into(),
+            System::RetconIdeal => RetconTm::new(num_cores, RetconConfig::idealized()).into(),
+            System::Datm => DatmLite::new(num_cores).into(),
         }
     }
 }
@@ -329,14 +332,16 @@ pub fn run_spec(
 
 /// Runs an already-built [`WorkloadSpec`] under an explicit protocol
 /// instance — the hook sweep harnesses use to vary [`RetconConfig`] knobs
-/// beyond the named [`System`] configurations.
+/// beyond the named [`System`] configurations. Accepts any built-in
+/// protocol by value, an [`AnyProtocol`], or a boxed custom
+/// [`Protocol`](retcon_sim::Protocol).
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the simulator.
 pub fn run_spec_with(
     spec: &WorkloadSpec,
-    protocol: Box<dyn Protocol>,
+    protocol: impl Into<AnyProtocol>,
     num_cores: usize,
 ) -> Result<SimReport, SimError> {
     let cfg = SimConfig::with_cores(num_cores);
