@@ -135,6 +135,13 @@ impl AnyProtocol {
         dispatch!(self, p => p.take_aborted(core))
     }
 
+    /// Non-clearing preview of the flag (see
+    /// [`Protocol::abort_pending`]).
+    #[inline]
+    pub fn abort_pending(&self, core: CoreId) -> bool {
+        dispatch!(self, p => p.abort_pending(core))
+    }
+
     /// Hook: `dst` was overwritten with an immediate.
     #[inline]
     pub fn on_imm(&mut self, core: CoreId, dst: Reg) {
@@ -188,6 +195,16 @@ impl AnyProtocol {
     #[inline]
     pub fn retcon_stats(&self) -> Option<RetconStats> {
         dispatch!(self, p => p.retcon_stats())
+    }
+
+    /// Checks protocol-internal invariants at a quiescent point (see
+    /// [`Protocol::check_quiescent`]).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant.
+    pub fn check_quiescent(&self) -> Result<(), String> {
+        dispatch!(self, p => p.check_quiescent())
     }
 
     /// The inner [`RetconTm`], if this is the RETCON variant (tests and
@@ -249,6 +266,10 @@ impl Protocol for AnyProtocol {
         AnyProtocol::take_aborted(self, core)
     }
 
+    fn abort_pending(&self, core: CoreId) -> bool {
+        AnyProtocol::abort_pending(self, core)
+    }
+
     fn on_imm(&mut self, core: CoreId, dst: Reg) {
         AnyProtocol::on_imm(self, core, dst)
     }
@@ -288,6 +309,10 @@ impl Protocol for AnyProtocol {
 
     fn retcon_stats(&self) -> Option<RetconStats> {
         AnyProtocol::retcon_stats(self)
+    }
+
+    fn check_quiescent(&self) -> Result<(), String> {
+        AnyProtocol::check_quiescent(self)
     }
 }
 

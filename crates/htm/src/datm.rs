@@ -22,8 +22,6 @@
 //! would-be cycle, younger transaction aborts) is reproduced exactly.
 //! Commits wait for all predecessors, enforcing the dependence order.
 
-use std::collections::HashSet;
-
 use retcon_isa::table::{BlockTable, EpochSet};
 use retcon_isa::{Addr, Reg};
 use retcon_mem::{AccessKind, CoreId, FxHashSet, MemorySystem, UndoLog};
@@ -59,6 +57,12 @@ pub struct DatmLite {
     readers: BlockTable<u64>,
     /// Per-block bitmask of active cores whose write set holds the block.
     writers: BlockTable<u64>,
+    /// Scratch: the cascading-abort DFS worklist (reused across cascades
+    /// so the abort path never allocates in steady state).
+    cascade: Vec<usize>,
+    /// Scratch: the victim list of the current cascade, rolled back
+    /// youngest-first.
+    victims: Vec<usize>,
 }
 
 impl DatmLite {
@@ -69,6 +73,8 @@ impl DatmLite {
             edges: FxHashSet::default(),
             readers: BlockTable::new(),
             writers: BlockTable::new(),
+            cascade: Vec::new(),
+            victims: Vec::new(),
         }
     }
 
@@ -119,14 +125,23 @@ impl DatmLite {
 
     /// Aborts `core` and every active transaction that consumed data
     /// forwarded from it (its successors in the dependence graph).
+    ///
+    /// The DFS worklist and victim list are reusable scratch buffers and
+    /// the visited set is a core bitmask (`MAX_CORES <= 64`), so cascades
+    /// allocate nothing once the buffers reach steady capacity — this was
+    /// the last allocating path in any protocol's conflict handling
+    /// (`tests/no_alloc_machine.rs` pins DATM under max contention).
     fn abort_cascading(&mut self, core: usize, mem: &mut MemorySystem) {
-        let mut to_abort = vec![core];
-        let mut seen = HashSet::new();
-        while let Some(c) = to_abort.pop() {
-            if !seen.insert(c) {
+        let mut stack = std::mem::take(&mut self.cascade);
+        stack.clear();
+        stack.push(core);
+        let mut seen = 0u64;
+        while let Some(c) = stack.pop() {
+            if seen & (1u64 << c) != 0 {
                 continue;
             }
-            to_abort.extend(
+            seen |= 1u64 << c;
+            stack.extend(
                 self.edges
                     .iter()
                     .filter(|&&(p, _)| p == c)
@@ -134,11 +149,17 @@ impl DatmLite {
                     .filter(|s| self.cores[*s].active),
             );
         }
+        self.cascade = stack;
         // Roll back in reverse dependence order (youngest first) so each
-        // undo log restores the values its successors forwarded.
-        let mut victims: Vec<usize> = seen.into_iter().filter(|c| self.cores[*c].active).collect();
-        victims.sort_by_key(|&c| std::cmp::Reverse((self.cores[c].birth.unwrap_or(0), c)));
-        for v in victims {
+        // undo log restores the values its successors forwarded. The sort
+        // key `(birth, id)` is unique per victim, so the unstable sort is
+        // deterministic.
+        let mut victims = std::mem::take(&mut self.victims);
+        victims.clear();
+        victims.extend((0..self.cores.len()).filter(|&c| seen & (1u64 << c) != 0));
+        victims.retain(|&c| self.cores[c].active);
+        victims.sort_unstable_by_key(|&c| std::cmp::Reverse((self.cores[c].birth.unwrap_or(0), c)));
+        for &v in &victims {
             self.cores[v].undo.rollback(mem.memory_mut());
             self.clear_footprint(v);
             let cs = &mut self.cores[v];
@@ -147,6 +168,7 @@ impl DatmLite {
             cs.stats.record_abort(AbortCause::Cycle);
             self.edges.retain(|&(p, s)| p != v && s != v);
         }
+        self.victims = victims;
     }
 
     /// Bitmasks of the *other* active cores whose write set (resp. only
@@ -287,8 +309,48 @@ impl Protocol for DatmLite {
         std::mem::take(&mut self.cores[core.0].aborted)
     }
 
+    fn abort_pending(&self, core: CoreId) -> bool {
+        self.cores[core.0].aborted
+    }
+
     fn stats(&self, core: CoreId) -> &ProtocolStats {
         &self.cores[core.0].stats
+    }
+
+    fn check_quiescent(&self) -> Result<(), String> {
+        if !self.edges.is_empty() {
+            return Err(format!(
+                "datm: {} dependence edges survive quiescence",
+                self.edges.len()
+            ));
+        }
+        for (i, cs) in self.cores.iter().enumerate() {
+            if cs.active {
+                return Err(format!("datm: core {i} still has an active transaction"));
+            }
+            if cs.birth.is_some() {
+                return Err(format!("datm: core {i} kept a transaction birth stamp"));
+            }
+            if !cs.undo.is_empty() {
+                return Err(format!(
+                    "datm: core {i} undo log holds {} entries at quiescence",
+                    cs.undo.len()
+                ));
+            }
+            // The shared reader/writer masks are cleared through these
+            // worklists, so non-empty worklists mean leaked mask bits.
+            if !cs.read_blocks.is_empty() || !cs.write_blocks.is_empty() {
+                return Err(format!(
+                    "datm: core {i} footprint worklists not drained ({} reads, {} writes)",
+                    cs.read_blocks.len(),
+                    cs.write_blocks.len()
+                ));
+            }
+            if cs.aborted {
+                return Err(format!("datm: core {i} has an undelivered abort flag"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -404,8 +466,15 @@ mod tests {
         let _ = tm.write(C1, None, 1, Addr(64), None, &mut mem, 4);
         // Abort C0 (simulate via cascading helper): C1 must abort too.
         tm.abort_cascading(0, &mut mem);
+        // The preview sees the pending flags without clearing them...
+        assert!(tm.abort_pending(C0));
+        assert!(tm.abort_pending(C1));
+        assert!(tm.abort_pending(C1), "preview must not clear");
+        // ...and delivery clears them.
         assert!(tm.take_aborted(C0));
         assert!(tm.take_aborted(C1));
+        assert!(!tm.abort_pending(C0));
+        assert!(!tm.abort_pending(C1));
         assert_eq!(mem.read_word(A), 0);
         assert_eq!(mem.read_word(Addr(64)), 0);
     }

@@ -228,8 +228,33 @@ impl Protocol for EagerTm {
         std::mem::take(&mut self.cores[core.0].aborted)
     }
 
+    fn abort_pending(&self, core: CoreId) -> bool {
+        self.cores[core.0].aborted
+    }
+
     fn stats(&self, core: CoreId) -> &ProtocolStats {
         &self.cores[core.0].stats
+    }
+
+    fn check_quiescent(&self) -> Result<(), String> {
+        for (i, cs) in self.cores.iter().enumerate() {
+            if cs.active {
+                return Err(format!("eager: core {i} still has an active transaction"));
+            }
+            if cs.birth.is_some() {
+                return Err(format!("eager: core {i} kept a transaction birth stamp"));
+            }
+            if !cs.undo.is_empty() {
+                return Err(format!(
+                    "eager: core {i} undo log holds {} entries at quiescence",
+                    cs.undo.len()
+                ));
+            }
+            if cs.aborted {
+                return Err(format!("eager: core {i} has an undelivered abort flag"));
+            }
+        }
+        Ok(())
     }
 }
 

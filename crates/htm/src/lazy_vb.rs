@@ -198,8 +198,39 @@ impl Protocol for LazyVbTm {
         std::mem::take(&mut self.cores[core.0].aborted)
     }
 
+    fn abort_pending(&self, core: CoreId) -> bool {
+        self.cores[core.0].aborted
+    }
+
     fn stats(&self, core: CoreId) -> &ProtocolStats {
         &self.cores[core.0].stats
+    }
+
+    fn check_quiescent(&self) -> Result<(), String> {
+        for (i, cs) in self.cores.iter().enumerate() {
+            if cs.active {
+                return Err(format!("lazy-vb: core {i} still has an active transaction"));
+            }
+            if cs.birth.is_some() {
+                return Err(format!("lazy-vb: core {i} kept a transaction birth stamp"));
+            }
+            if !cs.wb.is_empty() {
+                return Err(format!(
+                    "lazy-vb: core {i} write buffer holds {} entries at quiescence",
+                    cs.wb.len()
+                ));
+            }
+            if !cs.rlog.is_empty() {
+                return Err(format!(
+                    "lazy-vb: core {i} value log holds {} entries at quiescence",
+                    cs.rlog.len()
+                ));
+            }
+            if cs.aborted {
+                return Err(format!("lazy-vb: core {i} has an undelivered abort flag"));
+            }
+        }
+        Ok(())
     }
 }
 

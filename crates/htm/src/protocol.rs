@@ -66,6 +66,17 @@ pub trait Protocol {
     /// Returns and clears the "aborted by another core" flag.
     fn take_aborted(&mut self, core: CoreId) -> bool;
 
+    /// Non-clearing preview of [`take_aborted`](Protocol::take_aborted):
+    /// `true` while `core` has a pending remote abort the simulator has
+    /// not yet delivered. Exploration pruning consults this so a core
+    /// about to restart is treated as performing its transaction begin,
+    /// not the (stale) instruction under its program counter. The default
+    /// (external protocols without introspection) reports no pending
+    /// aborts — correct for any protocol that never aborts remotely.
+    fn abort_pending(&self, _core: CoreId) -> bool {
+        false
+    }
+
     /// Hook: `dst` was overwritten with an immediate.
     fn on_imm(&mut self, _core: CoreId, _dst: Reg) {}
 
@@ -109,5 +120,23 @@ pub trait Protocol {
     /// collects them.
     fn retcon_stats(&self) -> Option<RetconStats> {
         None
+    }
+
+    /// Checks protocol-internal invariants at a *quiescent* point — no
+    /// core has an active transaction (e.g. after a completed run). All
+    /// speculative state must have been retired: undo logs and write
+    /// buffers empty, no pending abort flags, no dependence edges, and
+    /// RETCON's symbolic repair chain fully collapsed (IVB/SSB empty, no
+    /// register still carrying a symbolic tag). The exploration subsystem
+    /// calls this after every explored schedule, turning internal
+    /// bookkeeping leaks into reported violations instead of silent state
+    /// corruption carried into the next run.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant. The default implementation
+    /// (external protocols without introspection) checks nothing.
+    fn check_quiescent(&self) -> Result<(), String> {
+        Ok(())
     }
 }

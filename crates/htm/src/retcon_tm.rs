@@ -532,6 +532,10 @@ impl Protocol for RetconTm {
         std::mem::take(&mut self.cores[core.0].aborted)
     }
 
+    fn abort_pending(&self, core: CoreId) -> bool {
+        self.cores[core.0].aborted
+    }
+
     fn on_imm(&mut self, core: CoreId, dst: Reg) {
         self.cores[core.0].engine.on_imm(dst);
     }
@@ -579,6 +583,53 @@ impl Protocol for RetconTm {
             agg.merge(&cs.rstats);
         }
         Some(agg)
+    }
+
+    /// Repair-chain consistency: every commit/abort must collapse the
+    /// symbolic state — IVB and SSB drained, no register still carrying a
+    /// symbolic tag (a dangling tag would let a stale repair chain leak
+    /// into the next transaction).
+    fn check_quiescent(&self) -> Result<(), String> {
+        for (i, cs) in self.cores.iter().enumerate() {
+            if cs.active {
+                return Err(format!("RetCon: core {i} still has an active transaction"));
+            }
+            if cs.birth.is_some() {
+                return Err(format!("RetCon: core {i} kept a transaction birth stamp"));
+            }
+            if !cs.undo.is_empty() {
+                return Err(format!(
+                    "RetCon: core {i} undo log holds {} entries at quiescence",
+                    cs.undo.len()
+                ));
+            }
+            if cs.aborted {
+                return Err(format!("RetCon: core {i} has an undelivered abort flag"));
+            }
+            if cs.engine.in_tx() {
+                return Err(format!("RetCon: core {i} engine still in a transaction"));
+            }
+            if !cs.engine.ivb().is_empty() {
+                return Err(format!(
+                    "RetCon: core {i} IVB tracks {} blocks at quiescence",
+                    cs.engine.ivb().len()
+                ));
+            }
+            if !cs.engine.ssb().is_empty() {
+                return Err(format!(
+                    "RetCon: core {i} SSB buffers {} stores at quiescence",
+                    cs.engine.ssb().len()
+                ));
+            }
+            for r in retcon_isa::Reg::all() {
+                if cs.engine.symbolic_value(r).is_some() {
+                    return Err(format!(
+                        "RetCon: core {i} register {r:?} still carries a symbolic tag"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 

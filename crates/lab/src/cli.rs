@@ -137,6 +137,7 @@ fn usage() -> ExitCode {
     );
     eprintln!("  run   <dataset> [--jobs N] [--json | --csv] [--out DIR]");
     eprintln!("  check [--quick] [--jobs N] [--in DIR]");
+    eprintln!("  explore [--quick] [--jobs N] [--json | --csv] [--out DIR]   schedule exploration");
     eprintln!(
         "  bench [--jobs N] [--out FILE]       time every dataset, append to BENCH_hotpath.json"
     );
@@ -348,6 +349,53 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 }
 
+/// `explore`: run the schedule-exploration campaign suite and emit the
+/// record. Exit code reflects the expectation gate — any violation on a
+/// correct protocol, or a mutation-test campaign that fails to flag the
+/// broken shim, is a failure.
+fn cmd_explore(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut rest = Vec::new();
+    for a in args {
+        if a == "--quick" {
+            quick = true;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let opts = match parse_bin_options(&rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let run = crate::explore::run(quick, opts.jobs);
+    if let Some(dir) = &opts.out_dir {
+        if let Err(e) = write_record(dir, &run.record) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match opts.output {
+        Output::Table => print!("{}", run.summary),
+        Output::Json => print!("{}", run.record.to_json_string()),
+        Output::Csv => match csv::to_csv(&run.record) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
+    if run.all_expected {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("explore: expectation gate failed (see violations above)");
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut jobs = 1usize;
     let mut out = PathBuf::from("BENCH_hotpath.json");
@@ -518,6 +566,7 @@ pub fn lab_main() -> ExitCode {
         Some("all") => cmd_all(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("perfdiff") => cmd_perfdiff(&args[1..]),
         Some("list") => cmd_list(),

@@ -15,7 +15,10 @@
 //!    suite at `--jobs 1/4/8`);
 //! 3. **checks** ([`checks`]) — EXPERIMENTS.md's qualitative claims (who
 //!    wins, by roughly what factor, where the crossovers sit) as a
-//!    declarative expectation table evaluated against fresh records.
+//!    declarative expectation table evaluated against fresh records;
+//! 4. **explore** ([`explore`]) — the `retcon-explore` campaign suite
+//!    (seeded schedule fuzzing + bounded interleaving search with
+//!    serializability oracles) emitted through the same record shapes.
 //!
 //! The `retcon-lab` binary ties them together:
 //!
@@ -23,6 +26,7 @@
 //! cargo run --release -p retcon-lab -- all --jobs 8 --out results/
 //! cargo run --release -p retcon-lab -- run fig9 --jobs 8
 //! cargo run --release -p retcon-lab -- check --quick
+//! cargo run --release -p retcon-lab -- explore --quick --jobs 8
 //! cargo run --release -p retcon-lab -- list
 //! ```
 //!
@@ -39,6 +43,7 @@ pub mod checks;
 pub mod cli;
 pub mod csv;
 pub mod datasets;
+pub mod explore;
 pub mod record;
 pub mod render;
 pub mod runner;

@@ -21,6 +21,12 @@ pub struct SimConfig {
     /// progress is otherwise guaranteed by the oldest-wins policy, so the
     /// cap exists to catch workload bugs).
     pub max_cycles: u64,
+    /// When set, [`Machine::run`](crate::Machine::run) drives the machine
+    /// with a [`SeededFuzz`](crate::SeededFuzz) schedule under this seed
+    /// (default window and jitter) instead of the deterministic min-heap —
+    /// still exactly reproducible from `(config, seed)`. `None` (the
+    /// default) preserves the historical byte-identical schedule.
+    pub schedule_seed: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -30,6 +36,7 @@ impl Default for SimConfig {
             mem: MemConfig::default(),
             stall_retry: 20,
             max_cycles: 2_000_000_000,
+            schedule_seed: None,
         }
     }
 }

@@ -69,11 +69,16 @@ mod config;
 pub mod json;
 mod machine;
 mod report;
+pub mod schedule;
 mod tape;
 
 pub use config::SimConfig;
 pub use machine::{Machine, SimError};
 pub use report::{CoreReport, SimReport, TimeBreakdown};
+pub use schedule::{
+    Bound, CoreAction, Decision, DeterministicMinHeap, Schedule, SchedulePeek, SeededFuzz,
+    TraceHash,
+};
 pub use tape::InputTape;
 
 // Re-exports so workload crates need only depend on `retcon-sim`.

@@ -1,7 +1,5 @@
 //! The multicore machine: per-core interpreters plus the global scheduler.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 use retcon_htm::{AnyProtocol, CommitResult, MemResult};
@@ -10,6 +8,9 @@ use retcon_mem::{CoreId, MemorySystem};
 
 use crate::config::SimConfig;
 use crate::report::{CoreReport, SimReport, TimeBreakdown};
+use crate::schedule::{
+    Bound, CoreAction, Decision, DeterministicMinHeap, Schedule, SchedulePeek, SeededFuzz,
+};
 use crate::tape::InputTape;
 
 /// Errors a simulation run can report.
@@ -210,41 +211,62 @@ impl Machine {
 
     /// Runs every core to completion and reports.
     ///
+    /// Scheduling policy: the deterministic `(clock, id)` min-heap, unless
+    /// [`SimConfig::schedule_seed`] selects a [`SeededFuzz`] perturbation
+    /// (still exactly reproducible from the seed).
+    ///
     /// # Errors
     ///
     /// [`SimError::InvalidProgram`] if any program fails validation;
     /// [`SimError::CycleLimit`] if the run exceeds the configured cap.
     pub fn run(&mut self) -> Result<SimReport, SimError> {
+        match self.cfg.schedule_seed {
+            None => self.run_with(&mut DeterministicMinHeap::new()),
+            Some(seed) => self.run_with(&mut SeededFuzz::new(seed)),
+        }
+    }
+
+    /// Runs every core to completion under an explicit [`Schedule`] policy.
+    ///
+    /// The default policy ([`DeterministicMinHeap`]) always advances the
+    /// runnable core with the smallest `(clock, id)`: each runnable core
+    /// has exactly one heap entry carrying its current clock, and the
+    /// popped core then *batches* — `run_core` keeps executing its
+    /// instructions while `(clock, id)` stays strictly below the next heap
+    /// key ([`Bound::Until`]). A core's clock only grows and no other core
+    /// runs in between, so the batched execution order is identical to
+    /// re-popping after every instruction — but the schedule is only
+    /// consulted at stall boundaries (overtaken, barrier, halt).
+    /// Exploration policies instead return [`Bound::Step`] and are
+    /// consulted at every instruction boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidProgram`] if any program fails validation;
+    /// [`SimError::CycleLimit`] if the run exceeds the configured cap.
+    pub fn run_with<S: Schedule + ?Sized>(&mut self, sched: &mut S) -> Result<SimReport, SimError> {
         for (i, program) in self.programs.iter().enumerate() {
             program
                 .validate()
                 .map_err(|error| SimError::InvalidProgram { core: i, error })?;
         }
-        // Scheduling: always advance the runnable core with the smallest
-        // `(clock, id)`. A min-heap maintains that running minimum — each
-        // runnable core has exactly one entry carrying its current clock.
-        // The popped core then *batches*: `run_core` keeps executing its
-        // instructions while `(clock, id)` stays strictly below the next
-        // heap key. A core's clock only grows and no other core runs in
-        // between, so the batched execution order is identical to
-        // re-popping after every instruction — but the heap is only
-        // touched at stall boundaries (overtaken, barrier, halt).
-        let mut ready: BinaryHeap<Reverse<(u64, usize)>> = self
-            .cores
-            .iter()
-            .enumerate()
-            .map(|(i, c)| Reverse((c.now, i)))
-            .collect();
+        let clocks: Vec<u64> = self.cores.iter().map(|c| c.now).collect();
+        sched.begin(&clocks);
         loop {
-            match ready.pop() {
-                Some(Reverse((now, c))) => {
-                    debug_assert_eq!(now, self.cores[c].now, "stale heap entry");
-                    let bound = ready.peek().map(|&Reverse(key)| key);
-                    self.run_core(c, bound)?;
+            let decision = sched.next_core(&MachinePeek {
+                cores: &self.cores,
+                programs: &self.programs,
+                protocol: &self.protocol,
+            });
+            match decision {
+                Some(Decision { core: c, bound }) => {
+                    debug_assert!(
+                        !self.cores[c].halted && !self.cores[c].at_barrier,
+                        "schedule decided an unrunnable core {c}"
+                    );
+                    self.run_core(c, bound, sched)?;
                     let core = &self.cores[c];
-                    if !core.halted && !core.at_barrier {
-                        ready.push(Reverse((core.now, c)));
-                    }
+                    sched.core_yielded(c, core.now, !core.halted && !core.at_barrier);
                 }
                 None => {
                     // No runnable core: either everyone halted, or every
@@ -252,14 +274,14 @@ impl Machine {
                     if self.cores.iter().all(|c| c.halted) {
                         break;
                     }
-                    self.release_barrier(&mut ready);
+                    self.release_barrier(sched);
                 }
             }
         }
         Ok(self.report())
     }
 
-    fn release_barrier(&mut self, ready: &mut BinaryHeap<Reverse<(u64, usize)>>) {
+    fn release_barrier<S: Schedule + ?Sized>(&mut self, sched: &mut S) {
         let release_at = self
             .cores
             .iter()
@@ -272,7 +294,7 @@ impl Machine {
                 c.breakdown.barrier += release_at - c.now;
                 c.now = release_at;
                 c.at_barrier = false;
-                ready.push(Reverse((c.now, i)));
+                sched.core_released(i, c.now);
             }
         }
     }
@@ -299,10 +321,11 @@ impl Machine {
         }
     }
 
-    /// Executes instructions on core `c` until it stops being the
-    /// scheduler minimum: its `(clock, id)` reaches `bound` (the smallest
-    /// key among the other runnable cores), it parks at a barrier, or it
-    /// halts. `bound == None` means no other core is runnable.
+    /// Executes instructions on core `c` until its [`Bound`] expires: its
+    /// `(clock, id)` reaches a [`Bound::Until`] key (the smallest key among
+    /// the other runnable cores), one instruction attempt completes under
+    /// [`Bound::Step`], it parks at a barrier, or it halts. [`Bound::Free`]
+    /// means no other core is runnable.
     ///
     /// # Equivalence with single-stepping
     ///
@@ -314,7 +337,12 @@ impl Machine {
     /// per pop there. The loop exits the moment another core's `(clock,
     /// id)` key becomes smaller, which is precisely when the old scheduler
     /// would have popped a different core.
-    fn run_core(&mut self, c: usize, bound: Option<(u64, usize)>) -> Result<(), SimError> {
+    fn run_core<S: Schedule + ?Sized>(
+        &mut self,
+        c: usize,
+        bound: Bound,
+        sched: &mut S,
+    ) -> Result<(), SimError> {
         let core_id = CoreId(c);
         let max_cycles = self.cfg.max_cycles;
         let stall_retry = self.cfg.stall_retry;
@@ -338,11 +366,23 @@ impl Machine {
         // only changes at the boundaries handled below, so the batch loop
         // charges cycles without a protocol query per instruction.
         let mut in_tx = protocol.tx_active(core_id);
+        // Whether an instruction attempt already completed (Bound::Step
+        // yields after exactly one; a restart forced by a *remote* abort is
+        // bookkeeping, not an attempt, and does not consume the step).
+        let mut stepped = false;
         loop {
-            if let Some(b) = bound {
-                if (core.now, c) >= b {
-                    return Ok(());
+            match bound {
+                Bound::Until(b_clock, b_id) => {
+                    if (core.now, c) >= (b_clock, b_id) {
+                        return Ok(());
+                    }
                 }
+                Bound::Step => {
+                    if stepped {
+                        return Ok(());
+                    }
+                }
+                Bound::Free => {}
             }
             if core.now > max_cycles {
                 return Err(SimError::CycleLimit { limit: max_cycles });
@@ -402,7 +442,9 @@ impl Machine {
                             core.pc = pc.next();
                             core.charge(in_tx, latency);
                         }
-                        MemResult::Stall => core.stall(stall_retry),
+                        MemResult::Stall => {
+                            core.stall(stall_retry + sched.observe_stall(c, core.now))
+                        }
                         MemResult::Abort => {
                             core.restart_tx();
                             in_tx = false;
@@ -421,7 +463,9 @@ impl Machine {
                             core.pc = pc.next();
                             core.charge(in_tx, latency);
                         }
-                        MemResult::Stall => core.stall(stall_retry),
+                        MemResult::Stall => {
+                            core.stall(stall_retry + sched.observe_stall(c, core.now))
+                        }
                         MemResult::Abort => {
                             core.restart_tx();
                             in_tx = false;
@@ -490,7 +534,9 @@ impl Machine {
                             core.pc = pc.next();
                             in_tx = false;
                         }
-                        CommitResult::Stall => core.stall(stall_retry),
+                        CommitResult::Stall => {
+                            core.stall(stall_retry + sched.observe_stall(c, core.now))
+                        }
                         CommitResult::Abort => {
                             core.restart_tx();
                             in_tx = false;
@@ -510,6 +556,49 @@ impl Machine {
                     return Ok(());
                 }
             }
+            stepped = true;
+        }
+    }
+}
+
+/// The read-only view a [`Schedule`] may consult before deciding: each
+/// core's next action, derived from its program counter and registers.
+struct MachinePeek<'a> {
+    cores: &'a [Core],
+    programs: &'a [Program],
+    protocol: &'a AnyProtocol,
+}
+
+impl SchedulePeek for MachinePeek<'_> {
+    fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    fn next_action(&self, c: usize) -> CoreAction {
+        let core = &self.cores[c];
+        if core.halted {
+            return CoreAction::Local;
+        }
+        // A pending remote abort means this core's real next action is the
+        // transaction restart — it re-executes from its TxBegin, and the
+        // instruction (and address registers) under the current pc are
+        // stale. Report the restart so exploration pruning never claims
+        // independence for it (`CoreAction::conflicts_with` treats `Begin`
+        // as conflicting with every transactional action).
+        if self.protocol.abort_pending(CoreId(c)) {
+            return CoreAction::Begin;
+        }
+        let instr = self.programs[c].block_instrs(core.pc.block)[core.pc.index];
+        match instr {
+            Instr::Load { addr, offset, .. } => {
+                CoreAction::Read(Addr(core.regs[addr.index()]).offset(offset).block().0)
+            }
+            Instr::Store { addr, offset, .. } => {
+                CoreAction::Write(Addr(core.regs[addr.index()]).offset(offset).block().0)
+            }
+            Instr::TxCommit => CoreAction::Commit,
+            Instr::TxBegin => CoreAction::Begin,
+            _ => CoreAction::Local,
         }
     }
 }

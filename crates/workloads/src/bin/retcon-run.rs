@@ -18,16 +18,21 @@
 use std::process::ExitCode;
 
 use retcon_sim::json::Json;
-use retcon_workloads::{run, sequential_baseline, System, Workload};
+use retcon_sim::SimConfig;
+use retcon_workloads::{run_spec_configured, sequential_baseline, System, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: retcon-run --workload <name> [--system <name>] [--cores <n>] [--seed <n>] [--json]"
+        "usage: retcon-run --workload <name> [--system <name>] [--cores <n>] [--seed <n>] \
+         [--schedule-seed <n>] [--json]"
     );
     eprintln!();
     let names: Vec<&str> = Workload::all().iter().map(|w| w.label()).collect();
     eprintln!("workloads: {}", names.join(", "));
     eprintln!("systems:   eager, eager-abort, lazy, lazy-vb, RetCon, RetCon-ideal, datm");
+    eprintln!();
+    eprintln!("--schedule-seed fuzzes the instruction interleaving (seeded, reproducible);");
+    eprintln!("omitting it keeps the deterministic min-heap schedule");
     ExitCode::FAILURE
 }
 
@@ -36,6 +41,7 @@ fn main() -> ExitCode {
     let mut system = System::Retcon;
     let mut cores = 32usize;
     let mut seed = 42u64;
+    let mut schedule_seed = None;
     let mut json = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +63,10 @@ fn main() -> ExitCode {
             },
             "--seed" => match value(i).and_then(|v| v.parse().ok()) {
                 Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--schedule-seed" => match value(i).and_then(|v| v.parse().ok()) {
+                Some(n) => schedule_seed = Some(n),
                 None => return usage(),
             },
             "--json" => {
@@ -83,7 +93,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match run(workload, system, cores, seed) {
+    let spec = workload.build(cores, seed);
+    let mut cfg = SimConfig::with_cores(cores);
+    cfg.schedule_seed = schedule_seed;
+    let report = match run_spec_configured(&spec, system.protocol(cores), cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("run failed: {e}");
@@ -92,13 +105,21 @@ fn main() -> ExitCode {
     };
 
     if json {
-        // The `retcon-lab` RunRecord shape, with no sweep knobs.
+        // The `retcon-lab` RunRecord shape; a fuzzed schedule is recorded
+        // as a knob so the run stays replayable from its record alone.
+        let knobs = match schedule_seed {
+            Some(s) => vec![Json::Arr(vec![
+                Json::str("schedule-seed"),
+                Json::str(&s.to_string()),
+            ])],
+            None => Vec::new(),
+        };
         let record = Json::obj(vec![
             ("workload", Json::str(workload.label())),
             ("system", Json::str(system.label())),
             ("cores", Json::UInt(cores as u64)),
             ("seed", Json::UInt(seed)),
-            ("knobs", Json::Arr(Vec::new())),
+            ("knobs", Json::Arr(knobs)),
             ("seq_cycles", Json::UInt(seq)),
             ("report", report.to_json()),
         ]);
@@ -110,6 +131,9 @@ fn main() -> ExitCode {
     println!("system     {}", system.label());
     println!("cores      {cores}");
     println!("seed       {seed}");
+    if let Some(s) = schedule_seed {
+        println!("schedule   fuzzed (seed {s})");
+    }
     println!();
     println!("cycles     {} (sequential: {seq})", report.cycles);
     println!("speedup    {:.2}x", report.speedup_over(seq));

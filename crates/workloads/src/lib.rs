@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 mod counter;
+pub mod explore;
 mod genome;
 pub mod hashtable;
 mod intruder;
@@ -344,7 +345,34 @@ pub fn run_spec_with(
     protocol: impl Into<AnyProtocol>,
     num_cores: usize,
 ) -> Result<SimReport, SimError> {
-    let cfg = SimConfig::with_cores(num_cores);
+    run_spec_configured(spec, protocol, SimConfig::with_cores(num_cores))
+}
+
+/// Runs an already-built [`WorkloadSpec`] under an explicit protocol *and*
+/// an explicit [`SimConfig`] — the entry point for non-default machine
+/// configurations such as a fuzzed schedule
+/// ([`SimConfig::schedule_seed`]).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_spec_configured(
+    spec: &WorkloadSpec,
+    protocol: impl Into<AnyProtocol>,
+    cfg: SimConfig,
+) -> Result<SimReport, SimError> {
+    let mut machine = machine_for(spec, protocol, cfg);
+    machine.run()
+}
+
+/// Builds the machine a spec runs on (programs, tapes, initial memory)
+/// without running it — exploration drives the returned machine through
+/// [`Machine::run_with`] with its own schedules.
+pub fn machine_for(
+    spec: &WorkloadSpec,
+    protocol: impl Into<AnyProtocol>,
+    cfg: SimConfig,
+) -> Machine {
     let mut machine = Machine::new(cfg, protocol, spec.programs.clone());
     for (i, tape) in spec.tapes.iter().enumerate() {
         machine.set_tape(i, tape.clone());
@@ -352,7 +380,7 @@ pub fn run_spec_with(
     for &(addr, value) in &spec.init {
         machine.init_word(addr, value);
     }
-    machine.run()
+    machine
 }
 
 /// Sequential-baseline cycle count: the whole workload on one core (the
