@@ -97,6 +97,17 @@ impl Predictor {
         e.conflicts = e.conflicts.saturating_add(1);
     }
 
+    /// Records `n` conflict observations on `block` at once — exactly
+    /// equivalent to `n` [`on_conflict`](Predictor::on_conflict) calls
+    /// (saturating addition makes the bulk form exact). The simulator's
+    /// stall fast-forward uses this to train analytically instead of once
+    /// per replayed retry.
+    #[inline]
+    pub fn on_conflicts(&mut self, block: BlockAddr, n: u32) {
+        let e = self.entry(block);
+        e.conflicts = e.conflicts.saturating_add(n);
+    }
+
     /// Records that a commit-time constraint check failed for `block`:
     /// tracking is disabled until `violation_backoff` further conflicts
     /// accumulate.

@@ -215,13 +215,10 @@ impl Schedule for TraceSchedule {
         self.runnable[core] = None;
         self.hash.push((core as u64) << 32 | taken as u64);
         self.decisions += 1;
-        Some(Decision {
-            core,
-            bound: Bound::Step,
-        })
+        Some(Decision::new(core, Bound::Step))
     }
 
-    fn core_yielded(&mut self, core: usize, now: u64, runnable: bool) {
+    fn core_yielded(&mut self, core: usize, now: u64, runnable: bool, _storming: bool) {
         self.runnable[core] = runnable.then_some(now);
     }
 
@@ -262,7 +259,7 @@ mod tests {
         let d = s.next_core(&LocalPeek).unwrap();
         assert_eq!(d.core, 2, "unique minimum, not a choice point");
         assert!(s.log().is_empty());
-        s.core_yielded(2, 4, true);
+        s.core_yielded(2, 4, true, false);
         let d = s.next_core(&LocalPeek).unwrap();
         assert_eq!(d.core, 0, "tie defaults to lowest id");
         assert_eq!(s.log().len(), 1);
@@ -287,9 +284,9 @@ mod tests {
         let mut s = TraceSchedule::new(&ChoiceTrace::parse("0.1.0").unwrap(), 0);
         s.begin(&[0, 0]);
         let d = s.next_core(&LocalPeek).unwrap();
-        s.core_yielded(d.core, 1, false);
+        s.core_yielded(d.core, 1, false, false);
         let d = s.next_core(&LocalPeek).unwrap();
-        s.core_yielded(d.core, 2, false);
+        s.core_yielded(d.core, 2, false, false);
         assert!(s.next_core(&LocalPeek).is_none());
         assert!(s.diverged(), "unconsumed prescription means a bad pairing");
     }
@@ -300,7 +297,7 @@ mod tests {
         s.begin(&[0, 0, 0]);
         let d = s.next_core(&LocalPeek).unwrap();
         assert_eq!(d.core, 2, "first choice point takes prescribed index 2");
-        s.core_yielded(2, 5, true);
+        s.core_yielded(2, 5, true, false);
         let d = s.next_core(&LocalPeek).unwrap();
         assert_eq!(d.core, 1, "second choice point takes prescribed index 1");
         assert_eq!(s.full_trace().to_string(), "2.1");

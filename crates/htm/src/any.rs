@@ -20,6 +20,7 @@ use retcon_mem::{CoreId, MemorySystem};
 
 use crate::protocol::Protocol;
 use crate::result::{CommitResult, MemResult, ProtocolStats};
+use crate::storm::{StallAction, StallStorm};
 use crate::{DatmLite, EagerTm, LazyTm, LazyVbTm, RetconTm};
 
 /// Every concurrency-control protocol, dispatched by `match` instead of
@@ -197,6 +198,30 @@ impl AnyProtocol {
         dispatch!(self, p => p.retcon_stats())
     }
 
+    /// Read-only stall-storm dry run (see [`Protocol::stall_storm`]).
+    #[inline]
+    pub fn stall_storm(
+        &self,
+        core: CoreId,
+        action: StallAction,
+        mem: &MemorySystem,
+    ) -> Option<StallStorm> {
+        dispatch!(self, p => p.stall_storm(core, action, mem))
+    }
+
+    /// Applies `n` fast-forwarded stall retries (see
+    /// [`Protocol::apply_stall_retries`]).
+    #[inline]
+    pub fn apply_stall_retries(
+        &mut self,
+        core: CoreId,
+        storm: &StallStorm,
+        n: u64,
+        mem: &mut MemorySystem,
+    ) {
+        dispatch!(self, p => p.apply_stall_retries(core, storm, n, mem))
+    }
+
     /// Checks protocol-internal invariants at a quiescent point (see
     /// [`Protocol::check_quiescent`]).
     ///
@@ -309,6 +334,25 @@ impl Protocol for AnyProtocol {
 
     fn retcon_stats(&self) -> Option<RetconStats> {
         AnyProtocol::retcon_stats(self)
+    }
+
+    fn stall_storm(
+        &self,
+        core: CoreId,
+        action: StallAction,
+        mem: &MemorySystem,
+    ) -> Option<StallStorm> {
+        AnyProtocol::stall_storm(self, core, action, mem)
+    }
+
+    fn apply_stall_retries(
+        &mut self,
+        core: CoreId,
+        storm: &StallStorm,
+        n: u64,
+        mem: &mut MemorySystem,
+    ) {
+        AnyProtocol::apply_stall_retries(self, core, storm, n, mem)
     }
 
     fn check_quiescent(&self) -> Result<(), String> {

@@ -28,6 +28,8 @@ use retcon_mem::{AccessKind, CoreId, FxHashSet, MemorySystem, UndoLog};
 
 use crate::protocol::Protocol;
 use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats, RegUpdates};
+use crate::storm::{StallAction, StallStorm};
+use retcon_isa::BlockAddr;
 
 #[derive(Debug, Default)]
 struct CoreState {
@@ -169,6 +171,9 @@ impl DatmLite {
             self.edges.retain(|&(p, s)| p != v && s != v);
         }
         self.victims = victims;
+        // Dependence edges and activity changed: commit-waiting verdicts
+        // (keyed on the sentinel block 0 by `stall_storm`) may change.
+        mem.bump_block_version(BlockAddr(0));
     }
 
     /// Bitmasks of the *other* active cores whose write set (resp. only
@@ -299,6 +304,10 @@ impl Protocol for DatmLite {
         cs.stats.commits += 1;
         self.edges.retain(|&(p, s)| p != core.0 && s != core.0);
         mem.clear_spec(core);
+        // A predecessor leaving the dependence graph releases waiting
+        // committers: bump the sentinel block commit-waiting verdicts key
+        // on (see `stall_storm`).
+        mem.bump_block_version(BlockAddr(0));
         CommitResult::Committed {
             latency: 0,
             reg_updates: RegUpdates::EMPTY,
@@ -315,6 +324,42 @@ impl Protocol for DatmLite {
 
     fn stats(&self, core: CoreId) -> &ProtocolStats {
         &self.cores[core.0].stats
+    }
+
+    fn stall_storm(
+        &self,
+        core: CoreId,
+        action: StallAction,
+        _mem: &MemorySystem,
+    ) -> Option<StallStorm> {
+        // Accesses never stall under DATM (they forward or abort). A commit
+        // stalled behind an active predecessor is a fixed point: this
+        // core's predecessor set only grows through its *own* accesses, so
+        // while it is stalled the verdict can change only when a
+        // predecessor commits or an abort cascade runs — both bump the
+        // sentinel block 0's conflict version, which the returned storm is
+        // keyed on. The stalled commit attempt itself reads the edge set
+        // without mutating anything but the stall counter.
+        if !matches!(action, StallAction::Commit) {
+            return None;
+        }
+        let waiting = self.cores[core.0].active
+            && self
+                .edges
+                .iter()
+                .any(|&(p, s)| s == core.0 && self.cores[p].active);
+        waiting.then_some(StallStorm::access(0, BlockAddr(0)))
+    }
+
+    fn apply_stall_retries(
+        &mut self,
+        core: CoreId,
+        _storm: &StallStorm,
+        n: u64,
+        _mem: &mut MemorySystem,
+    ) {
+        // n repetitions of `commit`'s active-predecessor stall.
+        self.cores[core.0].stats.stalls += n;
     }
 
     fn check_quiescent(&self) -> Result<(), String> {

@@ -6,6 +6,7 @@ use retcon_mem::{AccessKind, CoreId, MemorySystem, UndoLog};
 use crate::cm::{decide, Age, ConflictPolicy, Decision};
 use crate::protocol::Protocol;
 use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats, RegUpdates};
+use crate::storm::{StallAction, StallStorm};
 
 #[derive(Debug, Default)]
 struct CoreState {
@@ -234,6 +235,52 @@ impl Protocol for EagerTm {
 
     fn stats(&self, core: CoreId) -> &ProtocolStats {
         &self.cores[core.0].stats
+    }
+
+    fn stall_storm(
+        &self,
+        core: CoreId,
+        action: StallAction,
+        mem: &MemorySystem,
+    ) -> Option<StallStorm> {
+        // Commits never stall here, and an access retry is a fixed point
+        // exactly when the contention manager would stall the requester
+        // again: the conflict mask and every age are frozen while this core
+        // owns the scheduler, and a stalled retry mutates nothing but the
+        // stall counter. Victims go on the stack — the dry run must not
+        // allocate (the mask is a u64, so 64 victims bound it).
+        let (addr, kind) = match action {
+            StallAction::Read(a) => (a, AccessKind::Read),
+            StallAction::Write(a) => (a, AccessKind::Write),
+            StallAction::Commit => return None,
+        };
+        let mut conflicts = mem.conflict_mask_of(core, addr, kind);
+        if conflicts == 0 {
+            return None;
+        }
+        let mut victims = [(CoreId(0), (0u64, 0usize)); 64];
+        let mut n = 0;
+        while conflicts != 0 {
+            let c = CoreId(conflicts.trailing_zeros() as usize);
+            conflicts &= conflicts - 1;
+            victims[n] = (c, self.age(c)?);
+            n += 1;
+        }
+        match decide(self.policy, self.age(core), &victims[..n]) {
+            Decision::StallRequester => Some(StallStorm::access(0, addr.block())),
+            _ => None,
+        }
+    }
+
+    fn apply_stall_retries(
+        &mut self,
+        core: CoreId,
+        _storm: &StallStorm,
+        n: u64,
+        _mem: &mut MemorySystem,
+    ) {
+        // n repetitions of `resolve`'s StallRequester arm.
+        self.cores[core.0].stats.stalls += n;
     }
 
     fn check_quiescent(&self) -> Result<(), String> {

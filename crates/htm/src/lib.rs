@@ -42,6 +42,7 @@ mod lazy_vb;
 mod protocol;
 mod result;
 mod retcon_tm;
+mod storm;
 
 pub use any::AnyProtocol;
 pub use cm::{ConflictPolicy, Decision};
@@ -52,3 +53,4 @@ pub use lazy_vb::LazyVbTm;
 pub use protocol::Protocol;
 pub use result::{AbortCause, CommitResult, MemResult, ProtocolStats, RegUpdates};
 pub use retcon_tm::RetconTm;
+pub use storm::{StallAction, StallStorm};

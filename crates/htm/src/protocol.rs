@@ -5,6 +5,7 @@ use retcon_isa::{Addr, BinOp, CmpOp, Reg};
 use retcon_mem::{CoreId, MemorySystem};
 
 use crate::result::{CommitResult, MemResult, ProtocolStats};
+use crate::storm::{StallAction, StallStorm};
 
 /// A hardware concurrency-control protocol.
 ///
@@ -120,6 +121,40 @@ pub trait Protocol {
     /// collects them.
     fn retcon_stats(&self) -> Option<RetconStats> {
         None
+    }
+
+    /// Read-only dry run for the simulator's stall fast-forward: if the
+    /// stalled `action` were retried by `core` right now, would it stall
+    /// again with exactly the per-retry side effects described by the
+    /// returned [`StallStorm`]? Must return `Some` only when a retry is a
+    /// provable fixed point — it mutates nothing beyond the storm's
+    /// declared side effects and its outcome cannot change until another
+    /// core runs (e.g. RETCON returns `None` while a steal is possible,
+    /// because a steal mutates coherence state). The default (protocols
+    /// that never stall, and external protocols without introspection)
+    /// declines, which simply disables fast-forwarding.
+    fn stall_storm(
+        &self,
+        _core: CoreId,
+        _action: StallAction,
+        _mem: &MemorySystem,
+    ) -> Option<StallStorm> {
+        None
+    }
+
+    /// Applies the side effects of `n` retries of the storm previously
+    /// validated by [`stall_storm`](Protocol::stall_storm) — exactly
+    /// equivalent to executing the stalled instruction `n` more times. The
+    /// default is a no-op, matching the default `stall_storm` that never
+    /// admits a storm. `mem` receives the per-retry memory-statistics
+    /// replay for commit storms ([`StallStorm::prefix_hits`]).
+    fn apply_stall_retries(
+        &mut self,
+        _core: CoreId,
+        _storm: &StallStorm,
+        _n: u64,
+        _mem: &mut MemorySystem,
+    ) {
     }
 
     /// Checks protocol-internal invariants at a *quiescent* point — no

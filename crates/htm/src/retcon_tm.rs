@@ -8,6 +8,7 @@ use retcon_mem::{AccessKind, CoreId, MemorySystem, UndoLog};
 use crate::cm::{decide, Age, ConflictPolicy, Decision};
 use crate::protocol::Protocol;
 use crate::result::{AbortCause, CommitResult, MemResult, ProtocolStats, RegUpdates};
+use crate::storm::{StallAction, StallStorm, WatchList, MAX_WATCHED_BLOCKS};
 
 #[derive(Debug)]
 struct CoreState {
@@ -261,6 +262,110 @@ impl RetconTm {
         self.cores[core.0].hard = hard;
         result
     }
+
+    /// Read-only twin of [`RetconTm::resolve`]'s verdict: would a retry of
+    /// a conflicting access to `block` (conflict mask `mask`) take the
+    /// `StallRequester` path again with no steal? Steals mutate coherence
+    /// state, so any stealable victim declines — in steady state the steals
+    /// completed on the first stalled attempt and only hard victims remain.
+    /// Returns the mask to train predictors on per retry. Victims go on the
+    /// stack: the dry run must not allocate.
+    fn storm_verdict(
+        &self,
+        core: CoreId,
+        block: BlockAddr,
+        mask: u64,
+        mem: &MemorySystem,
+    ) -> Option<u64> {
+        let mut hard = [(CoreId(0), (0u64, 0usize)); 64];
+        let mut n = 0;
+        let mut pending = mask;
+        while pending != 0 {
+            let victim_id = CoreId(pending.trailing_zeros() as usize);
+            pending &= pending - 1;
+            let victim = &self.cores[victim_id.0];
+            let stealable = victim.active
+                && victim.engine.is_tracking(block)
+                && !mem.spec_bits(victim_id, block).written;
+            if stealable {
+                return None;
+            }
+            hard[n] = (victim_id, self.age(victim_id)?);
+            n += 1;
+        }
+        match decide(self.policy, self.age(core), &hard[..n]) {
+            Decision::StallRequester => Some(mask),
+            _ => None,
+        }
+    }
+
+    /// The commit-storm oracle: a read-only replica of [`Protocol::commit`]'s
+    /// acquisition walk, deciding whether a stalled commit's retry is a
+    /// fixed point. The walk visits tracked blocks in IVB order, then
+    /// untracked buffered-store blocks ascending and deduplicated (exactly
+    /// [`Engine::collect_precommit_store_blocks`]'s order, replicated on the
+    /// stack). Every block ahead of the stall must re-access as a plain L1
+    /// hit — the steady state the first stalled attempt established — and
+    /// goes into the storm's watch list; the first conflicted block must
+    /// re-stall per [`RetconTm::storm_verdict`]. Anything else (a possible
+    /// steal, a coherence transition, an oversized footprint, a walk that
+    /// would now run to completion) declines and the commit retries
+    /// step-by-step.
+    fn commit_storm(&self, core: CoreId, mem: &MemorySystem) -> Option<StallStorm> {
+        let engine = &self.cores[core.0].engine;
+        let tracked = engine.ivb().len();
+        let mut stores = [BlockAddr(0); MAX_WATCHED_BLOCKS];
+        let mut n_stores = 0usize;
+        for e in engine.ssb().iter() {
+            let b = e.addr.block();
+            if engine.ivb().contains(b) {
+                continue;
+            }
+            match stores[..n_stores].binary_search_by_key(&b.0, |s| s.0) {
+                Ok(_) => {}
+                Err(pos) => {
+                    if n_stores == MAX_WATCHED_BLOCKS {
+                        return None;
+                    }
+                    stores.copy_within(pos..n_stores, pos + 1);
+                    stores[pos] = b;
+                    n_stores += 1;
+                }
+            }
+        }
+        let mut watch = WatchList::EMPTY;
+        for i in 0..tracked + n_stores {
+            let (block, kind): (BlockAddr, AccessKind) = if i < tracked {
+                let e = engine.ivb().entry_at(i);
+                (
+                    e.block(),
+                    if e.is_written() {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                )
+            } else {
+                (stores[i - tracked], AccessKind::Write)
+            };
+            let mask = mem.conflict_mask_of(core, block.base(), kind);
+            if mask != 0 {
+                let train_mask = self.storm_verdict(core, block, mask, mem)?;
+                return Some(StallStorm {
+                    train_mask,
+                    block,
+                    // Every earlier iteration passed the L1-hit check, so
+                    // the replayed prefix is exactly `i` hits long.
+                    prefix_hits: i as u32,
+                    watch,
+                });
+            }
+            if !mem.is_l1_hit(core, block, kind) || !watch.push(block) {
+                return None;
+            }
+        }
+        None
+    }
 }
 
 impl Protocol for RetconTm {
@@ -330,6 +435,9 @@ impl Protocol for RetconTm {
                 debug_assert!(ok, "wants_tracking implies room");
                 let v = cs.engine.finish_tracked_load(dst, addr);
                 debug_assert_eq!(v, value);
+                // The block just became symbolically tracked — a conflict
+                // verdict input (tracked blocks are stealable).
+                mem.bump_block_version(block);
             } else {
                 cs.engine.finish_memory_load(dst, value);
             }
@@ -390,6 +498,8 @@ impl Protocol for RetconTm {
                 let memory = &*mem;
                 let ok = cs.engine.begin_tracking(block, |w| memory.read_word(w));
                 debug_assert!(ok, "wants_tracking implies room");
+                // Tracked blocks are stealable: a conflict verdict input.
+                mem.bump_block_version(block);
                 match cs.engine.on_store(addr, src, value) {
                     StorePath::Buffered => return MemResult::Value { value, latency: 1 },
                     StorePath::Overflow => {
@@ -575,6 +685,64 @@ impl Protocol for RetconTm {
 
     fn stats(&self, core: CoreId) -> &ProtocolStats {
         &self.cores[core.0].stats
+    }
+
+    fn stall_storm(
+        &self,
+        core: CoreId,
+        action: StallAction,
+        mem: &MemorySystem,
+    ) -> Option<StallStorm> {
+        // An access retry is a fixed point exactly when `resolve` would
+        // take the StallRequester path again with no steal
+        // ([`RetconTm::storm_verdict`]); every retry trains both predictors
+        // per conflicting core, which the storm's `train_mask` carries. A
+        // commit retry additionally re-walks its conflict-free acquisition
+        // prefix, which [`RetconTm::commit_storm`] proves is a pure L1-hit
+        // replay before admitting the storm.
+        let (addr, kind) = match action {
+            StallAction::Read(a) => (a, AccessKind::Read),
+            StallAction::Write(a) => (a, AccessKind::Write),
+            StallAction::Commit => return self.commit_storm(core, mem),
+        };
+        let mask = mem.conflict_mask_of(core, addr, kind);
+        if mask == 0 {
+            return None;
+        }
+        let train_mask = self.storm_verdict(core, addr.block(), mask, mem)?;
+        Some(StallStorm::access(train_mask, addr.block()))
+    }
+
+    fn apply_stall_retries(
+        &mut self,
+        core: CoreId,
+        storm: &StallStorm,
+        n: u64,
+        mem: &mut MemorySystem,
+    ) {
+        // n repetitions of the stalled outcome: per conflicting core, one
+        // conflict observation for the victim and one for the requester
+        // (saturating counters commute, so the bulk update is exact), the
+        // requester's stall count, and — for commit storms — the prefix
+        // walk's L1-hit statistics.
+        let n32 = u32::try_from(n).unwrap_or(u32::MAX);
+        let mut pending = storm.train_mask;
+        while pending != 0 {
+            let victim_id = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            self.cores[victim_id]
+                .engine
+                .predictor_mut()
+                .on_conflicts(storm.block, n32);
+            self.cores[core.0]
+                .engine
+                .predictor_mut()
+                .on_conflicts(storm.block, n32);
+        }
+        self.cores[core.0].stats.stalls += n;
+        if storm.prefix_hits != 0 {
+            mem.replay_l1_hits(core, n.saturating_mul(u64::from(storm.prefix_hits)));
+        }
     }
 
     fn retcon_stats(&self) -> Option<RetconStats> {

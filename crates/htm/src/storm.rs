@@ -1,0 +1,134 @@
+//! Stall-storm descriptions for the simulator's analytic fast-forward.
+//!
+//! On heavily contended runs the simulator spends most of its work
+//! re-executing *stall retries*: a core whose access lost a conflict waits
+//! the retry latency and re-issues the same instruction, which loses the
+//! same conflict against the same frozen masks, over and over, until the
+//! scheduler hands control to another core (32-core `python`/RetCon retires
+//! 1.7 M instructions but executes 4.5 M retries). Within one scheduler
+//! batch no other core runs, so the storm's per-retry outcome is a fixed
+//! point — the simulator can *compute* the storm instead of simulating it.
+//!
+//! [`Protocol::stall_storm`](crate::Protocol::stall_storm) is the read-only
+//! dry run: "if the stalled instruction were retried right now, would it
+//! stall again with exactly the same side effects?" A `Some` answer carries
+//! a [`StallStorm`] describing the side effects of one retry; the simulator
+//! then charges `n` retries in closed form and hands the storm back through
+//! [`Protocol::apply_stall_retries`](crate::Protocol::apply_stall_retries)
+//! to apply the side effects `n` times (stall counters, predictor
+//! training, cache-hit statistics for commit reacquisition walks). A
+//! `None` answer means the retry is not provably a fixed point (e.g. a
+//! RETCON steal would mutate coherence state) and the simulator falls back
+//! to executing retries one by one.
+//!
+//! # Access storms and commit storms
+//!
+//! A stalled *access* retry touches exactly one block, so its verdict
+//! depends on that block's conflict state alone. A stalled RETCON *commit*
+//! retry re-walks the reacquisition prefix first — every tracked block and
+//! buffered-store block ahead of the one it stalls on — re-accessing each
+//! (an L1 hit with no coherence transition in steady state) before losing
+//! the same conflict. Such a storm carries the prefix in [`watch`]
+//! (`StallStorm::watch`) and the per-retry hit count in
+//! [`prefix_hits`](StallStorm::prefix_hits): the verdict additionally
+//! depends on the prefix blocks *staying* conflict-free and resident, and
+//! each skipped retry must replay the prefix's cache-hit statistics.
+//!
+//! The dry run's verdict stays valid as long as its inputs do: every input
+//! is covered by the version counters of the contended block and the
+//! watched prefix
+//! ([`MemorySystem::block_version`](retcon_mem::MemorySystem::block_version)).
+//! The counters are monotonic, so their *sum* stands still exactly when
+//! every one of them does — the simulator caches the storm stamped with
+//! that sum and replays it across scheduler batches without consulting the
+//! protocol again until the sum moves (see the simulator's stall
+//! fast-forward).
+
+use retcon_isa::{Addr, BlockAddr};
+
+/// The stalled instruction a storm re-executes, as the simulator saw it:
+/// the resolved address of a load/store, or a transaction commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallAction {
+    /// A load of `Addr` stalled.
+    Read(Addr),
+    /// A store to `Addr` stalled.
+    Write(Addr),
+    /// A transaction commit stalled.
+    Commit,
+}
+
+/// Upper bound on the watched reacquisition prefix of a commit storm. A
+/// commit whose footprint exceeds this (possible only under enlarged
+/// IVB/SSB sweep configurations) is simply not certified and retries
+/// step-by-step.
+pub const MAX_WATCHED_BLOCKS: usize = 64;
+
+/// The conflict-free reacquisition prefix a commit storm depends on: the
+/// verdict "this commit stalls at [`StallStorm::block`]" holds only while
+/// none of these blocks gains a conflict or loses residency, both of which
+/// bump the block's conflict version. Empty for access storms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchList {
+    len: u8,
+    blocks: [BlockAddr; MAX_WATCHED_BLOCKS],
+}
+
+impl WatchList {
+    /// The empty watch list (access storms).
+    pub const EMPTY: WatchList = WatchList {
+        len: 0,
+        blocks: [BlockAddr(0); MAX_WATCHED_BLOCKS],
+    };
+
+    /// Appends a block; returns `false` (list unchanged) when full.
+    #[must_use]
+    pub fn push(&mut self, block: BlockAddr) -> bool {
+        if usize::from(self.len) == MAX_WATCHED_BLOCKS {
+            return false;
+        }
+        self.blocks[usize::from(self.len)] = block;
+        self.len += 1;
+        true
+    }
+
+    /// The watched blocks.
+    pub fn blocks(&self) -> &[BlockAddr] {
+        &self.blocks[..usize::from(self.len)]
+    }
+}
+
+/// The per-retry side effects of a stable stall storm, as validated by
+/// [`Protocol::stall_storm`](crate::Protocol::stall_storm): each retry
+/// increments the requester's stall counter, trains — under RETCON — the
+/// conflict predictor of the requester and of every core in `train_mask`
+/// on `block`, and, for commit storms, re-hits the L1 once per watched
+/// prefix block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallStorm {
+    /// Bitmask of conflicting cores whose predictors (and the requester's,
+    /// once per set bit) observe one conflict on `block` per retry; zero
+    /// for protocols without predictors.
+    pub train_mask: u64,
+    /// The contended block the retry loses its conflict on (and that the
+    /// predictors train on when `train_mask` is non-zero).
+    pub block: BlockAddr,
+    /// L1-hit accesses each retry performs re-walking the commit
+    /// reacquisition prefix (zero for access storms); the simulator replays
+    /// `n * prefix_hits` hits into the requester's memory statistics.
+    pub prefix_hits: u32,
+    /// The conflict-free reacquisition prefix the verdict also depends on.
+    pub watch: WatchList,
+}
+
+impl StallStorm {
+    /// An access storm: single contended block, no prefix.
+    pub const fn access(train_mask: u64, block: BlockAddr) -> StallStorm {
+        StallStorm {
+            train_mask,
+            block,
+            prefix_hits: 0,
+            watch: WatchList::EMPTY,
+        }
+    }
+}

@@ -18,6 +18,7 @@ use crate::datasets::Dataset;
 use crate::runner::ReportCache;
 use retcon_sim::json::Json;
 use retcon_sim::SimError;
+use retcon_workloads::{System, Workload};
 use std::time::Instant;
 
 /// Wall-clock timing of one dataset's regeneration.
@@ -196,11 +197,82 @@ pub fn run_bench(jobs: usize) -> Result<BenchReport, SimError> {
             micros: t.elapsed().as_micros() as u64,
         });
     }
+    // Contended-matrix entry, bench-only (not a `Dataset`, so record sets
+    // stay byte-identical): the heaviest stall-storm shape in the suite —
+    // 32-core unoptimized `python` under RetCon, where retries outnumber
+    // retired instructions ~2.6:1. This is the shape stall-storm
+    // fast-forwarding targets, so the trajectory (and the non-gating
+    // `perfdiff` that reads it) tracks contended-path speed, not just the
+    // figure matrix.
+    let t = Instant::now();
+    retcon_workloads::run(Workload::Python { optimized: false }, System::Retcon, 32, 1)?;
+    datasets.push(DatasetBench {
+        name: "contended32".to_string(),
+        runs: 1,
+        micros: t.elapsed().as_micros() as u64,
+    });
     Ok(BenchReport {
         jobs: jobs as u64,
         unix_time,
         datasets,
     })
+}
+
+/// Renders the perfdiff comparison of a trajectory's last two entries:
+/// the report lines, plus whether any regression warning fired.
+///
+/// Pure so the edge cases stay unit-testable: a trajectory with fewer
+/// than two entries reports "nothing to diff" instead of panicking, and
+/// zero-micros entries (empty dataset lists, or timers too coarse to
+/// register) compare as unchanged instead of dividing by zero.
+pub fn perfdiff_lines(trajectory: &BenchTrajectory) -> (Vec<String>, bool) {
+    let Some((prev, last)) = trajectory.last_two() else {
+        let n = trajectory.entries.len();
+        let noun = if n == 1 { "entry" } else { "entries" };
+        return (vec![format!("{n} {noun}, nothing to diff")], false);
+    };
+    // A zero-micros baseline has no meaningful ratio; treat it as
+    // unchanged rather than dividing by zero (or reporting +inf%).
+    let ratio = |old: u64, new: u64| -> f64 {
+        if old == 0 {
+            1.0
+        } else {
+            new as f64 / old as f64
+        }
+    };
+    let mut lines = Vec::new();
+    let mut warned = false;
+    let total = ratio(prev.total_micros(), last.total_micros());
+    lines.push(format!(
+        "total: {:.3}s -> {:.3}s ({:+.1}%)",
+        prev.total_micros() as f64 / 1e6,
+        last.total_micros() as f64 / 1e6,
+        (total - 1.0) * 100.0
+    ));
+    if total > 1.10 {
+        lines.push("WARNING: total wall-clock regressed by more than 10%".to_string());
+        warned = true;
+    }
+    for d in &last.datasets {
+        if let Some(p) = prev.datasets.iter().find(|p| p.name == d.name) {
+            let r = ratio(p.micros, d.micros);
+            // Millisecond-scale datasets are timer noise, not signal.
+            if r > 1.10 && d.micros > 5000 {
+                lines.push(format!(
+                    "WARNING: {} regressed {:+.1}% ({} us -> {} us)",
+                    d.name,
+                    (r - 1.0) * 100.0,
+                    p.micros,
+                    d.micros
+                ));
+                warned = true;
+            }
+        }
+    }
+    if !warned {
+        lines.push("no dataset regressed by more than 10%".to_string());
+    }
+    (lines, warned)
 }
 
 #[cfg(test)]
@@ -286,5 +358,78 @@ mod tests {
     #[test]
     fn unknown_schema_rejected() {
         assert!(BenchTrajectory::from_json_str(r#"{"schema": "nope", "entries": []}"#).is_err());
+    }
+
+    #[test]
+    fn perfdiff_short_trajectories_do_not_panic() {
+        let empty = BenchTrajectory::default();
+        let (lines, warned) = perfdiff_lines(&empty);
+        assert_eq!(lines, vec!["0 entries, nothing to diff".to_string()]);
+        assert!(!warned);
+        let one = BenchTrajectory {
+            entries: vec![report(1000, 1500)],
+        };
+        let (lines, warned) = perfdiff_lines(&one);
+        assert_eq!(lines, vec!["1 entry, nothing to diff".to_string()]);
+        assert!(!warned);
+    }
+
+    #[test]
+    fn perfdiff_zero_micros_baseline_is_not_a_regression() {
+        // A baseline entry whose timings are all zero (coarse timer, or an
+        // empty dataset list) must not divide by zero or warn: there is no
+        // meaningful ratio to regress against.
+        let zero = BenchReport {
+            jobs: 1,
+            unix_time: 1000,
+            datasets: vec![DatasetBench {
+                name: "fig2".to_string(),
+                runs: 5,
+                micros: 0,
+            }],
+        };
+        assert_eq!(zero.mean_micros_per_run(), 0, "total 0us stays finite");
+        let t = BenchTrajectory {
+            entries: vec![zero, report(2000, 1_000_000)],
+        };
+        let (lines, warned) = perfdiff_lines(&t);
+        assert!(!warned, "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("+0.0%")), "{lines:?}");
+        // Both entries zero: still finite, still quiet.
+        let both = BenchTrajectory {
+            entries: vec![
+                BenchReport {
+                    jobs: 1,
+                    unix_time: 1,
+                    datasets: Vec::new(),
+                },
+                BenchReport {
+                    jobs: 1,
+                    unix_time: 2,
+                    datasets: Vec::new(),
+                },
+            ],
+        };
+        let (lines, warned) = perfdiff_lines(&both);
+        assert!(!warned, "{lines:?}");
+    }
+
+    #[test]
+    fn perfdiff_flags_a_real_regression() {
+        let t = BenchTrajectory {
+            entries: vec![report(1000, 100_000), report(2000, 200_000)],
+        };
+        let (lines, warned) = perfdiff_lines(&t);
+        assert!(warned);
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("WARNING: total wall-clock")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("WARNING: fig2 regressed")),
+            "{lines:?}"
+        );
     }
 }

@@ -497,51 +497,10 @@ fn cmd_perfdiff(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Some((prev, last)) = trajectory.last_two() else {
-        println!(
-            "{}: {} entry, nothing to diff",
-            path.display(),
-            trajectory.entries.len()
-        );
-        return ExitCode::SUCCESS;
-    };
-    let ratio = |old: u64, new: u64| -> f64 {
-        if old == 0 {
-            1.0
-        } else {
-            new as f64 / old as f64
-        }
-    };
-    let total = ratio(prev.total_micros(), last.total_micros());
-    println!(
-        "total: {:.3}s -> {:.3}s ({:+.1}%)",
-        prev.total_micros() as f64 / 1e6,
-        last.total_micros() as f64 / 1e6,
-        (total - 1.0) * 100.0
-    );
-    let mut warned = false;
-    if total > 1.10 {
-        println!("WARNING: total wall-clock regressed by more than 10%");
-        warned = true;
-    }
-    for d in &last.datasets {
-        if let Some(p) = prev.datasets.iter().find(|p| p.name == d.name) {
-            let r = ratio(p.micros, d.micros);
-            // Millisecond-scale datasets are timer noise, not signal.
-            if r > 1.10 && d.micros > 5000 {
-                println!(
-                    "WARNING: {} regressed {:+.1}% ({} us -> {} us)",
-                    d.name,
-                    (r - 1.0) * 100.0,
-                    p.micros,
-                    d.micros
-                );
-                warned = true;
-            }
-        }
-    }
-    if !warned {
-        println!("no dataset regressed by more than 10%");
+    let (lines, _warned) = bench::perfdiff_lines(&trajectory);
+    println!("{}:", path.display());
+    for line in lines {
+        println!("{line}");
     }
     ExitCode::SUCCESS
 }

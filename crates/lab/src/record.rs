@@ -56,6 +56,14 @@ impl RunRecord {
             .map(|(_, v)| v.as_str())
     }
 
+    /// The fuzzed-schedule seed this run was driven with, if any — the
+    /// `schedule-seed` knob `retcon-run --schedule-seed` records, parsed
+    /// back to the value to pass on replay. `None` for the default
+    /// deterministic schedule or an unparseable knob value.
+    pub fn schedule_seed(&self) -> Option<u64> {
+        self.knob("schedule-seed").and_then(|v| v.parse().ok())
+    }
+
     /// Serializes the run (losslessly) as JSON. The shape is shared with
     /// `retcon-run --json`:
     ///

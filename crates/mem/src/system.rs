@@ -222,6 +222,27 @@ pub struct MemorySystem {
     spec: Vec<SpecTable>,
     /// Per-block reader/writer core masks (union of `spec` across cores).
     masks: BlockTable<SpecMask>,
+    /// Per-block *conflict version*: a monotonic counter bumped whenever
+    /// something that a conflict-resolution verdict on the block could
+    /// depend on changes — the block's mask ([`mark_spec`](Self::mark_spec)
+    /// growth, [`clear_spec`](Self::clear_spec) /
+    /// [`invalidate_block`](Self::invalidate_block) removal, and with it
+    /// every per-core [`SpecBits`] transition, since bits and masks mutate
+    /// in lockstep) — plus protocol-side events reported through
+    /// [`bump_block_version`](Self::bump_block_version) (RETCON beginning
+    /// symbolic tracking of the block; DATM dependence-graph changes).
+    /// Monotonicity is the point: a cached verdict stamped with the version
+    /// it was derived at stays provably valid exactly while the version
+    /// stands still, and can never be revalidated by accident after the
+    /// block's entry is cleared and repopulated. The simulator's stall
+    /// fast-forward is the consumer.
+    versions: BlockTable<u64>,
+    /// Count of conflict-version bumps ever applied (any block): a global
+    /// change detector over `versions`. A reader holding a sum of block
+    /// versions knows the sum is unchanged while this epoch is unchanged —
+    /// the O(1) fast path the simulator's stall fast-forward takes before
+    /// re-walking a certificate's watched blocks.
+    bump_epoch: u64,
     cfg: MemConfig,
     stats: Vec<MemStats>,
 }
@@ -241,6 +262,8 @@ impl MemorySystem {
             dir: Directory::new(),
             spec: (0..num_cores).map(|_| SpecTable::default()).collect(),
             masks: BlockTable::new(),
+            versions: BlockTable::new(),
+            bump_epoch: 0,
             cfg,
             stats: vec![MemStats::default(); num_cores],
         }
@@ -539,6 +562,54 @@ impl MemorySystem {
         latency
     }
 
+    /// `true` when an access by `core` to `block` would be serviced as a
+    /// plain L1 hit — resident, and already writable for `Write` — with no
+    /// coherence transition. The stall fast-forward's commit-storm oracle
+    /// uses this to prove a reacquisition walk is a fixed point: an L1-hit
+    /// re-access only refreshes LRU recency (idempotent across identical
+    /// walks) and counts statistics, which
+    /// [`replay_l1_hits`](Self::replay_l1_hits) replays in bulk.
+    pub fn is_l1_hit(&self, core: CoreId, block: BlockAddr, kind: AccessKind) -> bool {
+        matches!(self.classify(core, block, kind), Service::L1Hit)
+    }
+
+    /// Replays `count` L1-hit accesses into `core`'s memory statistics —
+    /// the per-retry footprint of a skipped commit-reacquisition walk
+    /// (every walk access was proven an L1 hit by
+    /// [`is_l1_hit`](Self::is_l1_hit); an L1 hit's only non-idempotent
+    /// effect is these two counters).
+    pub fn replay_l1_hits(&mut self, core: CoreId, count: u64) {
+        let st = &mut self.stats[core.0];
+        st.accesses += count;
+        st.l1_hits += count;
+    }
+
+    /// The block's current conflict version (see the `versions` field): a
+    /// monotonic counter that stands still exactly while every input of a
+    /// conflict-resolution verdict on the block is unchanged.
+    #[inline]
+    pub fn block_version(&self, block: BlockAddr) -> u64 {
+        self.versions.get(block.0)
+    }
+
+    /// Records a protocol-side event that conflict verdicts on `block` may
+    /// depend on but that the memory system cannot see itself (RETCON
+    /// beginning symbolic tracking of the block, DATM dependence-graph
+    /// changes).
+    #[inline]
+    pub fn bump_block_version(&mut self, block: BlockAddr) {
+        *self.versions.entry(block.0) += 1;
+        self.bump_epoch += 1;
+    }
+
+    /// The global conflict-version epoch: increments whenever *any* block's
+    /// conflict version does. While it is unchanged, every
+    /// [`block_version`](Self::block_version) is unchanged.
+    #[inline]
+    pub fn bump_epoch(&self) -> u64 {
+        self.bump_epoch
+    }
+
     /// Sets speculative bits on a block the core already caches (or tracks in
     /// its permissions-only cache).
     pub fn mark_spec(&mut self, core: CoreId, block: BlockAddr, bits: SpecBits) {
@@ -551,11 +622,17 @@ impl MemorySystem {
         self.l1[core.0].mark_spec(block, bits);
         let tbl = &mut self.spec[core.0];
         let entry = tbl.bits.entry(block.0);
-        let was_none = !entry.any();
+        let before = *entry;
         entry.merge(bits);
         let merged = *entry;
-        if was_none {
+        if !before.any() {
             tbl.touched.push(block.0);
+        }
+        if merged != before {
+            // The core's footprint on the block grew (new bit, or a read
+            // upgraded to written): conflict verdicts may change.
+            *self.versions.entry(block.0) += 1;
+            self.bump_epoch += 1;
         }
         let mask = self.masks.entry(block.0);
         let me = 1u64 << core.0;
@@ -574,8 +651,14 @@ impl MemorySystem {
             return;
         }
         let me = !(1u64 << core.0);
+        let before = mask;
         mask.readers &= me;
         mask.writers &= me;
+        if mask == before {
+            return;
+        }
+        *self.versions.entry(block) += 1;
+        self.bump_epoch += 1;
         if mask.is_empty() {
             self.masks.clear_entry(block);
         } else {

@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use retcon_htm::{AnyProtocol, CommitResult, MemResult};
-use retcon_isa::{Addr, Instr, Operand, Pc, Program, ValidateError, NUM_REGS};
+use retcon_htm::{AnyProtocol, CommitResult, MemResult, StallAction, StallStorm};
+use retcon_isa::{Addr, BlockAddr, Instr, Operand, Pc, Program, ValidateError, NUM_REGS};
 use retcon_mem::{CoreId, MemorySystem};
 
 use crate::config::SimConfig;
@@ -140,6 +140,148 @@ pub struct Machine {
     /// batched interpreter can hold the current basic block's instruction
     /// slice across the mutable per-core state it updates.
     programs: Vec<Program>,
+    /// Whether stall-retry storms may be fast-forwarded analytically (see
+    /// [`CertPayload`]). On by default; equivalence tests disable it to
+    /// compare against step-by-step retry execution.
+    fast_forward: bool,
+    /// Hot half of the per-core storm-certificate store: one compact
+    /// entry per core, scanned in full by the peer clamp on every skip —
+    /// 32 cores fit in a handful of cache lines, where scanning the fat
+    /// [`CertPayload`] array would touch a cache line (or several) per
+    /// peer.
+    cert_meta: Vec<CertMeta>,
+    /// Cold half of the store (see [`CertPayload`]): indexed by core,
+    /// meaningful only where `cert_meta` is not [`CertState::Empty`].
+    cert_payload: Vec<CertPayload>,
+    /// Incremented on every certificate lifecycle transition (certify,
+    /// drop, stale-mark): together with [`MemorySystem::bump_epoch`] it
+    /// keys [`Machine::clamp_cache`].
+    cert_gen: u64,
+    /// Memoised result of the stale-peer scan (see [`clamp_stale_peers`]):
+    /// valid while no block version moved and no certificate changed
+    /// state. Storm pops cluster between real batches, so within a
+    /// cluster only the first pop pays the scan. Reusing a cached clamp
+    /// is always sound — a conservative (lower) bound merely charges a
+    /// storm in more pops; the retries charged per pop never change the
+    /// simulated outcome, only how they are batched.
+    clamp_cache: ClampCache,
+}
+
+/// See [`Machine::clamp_cache`].
+#[derive(Debug, Clone, Copy)]
+struct ClampCache {
+    /// [`MemorySystem::bump_epoch`] when the scan ran.
+    epoch: u64,
+    /// [`Machine::cert_gen`] when the scan ran.
+    gen: u64,
+    /// The scan's result: the smallest stale-certificate peer key, if any.
+    stale_min: Option<(u64, usize)>,
+}
+
+impl ClampCache {
+    const INVALID: ClampCache = ClampCache {
+        epoch: u64::MAX,
+        gen: u64::MAX,
+        stale_min: None,
+    };
+}
+
+/// Lifecycle of a core's storm certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CertState {
+    /// No certificate: the core's last attempt was not a certified stall.
+    Empty,
+    /// Certified and valid as of `CertMeta::epoch`.
+    Fresh,
+    /// Certified but the version sum has moved. Memoised: versions are
+    /// monotonic, so once the sum has moved it never moves back and the
+    /// certificate is stale for good. The owning core's next pop clears
+    /// it; until then every fast-forwarding peer must clamp at this
+    /// core's key (it re-executes for real when popped).
+    Stale,
+}
+
+/// Hot per-core certificate metadata, kept small so the per-skip clamp
+/// scan over all cores stays within a few cache lines.
+#[derive(Debug, Clone, Copy)]
+struct CertMeta {
+    state: CertState,
+    /// [`MemorySystem::bump_epoch`] at the last successful validation: an
+    /// O(1) fast path — no block version anywhere has moved since, so the
+    /// sum cannot have. On an epoch miss the sum is re-walked; a match
+    /// restamps the epoch, a mismatch means the certificate is stale.
+    epoch: u64,
+}
+
+impl CertMeta {
+    const EMPTY: CertMeta = CertMeta {
+        state: CertState::Empty,
+        epoch: 0,
+    };
+}
+
+/// A validated stall-storm verdict, cached per core so retries can be
+/// charged without re-executing the stalled instruction.
+///
+/// When an access stalls, the protocol's
+/// [`stall_storm`](AnyProtocol::stall_storm) dry run certifies (or
+/// declines to certify) that every further retry of the same instruction
+/// repeats the same outcome — same conflict verdict, no side effects
+/// beyond the commuting storm updates (the stall counter, conflict-time
+/// cycles, predictor training, commit-prefix L1-hit statistics). The
+/// certificate is stamped with the *sum* of the conflict versions
+/// ([`MemorySystem::block_version`]) of the contended block and every
+/// watched commit-prefix block, which covers *every* input of the
+/// verdict: a block's conflict mask and per-core speculative bits mutate
+/// in lockstep with its version, victim ages and activity cannot change
+/// without a commit or abort clearing those bits (bumping the version),
+/// a watched prefix block cannot gain a conflict or lose residency
+/// without a bump (remote writes must resolve the conflict its
+/// speculative bits raise), RETCON tracking transitions and DATM
+/// dependence-graph changes bump explicitly, and the stalled core's own
+/// architectural and engine state are frozen while it stalls (remote
+/// aborts are handled by the loop's `take_aborted` check, which precedes
+/// the fast-forward). Versions are monotonic, so the sum stands still
+/// exactly when every summand does, and a stale certificate left behind
+/// after the core moves on can never be revalidated by accident.
+///
+/// While the version stands still, the interpreter replays the storm
+/// analytically at the top of the batch loop: it charges as many retries
+/// as the scheduling [`Bound`] and cycle limit admit in closed form and
+/// applies the per-retry side effects in bulk through
+/// [`apply_stall_retries`](AnyProtocol::apply_stall_retries), skipping
+/// the protocol's read/write/commit path entirely. On contended runs this
+/// is the hot path: a 32-core `python`/RetCon run executes 4.5 M stall
+/// retries against 1.7 M retired instructions, and each skipped retry
+/// saves a full conflict-mask/contention-manager/predictor walk.
+#[derive(Debug, Clone, Copy)]
+struct CertPayload {
+    /// The certified per-retry side effects.
+    storm: StallStorm,
+    /// [`storm_version_sum`] over `storm.block` and the watched prefix at
+    /// certification time; the certificate is valid while it is unchanged.
+    version: u64,
+}
+
+impl CertPayload {
+    /// Placeholder for [`CertState::Empty`] slots.
+    const EMPTY: CertPayload = CertPayload {
+        storm: StallStorm::access(0, BlockAddr(0)),
+        version: 0,
+    };
+}
+
+/// The freshness key of a storm certificate: the sum of the monotonic
+/// conflict versions of the contended block and every watched
+/// commit-prefix block. Monotonicity makes the sum a faithful "all
+/// unchanged" test, and `wrapping_add` keeps it branch-free (a wrap would
+/// need 2^64 conflict events).
+fn storm_version_sum(mem: &MemorySystem, storm: &StallStorm) -> u64 {
+    let mut sum = mem.block_version(storm.block);
+    for &b in storm.watch.blocks() {
+        sum = sum.wrapping_add(mem.block_version(b));
+    }
+    sum
 }
 
 impl fmt::Debug for Machine {
@@ -173,9 +315,24 @@ impl Machine {
             mem: MemorySystem::new(cfg.mem, cfg.num_cores),
             protocol: protocol.into(),
             cores: programs.iter().map(|p| Core::new(p.entry())).collect(),
+            cert_meta: vec![CertMeta::EMPTY; programs.len()],
+            cert_payload: vec![CertPayload::EMPTY; programs.len()],
+            cert_gen: 0,
+            clamp_cache: ClampCache::INVALID,
             programs,
             cfg,
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables analytic fast-forwarding of stall-retry storms.
+    ///
+    /// Fast-forwarding is on by default and is observationally equivalent
+    /// to executing every retry (the equivalence is pinned by the root
+    /// property suite); disabling it forces the step-by-step retry loop,
+    /// which the equivalence tests use as the reference.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
     }
 
     /// Installs `core`'s input tape.
@@ -250,6 +407,13 @@ impl Machine {
                 .validate()
                 .map_err(|error| SimError::InvalidProgram { core: i, error })?;
         }
+        // Certificates describe "the core's next pop repeats this stall" —
+        // a statement about one schedule's trajectory. Drop them between
+        // runs so a different schedule starts clean.
+        for m in &mut self.cert_meta {
+            m.state = CertState::Empty;
+        }
+        self.cert_gen += 1;
         let clocks: Vec<u64> = self.cores.iter().map(|c| c.now).collect();
         sched.begin(&clocks);
         loop {
@@ -259,14 +423,23 @@ impl Machine {
                 protocol: &self.protocol,
             });
             match decision {
-                Some(Decision { core: c, bound }) => {
+                Some(Decision {
+                    core: c,
+                    bound,
+                    storm_bound,
+                }) => {
                     debug_assert!(
                         !self.cores[c].halted && !self.cores[c].at_barrier,
                         "schedule decided an unrunnable core {c}"
                     );
-                    self.run_core(c, bound, sched)?;
+                    self.run_core(c, bound, storm_bound, sched)?;
                     let core = &self.cores[c];
-                    sched.core_yielded(c, core.now, !core.halted && !core.at_barrier);
+                    sched.core_yielded(
+                        c,
+                        core.now,
+                        !core.halted && !core.at_barrier,
+                        self.cert_meta[c].state != CertState::Empty,
+                    );
                 }
                 None => {
                     // No runnable core: either everyone halted, or every
@@ -341,11 +514,13 @@ impl Machine {
         &mut self,
         c: usize,
         bound: Bound,
+        storm_bound: Bound,
         sched: &mut S,
     ) -> Result<(), SimError> {
         let core_id = CoreId(c);
         let max_cycles = self.cfg.max_cycles;
         let stall_retry = self.cfg.stall_retry;
+        let fast_forward = self.fast_forward;
         // Hoist the per-instruction borrows out of the loop: the protocol,
         // the memory system and this core's interpreter state are disjoint
         // fields, resolved once per batch instead of per instruction.
@@ -354,9 +529,21 @@ impl Machine {
             protocol,
             cores,
             programs,
+            cert_meta,
+            cert_payload,
+            cert_gen,
+            clamp_cache,
             ..
         } = self;
-        let core = &mut cores[c];
+        // Split borrows around `c`: the fast-forward clamp below must read
+        // peer cores' clocks and revalidate peer certificates while this
+        // core's state is mutably borrowed.
+        let (cores_lo, cores_rest) = cores.split_at_mut(c);
+        let (core, cores_hi) = cores_rest.split_first_mut().expect("core index in range");
+        let (meta_lo, meta_rest) = cert_meta.split_at_mut(c);
+        let (meta, meta_hi) = meta_rest.split_first_mut().expect("core index in range");
+        let (payload_lo, payload_rest) = cert_payload.split_at_mut(c);
+        let (payload, payload_hi) = payload_rest.split_first_mut().expect("core index in range");
         let program = &programs[c];
         // Current basic block's instruction slice, refreshed only on
         // control transfers: the straight-line fetch is one indexed load.
@@ -394,7 +581,118 @@ impl Machine {
             if protocol.take_aborted(core_id) {
                 core.restart_tx();
                 in_tx = false;
+                // The abort rewound the pc: the certified stall (if any) is
+                // no longer this core's next action, and the contended
+                // block's version need not have moved when *this* core was
+                // the victim (its speculative bits may not cover that
+                // block). Drop the certificate; a fresh stall re-certifies.
+                meta.state = CertState::Empty;
+                *cert_gen += 1;
                 continue;
+            }
+            // Stall-storm fast-forward (see [`CertPayload`]): while the
+            // cached verdict's version sum stands still, the next attempt
+            // of the instruction under `pc` provably stalls again with the
+            // certified side effects — charge the retries the bound and
+            // cycle limit admit in closed form instead of re-executing the
+            // access. Falls through (and drops the certificate) the moment
+            // the sum moves; the loop top above performs the real
+            // bound/limit/abort exits exactly as per-retry execution would.
+            if fast_forward && stall_retry > 0 {
+                let valid = meta.state == CertState::Fresh
+                    && (meta.epoch == mem.bump_epoch() || {
+                        let revalidated = storm_version_sum(mem, &payload.storm) == payload.version;
+                        if revalidated {
+                            meta.epoch = mem.bump_epoch();
+                        }
+                        revalidated
+                    });
+                if valid {
+                    {
+                        let n = if sched.stall_jitter_free() {
+                            // Retries until the bound expires (the checks
+                            // above guarantee target > now) or the cycle
+                            // limit is exceeded (the final retry may
+                            // overshoot it; the loop top then errors).
+                            let k_bound = if matches!(storm_bound, Bound::Step) {
+                                1
+                            } else {
+                                // The relaxed storm bound may only be ridden
+                                // past peers that are provably still storming:
+                                // clamp it at the earliest stale-certificate
+                                // peer (see `clamp_stale_peers`). The scan
+                                // result is memoised across pops: storm pops
+                                // cluster between real batches, and within a
+                                // cluster neither the epoch nor the
+                                // certificate set changes.
+                                let stale_min = if clamp_cache.epoch == mem.bump_epoch()
+                                    && clamp_cache.gen == *cert_gen
+                                {
+                                    clamp_cache.stale_min
+                                } else {
+                                    let mut sm = None;
+                                    clamp_stale_peers(
+                                        mem, meta_lo, payload_lo, cores_lo, 0, &mut sm,
+                                    );
+                                    clamp_stale_peers(
+                                        mem,
+                                        meta_hi,
+                                        payload_hi,
+                                        cores_hi,
+                                        c + 1,
+                                        &mut sm,
+                                    );
+                                    *clamp_cache = ClampCache {
+                                        epoch: mem.bump_epoch(),
+                                        gen: *cert_gen,
+                                        stale_min: sm,
+                                    };
+                                    sm
+                                };
+                                let limit = match (storm_bound, stale_min) {
+                                    (Bound::Until(t, i), Some(sk)) => Some(sk.min((t, i))),
+                                    (Bound::Until(t, i), None) => Some((t, i)),
+                                    (_, sk) => sk,
+                                };
+                                match limit {
+                                    Some((b_clock, b_id)) => {
+                                        let target = if c >= b_id {
+                                            b_clock
+                                        } else {
+                                            b_clock.saturating_add(1)
+                                        };
+                                        (target - core.now).div_ceil(stall_retry)
+                                    }
+                                    None => u64::MAX,
+                                }
+                            };
+                            let k_limit = (max_cycles - core.now) / stall_retry + 1;
+                            let n = k_bound.min(k_limit).max(1);
+                            match n.checked_mul(stall_retry) {
+                                Some(charge) => {
+                                    core.stall(charge);
+                                    n
+                                }
+                                None => {
+                                    core.stall(stall_retry);
+                                    1
+                                }
+                            }
+                        } else {
+                            // Jittered schedules must observe every charge:
+                            // one retry per iteration keeps their draws (and
+                            // trace hashes) identical to real execution.
+                            core.stall(stall_retry + sched.observe_stall(c, core.now));
+                            1
+                        };
+                        protocol.apply_stall_retries(core_id, &payload.storm, n, mem);
+                        stepped = true;
+                        continue;
+                    }
+                } else {
+                    meta.state = CertState::Empty;
+                    *cert_gen += 1;
+                }
             }
             debug_assert_eq!(
                 in_tx,
@@ -443,7 +741,18 @@ impl Machine {
                             core.charge(in_tx, latency);
                         }
                         MemResult::Stall => {
-                            core.stall(stall_retry + sched.observe_stall(c, core.now))
+                            core.stall(stall_retry + sched.observe_stall(c, core.now));
+                            if fast_forward {
+                                certify_storm(
+                                    protocol,
+                                    mem,
+                                    c,
+                                    StallAction::Read(a),
+                                    meta,
+                                    payload,
+                                    cert_gen,
+                                );
+                            }
                         }
                         MemResult::Abort => {
                             core.restart_tx();
@@ -464,7 +773,18 @@ impl Machine {
                             core.charge(in_tx, latency);
                         }
                         MemResult::Stall => {
-                            core.stall(stall_retry + sched.observe_stall(c, core.now))
+                            core.stall(stall_retry + sched.observe_stall(c, core.now));
+                            if fast_forward {
+                                certify_storm(
+                                    protocol,
+                                    mem,
+                                    c,
+                                    StallAction::Write(a),
+                                    meta,
+                                    payload,
+                                    cert_gen,
+                                );
+                            }
                         }
                         MemResult::Abort => {
                             core.restart_tx();
@@ -535,7 +855,18 @@ impl Machine {
                             in_tx = false;
                         }
                         CommitResult::Stall => {
-                            core.stall(stall_retry + sched.observe_stall(c, core.now))
+                            core.stall(stall_retry + sched.observe_stall(c, core.now));
+                            if fast_forward {
+                                certify_storm(
+                                    protocol,
+                                    mem,
+                                    c,
+                                    StallAction::Commit,
+                                    meta,
+                                    payload,
+                                    cert_gen,
+                                );
+                            }
                         }
                         CommitResult::Abort => {
                             core.restart_tx();
@@ -557,6 +888,84 @@ impl Machine {
                 }
             }
             stepped = true;
+        }
+    }
+}
+
+/// Dry-runs the stall the core just took through the protocol's
+/// [`stall_storm`](AnyProtocol::stall_storm) oracle and, when the oracle
+/// certifies a stable storm, stamps the verdict with its current
+/// [`storm_version_sum`]. The result is the core's certificate
+/// ([`CertMeta`] + [`CertPayload`]): as long as the sum still matches
+/// when the core is next popped, a retry is provably a fixed point and
+/// `run_core` charges it analytically instead of re-executing the
+/// instruction.
+fn certify_storm(
+    protocol: &AnyProtocol,
+    mem: &MemorySystem,
+    c: usize,
+    action: StallAction,
+    meta: &mut CertMeta,
+    payload: &mut CertPayload,
+    cert_gen: &mut u64,
+) {
+    *cert_gen += 1;
+    match protocol.stall_storm(CoreId(c), action, mem) {
+        Some(storm) => {
+            *payload = CertPayload {
+                version: storm_version_sum(mem, &storm),
+                storm,
+            };
+            *meta = CertMeta {
+                state: CertState::Fresh,
+                epoch: mem.bump_epoch(),
+            };
+        }
+        None => meta.state = CertState::Empty,
+    }
+}
+
+/// Tightens `limit` — the clock/core key a fast-forwarding core may charge
+/// up to — by the keys of peers whose storm certificates have gone stale.
+///
+/// The storm-bound relaxation lets a certified core charge past *other
+/// storming cores'* keys because skipped storm retries commute: they only
+/// add to saturating predictor counters, stall counters and cache stats,
+/// none of which a skip (or the oracle's verdict) reads. That argument
+/// needs every passed peer to still be storming when its key comes up. A
+/// peer whose certificate went stale (its version sum moved — e.g. this
+/// very core's real actions earlier in the batch bumped a watched block)
+/// will *re-execute* at its key, so charging past it would reorder real
+/// work. Clamping at the earliest stale peer restores the frozen window:
+/// nothing real runs before the clamped target, peer validity cannot
+/// change inside it, and the induction over storming cores goes through.
+///
+/// Fresh peers are restamped with the current epoch (pure memoisation);
+/// stale peers are left untouched — their own next pop drops the
+/// certificate, and later callers must still observe the staleness.
+fn clamp_stale_peers(
+    mem: &MemorySystem,
+    metas: &mut [CertMeta],
+    payloads: &[CertPayload],
+    cores: &[Core],
+    base: usize,
+    limit: &mut Option<(u64, usize)>,
+) {
+    let epoch = mem.bump_epoch();
+    for (off, peer) in metas.iter_mut().enumerate() {
+        if peer.state == CertState::Fresh && peer.epoch != epoch {
+            let p = &payloads[off];
+            if storm_version_sum(mem, &p.storm) == p.version {
+                peer.epoch = epoch;
+            } else {
+                peer.state = CertState::Stale;
+            }
+        }
+        if peer.state == CertState::Stale {
+            let key = (cores[off].now, base + off);
+            if limit.map_or(true, |l| key < l) {
+                *limit = Some(key);
+            }
         }
     }
 }

@@ -52,6 +52,28 @@ pub struct Decision {
     pub core: usize,
     /// How far it may run before yielding back to the schedule.
     pub bound: Bound,
+    /// How far a *certified stall storm* may be charged before yielding —
+    /// `bound` relaxed past other storming cores. Skipped storm retries of
+    /// different cores commute (they only add to saturating predictor
+    /// counters, stall counters and cache statistics, none of which a
+    /// skipped retry reads), so a core fast-forwarding a certified storm
+    /// may charge past the keys of other cores that are themselves inside
+    /// certified storms — but never past a core that would execute a real
+    /// instruction. Policies without a storm/active split (every policy
+    /// except [`DeterministicMinHeap`]) set this equal to `bound`, which
+    /// disables the relaxation.
+    pub storm_bound: Bound,
+}
+
+impl Decision {
+    /// A decision with no storm relaxation (`storm_bound == bound`).
+    pub fn new(core: usize, bound: Bound) -> Decision {
+        Decision {
+            core,
+            bound,
+            storm_bound: bound,
+        }
+    }
 }
 
 /// The action a core will attempt on its next instruction, as visible to a
@@ -125,7 +147,13 @@ pub trait Schedule {
 
     /// The previously-decided core stopped at clock `now`; it re-enters the
     /// runnable set unless `runnable` is false (halted or at a barrier).
-    fn core_yielded(&mut self, core: usize, now: u64, runnable: bool);
+    /// `storming` reports whether the core yielded holding a certified
+    /// stall-storm verdict (see [`Decision::storm_bound`]): its next
+    /// attempts are provably stall retries until remote state moves, so a
+    /// policy may class it apart from cores about to execute real
+    /// instructions. The flag is advisory — treating every core as
+    /// non-storming is always correct.
+    fn core_yielded(&mut self, core: usize, now: u64, runnable: bool, storming: bool);
 
     /// `core` was released from a barrier at clock `now` and is runnable
     /// again.
@@ -137,14 +165,39 @@ pub trait Schedule {
     fn observe_stall(&mut self, _core: usize, _now: u64) -> u64 {
         0
     }
+
+    /// `true` only if [`observe_stall`](Schedule::observe_stall) is
+    /// stateless and always returns zero, so skipping its calls cannot be
+    /// observed. The machine's stall fast-forward consults this: a
+    /// jitter-free schedule gets the pure closed form (no `observe_stall`
+    /// calls for the fast-forwarded retries), while any other schedule is
+    /// still consulted exactly once per charged retry — jittered schedules
+    /// like [`SeededFuzz`] draw from their RNG on every charge, and
+    /// dropping or reordering draws would change the schedule. The
+    /// conservative default keeps unknown schedules jitter-faithful.
+    fn stall_jitter_free(&self) -> bool {
+        false
+    }
 }
 
 /// The default policy: always run the runnable core with the smallest
 /// `(clock, id)`, batching until the next heap key. Byte-for-byte the
 /// historical `Machine::run` scheduler.
+///
+/// Runnable cores live in two heaps by the `storming` yield flag: cores
+/// about to execute real instructions in `ready`, cores inside certified
+/// stall storms in `storming`. Selection order is unchanged (the global
+/// minimum across both), so the split is invisible to execution order; its
+/// sole effect is the relaxed [`Decision::storm_bound`], which stops at
+/// the earliest *ready* key only. On heavily contended runs most runnable
+/// cores are storming in lockstep, and without the split every storm
+/// charge is clamped to a single retry by the next storming neighbour's
+/// key — the relaxation lets one heap pop charge a storm clear across all
+/// of them, collapsing the scheduler round-trips that dominate such runs.
 #[derive(Debug, Default)]
 pub struct DeterministicMinHeap {
     ready: BinaryHeap<Reverse<(u64, usize)>>,
+    storming: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
 impl DeterministicMinHeap {
@@ -157,27 +210,56 @@ impl DeterministicMinHeap {
 impl Schedule for DeterministicMinHeap {
     fn begin(&mut self, clocks: &[u64]) {
         self.ready.clear();
+        self.storming.clear();
         self.ready
             .extend(clocks.iter().enumerate().map(|(i, &c)| Reverse((c, i))));
     }
 
     fn next_core(&mut self, _peek: &dyn SchedulePeek) -> Option<Decision> {
-        let Reverse((_, core)) = self.ready.pop()?;
-        let bound = match self.ready.peek() {
-            Some(&Reverse((clock, id))) => Bound::Until(clock, id),
+        let from_storm = match (self.ready.peek(), self.storming.peek()) {
+            (Some(&Reverse(r)), Some(&Reverse(s))) => s < r,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => return None,
+        };
+        let Reverse((_, core)) = if from_storm {
+            self.storming.pop()?
+        } else {
+            self.ready.pop()?
+        };
+        let ready_top = self.ready.peek().map(|&Reverse(k)| k);
+        let storm_top = self.storming.peek().map(|&Reverse(k)| k);
+        let until = |key: Option<(u64, usize)>| match key {
+            Some((clock, id)) => Bound::Until(clock, id),
             None => Bound::Free,
         };
-        Some(Decision { core, bound })
+        let bound = until(match (ready_top, storm_top) {
+            (Some(r), Some(s)) => Some(r.min(s)),
+            (r, s) => r.or(s),
+        });
+        Some(Decision {
+            core,
+            bound,
+            storm_bound: until(ready_top),
+        })
     }
 
-    fn core_yielded(&mut self, core: usize, now: u64, runnable: bool) {
+    fn core_yielded(&mut self, core: usize, now: u64, runnable: bool, storming: bool) {
         if runnable {
-            self.ready.push(Reverse((now, core)));
+            if storming {
+                self.storming.push(Reverse((now, core)));
+            } else {
+                self.ready.push(Reverse((now, core)));
+            }
         }
     }
 
     fn core_released(&mut self, core: usize, now: u64) {
         self.ready.push(Reverse((now, core)));
+    }
+
+    fn stall_jitter_free(&self) -> bool {
+        true
     }
 }
 
@@ -313,13 +395,10 @@ impl Schedule for SeededFuzz {
         self.runnable[core] = None; // running; re-enters via core_yielded
         self.hash.push((core as u64) << 32 | pick as u64);
         self.decisions += 1;
-        Some(Decision {
-            core,
-            bound: Bound::Step,
-        })
+        Some(Decision::new(core, Bound::Step))
     }
 
-    fn core_yielded(&mut self, core: usize, now: u64, runnable: bool) {
+    fn core_yielded(&mut self, core: usize, now: u64, runnable: bool, _storming: bool) {
         self.runnable[core] = runnable.then_some(now);
     }
 
@@ -358,7 +437,7 @@ mod tests {
         let d = s.next_core(&NoPeek).unwrap();
         assert_eq!(d.core, 1);
         assert_eq!(d.bound, Bound::Until(5, 0));
-        s.core_yielded(1, 9, true);
+        s.core_yielded(1, 9, true, false);
         let d = s.next_core(&NoPeek).unwrap();
         assert_eq!(d.core, 0, "tie broken by id");
         assert_eq!(d.bound, Bound::Until(5, 2));
@@ -370,10 +449,10 @@ mod tests {
         s.begin(&[0, 3]);
         let d = s.next_core(&NoPeek).unwrap();
         assert_eq!(d.core, 0);
-        s.core_yielded(0, 10, false); // halted
+        s.core_yielded(0, 10, false, false); // halted
         let d = s.next_core(&NoPeek).unwrap();
         assert_eq!((d.core, d.bound), (1, Bound::Free));
-        s.core_yielded(1, 11, false);
+        s.core_yielded(1, 11, false, false);
         assert!(s.next_core(&NoPeek).is_none());
     }
 
@@ -388,7 +467,7 @@ mod tests {
                 assert!(d.core < 2, "core 2 is outside the window");
                 assert_eq!(d.bound, Bound::Step);
                 picks.push(d.core);
-                s.core_yielded(d.core, 9, true);
+                s.core_yielded(d.core, 9, true, false);
             }
             (picks, s.trace_hash())
         };

@@ -1,0 +1,76 @@
+//! Fast-forward under fuzzed schedules: `SeededFuzz` replay must be
+//! bit-identical with fast-forwarding on and off.
+//!
+//! Jittered schedules draw from a seeded RNG in `observe_stall`, so the
+//! determinism contract is stronger than equal reports: the *number* of
+//! jitter consultations must match real execution exactly — one per
+//! charged retry — or the RNG stream (and every later decision) diverges.
+//! Fast-forward therefore degrades to charging a single retry per
+//! iteration whenever `Schedule::stall_jitter_free()` is false; this test
+//! pins that the reports, decision counts, and schedule trace hashes all
+//! stay identical across the toggle.
+
+use retcon_sim::{SeededFuzz, SimConfig};
+use retcon_workloads::{machine_for, System, Workload};
+
+fn replay(workload: Workload, system: System, cores: usize, fuzz_seed: u64) {
+    let spec = workload.build(cores, 42);
+    let mut outcomes = Vec::new();
+    for ff in [true, false] {
+        let mut machine = machine_for(&spec, system.protocol(cores), SimConfig::with_cores(cores));
+        machine.set_fast_forward(ff);
+        let mut sched = SeededFuzz::new(fuzz_seed);
+        let report = machine.run_with(&mut sched).expect("run completes");
+        outcomes.push((report, sched.decisions(), sched.trace_hash()));
+    }
+    let (on, off) = (&outcomes[0], &outcomes[1]);
+    assert_eq!(
+        on.0,
+        off.0,
+        "{} {}: reports differ",
+        workload.label(),
+        system.label()
+    );
+    assert_eq!(
+        on.1,
+        off.1,
+        "{} {}: decision counts differ",
+        workload.label(),
+        system.label()
+    );
+    assert_eq!(
+        on.2,
+        off.2,
+        "{} {}: trace hashes differ",
+        workload.label(),
+        system.label()
+    );
+}
+
+#[test]
+fn fuzzed_replay_identical_on_contended_counter_all_systems() {
+    for system in [
+        System::Eager,
+        System::EagerAbort,
+        System::Lazy,
+        System::LazyVb,
+        System::Retcon,
+        System::RetconIdeal,
+        System::Datm,
+    ] {
+        replay(Workload::Counter, system, 8, 7);
+    }
+}
+
+#[test]
+fn fuzzed_replay_identical_on_python_retcon() {
+    // The stall-storm-heavy shape (scaled down for test time).
+    replay(Workload::Python { optimized: false }, System::Retcon, 4, 3);
+}
+
+#[test]
+fn fuzzed_replay_identical_across_seeds() {
+    for fuzz_seed in [1, 99, 12345] {
+        replay(Workload::Counter, System::Retcon, 4, fuzz_seed);
+    }
+}

@@ -1,0 +1,52 @@
+//! Interleaved A/B probe for the stall-storm fast-forward speedup.
+//!
+//! Ignored by default: it is a measurement, not a pass/fail gate —
+//! wall-clock on shared or single-vCPU hosts is too noisy to assert on
+//! (cross-process A/B on this class of machine flips winners run to run).
+//! The methodology that survives that noise, and the one EXPERIMENTS.md
+//! quotes, is *in-process interleaving*: alternate fast-forward on/off in
+//! one process, take the minimum of several rounds of each, and compare.
+//!
+//! ```text
+//! cargo test --release -p retcon-workloads --test ff_speedup -- --ignored --nocapture
+//! ```
+
+use retcon_sim::SimConfig;
+use retcon_workloads::{machine_for, System, Workload};
+use std::time::Instant;
+
+/// The heaviest contended shape in the suite (the `contended32` bench
+/// entry): 32-core unoptimized `python` under RetCon, where stall retries
+/// outnumber retired instructions ~2.6:1.
+#[test]
+#[ignore]
+fn fast_forward_speedup_on_contended32() {
+    let spec = Workload::Python { optimized: false }.build(32, 1);
+    let mut on = u128::MAX;
+    let mut off = u128::MAX;
+    for _ in 0..5 {
+        for ff in [true, false] {
+            let mut machine = machine_for(
+                &spec,
+                System::Retcon.protocol(32),
+                SimConfig::with_cores(32),
+            );
+            machine.set_fast_forward(ff);
+            let t = Instant::now();
+            let report = machine.run().expect("run completes");
+            let dt = t.elapsed().as_micros();
+            assert!(report.cycles > 0);
+            if ff {
+                on = on.min(dt);
+            } else {
+                off = off.min(dt);
+            }
+        }
+    }
+    eprintln!(
+        "ff-on min {}us  ff-off min {}us  speedup {:.2}x",
+        on,
+        off,
+        off as f64 / on as f64
+    );
+}

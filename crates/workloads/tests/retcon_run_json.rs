@@ -1,0 +1,41 @@
+//! `retcon-run --json` contract: a fuzzed-schedule run must record its
+//! `--schedule-seed` in the emitted JSON so the run is replayable from
+//! the record alone (the lab side pins the matching parse in
+//! `crates/lab/tests/schedule_seed_roundtrip.rs`).
+
+use retcon_sim::json::Json;
+use std::process::Command;
+
+fn run_json(extra: &[&str]) -> Json {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_retcon-run"));
+    cmd.args(["--workload", "counter", "--cores", "4", "--json"]);
+    cmd.args(extra);
+    let out = cmd.output().expect("retcon-run spawns");
+    assert!(
+        out.status.success(),
+        "retcon-run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    Json::parse(&String::from_utf8(out.stdout).expect("utf-8 output")).expect("valid JSON")
+}
+
+#[test]
+fn schedule_seed_is_recorded_in_json() {
+    let record = run_json(&["--schedule-seed", "7"]);
+    let knobs = record.req_arr("knobs").expect("knobs array");
+    let pair = knobs
+        .iter()
+        .find_map(|k| {
+            let items = k.as_arr()?;
+            (items.first()?.as_str()? == "schedule-seed").then(|| items.get(1)?.as_str())?
+        })
+        .expect("schedule-seed knob present");
+    assert_eq!(pair, "7");
+}
+
+#[test]
+fn default_schedule_has_no_seed_knob() {
+    let record = run_json(&[]);
+    let knobs = record.req_arr("knobs").expect("knobs array");
+    assert!(knobs.is_empty(), "no knobs for the deterministic schedule");
+}
