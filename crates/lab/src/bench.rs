@@ -211,6 +211,35 @@ pub fn run_bench(jobs: usize) -> Result<BenchReport, SimError> {
         runs: 1,
         micros: t.elapsed().as_micros() as u64,
     });
+    // Serve-path entries: the same sweep pushed through the daemon's
+    // content-addressed ResultStore (no sockets — the store is the serving
+    // hot path; the wire layer is microseconds of formatting on top). Cold
+    // = every key misses and executes; warm = the identical sweep replayed
+    // against the now-populated store. The gap is what `retcon-serve`
+    // saves a fleet running overlapping matrices.
+    let serve_jobs: Vec<crate::runner::Job> = [System::Eager, System::Retcon]
+        .iter()
+        .flat_map(|&system| {
+            [1usize, 2, 4, 8]
+                .iter()
+                .map(move |&cores| crate::runner::Job::new(Workload::Counter, system, cores, 42))
+        })
+        .collect();
+    let store = crate::engine::ResultStore::new(64 << 20);
+    let t = Instant::now();
+    crate::runner::run_jobs_cached(&serve_jobs, jobs, &store)?;
+    datasets.push(DatasetBench {
+        name: "serve_cold".to_string(),
+        runs: serve_jobs.len() as u64,
+        micros: t.elapsed().as_micros() as u64,
+    });
+    let t = Instant::now();
+    crate::runner::run_jobs_cached(&serve_jobs, jobs, &store)?;
+    datasets.push(DatasetBench {
+        name: "serve_warm".to_string(),
+        runs: serve_jobs.len() as u64,
+        micros: t.elapsed().as_micros() as u64,
+    });
     Ok(BenchReport {
         jobs: jobs as u64,
         unix_time,

@@ -1,0 +1,556 @@
+//! The reusable experiment engine shared by the offline lab and the
+//! `retcon-serve` daemon.
+//!
+//! PRs 2–6 built the hard parts of a serving stack inside the lab run
+//! path: byte-stable records, a deterministic job-parallel runner, and a
+//! cross-dataset report cache. This module lifts those pieces behind a
+//! small, shareable surface:
+//!
+//! * [`RunKey`] — the simulation inputs a report is a pure function of,
+//!   with a **canonical byte encoding** and a stable **content hash**
+//!   (built on [`retcon_sim::canon`]). The invariant the test suite
+//!   pins: keys with equal canonical bytes produce byte-identical
+//!   records, and the hash is a function of nothing but those bytes.
+//! * [`SimCache`] — the cache seam the runner executes through. The
+//!   lab's in-memory [`ReportCache`] and the daemon's capacity-bounded
+//!   [`ResultStore`] both implement it, so offline `all` and the server
+//!   share one dedup implementation (a hit returns exactly what a fresh
+//!   run would — simulations are deterministic, so caching cannot change
+//!   output).
+//! * [`simulate`] / [`record_for`] — the pure execution and
+//!   record-assembly functions both consumers call.
+
+use crate::record::RunRecord;
+use retcon::RetconConfig;
+use retcon_htm::{AnyProtocol, RetconTm};
+use retcon_sim::canon::Canon;
+use retcon_sim::{SimConfig, SimError, SimReport};
+use retcon_workloads::{run_spec_with, System, Workload};
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The simulation inputs one report is a pure function of.
+///
+/// This is the unit the serving stack deduplicates on: two requests whose
+/// keys canonicalize to the same bytes are one simulation. Display-only
+/// context (knob labels, sequential baselines) is deliberately *not* part
+/// of the key — see [`crate::runner::Job`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Workload to build.
+    pub workload: Workload,
+    /// System to run it under.
+    pub system: System,
+    /// RETCON configuration override (structure-size sweeps); `None`
+    /// runs `system`'s default protocol.
+    pub cfg: Option<RetconConfig>,
+    /// Core count.
+    pub cores: usize,
+    /// Workload-build seed.
+    pub seed: u64,
+}
+
+impl RunKey {
+    /// A plain run of `workload` under `system`.
+    pub fn new(workload: Workload, system: System, cores: usize, seed: u64) -> RunKey {
+        RunKey {
+            workload,
+            system,
+            cfg: None,
+            cores,
+            seed,
+        }
+    }
+
+    /// The machine configuration this key runs under (the default
+    /// Table 1 machine at the key's core count; the lab has never varied
+    /// the other knobs, but they are part of the canonical encoding so a
+    /// future sweep cannot silently collide).
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::with_cores(self.cores)
+    }
+
+    /// The key with an explicit-but-default RETCON config normalized
+    /// away: `System::Retcon` with `cfg: Some(RetconConfig::default())`
+    /// runs the exact same simulation as `cfg: None`, so both forms must
+    /// canonicalize (and therefore hash) identically.
+    fn normalized_cfg(&self) -> Option<&RetconConfig> {
+        match &self.cfg {
+            Some(cfg) if self.system == System::Retcon && *cfg == RetconConfig::default() => None,
+            other => other.as_ref(),
+        }
+    }
+
+    /// Writes the key's canonical byte encoding: a versioned tag, the
+    /// workload and system labels, the (normalized) RETCON config, the
+    /// seed, and the full machine configuration.
+    pub fn canonical_encode(&self, c: &mut Canon) {
+        c.tag("runkey-v1");
+        c.str(self.workload.label());
+        c.str(self.system.label());
+        match self.normalized_cfg() {
+            None => c.bool(false),
+            Some(cfg) => {
+                c.bool(true);
+                c.tag("retconconfig-v1");
+                c.usize(cfg.ivb_capacity);
+                c.usize(cfg.constraint_capacity);
+                c.usize(cfg.ssb_capacity);
+                c.bool(cfg.unlimited_state);
+                c.bool(cfg.parallel_reacquire);
+                c.bool(cfg.free_commit_stores);
+                c.u32(cfg.violation_backoff);
+                c.u32(cfg.initial_threshold);
+            }
+        }
+        c.u64(self.seed);
+        self.sim_config().canonical_encode(c);
+    }
+
+    /// The key's canonical bytes (a fresh stream, encoded).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut c = Canon::new();
+        self.canonical_encode(&mut c);
+        c.finish()
+    }
+
+    /// The key's 128-bit content hash — the address of its report in a
+    /// [`ResultStore`]. A pure function of [`RunKey::canonical_bytes`].
+    pub fn content_hash(&self) -> u128 {
+        let mut c = Canon::new();
+        self.canonical_encode(&mut c);
+        c.content_hash()
+    }
+}
+
+/// Runs the simulation a key describes (no caching). Pure: same key,
+/// same report, byte for byte.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] (cycle-limit or validation failures — both
+/// indicate workload bugs, so callers treat them as fatal).
+pub fn simulate(key: &RunKey) -> Result<SimReport, SimError> {
+    let spec = key.workload.build(key.cores, key.seed);
+    let protocol: AnyProtocol = match key.cfg {
+        Some(cfg) => RetconTm::new(key.cores, cfg).into(),
+        None => key.system.protocol(key.cores),
+    };
+    run_spec_with(&spec, protocol, key.cores)
+}
+
+/// Assembles the record a key + report pair serializes as. Knob labels
+/// and sequential baselines are presentation concerns layered on top by
+/// the lab's dataset assembly; the serving stack emits records exactly in
+/// this form, which is why a served sweep is byte-identical to
+/// `run_jobs` over the same keys.
+pub fn record_for(key: &RunKey, report: SimReport) -> RunRecord {
+    RunRecord {
+        workload: key.workload.label().to_string(),
+        system: key.system.label().to_string(),
+        cores: key.cores as u64,
+        seed: key.seed,
+        knobs: Vec::new(),
+        seq_cycles: 0,
+        report,
+    }
+}
+
+/// The cache seam the runner executes through.
+///
+/// Implementations must be position-independent (a `lookup` hit returns
+/// exactly what [`simulate`] would — deterministic simulations make this
+/// free) and thread-safe (the runner's workers and the daemon's pool
+/// share one instance).
+pub trait SimCache: Sync {
+    /// The cached report for `key`, if present.
+    fn lookup(&self, key: &RunKey) -> Option<SimReport>;
+    /// Stores `report` for `key`. `cost_micros` is the wall-clock the
+    /// simulation took — cost-aware stores use it to bias eviction.
+    fn insert(&self, key: &RunKey, report: &SimReport, cost_micros: u64);
+}
+
+/// The lab's unbounded in-memory memo, shareable across datasets:
+/// `fig10`'s job list is a strict subset of `fig9`'s at-scale runs, and
+/// `ablation_ideal` repeats `fig9`'s baselines, so `retcon-lab -- all` /
+/// `check` would otherwise recompute byte-identical reports.
+///
+/// Caching cannot change output: simulations are deterministic, so a hit
+/// returns exactly what a fresh run would (two workers racing on the same
+/// key both compute the same report; last insert wins, harmlessly).
+#[derive(Debug, Default)]
+pub struct ReportCache {
+    reports: Mutex<HashMap<RunKey, SimReport>>,
+}
+
+impl ReportCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct simulations memoized.
+    pub fn len(&self) -> usize {
+        self.reports.lock().expect("report cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SimCache for ReportCache {
+    fn lookup(&self, key: &RunKey) -> Option<SimReport> {
+        self.reports
+            .lock()
+            .expect("report cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: &RunKey, report: &SimReport, _cost_micros: u64) {
+        self.reports
+            .lock()
+            .expect("report cache poisoned")
+            .insert(key.clone(), report.clone());
+    }
+}
+
+/// A snapshot of a [`ResultStore`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups served by re-reading a spilled record from disk.
+    pub spill_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Reports inserted.
+    pub insertions: u64,
+    /// Resident entries evicted to honor the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident in memory.
+    pub resident: u64,
+    /// Estimated bytes currently resident.
+    pub resident_cost: u64,
+}
+
+/// One resident entry: the report plus its recency stamp and cost.
+#[derive(Debug)]
+struct StoreEntry {
+    report: SimReport,
+    /// Estimated serialized size — the capacity currency.
+    cost: u64,
+    /// Wall-clock micros the simulation took (recompute cost).
+    sim_micros: u64,
+    /// Recency stamp (monotone ticks; larger = newer).
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    entries: HashMap<u128, StoreEntry>,
+    /// Recency index: tick → hash. Ticks are unique (monotone counter),
+    /// so the first entry is always the least recently used.
+    lru: BTreeMap<u64, u128>,
+    next_tick: u64,
+    resident_cost: u64,
+}
+
+/// The daemon's content-addressed result store: reports keyed by
+/// [`RunKey::content_hash`], capacity-bounded in estimated bytes with
+/// cost-aware LRU eviction, and an optional on-disk spill of the
+/// byte-stable JSON report so evicted results can still be served
+/// without re-simulating.
+///
+/// Eviction is LRU with one cost-aware refinement: among the four least
+/// recently used entries, the one that was *cheapest to compute* is
+/// evicted first — a hot store keeps the reports that are expensive to
+/// regenerate (a 32-core `python` run costs ~500 ms; a 1-core `counter`
+/// run costs ~1 ms) at a small recency penalty.
+#[derive(Debug)]
+pub struct ResultStore {
+    /// Maximum estimated resident bytes before eviction.
+    capacity_bytes: u64,
+    spill_dir: Option<PathBuf>,
+    inner: Mutex<StoreInner>,
+    hits: AtomicU64,
+    spill_hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// How many least-recently-used candidates the cost-aware eviction
+/// considers per eviction.
+const EVICT_WINDOW: usize = 4;
+
+impl ResultStore {
+    /// An empty store bounded at `capacity_bytes` of estimated resident
+    /// report data, with no spill directory.
+    pub fn new(capacity_bytes: u64) -> ResultStore {
+        ResultStore {
+            capacity_bytes,
+            spill_dir: None,
+            inner: Mutex::default(),
+            hits: AtomicU64::new(0),
+            spill_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables on-disk spill: evicted reports are written to
+    /// `dir/<hash>.json` (the byte-stable `SimReport` JSON) and re-read —
+    /// and re-admitted — on a later lookup.
+    pub fn with_spill(mut self, dir: PathBuf) -> ResultStore {
+        self.spill_dir = Some(dir);
+        self
+    }
+
+    fn spill_path(&self, hash: u128) -> Option<PathBuf> {
+        self.spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("{hash:032x}.json")))
+    }
+
+    /// The report stored under `hash`, consulting memory first and the
+    /// spill directory second (a spill hit re-admits the report).
+    pub fn lookup_hash(&self, hash: u128) -> Option<SimReport> {
+        {
+            let mut inner = self.inner.lock().expect("result store poisoned");
+            let tick = inner.next_tick;
+            if let Some(entry) = inner.entries.get_mut(&hash) {
+                let old = entry.tick;
+                entry.tick = tick;
+                let report = entry.report.clone();
+                inner.lru.remove(&old);
+                inner.lru.insert(tick, hash);
+                inner.next_tick += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(report);
+            }
+        }
+        if let Some(path) = self.spill_path(hash) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Ok(json) = retcon_sim::json::Json::parse(&text) {
+                    if let Ok(report) = SimReport::from_json(&json) {
+                        self.spill_hits.fetch_add(1, Ordering::Relaxed);
+                        // Re-admit: recently wanted again. Spill micros are
+                        // unknown post-restart; admit at zero recompute cost
+                        // (it can be re-read from disk again if evicted).
+                        self.insert_hash(hash, &report, 0);
+                        return Some(report);
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `report` under `hash`, evicting (and spilling) as needed.
+    pub fn insert_hash(&self, hash: u128, report: &SimReport, sim_micros: u64) {
+        let text = report.to_json().to_pretty_string();
+        let cost = text.len() as u64;
+        let mut spills: Vec<(PathBuf, String)> = Vec::new();
+        {
+            let mut inner = self.inner.lock().expect("result store poisoned");
+            if inner.entries.contains_key(&hash) {
+                return; // Racing insert of the same content: keep the first.
+            }
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+            let tick = inner.next_tick;
+            inner.next_tick += 1;
+            inner.entries.insert(
+                hash,
+                StoreEntry {
+                    report: report.clone(),
+                    cost,
+                    sim_micros,
+                    tick,
+                },
+            );
+            inner.lru.insert(tick, hash);
+            inner.resident_cost += cost;
+            // Evict until within capacity (never the entry just inserted —
+            // it is the newest, and the window only sees the oldest four
+            // unless the store has shrunk to that size; guard explicitly).
+            while inner.resident_cost > self.capacity_bytes && inner.entries.len() > 1 {
+                let victim = {
+                    let candidates: Vec<u128> = inner
+                        .lru
+                        .values()
+                        .copied()
+                        .filter(|h| *h != hash)
+                        .take(EVICT_WINDOW)
+                        .collect();
+                    // Cheapest-to-recompute among the oldest few.
+                    candidates
+                        .into_iter()
+                        .min_by_key(|h| inner.entries[h].sim_micros)
+                        .expect("entries.len() > 1 guarantees a candidate")
+                };
+                let entry = inner.entries.remove(&victim).expect("victim resident");
+                inner.lru.remove(&entry.tick);
+                inner.resident_cost -= entry.cost;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(path) = self.spill_path(victim) {
+                    spills.push((path, entry.report.to_json().to_pretty_string()));
+                }
+            }
+        }
+        // Write spill files outside the lock; losing one on error only
+        // costs a future re-simulation.
+        for (path, text) in spills {
+            let _ = std::fs::write(&path, text);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("result store poisoned");
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            spill_hits: self.spill_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident: inner.entries.len() as u64,
+            resident_cost: inner.resident_cost,
+        }
+    }
+}
+
+impl SimCache for ResultStore {
+    fn lookup(&self, key: &RunKey) -> Option<SimReport> {
+        self.lookup_hash(key.content_hash())
+    }
+
+    fn insert(&self, key: &RunKey, report: &SimReport, cost_micros: u64) {
+        self.insert_hash(key.content_hash(), report, cost_micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(cores: usize, seed: u64) -> RunKey {
+        RunKey::new(Workload::Counter, System::Retcon, cores, seed)
+    }
+
+    #[test]
+    fn canonical_bytes_separate_distinct_keys() {
+        let a = key(2, 42);
+        assert_eq!(a.canonical_bytes(), key(2, 42).canonical_bytes());
+        assert_ne!(a.canonical_bytes(), key(4, 42).canonical_bytes());
+        assert_ne!(a.canonical_bytes(), key(2, 43).canonical_bytes());
+        let mut eager = a.clone();
+        eager.system = System::Eager;
+        assert_ne!(a.canonical_bytes(), eager.canonical_bytes());
+    }
+
+    #[test]
+    fn default_retcon_cfg_normalizes_to_none() {
+        // `Retcon + Some(default)` runs the identical simulation to
+        // `Retcon + None` (the runner maps both to the same protocol), so
+        // they must share a hash — the ISSUE-pinned invariant that hash
+        // equality tracks record byte-equality.
+        let plain = key(2, 42);
+        let mut explicit = plain.clone();
+        explicit.cfg = Some(RetconConfig::default());
+        assert_eq!(plain.canonical_bytes(), explicit.canonical_bytes());
+        assert_eq!(plain.content_hash(), explicit.content_hash());
+
+        // A non-default config must NOT normalize away.
+        let mut sized = plain.clone();
+        sized.cfg = Some(RetconConfig {
+            ivb_capacity: 4,
+            ..RetconConfig::default()
+        });
+        assert_ne!(plain.content_hash(), sized.content_hash());
+
+        // And a default config under a *different* system is not the same
+        // simulation as that system's default protocol.
+        let mut eager_cfg = plain.clone();
+        eager_cfg.system = System::Eager;
+        eager_cfg.cfg = Some(RetconConfig::default());
+        let mut eager_plain = plain.clone();
+        eager_plain.system = System::Eager;
+        assert_ne!(eager_cfg.content_hash(), eager_plain.content_hash());
+    }
+
+    #[test]
+    fn report_cache_round_trips() {
+        let cache = ReportCache::new();
+        let k = key(2, 42);
+        assert!(cache.lookup(&k).is_none());
+        let report = simulate(&k).unwrap();
+        cache.insert(&k, &report, 10);
+        assert_eq!(cache.lookup(&k), Some(report));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn store_hits_and_misses_are_counted() {
+        let store = ResultStore::new(1 << 20);
+        let k = key(1, 42);
+        assert!(store.lookup(&k).is_none());
+        let report = simulate(&k).unwrap();
+        store.insert(&k, &report, 10);
+        assert_eq!(store.lookup(&k), Some(report));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.resident), (1, 1, 1, 1));
+        assert!(s.resident_cost > 0);
+    }
+
+    #[test]
+    fn store_evicts_cheapest_of_oldest_when_full() {
+        let store = ResultStore::new(1); // everything over budget
+        let a = key(1, 1);
+        let b = key(1, 2);
+        let ra = simulate(&a).unwrap();
+        let rb = simulate(&b).unwrap();
+        store.insert(&a, &ra, 5);
+        store.insert(&b, &rb, 500);
+        // Capacity 1 byte: inserting b evicts a (older AND cheaper).
+        let s = store.stats();
+        assert_eq!(s.resident, 1);
+        assert!(s.evictions >= 1);
+        assert!(store.lookup(&b).is_some());
+        assert!(store.lookup(&a).is_none());
+    }
+
+    #[test]
+    fn store_spills_and_reloads() {
+        let dir = std::env::temp_dir().join(format!("retcon-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = ResultStore::new(1).with_spill(dir.clone());
+        let a = key(1, 1);
+        let b = key(1, 2);
+        let ra = simulate(&a).unwrap();
+        store.insert(&a, &ra, 5);
+        store.insert(&b, &simulate(&b).unwrap(), 5);
+        // `a` was evicted to disk; the lookup reloads it byte-identically.
+        assert_eq!(store.lookup(&a), Some(ra));
+        assert_eq!(store.stats().spill_hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_for_matches_runner_shape() {
+        let k = key(2, 7);
+        let record = record_for(&k, simulate(&k).unwrap());
+        assert_eq!(record.workload, "counter");
+        assert_eq!(record.system, "RetCon");
+        assert_eq!(record.cores, 2);
+        assert_eq!(record.seed, 7);
+        assert!(record.knobs.is_empty());
+        assert_eq!(record.seq_cycles, 0);
+    }
+}

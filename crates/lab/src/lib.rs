@@ -43,12 +43,14 @@ pub mod checks;
 pub mod cli;
 pub mod csv;
 pub mod datasets;
+pub mod engine;
 pub mod explore;
 pub mod record;
 pub mod render;
 pub mod runner;
 
 pub use datasets::Dataset;
+pub use engine::{ReportCache, ResultStore, RunKey, SimCache};
 pub use record::{ExperimentRecord, RunRecord};
 
 /// The seed used for every reported experiment (runs are fully

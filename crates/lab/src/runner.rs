@@ -7,17 +7,24 @@
 //! the slot of its job's *index*, so the returned record vector is
 //! **bit-identical to serial execution** at any worker count (the
 //! root-level determinism suite pins `--jobs 1/4/8` byte-equality).
+//!
+//! Execution and caching live in [`crate::engine`], which the
+//! `retcon-serve` daemon shares; this module owns only the job list →
+//! record list fan-out.
 
+use crate::engine::{record_for, simulate, RunKey, SimCache};
 use crate::record::RunRecord;
 use retcon::RetconConfig;
-use retcon_htm::{AnyProtocol, RetconTm};
-use retcon_sim::{SimError, SimReport};
-use retcon_workloads::{run_spec_with, System, Workload};
-use std::collections::HashMap;
+use retcon_sim::SimError;
+use retcon_workloads::{System, Workload};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
-/// One simulation to run: the full experiment context.
+pub use crate::engine::ReportCache;
+
+/// One simulation to run: the full experiment context — a [`RunKey`]
+/// plus the display-only knob labels recorded alongside the run.
 #[derive(Debug, Clone)]
 pub struct Job {
     /// Workload to build.
@@ -29,10 +36,12 @@ pub struct Job {
     /// Workload-build seed.
     pub seed: u64,
     /// When set, overrides the RETCON configuration (structure-size
-    /// sweeps); the protocol is then a [`RetconTm`] regardless of
-    /// `system`'s default mapping.
+    /// sweeps); the protocol is then a [`retcon_htm::RetconTm`] regardless
+    /// of `system`'s default mapping.
     pub cfg: Option<RetconConfig>,
     /// Knob labels recorded alongside the run (e.g. `("ivb", "4")`).
+    /// Deliberately NOT part of the simulation key — two sweep points
+    /// whose configs coincide share one simulation.
     pub knobs: Vec<(String, String)>,
 }
 
@@ -66,78 +75,35 @@ impl Job {
             knobs,
         }
     }
-}
 
-/// The simulation inputs a job's report is a pure function of — the
-/// knobs are display labels and deliberately NOT part of the key (two
-/// sweep points whose configs coincide share one simulation).
-type SimKey = (Workload, System, Option<RetconConfig>, usize, u64);
-
-/// A memo of completed simulations, shareable across datasets: `fig10`'s
-/// job list is a strict subset of `fig9`'s at-scale runs, and
-/// `ablation_ideal` repeats `fig9`'s baselines, so `retcon-lab -- all` /
-/// `check` would otherwise recompute byte-identical reports.
-///
-/// Caching cannot change output: simulations are deterministic, so a hit
-/// returns exactly what a fresh run would (two workers racing on the same
-/// key both compute the same report; last insert wins, harmlessly).
-#[derive(Debug, Default)]
-pub struct ReportCache {
-    reports: Mutex<HashMap<SimKey, SimReport>>,
-}
-
-impl ReportCache {
-    /// An empty cache.
-    pub fn new() -> Self {
-        Self::default()
+    /// The simulation inputs this job's report is a pure function of.
+    pub fn key(&self) -> RunKey {
+        RunKey {
+            workload: self.workload,
+            system: self.system,
+            cfg: self.cfg,
+            cores: self.cores,
+            seed: self.seed,
+        }
     }
 }
 
-fn sim_key(job: &Job) -> SimKey {
-    (job.workload, job.system, job.cfg, job.cores, job.seed)
+fn record_from(job: &Job, report: retcon_sim::SimReport) -> RunRecord {
+    let mut record = record_for(&job.key(), report);
+    record.knobs = job.knobs.clone();
+    record
 }
 
-/// Runs the simulation a job describes (no caching).
-fn simulate(job: &Job) -> Result<SimReport, SimError> {
-    let spec = job.workload.build(job.cores, job.seed);
-    let protocol: AnyProtocol = match job.cfg {
-        Some(cfg) => RetconTm::new(job.cores, cfg).into(),
-        None => job.system.protocol(job.cores),
-    };
-    run_spec_with(&spec, protocol, job.cores)
-}
-
-fn record_from(job: &Job, report: SimReport) -> RunRecord {
-    RunRecord {
-        workload: job.workload.label().to_string(),
-        system: job.system.label().to_string(),
-        cores: job.cores as u64,
-        seed: job.seed,
-        knobs: job.knobs.clone(),
-        seq_cycles: 0,
-        report,
-    }
-}
-
-fn execute_cached(job: &Job, cache: &ReportCache) -> Result<RunRecord, SimError> {
-    let key = sim_key(job);
-    let hit = cache
-        .reports
-        .lock()
-        .expect("report cache poisoned")
-        .get(&key)
-        .cloned();
-    let report = match hit {
+fn execute_cached(job: &Job, cache: &dyn SimCache) -> Result<RunRecord, SimError> {
+    let key = job.key();
+    let report = match cache.lookup(&key) {
         Some(report) => report,
         None => {
-            // Simulate outside the lock: sims run for milliseconds to
-            // seconds and must not serialize the worker pool.
-            let report = simulate(job)?;
-            cache
-                .reports
-                .lock()
-                .expect("report cache poisoned")
-                .insert(key, report.clone());
+            // Simulate outside any cache lock: sims run for milliseconds
+            // to seconds and must not serialize the worker pool.
+            let t = Instant::now();
+            let report = simulate(&key)?;
+            cache.insert(&key, &report, t.elapsed().as_micros() as u64);
             report
         }
     };
@@ -154,7 +120,7 @@ fn execute_cached(job: &Job, cache: &ReportCache) -> Result<RunRecord, SimError>
 /// Propagates [`SimError`] (cycle-limit or validation failures — both
 /// indicate workload bugs, so callers treat them as fatal).
 pub fn execute(job: &Job) -> Result<RunRecord, SimError> {
-    Ok(record_from(job, simulate(job)?))
+    Ok(record_from(job, simulate(&job.key())?))
 }
 
 /// Runs every job, fanning out across `workers` threads (`<= 1` means
@@ -168,9 +134,11 @@ pub fn run_jobs(jobs: &[Job], workers: usize) -> Result<Vec<RunRecord>, SimError
     run_jobs_cached(jobs, workers, &ReportCache::new())
 }
 
-/// [`run_jobs`] with an externally-owned [`ReportCache`], so repeated
+/// [`run_jobs`] with an externally-owned [`SimCache`], so repeated
 /// simulations are shared across job lists (and within one — duplicate
-/// entries in `jobs` hit the memo too).
+/// entries in `jobs` hit the memo too). The lab passes a [`ReportCache`];
+/// the serving stack's warm path runs through a
+/// [`ResultStore`](crate::engine::ResultStore).
 ///
 /// # Errors
 ///
@@ -179,7 +147,7 @@ pub fn run_jobs(jobs: &[Job], workers: usize) -> Result<Vec<RunRecord>, SimError
 pub fn run_jobs_cached(
     jobs: &[Job],
     workers: usize,
-    cache: &ReportCache,
+    cache: &dyn SimCache,
 ) -> Result<Vec<RunRecord>, SimError> {
     if workers <= 1 || jobs.len() <= 1 {
         return jobs.iter().map(|job| execute_cached(job, cache)).collect();
@@ -211,6 +179,7 @@ pub fn run_jobs_cached(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::SimCache;
 
     fn small_jobs() -> Vec<Job> {
         vec![
@@ -260,15 +229,34 @@ mod tests {
         let second = run_jobs_cached(std::slice::from_ref(&job), 1, &cache).unwrap();
         assert_eq!(fresh, first);
         assert_eq!(first, second);
-        assert_eq!(cache.reports.lock().unwrap().len(), 1);
+        assert_eq!(cache.len(), 1);
 
         // Same simulation inputs, different knob labels: one sim, two
         // records that differ only in their knobs.
         let mut labelled = job;
         labelled.knobs = vec![("ivb".to_string(), "16".to_string())];
         let third = run_jobs_cached(&[labelled], 1, &cache).unwrap();
-        assert_eq!(cache.reports.lock().unwrap().len(), 1);
+        assert_eq!(cache.len(), 1);
         assert_eq!(third[0].report, first[0].report);
         assert_eq!(third[0].knob("ivb"), Some("16"));
+    }
+
+    #[test]
+    fn result_store_serves_the_runner_byte_identically() {
+        // The daemon-shaped cache drops into the same runner seam: records
+        // through a ResultStore equal records through a ReportCache equal
+        // uncached records.
+        let jobs = small_jobs();
+        let plain = run_jobs(&jobs, 1).unwrap();
+        let store = crate::engine::ResultStore::new(1 << 20);
+        let cold = run_jobs_cached(&jobs, 1, &store).unwrap();
+        let warm = run_jobs_cached(&jobs, 4, &store).unwrap();
+        assert_eq!(plain, cold);
+        assert_eq!(plain, warm);
+        // The explicit-default-cfg job (`ivb` knob is a *non*-default cfg)
+        // missed; the three plain runs hit on the warm pass.
+        assert!(store.stats().hits >= 3);
+        let key = jobs[0].key();
+        assert!(store.lookup(&key).is_some());
     }
 }

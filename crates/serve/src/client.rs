@@ -1,0 +1,172 @@
+//! A blocking client for the daemon's line protocol.
+//!
+//! Used by `examples/serve_client.rs`, the root `tests/serve.rs` suite,
+//! and the CI smoke job. One [`Client`] owns one connection; a sweep
+//! call blocks until its `done` line, collecting streamed records back
+//! into **canonical index order** so the returned record vector is
+//! byte-identical to the offline runner's output for the same matrix.
+
+use crate::proto::{DoneSummary, Request, Response, SweepRequest};
+use retcon_lab::RunRecord;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A completed sweep: records in canonical order plus dedup accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Run records, ordered by canonical sweep index (workload-major,
+    /// then system, then cores, then seed).
+    pub records: Vec<RunRecord>,
+    /// Per-record cache flags, index-aligned with `records`.
+    pub cached: Vec<bool>,
+    /// Runs served from the result store.
+    pub hits: u64,
+    /// Runs joined onto executions already in flight.
+    pub joined: u64,
+    /// Runs this sweep caused to execute.
+    pub misses: u64,
+}
+
+impl SweepResult {
+    /// Fraction of runs served without a new execution (store hits plus
+    /// single-flight joins), in `0.0..=1.0`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        (self.hits + self.joined) as f64 / self.records.len() as f64
+    }
+}
+
+/// A blocking connection to a `retcon-serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Connection I/O errors.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), String> {
+        let line = req.to_line();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv failed: {e}"))?;
+        if n == 0 {
+            return Err("connection closed by daemon".to_string());
+        }
+        Response::parse_line(line.trim_end())
+    }
+
+    /// Runs one sweep and blocks until its `done` line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, protocol violations, a request-level rejection, any
+    /// per-run error, or a record set that does not cover every index.
+    pub fn sweep(&mut self, req: &SweepRequest) -> Result<SweepResult, String> {
+        self.send(&Request::Sweep(req.clone()))?;
+        let runs = req.explode().len();
+        let mut slots: Vec<Option<(RunRecord, bool)>> = vec![None; runs];
+        let summary: DoneSummary = loop {
+            match self.recv()? {
+                Response::Record {
+                    id,
+                    index,
+                    cached,
+                    run,
+                } => {
+                    if id != req.id {
+                        return Err(format!("record for unexpected sweep id {id}"));
+                    }
+                    let slot = slots
+                        .get_mut(index as usize)
+                        .ok_or_else(|| format!("record index {index} out of range"))?;
+                    if slot.replace((*run, cached)).is_some() {
+                        return Err(format!("duplicate record for index {index}"));
+                    }
+                }
+                Response::Done(summary) if summary.id == req.id => break summary,
+                Response::Done(summary) => {
+                    return Err(format!("done for unexpected sweep id {}", summary.id));
+                }
+                Response::Error { id, index, message } => {
+                    return Err(match (id, index) {
+                        (Some(id), Some(index)) => {
+                            format!("sweep {id} run {index} failed: {message}")
+                        }
+                        (Some(id), None) => format!("sweep {id} rejected: {message}"),
+                        _ => format!("request failed: {message}"),
+                    });
+                }
+                other => return Err(format!("unexpected response: {other:?}")),
+            }
+        };
+        if summary.errors > 0 {
+            return Err(format!("{} runs failed", summary.errors));
+        }
+        let mut records = Vec::with_capacity(runs);
+        let mut cached = Vec::with_capacity(runs);
+        for (index, slot) in slots.into_iter().enumerate() {
+            let (run, was_cached) = slot.ok_or_else(|| format!("missing record {index}"))?;
+            records.push(run);
+            cached.push(was_cached);
+        }
+        Ok(SweepResult {
+            records,
+            cached,
+            hits: summary.hits,
+            joined: summary.joined,
+            misses: summary.misses,
+        })
+    }
+
+    /// Fetches service counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or protocol violations.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, String> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Response::Stats(fields) => Ok(fields),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Asks the daemon to drain and stop; returns its acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or protocol violations.
+    pub fn shutdown(&mut self) -> Result<String, String> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Response::Ok(message) => Ok(message),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+}

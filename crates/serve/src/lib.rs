@@ -1,0 +1,44 @@
+//! `retcon-serve` — a deduplicating, content-addressed experiment
+//! service over the lab runner.
+//!
+//! The lab layer already has the hard parts of a service: byte-stable
+//! JSON records, a deterministic job-parallel runner, and a shared report
+//! cache ([`retcon_lab::engine`]). This crate lifts them into a
+//! long-running daemon so a fleet of clients hammering overlapping
+//! parameter sweeps gets mostly cache hits and the misses fan out across
+//! a worker pool — the serving-stack shape of the ROADMAP's north star.
+//!
+//! Three layers:
+//!
+//! * [`proto`] — the wire format: line-delimited JSON over a plain TCP
+//!   socket (`std::net` only; the build environment has no HTTP crates,
+//!   so framing is hand-rolled the way `crates/lab` hand-rolls JSON).
+//!   A sweep request names a `workloads × systems × cores × seeds`
+//!   matrix; responses stream one record line per run *as runs finish*,
+//!   then a `done` summary.
+//! * [`server`] — the daemon: per-connection reader/writer threads, a
+//!   content-addressed [`ResultStore`](retcon_lab::ResultStore) keyed by
+//!   [`RunKey::content_hash`](retcon_lab::RunKey::content_hash), a
+//!   **single-flight** in-flight table (concurrent requests for the same
+//!   key join one execution), a FIFO work queue fanned across a worker
+//!   pool, graceful drain on shutdown, and a `stats` request.
+//! * [`client`] — a blocking client used by `examples/serve_client.rs`,
+//!   the smoke tests and CI.
+//!
+//! **Determinism is the contract:** a served sweep's record set, ordered
+//! by the request's canonical index, is byte-identical to running the
+//! same matrix offline through `retcon_lab::runner::run_jobs` —
+//! regardless of client interleaving, connection count, or cache state.
+//! The root `tests/serve.rs` suite cmp-verifies this the way
+//! `--jobs 1/8` byte-equality is pinned today.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use proto::{Request, Response, SweepRequest};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,85 @@
+//! `retcon-serve` — daemon entry point.
+//!
+//! ```text
+//! retcon-serve [--addr HOST:PORT] [--workers N] [--capacity-mb MB]
+//!              [--spill DIR] [--max-runs N] [--max-pending N]
+//! ```
+//!
+//! Prints `retcon-serve listening on ADDR` once the socket is bound
+//! (port 0 resolves to the ephemeral port picked), then serves until a
+//! `shutdown` request drains it.
+
+use retcon_serve::{Server, ServerConfig};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: retcon-serve [--addr HOST:PORT] [--workers N] [--capacity-mb MB] \
+     [--spill DIR] [--max-runs N] [--max-pending N]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--capacity-mb" => {
+                let mb: u64 = value("--capacity-mb")?
+                    .parse()
+                    .map_err(|e| format!("--capacity-mb: {e}"))?;
+                cfg.capacity_bytes = mb << 20;
+            }
+            "--spill" => cfg.spill = Some(value("--spill")?.into()),
+            "--max-runs" => {
+                cfg.max_runs_per_request = value("--max-runs")?
+                    .parse()
+                    .map_err(|e| format!("--max-runs: {e}"))?;
+            }
+            "--max-pending" => {
+                cfg.max_pending_per_conn = value("--max-pending")?
+                    .parse()
+                    .map_err(|e| format!("--max-pending: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("retcon-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("retcon-serve listening on {}", server.local_addr());
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("retcon-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! The daemon: connection handling, single-flight dedup, the worker
+//! pool, and service lifecycle.
+//!
+//! ## Dedup pipeline
+//!
+//! Every sweep is exploded into per-run [`RunKey`]s and each key takes
+//! exactly one of three paths, decided atomically against the in-flight
+//! table:
+//!
+//! 1. **hit** — the content-addressed [`ResultStore`] already holds the
+//!    report (memory or spill): the record line is sent immediately;
+//! 2. **join** — another request is already executing the key: this
+//!    requester is appended to the key's waiter list and the simulation
+//!    runs **once** (single-flight);
+//! 3. **miss** — the key is enqueued; a pool worker executes it, stores
+//!    the report, and streams the record to every waiter.
+//!
+//! Workers serialize each finished report once and splice the payload
+//! into every waiter's envelope, so fan-out cost is O(waiters), not
+//! O(waiters × serialization).
+//!
+//! ## Determinism
+//!
+//! Nothing on the serving path can change simulation output: executions
+//! call the same pure [`engine::simulate`] the offline runner calls, the
+//! store returns exactly what a fresh run would (deterministic sims),
+//! and record payloads are [`engine::record_for`] output. Arrival order
+//! of record lines is scheduling-dependent; the canonical `index`
+//! restores offline byte-identity (pinned by `tests/serve.rs`).
+//!
+//! ## Lifecycle
+//!
+//! `shutdown` flips the draining flag: new sweeps are rejected, workers
+//! finish the queue (every accepted run still streams to its waiters),
+//! the accept loop stops, and [`Server::run`] returns.
+
+use crate::proto::{self, Request, SweepRequest};
+use retcon_lab::engine::{self, ResultStore, RunKey};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing cache misses.
+    pub workers: usize,
+    /// Result-store capacity in estimated resident bytes.
+    pub capacity_bytes: u64,
+    /// Spill directory for evicted reports (optional).
+    pub spill: Option<PathBuf>,
+    /// Maximum runs one sweep may explode into.
+    pub max_runs_per_request: usize,
+    /// Maximum sweeps one connection may have outstanding (backpressure:
+    /// further sweeps are rejected until earlier ones complete).
+    pub max_pending_per_conn: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            capacity_bytes: 64 << 20,
+            spill: None,
+            max_runs_per_request: 4096,
+            max_pending_per_conn: 8,
+        }
+    }
+}
+
+/// One queued cache miss.
+struct WorkItem {
+    hash: u128,
+    key: RunKey,
+}
+
+/// A requester waiting on an in-flight key.
+struct Waiter {
+    out: Sender<String>,
+    id: u64,
+    index: u64,
+    pending: Arc<Pending>,
+}
+
+/// Per-sweep completion state: counts fixed at classification time plus
+/// the remaining-record countdown that triggers the `done` line.
+struct Pending {
+    out: Sender<String>,
+    id: u64,
+    runs: u64,
+    hits: AtomicU64,
+    joined: AtomicU64,
+    misses: AtomicU64,
+    errors: AtomicU64,
+    /// Records not yet delivered, plus one classification guard so the
+    /// `done` line cannot fire while the reader is still classifying.
+    remaining: AtomicU64,
+    /// The owning connection's outstanding-sweep count (backpressure).
+    outstanding: Arc<AtomicUsize>,
+}
+
+impl Pending {
+    /// Marks one unit delivered (a record, an error, or the
+    /// classification guard) and emits `done` on the last one.
+    fn deliver_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let summary = proto::DoneSummary {
+                id: self.id,
+                runs: self.runs,
+                hits: self.hits.load(Ordering::Relaxed),
+                joined: self.joined.load(Ordering::Relaxed),
+                misses: self.misses.load(Ordering::Relaxed),
+                errors: self.errors.load(Ordering::Relaxed),
+            };
+            let _ = self.out.send(proto::done_line(&summary));
+            self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Shared daemon state.
+struct Core {
+    cfg: ServerConfig,
+    store: ResultStore,
+    /// Single-flight table: content hash → waiters for the one execution.
+    inflight: Mutex<HashMap<u128, Vec<Waiter>>>,
+    queue: Mutex<VecDeque<WorkItem>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    executed: AtomicU64,
+    joined_total: AtomicU64,
+    sweeps: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Core {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Classifies and dispatches one sweep. Returns immediately; records
+    /// stream from the store (hits) or the worker pool (joins/misses).
+    fn submit_sweep(
+        &self,
+        req: &SweepRequest,
+        keys: Vec<RunKey>,
+        out: &Sender<String>,
+        outstanding: &Arc<AtomicUsize>,
+    ) {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        let pending = Arc::new(Pending {
+            out: out.clone(),
+            id: req.id,
+            runs: keys.len() as u64,
+            hits: AtomicU64::new(0),
+            joined: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            // +1: the classification guard released below.
+            remaining: AtomicU64::new(keys.len() as u64 + 1),
+            outstanding: Arc::clone(outstanding),
+        });
+        for (index, key) in keys.into_iter().enumerate() {
+            let index = index as u64;
+            let hash = key.content_hash();
+            // Fast path outside the in-flight lock: most warm-sweep keys
+            // resolve here.
+            if let Some(report) = self.store.lookup_hash(hash) {
+                pending.hits.fetch_add(1, Ordering::Relaxed);
+                let run_json = engine::record_for(&key, report).to_json().to_string();
+                let _ = out.send(proto::record_line(req.id, index, true, &run_json));
+                pending.deliver_one();
+                continue;
+            }
+            let waiter = Waiter {
+                out: out.clone(),
+                id: req.id,
+                index,
+                pending: Arc::clone(&pending),
+            };
+            let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+            if let Some(waiters) = inflight.get_mut(&hash) {
+                // Single-flight join: the execution already under way
+                // will stream to this waiter too.
+                waiters.push(waiter);
+                pending.joined.fetch_add(1, Ordering::Relaxed);
+                self.joined_total.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // Re-check the store under the in-flight lock: a worker
+            // completes by inserting into the store *before* removing the
+            // in-flight entry (both ordered by this lock), so a key
+            // missing from both really is idle.
+            if let Some(report) = self.store.lookup_hash(hash) {
+                drop(inflight);
+                pending.hits.fetch_add(1, Ordering::Relaxed);
+                let run_json = engine::record_for(&key, report).to_json().to_string();
+                let _ = out.send(proto::record_line(req.id, index, true, &run_json));
+                pending.deliver_one();
+                continue;
+            }
+            inflight.insert(hash, vec![waiter]);
+            drop(inflight);
+            pending.misses.fetch_add(1, Ordering::Relaxed);
+            self.queue
+                .lock()
+                .expect("work queue poisoned")
+                .push_back(WorkItem { hash, key });
+            self.queue_cv.notify_one();
+        }
+        // Release the classification guard: if every key was a hit, this
+        // is what emits `done`.
+        pending.deliver_one();
+    }
+
+    /// Executes queued work until the queue is empty *and* the daemon is
+    /// draining.
+    fn worker_loop(&self) {
+        loop {
+            let item = {
+                let mut queue = self.queue.lock().expect("work queue poisoned");
+                loop {
+                    if let Some(item) = queue.pop_front() {
+                        break Some(item);
+                    }
+                    if self.draining() {
+                        break None;
+                    }
+                    queue = self.queue_cv.wait(queue).expect("work queue poisoned");
+                }
+            };
+            let Some(WorkItem { hash, key }) = item else {
+                return;
+            };
+            let t = Instant::now();
+            let result = engine::simulate(&key);
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            match result {
+                Ok(report) => {
+                    // Store BEFORE removing the in-flight entry — the
+                    // submit path relies on this order (see submit_sweep).
+                    self.store
+                        .insert_hash(hash, &report, t.elapsed().as_micros() as u64);
+                    let run_json = engine::record_for(&key, report).to_json().to_string();
+                    let waiters = self
+                        .inflight
+                        .lock()
+                        .expect("inflight table poisoned")
+                        .remove(&hash)
+                        .unwrap_or_default();
+                    for w in waiters {
+                        let _ = w
+                            .out
+                            .send(proto::record_line(w.id, w.index, false, &run_json));
+                        w.pending.deliver_one();
+                    }
+                }
+                Err(e) => {
+                    let waiters = self
+                        .inflight
+                        .lock()
+                        .expect("inflight table poisoned")
+                        .remove(&hash)
+                        .unwrap_or_default();
+                    let message = format!("simulation failed: {e}");
+                    for w in waiters {
+                        let _ = w
+                            .out
+                            .send(proto::error_line(Some(w.id), Some(w.index), &message));
+                        w.pending.errors.fetch_add(1, Ordering::Relaxed);
+                        w.pending.deliver_one();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Service counters, in emission order.
+    fn stats_fields(&self) -> Vec<(String, u64)> {
+        let store = self.store.stats();
+        let inflight = self.inflight.lock().expect("inflight table poisoned").len() as u64;
+        let queue_depth = self.queue.lock().expect("work queue poisoned").len() as u64;
+        [
+            ("executed", self.executed.load(Ordering::Relaxed)),
+            ("store_hits", store.hits),
+            ("spill_hits", store.spill_hits),
+            ("store_misses", store.misses),
+            ("insertions", store.insertions),
+            ("evictions", store.evictions),
+            ("resident", store.resident),
+            ("resident_bytes", store.resident_cost),
+            ("joined", self.joined_total.load(Ordering::Relaxed)),
+            ("inflight", inflight),
+            ("queue_depth", queue_depth),
+            ("sweeps", self.sweeps.load(Ordering::Relaxed)),
+            ("connections", self.connections.load(Ordering::Relaxed)),
+            ("workers", self.cfg.workers as u64),
+            ("draining", u64::from(self.draining())),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+    }
+}
+
+/// One connection's reader loop: parse request lines, dispatch, enforce
+/// per-connection limits.
+///
+/// `write_half` is the socket's write side, shared with the writer
+/// thread behind a line-granularity mutex; the shutdown ack is written
+/// through it *synchronously* so the acknowledgement reaches the kernel
+/// send buffer before the drain begins — otherwise the process could
+/// exit (killing the detached writer thread) with the ack still queued.
+fn connection_loop(
+    core: &Arc<Core>,
+    stream: TcpStream,
+    out: Sender<String>,
+    write_half: Arc<Mutex<TcpStream>>,
+    addr: SocketAddr,
+) {
+    core.connections.fetch_add(1, Ordering::Relaxed);
+    let outstanding = Arc::new(AtomicUsize::new(0));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse_line(&line) {
+            Ok(Request::Sweep(req)) => {
+                if core.draining() {
+                    let _ = out.send(proto::error_line(
+                        Some(req.id),
+                        None,
+                        "daemon is draining; sweep rejected",
+                    ));
+                    continue;
+                }
+                let keys = req.explode();
+                if keys.len() > core.cfg.max_runs_per_request {
+                    let _ = out.send(proto::error_line(
+                        Some(req.id),
+                        None,
+                        &format!(
+                            "sweep explodes to {} runs (limit {})",
+                            keys.len(),
+                            core.cfg.max_runs_per_request
+                        ),
+                    ));
+                    continue;
+                }
+                // Backpressure: reject rather than queue unboundedly for
+                // one connection.
+                let was = outstanding.fetch_add(1, Ordering::AcqRel);
+                if was >= core.cfg.max_pending_per_conn {
+                    outstanding.fetch_sub(1, Ordering::AcqRel);
+                    let _ = out.send(proto::error_line(
+                        Some(req.id),
+                        None,
+                        &format!(
+                            "connection has {was} sweeps outstanding (limit {})",
+                            core.cfg.max_pending_per_conn
+                        ),
+                    ));
+                    continue;
+                }
+                core.submit_sweep(&req, keys, &out, &outstanding);
+            }
+            Ok(Request::Stats) => {
+                let _ = out.send(proto::stats_line(&core.stats_fields()));
+            }
+            Ok(Request::Shutdown) => {
+                {
+                    let mut w = write_half.lock().expect("write half poisoned");
+                    let _ = w
+                        .write_all(proto::ok_line("draining").as_bytes())
+                        .and_then(|()| w.write_all(b"\n"))
+                        .and_then(|()| w.flush());
+                }
+                core.draining.store(true, Ordering::Release);
+                core.queue_cv.notify_all();
+                // Unblock the accept loop so Server::run can join the
+                // workers and return.
+                let _ = TcpStream::connect(addr);
+            }
+            Err(e) => {
+                let _ = out.send(proto::error_line(None, None, &e));
+            }
+        }
+    }
+    core.connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// A bound daemon, ready to run.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    core: Arc<Core>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listen socket. The daemon does not serve until
+    /// [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the address, or creating the spill directory.
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        if let Some(dir) = &cfg.spill {
+            std::fs::create_dir_all(dir)?;
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let mut store = ResultStore::new(cfg.capacity_bytes);
+        if let Some(dir) = &cfg.spill {
+            store = store.with_spill(dir.clone());
+        }
+        let workers = cfg.workers.max(1);
+        let core = Arc::new(Core {
+            cfg: ServerConfig { workers, ..cfg },
+            store,
+            inflight: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            joined_total: AtomicU64::new(0),
+            sweeps: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+        Ok(Server {
+            listener,
+            local_addr,
+            core,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port picked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a `shutdown` request drains the daemon: accepts
+    /// connections, spawns per-connection reader/writer threads, runs
+    /// the worker pool, and on drain joins the workers (completing every
+    /// accepted run) before returning.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection I/O errors close that
+    /// connection.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut workers = Vec::new();
+        for _ in 0..self.core.cfg.workers {
+            let core = Arc::clone(&self.core);
+            workers.push(std::thread::spawn(move || core.worker_loop()));
+        }
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(_) => continue,
+            };
+            if self.core.draining() {
+                break;
+            }
+            let write_half = match stream.try_clone() {
+                Ok(s) => Arc::new(Mutex::new(s)),
+                Err(_) => continue,
+            };
+            let (tx, rx) = std::sync::mpsc::channel::<String>();
+            // Writer: drains the channel onto the write half (one lock
+            // per line, shared with the synchronous shutdown-ack path);
+            // exits when every sender is dropped (reader done, no
+            // pending sweeps).
+            let writer_half = Arc::clone(&write_half);
+            std::thread::spawn(move || {
+                while let Ok(line) = rx.recv() {
+                    let mut w = writer_half.lock().expect("write half poisoned");
+                    if w.write_all(line.as_bytes())
+                        .and_then(|()| w.write_all(b"\n"))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                if let Ok(mut w) = writer_half.lock() {
+                    let _ = w.flush();
+                }
+            });
+            let core = Arc::clone(&self.core);
+            let addr = self.local_addr;
+            std::thread::spawn(move || connection_loop(&core, stream, tx, write_half, addr));
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use retcon_workloads::{System, Workload};
+
+    fn sweep(id: u64, systems: Vec<System>, cores: Vec<usize>) -> SweepRequest {
+        SweepRequest {
+            id,
+            workloads: vec![Workload::Counter],
+            systems,
+            cores,
+            seeds: vec![42],
+        }
+    }
+
+    fn spawn_server(
+        cfg: ServerConfig,
+    ) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+        let server = Server::bind(cfg).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    }
+
+    #[test]
+    fn serves_dedups_and_drains() {
+        let (addr, handle) = spawn_server(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+        // Cold sweep: everything misses.
+        let cold = client
+            .sweep(&sweep(1, vec![System::Eager, System::Retcon], vec![1, 2]))
+            .expect("cold sweep");
+        assert_eq!(cold.records.len(), 4);
+        assert_eq!((cold.hits, cold.misses), (0, 4));
+
+        // Identical sweep: everything hits, records byte-identical.
+        let warm = client
+            .sweep(&sweep(2, vec![System::Eager, System::Retcon], vec![1, 2]))
+            .expect("warm sweep");
+        assert_eq!((warm.hits, warm.misses, warm.joined), (4, 0, 0));
+        assert_eq!(cold.records, warm.records);
+        assert!(warm.cached.iter().all(|&c| c));
+
+        // Stats reflect the accounting.
+        let stats = client.stats().expect("stats");
+        let get = |k: &str| {
+            stats
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing stat {k}"))
+        };
+        assert_eq!(get("executed"), 4);
+        assert_eq!(get("store_hits"), 4);
+        assert_eq!(get("sweeps"), 2);
+
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread").expect("server run");
+
+        // Post-drain sweeps are refused (connection or request level).
+        let refused = Client::connect(&addr.to_string())
+            .map_err(|_| ())
+            .and_then(|mut c| {
+                c.sweep(&sweep(3, vec![System::Eager], vec![1]))
+                    .map_err(|_| ())
+            });
+        assert!(refused.is_err());
+    }
+
+    #[test]
+    fn oversized_and_excess_sweeps_are_rejected() {
+        let (addr, handle) = spawn_server(ServerConfig {
+            workers: 1,
+            max_runs_per_request: 2,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let err = client
+            .sweep(&sweep(1, vec![System::Eager], vec![1, 2, 4]))
+            .expect_err("3 runs over a 2-run limit");
+        assert!(err.contains("limit 2"), "{err}");
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread").expect("server run");
+    }
+}

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod canon;
 mod config;
 pub mod json;
 mod machine;
@@ -72,6 +73,7 @@ mod report;
 pub mod schedule;
 mod tape;
 
+pub use canon::{content_hash128, Canon};
 pub use config::SimConfig;
 pub use machine::{Machine, SimError};
 pub use report::{CoreReport, SimReport, TimeBreakdown};

@@ -1,0 +1,176 @@
+//! `serve_client` — drive a running `retcon-serve` daemon (or replay the
+//! same sweep offline) and print the record set.
+//!
+//! ```text
+//! cargo run --release --example serve_client -- \
+//!     --addr 127.0.0.1:7463 --workloads counter,genome \
+//!     --systems eager,RetCon --cores 1,2,4 --seeds 42
+//! ```
+//!
+//! Record lines print to stdout as compact JSON in **canonical sweep
+//! order** (workload-major, then system, then cores, then seed); the
+//! dedup summary goes to stderr. With `--offline` the same matrix runs
+//! locally through the lab engine instead — stdout is byte-identical to
+//! the served output, which is how the CI smoke job cmp-verifies the
+//! daemon. `--require-hit-rate F` exits non-zero if fewer than `F` of
+//! the runs were served without a new execution (store hits plus
+//! single-flight joins). `--stats` / `--shutdown` follow the sweep (or
+//! run alone with `--no-sweep`).
+
+use retcon_lab::engine::{self, RunKey};
+use retcon_serve::{Client, SweepRequest};
+use retcon_workloads::{System, Workload};
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    sweep: SweepRequest,
+    no_sweep: bool,
+    offline: bool,
+    require_hit_rate: Option<f64>,
+    stats: bool,
+    shutdown: bool,
+}
+
+fn usage() -> String {
+    "usage: serve_client [--addr HOST:PORT] [--workloads A,B] [--systems A,B] \
+     [--cores 1,2] [--seeds 42] [--id N] [--offline] [--require-hit-rate F] \
+     [--stats] [--shutdown] [--no-sweep]"
+        .to_string()
+}
+
+fn split_list(raw: &str) -> impl Iterator<Item = &str> {
+    raw.split(',').map(str::trim).filter(|s| !s.is_empty())
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7463".to_string(),
+        sweep: SweepRequest {
+            id: 1,
+            workloads: vec![Workload::Counter],
+            systems: vec![System::Eager, System::Retcon],
+            cores: vec![1, 2, 4],
+            seeds: vec![retcon_lab::SEED],
+        },
+        no_sweep: false,
+        offline: false,
+        require_hit_rate: None,
+        stats: false,
+        shutdown: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--id" => {
+                args.sweep.id = value("--id")?.parse().map_err(|e| format!("--id: {e}"))?;
+            }
+            "--workloads" => {
+                args.sweep.workloads = split_list(&value("--workloads")?)
+                    .map(|label| {
+                        Workload::parse(label).ok_or_else(|| format!("unknown workload `{label}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--systems" => {
+                args.sweep.systems = split_list(&value("--systems")?)
+                    .map(|label| {
+                        System::parse(label).ok_or_else(|| format!("unknown system `{label}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--cores" => {
+                args.sweep.cores = split_list(&value("--cores")?)
+                    .map(|n| n.parse().map_err(|e| format!("--cores: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seeds" => {
+                args.sweep.seeds = split_list(&value("--seeds")?)
+                    .map(|n| n.parse().map_err(|e| format!("--seeds: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--offline" => args.offline = true,
+            "--require-hit-rate" => {
+                args.require_hit_rate = Some(
+                    value("--require-hit-rate")?
+                        .parse()
+                        .map_err(|e| format!("--require-hit-rate: {e}"))?,
+                );
+            }
+            "--stats" => args.stats = true,
+            "--shutdown" => args.shutdown = true,
+            "--no-sweep" => args.no_sweep = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs the sweep matrix locally through the lab engine, printing the
+/// same canonical-order record lines the daemon serves.
+fn run_offline(keys: &[RunKey]) -> Result<(), String> {
+    for key in keys {
+        let report = engine::simulate(key).map_err(|e| format!("simulation failed: {e}"))?;
+        println!("{}", engine::record_for(key, report).to_json());
+    }
+    eprintln!("offline: {} runs", keys.len());
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if args.offline {
+        return run_offline(&args.sweep.explode());
+    }
+    let mut client =
+        Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    if !args.no_sweep {
+        let result = client.sweep(&args.sweep)?;
+        for record in &result.records {
+            println!("{}", record.to_json());
+        }
+        eprintln!(
+            "sweep {}: {} runs, {} hits, {} joined, {} misses (hit rate {:.3})",
+            args.sweep.id,
+            result.records.len(),
+            result.hits,
+            result.joined,
+            result.misses,
+            result.hit_rate()
+        );
+        if let Some(min) = args.require_hit_rate {
+            if result.hit_rate() < min {
+                return Err(format!(
+                    "hit rate {:.3} below required {min:.3}",
+                    result.hit_rate()
+                ));
+            }
+        }
+    }
+    if args.stats {
+        for (name, value) in client.stats()? {
+            eprintln!("stat {name}={value}");
+        }
+    }
+    if args.shutdown {
+        eprintln!("shutdown: {}", client.shutdown()?);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv).and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
