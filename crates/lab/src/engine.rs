@@ -23,13 +23,28 @@
 use crate::record::RunRecord;
 use retcon::RetconConfig;
 use retcon_htm::{AnyProtocol, RetconTm};
-use retcon_sim::canon::Canon;
+use retcon_sim::canon::{content_hash128, Canon};
+use retcon_sim::json::Json;
 use retcon_sim::{SimConfig, SimError, SimReport};
 use retcon_workloads::{run_spec_with, System, Workload};
-use std::collections::{BTreeMap, HashMap};
-use std::path::PathBuf;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poison instead of propagating it.
+///
+/// A poisoned mutex means some thread panicked while holding the lock —
+/// in this codebase every guarded structure (caches, stores, queues,
+/// waiter tables) is kept consistent *before* any operation that can
+/// panic, so the data under a poisoned lock is still valid. Recovering
+/// with [`PoisonError::into_inner`] turns "one worker panicked" into a
+/// non-event instead of cascading `expect("poisoned")` panics through
+/// every thread that touches the lock afterwards — the repair-not-abort
+/// rule applied to the serving stack itself.
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The simulation inputs one report is a pure function of.
 ///
@@ -193,7 +208,7 @@ impl ReportCache {
 
     /// Number of distinct simulations memoized.
     pub fn len(&self) -> usize {
-        self.reports.lock().expect("report cache poisoned").len()
+        lock_recover(&self.reports).len()
     }
 
     /// Whether the cache is empty.
@@ -204,18 +219,182 @@ impl ReportCache {
 
 impl SimCache for ReportCache {
     fn lookup(&self, key: &RunKey) -> Option<SimReport> {
-        self.reports
-            .lock()
-            .expect("report cache poisoned")
-            .get(key)
-            .cloned()
+        lock_recover(&self.reports).get(key).cloned()
     }
 
     fn insert(&self, key: &RunKey, report: &SimReport, _cost_micros: u64) {
-        self.reports
-            .lock()
-            .expect("report cache poisoned")
-            .insert(key.clone(), report.clone());
+        lock_recover(&self.reports).insert(key.clone(), report.clone());
+    }
+}
+
+/// What a [`FaultPlan`] tells a spill write to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillFault {
+    /// Write normally.
+    None,
+    /// Simulate an I/O failure: the write is skipped entirely.
+    Fail,
+    /// Write the file, but with seeded byte damage applied after the
+    /// verification hash was computed — a torn/corrupted entry.
+    Corrupt,
+}
+
+/// What a [`FaultPlan`] tells a response-line write to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineFault {
+    /// Write normally.
+    None,
+    /// Hard-drop the connection before writing (mid-stream disconnect).
+    Drop,
+    /// Sleep this many milliseconds before writing (slow-client stall).
+    Stall(u64),
+}
+
+/// A deterministic fault injector for the crash-safety test suites.
+///
+/// This is a **test-only seam**: production paths run with no plan
+/// attached, which reduces every injection point to a skipped `Option`
+/// check. Faults are *counter-indexed* — each kind carries the ordinal
+/// (0-based) of the operation it strikes, counted on internal atomics —
+/// so a test names exactly which spill write fails, which execution
+/// panics, or which response line drops, and the run replays
+/// deterministically. One-shot faults fire exactly once (the atomic
+/// counter passes the ordinal a single time); `panic_on_key` is the one
+/// persistent fault, driving the retry-exhaustion → quarantine path.
+/// Corruption damage is seeded so a corrupted byte pattern reproduces.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Fail the Nth spill write with a simulated I/O error (no file).
+    pub fail_spill_write: Option<u64>,
+    /// Corrupt the Nth spill write (file lands, bytes damaged).
+    pub corrupt_spill_write: Option<u64>,
+    /// Panic inside the Nth worker execution (one-shot; a retry of the
+    /// same key is a new execution and succeeds).
+    pub panic_on_execution: Option<u64>,
+    /// Panic on *every* execution of the key with this content hash
+    /// (exhausts the bounded retries and quarantines the key).
+    pub panic_on_key: Option<u128>,
+    /// Hard-drop the connection right before the Nth response line.
+    pub drop_after_line: Option<u64>,
+    /// Before the Nth response line, stall for `(n, millis)` — a client
+    /// that stops draining its socket.
+    pub stall_line: Option<(u64, u64)>,
+    /// Seed for the corruption damage pattern.
+    pub seed: u64,
+    spill_writes: AtomicU64,
+    executions: AtomicU64,
+    lines: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing). Chain the `*_on` builders to arm
+    /// specific faults — the counter atomics stay private.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Arms a simulated I/O failure on the Nth spill write.
+    #[must_use]
+    pub fn fail_spill_write_on(mut self, n: u64) -> FaultPlan {
+        self.fail_spill_write = Some(n);
+        self
+    }
+
+    /// Arms seeded byte damage on the Nth spill write.
+    #[must_use]
+    pub fn corrupt_spill_write_on(mut self, n: u64, seed: u64) -> FaultPlan {
+        self.corrupt_spill_write = Some(n);
+        self.seed = seed;
+        self
+    }
+
+    /// Arms a one-shot panic inside the Nth worker execution.
+    #[must_use]
+    pub fn panic_on_execution_n(mut self, n: u64) -> FaultPlan {
+        self.panic_on_execution = Some(n);
+        self
+    }
+
+    /// Arms a persistent panic on every execution of `hash`.
+    #[must_use]
+    pub fn panic_on_key_hash(mut self, hash: u128) -> FaultPlan {
+        self.panic_on_key = Some(hash);
+        self
+    }
+
+    /// Arms a hard connection drop before the Nth response line.
+    #[must_use]
+    pub fn drop_after_line_n(mut self, n: u64) -> FaultPlan {
+        self.drop_after_line = Some(n);
+        self
+    }
+
+    /// Arms a `millis`-long stall before the Nth response line.
+    #[must_use]
+    pub fn stall_line_n(mut self, n: u64, millis: u64) -> FaultPlan {
+        self.stall_line = Some((n, millis));
+        self
+    }
+
+    /// Draws the fault (if any) for the next spill write.
+    pub fn on_spill_write(&self) -> SpillFault {
+        let n = self.spill_writes.fetch_add(1, Ordering::AcqRel);
+        if self.fail_spill_write == Some(n) {
+            SpillFault::Fail
+        } else if self.corrupt_spill_write == Some(n) {
+            SpillFault::Corrupt
+        } else {
+            SpillFault::None
+        }
+    }
+
+    /// Whether the next execution (of the key hashing to `hash`) should
+    /// panic.
+    pub fn on_execution(&self, hash: u128) -> bool {
+        let n = self.executions.fetch_add(1, Ordering::AcqRel);
+        self.panic_on_execution == Some(n) || self.panic_on_key == Some(hash)
+    }
+
+    /// Draws the fault (if any) for the next response line.
+    pub fn on_line(&self) -> LineFault {
+        let n = self.lines.fetch_add(1, Ordering::AcqRel);
+        if self.drop_after_line == Some(n) {
+            LineFault::Drop
+        } else if let Some((at, millis)) = self.stall_line {
+            if at == n {
+                return LineFault::Stall(millis);
+            }
+            LineFault::None
+        } else {
+            LineFault::None
+        }
+    }
+
+    /// Applies seeded damage to `bytes`: even seeds truncate at a
+    /// seed-chosen point, odd seeds flip a handful of seed-chosen bytes.
+    /// Always changes the content of a non-empty buffer.
+    pub fn corrupt(&self, bytes: &mut Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        let mut state = self.seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        if self.seed % 2 == 0 {
+            let keep = (next() as usize) % bytes.len();
+            bytes.truncate(keep);
+        } else {
+            for _ in 0..4 {
+                let draw = next();
+                let idx = (draw as usize) % bytes.len();
+                bytes[idx] ^= ((draw >> 32) as u8) | 1;
+            }
+        }
     }
 }
 
@@ -236,6 +415,15 @@ pub struct StoreStats {
     pub resident: u64,
     /// Estimated bytes currently resident.
     pub resident_cost: u64,
+    /// Spill entries that failed verification (torn, corrupted, or
+    /// mis-keyed) and were moved to the quarantine sidecar directory —
+    /// never served.
+    pub quarantined: u64,
+    /// Spill entries verified and re-indexed by [`ResultStore::warm_start`].
+    pub recovered_on_boot: u64,
+    /// Spill writes that failed (I/O error or injected fault). The result
+    /// stays memory-resident; it is only lost to a restart.
+    pub spill_write_failures: u64,
 }
 
 /// One resident entry: the report plus its recency stamp and cost.
@@ -258,30 +446,57 @@ struct StoreInner {
     lru: BTreeMap<u64, u128>,
     next_tick: u64,
     resident_cost: u64,
+    /// Hashes with a verified spill file on disk: everything this store
+    /// instance spilled successfully plus everything a
+    /// [`ResultStore::warm_start`] scan recovered. Gates the disk read on
+    /// a lookup miss so cold misses never touch the filesystem.
+    on_disk: HashSet<u128>,
 }
 
 /// The daemon's content-addressed result store: reports keyed by
 /// [`RunKey::content_hash`], capacity-bounded in estimated bytes with
-/// cost-aware LRU eviction, and an optional on-disk spill of the
-/// byte-stable JSON report so evicted results can still be served
-/// without re-simulating.
+/// cost-aware LRU eviction, and an optional **durable** on-disk spill so
+/// results survive eviction *and* daemon crashes.
 ///
 /// Eviction is LRU with one cost-aware refinement: among the four least
 /// recently used entries, the one that was *cheapest to compute* is
 /// evicted first — a hot store keeps the reports that are expensive to
 /// regenerate (a 32-core `python` run costs ~500 ms; a 1-core `counter`
 /// run costs ~1 ms) at a small recency penalty.
+///
+/// ## Crash safety (the spill contract)
+///
+/// With a spill directory attached, every insert **writes through** to
+/// disk (not just evictions), so a SIGKILL loses nothing that finished.
+/// Each spill file is a self-verifying envelope
+/// `{"key":"<hash>","check":"<hash>","report":{…}}` where `check` is the
+/// content hash of the report's byte-stable compact JSON. Writes go to a
+/// temp file and land by atomic rename, so a torn write can never
+/// shadow a good entry. Every disk read re-verifies: the filename, the
+/// embedded key, and the payload hash must all agree, or the file is
+/// moved to the `quarantine/` sidecar directory and **never served** —
+/// a corrupt store degrades to re-simulation, not to wrong answers.
+/// Verification runs only on the disk path; in-memory hits stay
+/// hash-free (the `serve_warm` hot path).
+///
+/// [`ResultStore::warm_start`] scans the spill directory on boot,
+/// verifies every entry once, quarantines failures, and indexes the
+/// survivors so a restarted daemon serves prior results as hits.
 #[derive(Debug)]
 pub struct ResultStore {
     /// Maximum estimated resident bytes before eviction.
     capacity_bytes: u64,
     spill_dir: Option<PathBuf>,
+    faults: Option<Arc<FaultPlan>>,
     inner: Mutex<StoreInner>,
     hits: AtomicU64,
     spill_hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    quarantined: AtomicU64,
+    recovered_on_boot: AtomicU64,
+    spill_write_failures: AtomicU64,
 }
 
 /// How many least-recently-used candidates the cost-aware eviction
@@ -295,20 +510,32 @@ impl ResultStore {
         ResultStore {
             capacity_bytes,
             spill_dir: None,
+            faults: None,
             inner: Mutex::default(),
             hits: AtomicU64::new(0),
             spill_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            recovered_on_boot: AtomicU64::new(0),
+            spill_write_failures: AtomicU64::new(0),
         }
     }
 
-    /// Enables on-disk spill: evicted reports are written to
-    /// `dir/<hash>.json` (the byte-stable `SimReport` JSON) and re-read —
+    /// Enables durable on-disk spill: every inserted report is written
+    /// through to `dir/<hash>.json` as a self-verifying envelope (see the
+    /// type docs), survives eviction and process death, and is re-read —
     /// and re-admitted — on a later lookup.
     pub fn with_spill(mut self, dir: PathBuf) -> ResultStore {
         self.spill_dir = Some(dir);
+        self
+    }
+
+    /// Attaches a deterministic fault injector to the spill path
+    /// (test-only; see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> ResultStore {
+        self.faults = Some(plan);
         self
     }
 
@@ -319,10 +546,12 @@ impl ResultStore {
     }
 
     /// The report stored under `hash`, consulting memory first and the
-    /// spill directory second (a spill hit re-admits the report).
+    /// spill directory second (a verified spill hit re-admits the
+    /// report). The in-memory path never touches the filesystem or
+    /// re-hashes — hot hits stay hot.
     pub fn lookup_hash(&self, hash: u128) -> Option<SimReport> {
         {
-            let mut inner = self.inner.lock().expect("result store poisoned");
+            let mut inner = lock_recover(&self.inner);
             let tick = inner.next_tick;
             if let Some(entry) = inner.entries.get_mut(&hash) {
                 let old = entry.tick;
@@ -334,32 +563,102 @@ impl ResultStore {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(report);
             }
-        }
-        if let Some(path) = self.spill_path(hash) {
-            if let Ok(text) = std::fs::read_to_string(&path) {
-                if let Ok(json) = retcon_sim::json::Json::parse(&text) {
-                    if let Ok(report) = SimReport::from_json(&json) {
-                        self.spill_hits.fetch_add(1, Ordering::Relaxed);
-                        // Re-admit: recently wanted again. Spill micros are
-                        // unknown post-restart; admit at zero recompute cost
-                        // (it can be re-read from disk again if evicted).
-                        self.insert_hash(hash, &report, 0);
-                        return Some(report);
-                    }
-                }
+            if !inner.on_disk.contains(&hash) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
             }
+        }
+        if let Some(report) = self.spill_read(hash) {
+            self.spill_hits.fetch_add(1, Ordering::Relaxed);
+            // Re-admit: recently wanted again. Spill micros are unknown
+            // post-restart; admit at zero recompute cost (it can be
+            // re-read from disk again if evicted). The file is already on
+            // disk, so skip the write-through.
+            self.admit(hash, &report, 0, false);
+            return Some(report);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
-    /// Stores `report` under `hash`, evicting (and spilling) as needed.
+    /// Reads and fully verifies the spill file for `hash`. Any failure —
+    /// unreadable, unparseable, mis-keyed, or a payload whose content
+    /// hash does not match its `check` field — quarantines the file and
+    /// returns `None`: a record that does not verify is never served.
+    fn spill_read(&self, hash: u128) -> Option<SimReport> {
+        let path = self.spill_path(hash)?;
+        match verify_spill_file(hash, &path) {
+            Ok(report) => Some(report),
+            Err(_) => {
+                self.quarantine(hash, &path);
+                None
+            }
+        }
+    }
+
+    /// Moves a failed spill file into the `quarantine/` sidecar (kept for
+    /// post-mortem, never re-read) and drops it from the disk index.
+    fn quarantine(&self, hash: u128, path: &Path) {
+        lock_recover(&self.inner).on_disk.remove(&hash);
+        if let Some(dir) = &self.spill_dir {
+            let sidecar = dir.join("quarantine");
+            let _ = std::fs::create_dir_all(&sidecar);
+            if let Some(name) = path.file_name() {
+                let _ = std::fs::rename(path, sidecar.join(name));
+            }
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Writes the spill envelope for `hash` crash-safely: temp file, then
+    /// atomic rename — a torn write never lands under the final name.
+    /// On success the hash joins the disk index; on failure (real or
+    /// injected) the failure is counted and the result stays
+    /// memory-resident only.
+    fn spill_write(&self, hash: u128, text: &str) {
+        let Some(dir) = &self.spill_dir else { return };
+        let fault = self
+            .faults
+            .as_deref()
+            .map_or(SpillFault::None, FaultPlan::on_spill_write);
+        if fault == SpillFault::Fail {
+            self.spill_write_failures.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let check = content_hash128(text.as_bytes());
+        let mut bytes =
+            format!("{{\"key\":\"{hash:032x}\",\"check\":\"{check:032x}\",\"report\":{text}}}")
+                .into_bytes();
+        if fault == SpillFault::Corrupt {
+            if let Some(plan) = &self.faults {
+                plan.corrupt(&mut bytes);
+            }
+        }
+        let tmp = dir.join(format!(".tmp-{hash:032x}-{}", std::process::id()));
+        let landed = std::fs::write(&tmp, &bytes)
+            .and_then(|()| std::fs::rename(&tmp, dir.join(format!("{hash:032x}.json"))));
+        match landed {
+            Ok(()) => {
+                lock_recover(&self.inner).on_disk.insert(hash);
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+                self.spill_write_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Stores `report` under `hash`, evicting as needed and writing
+    /// through to the spill directory (durability — see the type docs).
     pub fn insert_hash(&self, hash: u128, report: &SimReport, sim_micros: u64) {
-        let text = report.to_json().to_pretty_string();
+        self.admit(hash, report, sim_micros, true);
+    }
+
+    fn admit(&self, hash: u128, report: &SimReport, sim_micros: u64, write_spill: bool) {
+        let text = report.to_json().to_string();
         let cost = text.len() as u64;
-        let mut spills: Vec<(PathBuf, String)> = Vec::new();
         {
-            let mut inner = self.inner.lock().expect("result store poisoned");
+            let mut inner = lock_recover(&self.inner);
             if inner.entries.contains_key(&hash) {
                 return; // Racing insert of the same content: keep the first.
             }
@@ -380,6 +679,8 @@ impl ResultStore {
             // Evict until within capacity (never the entry just inserted —
             // it is the newest, and the window only sees the oldest four
             // unless the store has shrunk to that size; guard explicitly).
+            // Spill is write-through, so eviction only drops memory: the
+            // victim's file (if its write succeeded) is already on disk.
             while inner.resident_cost > self.capacity_bytes && inner.entries.len() > 1 {
                 let victim = {
                     let candidates: Vec<u128> = inner
@@ -399,21 +700,65 @@ impl ResultStore {
                 inner.lru.remove(&entry.tick);
                 inner.resident_cost -= entry.cost;
                 self.evictions.fetch_add(1, Ordering::Relaxed);
-                if let Some(path) = self.spill_path(victim) {
-                    spills.push((path, entry.report.to_json().to_pretty_string()));
+            }
+        }
+        // Durable write-through, outside the lock; a failed write only
+        // costs a re-simulation after the next restart.
+        if write_spill {
+            self.spill_write(hash, &text);
+        }
+    }
+
+    /// Rebuilds the disk index from the spill directory — the daemon's
+    /// warm-start boot scan. Every `<hash>.json` entry is verified once
+    /// (envelope key and payload hash); survivors are indexed so later
+    /// lookups serve them as (spill) hits, failures are quarantined, and
+    /// stale temp files from an interrupted write are swept. Returns
+    /// `(recovered, quarantined)`.
+    pub fn warm_start(&self) -> (u64, u64) {
+        let Some(dir) = self.spill_dir.clone() else {
+            return (0, 0);
+        };
+        let mut recovered = 0u64;
+        let mut quarantined = 0u64;
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            return (0, 0);
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.starts_with(".tmp-") {
+                // A write interrupted by the crash; it never landed.
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            let Some(hex) = name.strip_suffix(".json") else {
+                continue;
+            };
+            let Ok(hash) = u128::from_str_radix(hex, 16) else {
+                continue;
+            };
+            match verify_spill_file(hash, &path) {
+                Ok(_) => {
+                    lock_recover(&self.inner).on_disk.insert(hash);
+                    recovered += 1;
+                }
+                Err(_) => {
+                    self.quarantine(hash, &path);
+                    quarantined += 1;
                 }
             }
         }
-        // Write spill files outside the lock; losing one on error only
-        // costs a future re-simulation.
-        for (path, text) in spills {
-            let _ = std::fs::write(&path, text);
-        }
+        self.recovered_on_boot
+            .fetch_add(recovered, Ordering::Relaxed);
+        (recovered, quarantined)
     }
 
     /// Current counters.
     pub fn stats(&self) -> StoreStats {
-        let inner = self.inner.lock().expect("result store poisoned");
+        let inner = lock_recover(&self.inner);
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             spill_hits: self.spill_hits.load(Ordering::Relaxed),
@@ -422,8 +767,40 @@ impl ResultStore {
             evictions: self.evictions.load(Ordering::Relaxed),
             resident: inner.entries.len() as u64,
             resident_cost: inner.resident_cost,
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            recovered_on_boot: self.recovered_on_boot.load(Ordering::Relaxed),
+            spill_write_failures: self.spill_write_failures.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Parses and verifies one spill envelope: the embedded `key` must match
+/// the hash the filename claims, and the re-serialized report payload
+/// must hash to the embedded `check`. Compact JSON emission is
+/// byte-stable (the repo-wide record contract), so parse→re-serialize
+/// reproduces the exact bytes the writer hashed; any byte of damage
+/// either breaks the parse, changes the payload hash, or breaks the key
+/// binding — all three verify failures.
+fn verify_spill_file(hash: u128, path: &Path) -> Result<SimReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("unparseable: {e}"))?;
+    let key =
+        u128::from_str_radix(json.req_str("key")?, 16).map_err(|e| format!("bad key: {e}"))?;
+    if key != hash {
+        return Err(format!(
+            "key {key:032x} does not match filename {hash:032x}"
+        ));
+    }
+    let check =
+        u128::from_str_radix(json.req_str("check")?, 16).map_err(|e| format!("bad check: {e}"))?;
+    let report_json = json
+        .get("report")
+        .ok_or_else(|| "missing field `report`".to_string())?;
+    let payload = report_json.to_string();
+    if content_hash128(payload.as_bytes()) != check {
+        return Err("content hash mismatch".to_string());
+    }
+    SimReport::from_json(report_json)
 }
 
 impl SimCache for ResultStore {
@@ -526,19 +903,144 @@ mod tests {
         assert!(store.lookup(&a).is_none());
     }
 
+    fn temp_spill_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("retcon-spill-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn store_spills_and_reloads() {
-        let dir = std::env::temp_dir().join(format!("retcon-spill-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_spill_dir("reload");
         let store = ResultStore::new(1).with_spill(dir.clone());
         let a = key(1, 1);
         let b = key(1, 2);
         let ra = simulate(&a).unwrap();
         store.insert(&a, &ra, 5);
         store.insert(&b, &simulate(&b).unwrap(), 5);
-        // `a` was evicted to disk; the lookup reloads it byte-identically.
+        // `a` was evicted; its write-through spill file reloads it
+        // byte-identically after hash verification.
         assert_eq!(store.lookup(&a), Some(ra));
         assert_eq!(store.stats().spill_hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_start_recovers_spilled_results_without_resimulating() {
+        let dir = temp_spill_dir("warm");
+        let a = key(1, 1);
+        let b = key(2, 2);
+        let ra = simulate(&a).unwrap();
+        let rb = simulate(&b).unwrap();
+        {
+            // Write-through means both land on disk immediately, long
+            // before any eviction.
+            let store = ResultStore::new(1 << 20).with_spill(dir.clone());
+            store.insert(&a, &ra, 5);
+            store.insert(&b, &rb, 5);
+        }
+        // "Restart": a fresh store on the same directory.
+        let store = ResultStore::new(1 << 20).with_spill(dir.clone());
+        assert_eq!(store.warm_start(), (2, 0));
+        assert_eq!(store.lookup(&a), Some(ra));
+        assert_eq!(store.lookup(&b), Some(rb));
+        let s = store.stats();
+        assert_eq!(s.recovered_on_boot, 2);
+        assert_eq!(s.spill_hits, 2);
+        assert_eq!(s.quarantined, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_spill_entries_are_quarantined_never_served() {
+        let dir = temp_spill_dir("corrupt");
+        let a = key(1, 1);
+        let ra = simulate(&a).unwrap();
+        let plan = Arc::new(FaultPlan {
+            corrupt_spill_write: Some(0),
+            seed: 43, // odd: byte flips
+            ..FaultPlan::default()
+        });
+        {
+            let store = ResultStore::new(1 << 20)
+                .with_spill(dir.clone())
+                .with_faults(plan);
+            store.insert(&a, &ra, 5);
+        }
+        let store = ResultStore::new(1 << 20).with_spill(dir.clone());
+        assert_eq!(store.warm_start(), (0, 1), "corrupt entry must quarantine");
+        assert_eq!(store.lookup(&a), None, "a corrupt record must never serve");
+        let s = store.stats();
+        assert_eq!((s.quarantined, s.recovered_on_boot), (1, 0));
+        // The file moved to the sidecar, out of the scan path.
+        assert!(dir
+            .join("quarantine")
+            .join(format!("{:032x}.json", a.content_hash()))
+            .exists());
+        let fresh = ResultStore::new(1 << 20).with_spill(dir.clone());
+        assert_eq!(fresh.warm_start(), (0, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_spill_write_keeps_result_in_memory_only() {
+        let dir = temp_spill_dir("failwrite");
+        let a = key(1, 1);
+        let ra = simulate(&a).unwrap();
+        let plan = Arc::new(FaultPlan {
+            fail_spill_write: Some(0),
+            ..FaultPlan::default()
+        });
+        let store = ResultStore::new(1 << 20)
+            .with_spill(dir.clone())
+            .with_faults(plan);
+        store.insert(&a, &ra, 5);
+        // Still served from memory this process...
+        assert_eq!(store.lookup(&a), Some(ra));
+        assert_eq!(store.stats().spill_write_failures, 1);
+        drop(store);
+        // ...but a restart re-simulates it: nothing landed on disk.
+        let restarted = ResultStore::new(1 << 20).with_spill(dir.clone());
+        assert_eq!(restarted.warm_start(), (0, 0));
+        assert_eq!(restarted.lookup(&a), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_spill_entry_is_quarantined() {
+        let dir = temp_spill_dir("truncate");
+        let a = key(1, 1);
+        {
+            let store = ResultStore::new(1 << 20).with_spill(dir.clone());
+            store.insert(&a, &simulate(&a).unwrap(), 5);
+        }
+        let path = dir.join(format!("{:032x}.json", a.content_hash()));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let store = ResultStore::new(1 << 20).with_spill(dir.clone());
+        assert_eq!(store.warm_start(), (0, 1));
+        assert_eq!(store.lookup(&a), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn misfiled_spill_entry_fails_key_binding() {
+        // A valid envelope under the wrong filename (e.g. a stray rename)
+        // must not serve under the wrong key.
+        let dir = temp_spill_dir("misfile");
+        let a = key(1, 1);
+        let b = key(1, 2);
+        {
+            let store = ResultStore::new(1 << 20).with_spill(dir.clone());
+            store.insert(&a, &simulate(&a).unwrap(), 5);
+        }
+        let a_path = dir.join(format!("{:032x}.json", a.content_hash()));
+        let b_path = dir.join(format!("{:032x}.json", b.content_hash()));
+        std::fs::rename(&a_path, &b_path).unwrap();
+        let store = ResultStore::new(1 << 20).with_spill(dir.clone());
+        assert_eq!(store.warm_start(), (0, 1));
+        assert_eq!(store.lookup(&b), None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -50,7 +50,7 @@ pub mod render;
 pub mod runner;
 
 pub use datasets::Dataset;
-pub use engine::{ReportCache, ResultStore, RunKey, SimCache};
+pub use engine::{FaultPlan, ReportCache, ResultStore, RunKey, SimCache};
 pub use record::{ExperimentRecord, RunRecord};
 
 /// The seed used for every reported experiment (runs are fully

@@ -1,0 +1,114 @@
+//! Property: the durable store **never serves a record whose content
+//! hash doesn't verify**. Arbitrary single-byte flips and truncations of
+//! a spilled JSON envelope must produce exactly one of two outcomes at
+//! warm start — the original record byte-identical (damage hit
+//! redundant whitespace… which the compact envelope has none of, so in
+//! practice: never silently altered), or a quarantine observable via
+//! [`StoreStats::quarantined`] with the lookup returning nothing.
+//!
+//! The envelope is `{"key":…,"check":…,"report":…}` where `check` is
+//! the content hash of the report's canonical compact JSON bytes, so
+//! any surviving parse with altered content re-serializes to different
+//! bytes and fails the check.
+
+use proptest::prelude::*;
+use retcon_lab::engine::ResultStore;
+use retcon_lab::RunKey;
+use retcon_sim::SimReport;
+use retcon_workloads::{System, Workload};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// One simulated report, shared across all proptest cases (simulation
+/// is deterministic and takes long enough that per-case runs would
+/// dominate the suite).
+fn seeded_run() -> &'static (RunKey, SimReport) {
+    static RUN: OnceLock<(RunKey, SimReport)> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let key = RunKey::new(Workload::Counter, System::Retcon, 2, retcon_lab::SEED);
+        let report = retcon_lab::engine::simulate(&key).expect("simulate");
+        (key, report)
+    })
+}
+
+fn case_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "retcon-spill-prop-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create spill dir");
+    dir
+}
+
+/// Writes one verified spill entry and returns `(dir, hash, original
+/// bytes, canonical record text)`.
+fn spill_one() -> (PathBuf, u128, Vec<u8>, String) {
+    let (key, report) = seeded_run();
+    let dir = case_dir();
+    let store = ResultStore::new(1 << 20).with_spill(dir.clone());
+    let hash = key.content_hash();
+    store.insert_hash(hash, report, 1);
+    let path = dir.join(format!("{hash:032x}.json"));
+    let bytes = std::fs::read(&path).expect("spill file written");
+    let canonical = report.to_json().to_string();
+    (dir, hash, bytes, canonical)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flipping any single byte of the envelope is either detected
+    /// (quarantined, nothing served) or — impossible for a compact
+    /// canonical envelope — leaves the served bytes identical.
+    #[test]
+    fn flipped_byte_never_serves_unverified_record(
+        pos_draw in 0u64..1_000_000,
+        xor in 1u8..=255,
+    ) {
+        let (dir, hash, mut bytes, canonical) = spill_one();
+        let pos = (pos_draw as usize) % bytes.len();
+        bytes[pos] ^= xor;
+        let path = dir.join(format!("{hash:032x}.json"));
+        std::fs::write(&path, &bytes).expect("write damaged entry");
+
+        let store = ResultStore::new(1 << 20).with_spill(dir.clone());
+        let (recovered, quarantined) = store.warm_start();
+        prop_assert_eq!(recovered + quarantined, 1, "entry neither recovered nor quarantined");
+        match store.lookup_hash(hash) {
+            Some(report) => {
+                // Served ⇒ verified ⇒ byte-identical to the original.
+                prop_assert_eq!(recovered, 1);
+                prop_assert_eq!(report.to_json().to_string(), canonical.clone());
+            }
+            None => {
+                prop_assert_eq!(quarantined, 1);
+                prop_assert_eq!(store.stats().quarantined, 1);
+                // The damaged file left the serving directory.
+                prop_assert!(!path.exists(), "quarantined file still in spill dir");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Truncating the envelope at any point strictly inside it is always
+    /// detected: a prefix either fails to parse or fails the check hash.
+    #[test]
+    fn truncated_entry_is_always_quarantined(keep_draw in 0u64..1_000_000) {
+        let (dir, hash, bytes, _) = spill_one();
+        let keep = (keep_draw as usize) % bytes.len(); // strictly shorter
+        let path = dir.join(format!("{hash:032x}.json"));
+        std::fs::write(&path, &bytes[..keep]).expect("write truncated entry");
+
+        let store = ResultStore::new(1 << 20).with_spill(dir.clone());
+        let (recovered, quarantined) = store.warm_start();
+        prop_assert_eq!((recovered, quarantined), (0, 1));
+        prop_assert!(store.lookup_hash(hash).is_none(), "served a truncated record");
+        prop_assert_eq!(store.stats().quarantined, 1);
+        prop_assert!(!path.exists(), "quarantined file still in spill dir");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

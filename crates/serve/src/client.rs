@@ -5,11 +5,70 @@
 //! call blocks until its `done` line, collecting streamed records back
 //! into **canonical index order** so the returned record vector is
 //! byte-identical to the offline runner's output for the same matrix.
+//!
+//! ## Resilience
+//!
+//! [`ClientConfig`] adds connect/read timeouts and transport-level
+//! retries with exponential backoff and seeded jitter. A failed sweep
+//! **reconnects and reissues the whole request** — provably safe because
+//! content-addressed run keys are natural idempotency keys: every
+//! re-requested key either hits the store (the first attempt's execution
+//! finished and was kept) or joins the still-in-flight execution, so the
+//! daemon's `executed` count is unchanged by any number of retries.
+//! Server-side *rejections* (error replies, failed runs) are never
+//! retried — only transport faults are.
 
 use crate::proto::{DoneSummary, Request, Response, SweepRequest};
 use retcon_lab::RunRecord;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Connection and retry policy for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Timeout for establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Per-read socket timeout (`None` blocks indefinitely — sweeps wait
+    /// on real simulations, so the default is no read deadline).
+    pub read_timeout: Option<Duration>,
+    /// Transport-failure retries per sweep (0 = fail fast).
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt, plus
+    /// seeded jitter in `[0, base)`.
+    pub backoff: Duration,
+    /// Jitter seed — deterministic, so a fleet of clients configured
+    /// with distinct seeds desynchronizes instead of thundering back in
+    /// lockstep, and a test replays exactly.
+    pub retry_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(10)),
+            read_timeout: None,
+            retries: 0,
+            backoff: Duration::from_millis(50),
+            retry_seed: 0x5eed,
+        }
+    }
+}
+
+/// SplitMix64 — the repo's standard small deterministic generator.
+fn splitmix(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How one sweep attempt failed: transport faults are retryable (the
+/// request never completed), rejections are authoritative answers.
+enum SweepError {
+    Transport(String),
+    Rejected(String),
+}
 
 /// A completed sweep: records in canonical order plus dedup accounting.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,23 +100,93 @@ impl SweepResult {
 /// A blocking connection to a `retcon-serve` daemon.
 #[derive(Debug)]
 pub struct Client {
+    addr: String,
+    cfg: ClientConfig,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
 impl Client {
-    /// Connects to a daemon at `addr` (`host:port`).
+    /// Connects to a daemon at `addr` (`host:port`) with the default
+    /// [`ClientConfig`] (10 s connect timeout, no retries).
     ///
     /// # Errors
     ///
     /// Connection I/O errors.
     pub fn connect(addr: &str) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with an explicit timeout/retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Address-resolution or connection I/O errors (after the connect
+    /// timeout, if one is set).
+    pub fn connect_with(addr: &str, cfg: ClientConfig) -> std::io::Result<Client> {
+        let stream = Client::dial(addr, &cfg)?;
         let writer = stream.try_clone()?;
         Ok(Client {
+            addr: addr.to_string(),
+            cfg,
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    fn dial(addr: &str, cfg: &ClientConfig) -> std::io::Result<TcpStream> {
+        let stream = match cfg.connect_timeout {
+            Some(timeout) => {
+                let mut last = None;
+                let mut connected = None;
+                for sock in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sock, timeout) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match connected {
+                    Some(s) => s,
+                    None => {
+                        return Err(last.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no sockets",
+                            )
+                        }))
+                    }
+                }
+            }
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_read_timeout(cfg.read_timeout)?;
+        Ok(stream)
+    }
+
+    /// Tears down the socket and dials the daemon again with the same
+    /// policy.
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = Client::dial(&self.addr, &self.cfg)?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        Ok(())
+    }
+
+    /// Backoff before retry `attempt` (1-based): exponential in the base
+    /// with seeded jitter, salted by the sweep id so concurrent sweeps
+    /// from one config desynchronize too.
+    fn backoff_delay(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.cfg.backoff.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << (attempt - 1).min(16));
+        let jitter = if base == 0 {
+            0
+        } else {
+            splitmix(self.cfg.retry_seed ^ salt ^ u64::from(attempt)) % base
+        };
+        Duration::from_millis(exp + jitter)
     }
 
     fn send(&mut self, req: &Request) -> Result<(), String> {
@@ -81,18 +210,50 @@ impl Client {
         Response::parse_line(line.trim_end())
     }
 
-    /// Runs one sweep and blocks until its `done` line.
+    /// Runs one sweep and blocks until its `done` line, retrying
+    /// transport failures per the [`ClientConfig`]: reconnect, back off
+    /// (exponential + seeded jitter), and reissue the whole sweep.
+    /// Reissue is idempotent — see the module docs. Rejections and
+    /// per-run errors are returned immediately, never retried.
     ///
     /// # Errors
     ///
-    /// I/O failures, protocol violations, a request-level rejection, any
-    /// per-run error, or a record set that does not cover every index.
+    /// I/O failures (after retries are exhausted), protocol violations, a
+    /// request-level rejection, any per-run error, or a record set that
+    /// does not cover every index.
     pub fn sweep(&mut self, req: &SweepRequest) -> Result<SweepResult, String> {
-        self.send(&Request::Sweep(req.clone()))?;
+        let mut last = match self.sweep_once(req) {
+            Ok(result) => return Ok(result),
+            Err(SweepError::Rejected(message)) => return Err(message),
+            Err(SweepError::Transport(message)) => message,
+        };
+        for attempt in 1..=self.cfg.retries {
+            std::thread::sleep(self.backoff_delay(attempt, req.id));
+            if let Err(e) = self.reconnect() {
+                last = format!("reconnect failed: {e}");
+                continue;
+            }
+            match self.sweep_once(req) {
+                Ok(result) => return Ok(result),
+                Err(SweepError::Rejected(message)) => return Err(message),
+                Err(SweepError::Transport(message)) => last = message,
+            }
+        }
+        Err(format!(
+            "sweep {} failed after {} attempts: {last}",
+            req.id,
+            u64::from(self.cfg.retries) + 1
+        ))
+    }
+
+    /// One attempt: send, then collect records until `done`.
+    fn sweep_once(&mut self, req: &SweepRequest) -> Result<SweepResult, SweepError> {
+        self.send(&Request::Sweep(req.clone()))
+            .map_err(SweepError::Transport)?;
         let runs = req.explode().len();
         let mut slots: Vec<Option<(RunRecord, bool)>> = vec![None; runs];
         let summary: DoneSummary = loop {
-            match self.recv()? {
+            match self.recv().map_err(SweepError::Transport)? {
                 Response::Record {
                     id,
                     index,
@@ -100,38 +261,53 @@ impl Client {
                     run,
                 } => {
                     if id != req.id {
-                        return Err(format!("record for unexpected sweep id {id}"));
+                        return Err(SweepError::Transport(format!(
+                            "record for unexpected sweep id {id}"
+                        )));
                     }
-                    let slot = slots
-                        .get_mut(index as usize)
-                        .ok_or_else(|| format!("record index {index} out of range"))?;
+                    let slot = slots.get_mut(index as usize).ok_or_else(|| {
+                        SweepError::Transport(format!("record index {index} out of range"))
+                    })?;
                     if slot.replace((*run, cached)).is_some() {
-                        return Err(format!("duplicate record for index {index}"));
+                        return Err(SweepError::Transport(format!(
+                            "duplicate record for index {index}"
+                        )));
                     }
                 }
                 Response::Done(summary) if summary.id == req.id => break summary,
                 Response::Done(summary) => {
-                    return Err(format!("done for unexpected sweep id {}", summary.id));
+                    return Err(SweepError::Transport(format!(
+                        "done for unexpected sweep id {}",
+                        summary.id
+                    )));
                 }
                 Response::Error { id, index, message } => {
-                    return Err(match (id, index) {
+                    return Err(SweepError::Rejected(match (id, index) {
                         (Some(id), Some(index)) => {
                             format!("sweep {id} run {index} failed: {message}")
                         }
                         (Some(id), None) => format!("sweep {id} rejected: {message}"),
                         _ => format!("request failed: {message}"),
-                    });
+                    }));
                 }
-                other => return Err(format!("unexpected response: {other:?}")),
+                other => {
+                    return Err(SweepError::Transport(format!(
+                        "unexpected response: {other:?}"
+                    )))
+                }
             }
         };
         if summary.errors > 0 {
-            return Err(format!("{} runs failed", summary.errors));
+            return Err(SweepError::Rejected(format!(
+                "{} runs failed",
+                summary.errors
+            )));
         }
         let mut records = Vec::with_capacity(runs);
         let mut cached = Vec::with_capacity(runs);
         for (index, slot) in slots.into_iter().enumerate() {
-            let (run, was_cached) = slot.ok_or_else(|| format!("missing record {index}"))?;
+            let (run, was_cached) =
+                slot.ok_or_else(|| SweepError::Transport(format!("missing record {index}")))?;
             records.push(run);
             cached.push(was_cached);
         }

@@ -31,6 +31,18 @@
 //! regardless of client interleaving, connection count, or cache state.
 //! The root `tests/serve.rs` suite cmp-verifies this the way
 //! `--jobs 1/8` byte-equality is pinned today.
+//!
+//! **Fault model (repair, not abort):** the daemon survives worker
+//! panics (`catch_unwind` + bounded retry, then per-key quarantine),
+//! poisoned mutexes (every lock recovers via `into_inner`), torn or
+//! corrupt spill files (content-hash re-verified on read, failures
+//! quarantined to a sidecar dir and never served), hostile request
+//! lines (oversized / truncated / unknown types get a structured error
+//! and the connection stays alive), and its own death: a restart on the
+//! same `--spill` dir warm-starts the store so completed keys come back
+//! as byte-identical hits. Faults are injected deterministically in
+//! tests through [`retcon_lab::FaultPlan`]. DESIGN.md § Serving → Fault
+//! model has the full taxonomy.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,6 +51,6 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use proto::{Request, Response, SweepRequest};
 pub use server::{Server, ServerConfig};

@@ -3,18 +3,21 @@
 //! ```text
 //! retcon-serve [--addr HOST:PORT] [--workers N] [--capacity-mb MB]
 //!              [--spill DIR] [--max-runs N] [--max-pending N]
+//!              [--max-line-bytes N]
 //! ```
 //!
-//! Prints `retcon-serve listening on ADDR` once the socket is bound
-//! (port 0 resolves to the ephemeral port picked), then serves until a
-//! `shutdown` request drains it.
+//! When `--spill` names a directory with prior results, the boot
+//! warm-start scan is reported (`recovered N, quarantined M`) before
+//! the listening line. Prints `retcon-serve listening on ADDR` once the
+//! socket is bound (port 0 resolves to the ephemeral port picked), then
+//! serves until a `shutdown` request drains it.
 
 use retcon_serve::{Server, ServerConfig};
 use std::process::ExitCode;
 
 fn usage() -> String {
     "usage: retcon-serve [--addr HOST:PORT] [--workers N] [--capacity-mb MB] \
-     [--spill DIR] [--max-runs N] [--max-pending N]"
+     [--spill DIR] [--max-runs N] [--max-pending N] [--max-line-bytes N]"
         .to_string()
 }
 
@@ -51,6 +54,11 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|e| format!("--max-pending: {e}"))?;
             }
+            "--max-line-bytes" => {
+                cfg.max_line_bytes = value("--max-line-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--max-line-bytes: {e}"))?;
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -67,6 +75,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let spilled = cfg.spill.is_some();
     let server = match Server::bind(cfg) {
         Ok(server) => server,
         Err(e) => {
@@ -74,6 +83,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if spilled {
+        let stats = server.store_stats();
+        println!(
+            "retcon-serve warm start: recovered {}, quarantined {}",
+            stats.recovered_on_boot, stats.quarantined
+        );
+    }
     println!("retcon-serve listening on {}", server.local_addr());
     match server.run() {
         Ok(()) => ExitCode::SUCCESS,

@@ -35,15 +35,16 @@
 //! the accept loop stops, and [`Server::run`] returns.
 
 use crate::proto::{self, Request, SweepRequest};
-use retcon_lab::engine::{self, ResultStore, RunKey};
-use std::collections::{HashMap, VecDeque};
+use retcon_lab::engine::{self, lock_recover, FaultPlan, LineFault, ResultStore, RunKey};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -54,13 +55,23 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Result-store capacity in estimated resident bytes.
     pub capacity_bytes: u64,
-    /// Spill directory for evicted reports (optional).
+    /// Durable spill directory: results are written through on insert,
+    /// verified on read, and recovered by a warm-start scan at bind
+    /// (optional).
     pub spill: Option<PathBuf>,
     /// Maximum runs one sweep may explode into.
     pub max_runs_per_request: usize,
     /// Maximum sweeps one connection may have outstanding (backpressure:
     /// further sweeps are rejected until earlier ones complete).
     pub max_pending_per_conn: usize,
+    /// Maximum request-line length in bytes: longer lines are discarded
+    /// with a structured error, and the connection stays alive.
+    pub max_line_bytes: usize,
+    /// Bounded retries after a worker panic before the key is
+    /// quarantined.
+    pub panic_retries: u32,
+    /// Deterministic fault injector (test-only; see [`FaultPlan`]).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +83,9 @@ impl Default for ServerConfig {
             spill: None,
             max_runs_per_request: 4096,
             max_pending_per_conn: 8,
+            max_line_bytes: 1 << 20,
+            panic_retries: 2,
+            faults: None,
         }
     }
 }
@@ -139,6 +153,11 @@ struct Core {
     joined_total: AtomicU64,
     sweeps: AtomicU64,
     connections: AtomicU64,
+    /// Worker panics observed (every attempt counts, retries included).
+    worker_panics: AtomicU64,
+    /// Keys quarantined after exhausting panic retries: answered with a
+    /// structured error immediately, never re-executed.
+    key_quarantine: Mutex<HashSet<u128>>,
 }
 
 impl Core {
@@ -180,13 +199,25 @@ impl Core {
                 pending.deliver_one();
                 continue;
             }
+            // Quarantined keys (repeated worker panics) answer with a
+            // structured error instead of wedging another worker.
+            if lock_recover(&self.key_quarantine).contains(&hash) {
+                pending.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = out.send(proto::error_line(
+                    Some(req.id),
+                    Some(index),
+                    "key quarantined after repeated worker panics",
+                ));
+                pending.deliver_one();
+                continue;
+            }
             let waiter = Waiter {
                 out: out.clone(),
                 id: req.id,
                 index,
                 pending: Arc::clone(&pending),
             };
-            let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+            let mut inflight = lock_recover(&self.inflight);
             if let Some(waiters) = inflight.get_mut(&hash) {
                 // Single-flight join: the execution already under way
                 // will stream to this waiter too.
@@ -210,10 +241,7 @@ impl Core {
             inflight.insert(hash, vec![waiter]);
             drop(inflight);
             pending.misses.fetch_add(1, Ordering::Relaxed);
-            self.queue
-                .lock()
-                .expect("work queue poisoned")
-                .push_back(WorkItem { hash, key });
+            lock_recover(&self.queue).push_back(WorkItem { hash, key });
             self.queue_cv.notify_one();
         }
         // Release the classification guard: if every key was a hit, this
@@ -223,10 +251,18 @@ impl Core {
 
     /// Executes queued work until the queue is empty *and* the daemon is
     /// draining.
+    ///
+    /// Fault isolation: `simulate` runs under [`catch_unwind`], so a
+    /// panicking workload cannot kill the worker thread. A panicked key
+    /// is retried with linear backoff up to `panic_retries` times (a
+    /// transient fault clears; an injected one-shot panic succeeds on
+    /// retry), then quarantined: its waiters are woken with a structured
+    /// error — never left hanging — and later requests for the key are
+    /// refused at classification time.
     fn worker_loop(&self) {
         loop {
             let item = {
-                let mut queue = self.queue.lock().expect("work queue poisoned");
+                let mut queue = lock_recover(&self.queue);
                 loop {
                     if let Some(item) = queue.pop_front() {
                         break Some(item);
@@ -234,26 +270,46 @@ impl Core {
                     if self.draining() {
                         break None;
                     }
-                    queue = self.queue_cv.wait(queue).expect("work queue poisoned");
+                    queue = self
+                        .queue_cv
+                        .wait(queue)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
             let Some(WorkItem { hash, key }) = item else {
                 return;
             };
             let t = Instant::now();
-            let result = engine::simulate(&key);
+            let mut outcome = None;
+            for attempt in 0..=self.cfg.panic_retries {
+                let unwound = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = &self.cfg.faults {
+                        if plan.on_execution(hash) {
+                            panic!("injected fault: worker panic");
+                        }
+                    }
+                    engine::simulate(&key)
+                }));
+                match unwound {
+                    Ok(result) => {
+                        outcome = Some(result);
+                        break;
+                    }
+                    Err(_) => {
+                        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(5 * u64::from(attempt) + 5));
+                    }
+                }
+            }
             self.executed.fetch_add(1, Ordering::Relaxed);
-            match result {
-                Ok(report) => {
+            match outcome {
+                Some(Ok(report)) => {
                     // Store BEFORE removing the in-flight entry — the
                     // submit path relies on this order (see submit_sweep).
                     self.store
                         .insert_hash(hash, &report, t.elapsed().as_micros() as u64);
                     let run_json = engine::record_for(&key, report).to_json().to_string();
-                    let waiters = self
-                        .inflight
-                        .lock()
-                        .expect("inflight table poisoned")
+                    let waiters = lock_recover(&self.inflight)
                         .remove(&hash)
                         .unwrap_or_default();
                     for w in waiters {
@@ -263,31 +319,45 @@ impl Core {
                         w.pending.deliver_one();
                     }
                 }
-                Err(e) => {
-                    let waiters = self
-                        .inflight
-                        .lock()
-                        .expect("inflight table poisoned")
-                        .remove(&hash)
-                        .unwrap_or_default();
-                    let message = format!("simulation failed: {e}");
-                    for w in waiters {
-                        let _ = w
-                            .out
-                            .send(proto::error_line(Some(w.id), Some(w.index), &message));
-                        w.pending.errors.fetch_add(1, Ordering::Relaxed);
-                        w.pending.deliver_one();
-                    }
+                Some(Err(e)) => {
+                    self.fail_key(hash, &format!("simulation failed: {e}"));
+                }
+                None => {
+                    // Retries exhausted: quarantine so the key can never
+                    // wedge another worker, and wake every waiter.
+                    lock_recover(&self.key_quarantine).insert(hash);
+                    self.fail_key(
+                        hash,
+                        &format!(
+                            "worker panicked {} times; key quarantined",
+                            self.cfg.panic_retries + 1
+                        ),
+                    );
                 }
             }
+        }
+    }
+
+    /// Wakes every waiter of a failed key with a structured error record.
+    fn fail_key(&self, hash: u128, message: &str) {
+        let waiters = lock_recover(&self.inflight)
+            .remove(&hash)
+            .unwrap_or_default();
+        for w in waiters {
+            let _ = w
+                .out
+                .send(proto::error_line(Some(w.id), Some(w.index), message));
+            w.pending.errors.fetch_add(1, Ordering::Relaxed);
+            w.pending.deliver_one();
         }
     }
 
     /// Service counters, in emission order.
     fn stats_fields(&self) -> Vec<(String, u64)> {
         let store = self.store.stats();
-        let inflight = self.inflight.lock().expect("inflight table poisoned").len() as u64;
-        let queue_depth = self.queue.lock().expect("work queue poisoned").len() as u64;
+        let inflight = lock_recover(&self.inflight).len() as u64;
+        let queue_depth = lock_recover(&self.queue).len() as u64;
+        let key_quarantined = lock_recover(&self.key_quarantine).len() as u64;
         [
             ("executed", self.executed.load(Ordering::Relaxed)),
             ("store_hits", store.hits),
@@ -297,6 +367,12 @@ impl Core {
             ("evictions", store.evictions),
             ("resident", store.resident),
             ("resident_bytes", store.resident_cost),
+            // Quarantines of both kinds: spill files that failed
+            // verification plus keys retired after repeated panics.
+            ("quarantined", store.quarantined + key_quarantined),
+            ("recovered_on_boot", store.recovered_on_boot),
+            ("worker_panics", self.worker_panics.load(Ordering::Relaxed)),
+            ("spill_write_failures", store.spill_write_failures),
             ("joined", self.joined_total.load(Ordering::Relaxed)),
             ("inflight", inflight),
             ("queue_depth", queue_depth),
@@ -308,6 +384,67 @@ impl Core {
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
         .collect()
+    }
+}
+
+/// Outcome of one capped line read.
+enum LineRead {
+    /// The peer closed the connection cleanly.
+    Eof,
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// The line exceeded the cap; its bytes were discarded up to (and
+    /// including) the newline, and the connection is still usable.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line into `buf`, refusing to buffer more
+/// than `cap` bytes: an oversized line is *consumed and discarded* to
+/// the next newline instead of growing the buffer without bound — a
+/// hostile client cannot balloon daemon memory, and the connection
+/// survives to carry the structured error reply.
+fn read_line_capped(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    let mut overflow = false;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(if overflow {
+                LineRead::TooLong
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line // final line without a trailing newline
+            });
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !overflow && buf.len() + pos <= cap {
+                    buf.extend_from_slice(&available[..pos]);
+                } else {
+                    overflow = true;
+                }
+                reader.consume(pos + 1);
+                return Ok(if overflow {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Line
+                });
+            }
+            None => {
+                let n = available.len();
+                if !overflow && buf.len() + n <= cap {
+                    buf.extend_from_slice(available);
+                } else {
+                    overflow = true;
+                }
+                reader.consume(n);
+            }
+        }
     }
 }
 
@@ -328,13 +465,34 @@ fn connection_loop(
 ) {
     core.connections.fetch_add(1, Ordering::Relaxed);
     let outstanding = Arc::new(AtomicUsize::new(0));
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        match read_line_capped(&mut reader, &mut buf, core.cfg.max_line_bytes) {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                // Hostile input answers with a structured error; the
+                // connection stays alive for well-formed requests.
+                let _ = out.send(proto::error_line(
+                    None,
+                    None,
+                    &format!(
+                        "request line exceeds {} bytes and was discarded",
+                        core.cfg.max_line_bytes
+                    ),
+                ));
+                continue;
+            }
+            Ok(LineRead::Line) => {}
+        }
+        // Invalid UTF-8 survives lossy conversion and fails JSON parsing
+        // below — an error reply, not a dropped connection.
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
             continue;
         }
-        match Request::parse_line(&line) {
+        match Request::parse_line(line) {
             Ok(Request::Sweep(req)) => {
                 if core.draining() {
                     let _ = out.send(proto::error_line(
@@ -379,7 +537,7 @@ fn connection_loop(
             }
             Ok(Request::Shutdown) => {
                 {
-                    let mut w = write_half.lock().expect("write half poisoned");
+                    let mut w = lock_recover(&write_half);
                     let _ = w
                         .write_all(proto::ok_line("draining").as_bytes())
                         .and_then(|()| w.write_all(b"\n"))
@@ -431,6 +589,15 @@ impl Server {
         if let Some(dir) = &cfg.spill {
             store = store.with_spill(dir.clone());
         }
+        if let Some(plan) = &cfg.faults {
+            store = store.with_faults(Arc::clone(plan));
+        }
+        // Warm start: verify and index every result a previous daemon
+        // spilled here, so a restart serves prior work as hits. Corrupt
+        // entries quarantine now, before the first request.
+        if cfg.spill.is_some() {
+            store.warm_start();
+        }
         let workers = cfg.workers.max(1);
         let core = Arc::new(Core {
             cfg: ServerConfig { workers, ..cfg },
@@ -443,6 +610,8 @@ impl Server {
             joined_total: AtomicU64::new(0),
             sweeps: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            key_quarantine: Mutex::new(HashSet::new()),
         });
         Ok(Server {
             listener,
@@ -454,6 +623,12 @@ impl Server {
     /// The bound address (resolves port 0 to the ephemeral port picked).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Snapshot of the result store's counters (`recovered_on_boot` and
+    /// `quarantined` reflect the warm-start scan done by [`Server::bind`]).
+    pub fn store_stats(&self) -> retcon_lab::engine::StoreStats {
+        self.core.store.stats()
     }
 
     /// Serves until a `shutdown` request drains the daemon: accepts
@@ -487,11 +662,30 @@ impl Server {
             // Writer: drains the channel onto the write half (one lock
             // per line, shared with the synchronous shutdown-ack path);
             // exits when every sender is dropped (reader done, no
-            // pending sweeps).
+            // pending sweeps). A write failure only kills this
+            // connection's writer — record sends to it become no-ops and
+            // sweep accounting still completes.
             let writer_half = Arc::clone(&write_half);
+            let faults = self.core.cfg.faults.clone();
             std::thread::spawn(move || {
                 while let Ok(line) = rx.recv() {
-                    let mut w = writer_half.lock().expect("write half poisoned");
+                    if let Some(plan) = &faults {
+                        match plan.on_line() {
+                            LineFault::Drop => {
+                                // Injected mid-stream disconnect.
+                                let w = lock_recover(&writer_half);
+                                let _ = w.shutdown(std::net::Shutdown::Both);
+                                break;
+                            }
+                            LineFault::Stall(millis) => {
+                                // Injected slow client: stall this
+                                // connection only.
+                                std::thread::sleep(Duration::from_millis(millis));
+                            }
+                            LineFault::None => {}
+                        }
+                    }
+                    let mut w = lock_recover(&writer_half);
                     if w.write_all(line.as_bytes())
                         .and_then(|()| w.write_all(b"\n"))
                         .is_err()
@@ -499,9 +693,8 @@ impl Server {
                         break;
                     }
                 }
-                if let Ok(mut w) = writer_half.lock() {
-                    let _ = w.flush();
-                }
+                let mut w = lock_recover(&writer_half);
+                let _ = w.flush();
             });
             let core = Arc::clone(&self.core);
             let addr = self.local_addr;

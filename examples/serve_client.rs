@@ -15,15 +15,20 @@
 //! daemon. `--require-hit-rate F` exits non-zero if fewer than `F` of
 //! the runs were served without a new execution (store hits plus
 //! single-flight joins). `--stats` / `--shutdown` follow the sweep (or
-//! run alone with `--no-sweep`).
+//! run alone with `--no-sweep`). `--retries N` turns on transport-level
+//! retry (reconnect + reissue with backoff — safe because run keys are
+//! idempotency keys); `--connect-timeout-ms` / `--read-timeout-ms`
+//! bound the socket.
 
 use retcon_lab::engine::{self, RunKey};
-use retcon_serve::{Client, SweepRequest};
+use retcon_serve::{Client, ClientConfig, SweepRequest};
 use retcon_workloads::{System, Workload};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     addr: String,
+    cfg: ClientConfig,
     sweep: SweepRequest,
     no_sweep: bool,
     offline: bool,
@@ -35,6 +40,7 @@ struct Args {
 fn usage() -> String {
     "usage: serve_client [--addr HOST:PORT] [--workloads A,B] [--systems A,B] \
      [--cores 1,2] [--seeds 42] [--id N] [--offline] [--require-hit-rate F] \
+     [--retries N] [--connect-timeout-ms MS] [--read-timeout-ms MS] \
      [--stats] [--shutdown] [--no-sweep]"
         .to_string()
 }
@@ -46,6 +52,7 @@ fn split_list(raw: &str) -> impl Iterator<Item = &str> {
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7463".to_string(),
+        cfg: ClientConfig::default(),
         sweep: SweepRequest {
             id: 1,
             workloads: vec![Workload::Counter],
@@ -103,6 +110,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|e| format!("--require-hit-rate: {e}"))?,
                 );
             }
+            "--retries" => {
+                args.cfg.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--connect-timeout-ms" => {
+                let ms: u64 = value("--connect-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--connect-timeout-ms: {e}"))?;
+                args.cfg.connect_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+                args.cfg.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             "--stats" => args.stats = true,
             "--shutdown" => args.shutdown = true,
             "--no-sweep" => args.no_sweep = true,
@@ -128,8 +152,8 @@ fn run(args: &Args) -> Result<(), String> {
     if args.offline {
         return run_offline(&args.sweep.explode());
     }
-    let mut client =
-        Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    let mut client = Client::connect_with(&args.addr, args.cfg.clone())
+        .map_err(|e| format!("connect {}: {e}", args.addr))?;
     if !args.no_sweep {
         let result = client.sweep(&args.sweep)?;
         for record in &result.records {
