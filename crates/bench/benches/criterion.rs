@@ -48,12 +48,12 @@ fn bench_engine(c: &mut Criterion) {
 fn bench_memory(c: &mut Criterion) {
     let mut group = c.benchmark_group("memory");
     group.bench_function("l1_hit", |b| {
-        let mut ms = MemorySystem::new(MemConfig::default(), 2);
+        let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 2);
         ms.access(CoreId(0), Addr(0), AccessKind::Read, false);
         b.iter(|| black_box(ms.access(CoreId(0), Addr(0), AccessKind::Read, false)));
     });
     group.bench_function("write_invalidate_pingpong", |b| {
-        let mut ms = MemorySystem::new(MemConfig::default(), 2);
+        let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 2);
         b.iter(|| {
             black_box(ms.access(CoreId(0), Addr(0), AccessKind::Write, false));
             black_box(ms.access(CoreId(1), Addr(0), AccessKind::Write, false));

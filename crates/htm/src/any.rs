@@ -36,23 +36,23 @@ use crate::{DatmLite, EagerTm, LazyTm, LazyVbTm, RetconTm};
 /// let p: AnyProtocol = EagerTm::new(2, ConflictPolicy::OldestWins).into();
 /// assert_eq!(p.name(), "eager");
 /// ```
-pub enum AnyProtocol {
+pub enum AnyProtocol<const N: usize = 1> {
     /// The §2 baseline eager HTM (both contention policies).
-    Eager(EagerTm),
+    Eager(EagerTm<N>),
     /// Lazy conflict detection, committer wins (Figure 2(e)).
-    Lazy(LazyTm),
+    Lazy(LazyTm<N>),
     /// Value-based commit validation (§5.1 `lazy-vb`).
-    LazyVb(LazyVbTm),
+    LazyVb(LazyVbTm<N>),
     /// Full RETCON symbolic repair (and its idealized configuration).
-    Retcon(RetconTm),
+    Retcon(RetconTm<N>),
     /// Dependence-aware forwarding TM (Figure 2(b)).
-    Datm(DatmLite),
+    Datm(DatmLite<N>),
     /// Escape hatch for external [`Protocol`] implementations; calls stay
     /// virtual.
-    Dyn(Box<dyn Protocol>),
+    Dyn(Box<dyn Protocol<N>>),
 }
 
-impl std::fmt::Debug for AnyProtocol {
+impl<const N: usize> std::fmt::Debug for AnyProtocol<N> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // `dyn Protocol` is not `Debug`; the protocol name identifies every
         // variant well enough for diagnostics.
@@ -60,38 +60,50 @@ impl std::fmt::Debug for AnyProtocol {
     }
 }
 
-/// Expands one protocol call across every variant. `Dyn` auto-derefs the
-/// box, so the same expression body serves all six arms.
+/// Expands one protocol call across every variant, fully qualified as
+/// `Protocol::<N>::method` so the size class is pinned (the built-ins
+/// implement `Protocol<N>` for every `N`). `Dyn` deref-coerces the box,
+/// so the same expansion serves all six arms.
 macro_rules! dispatch {
-    ($self:expr, $p:ident => $body:expr) => {
+    ($self:expr, $method:ident ( $($args:expr),* )) => {
         match $self {
-            AnyProtocol::Eager($p) => $body,
-            AnyProtocol::Lazy($p) => $body,
-            AnyProtocol::LazyVb($p) => $body,
-            AnyProtocol::Retcon($p) => $body,
-            AnyProtocol::Datm($p) => $body,
-            AnyProtocol::Dyn($p) => $body,
+            AnyProtocol::Eager(p) => Protocol::<N>::$method(p, $($args),*),
+            AnyProtocol::Lazy(p) => Protocol::<N>::$method(p, $($args),*),
+            AnyProtocol::LazyVb(p) => Protocol::<N>::$method(p, $($args),*),
+            AnyProtocol::Retcon(p) => Protocol::<N>::$method(p, $($args),*),
+            AnyProtocol::Datm(p) => Protocol::<N>::$method(p, $($args),*),
+            AnyProtocol::Dyn(p) => Protocol::<N>::$method(&mut **p, $($args),*),
+        }
+    };
+    (ref $self:expr, $method:ident ( $($args:expr),* )) => {
+        match $self {
+            AnyProtocol::Eager(p) => Protocol::<N>::$method(p, $($args),*),
+            AnyProtocol::Lazy(p) => Protocol::<N>::$method(p, $($args),*),
+            AnyProtocol::LazyVb(p) => Protocol::<N>::$method(p, $($args),*),
+            AnyProtocol::Retcon(p) => Protocol::<N>::$method(p, $($args),*),
+            AnyProtocol::Datm(p) => Protocol::<N>::$method(p, $($args),*),
+            AnyProtocol::Dyn(p) => Protocol::<N>::$method(&**p, $($args),*),
         }
     };
 }
 
-impl AnyProtocol {
+impl<const N: usize> AnyProtocol<N> {
     /// Short name for reports (e.g. `"eager"`, `"lazy-vb"`, `"RetCon"`).
     #[inline]
     pub fn name(&self) -> &'static str {
-        dispatch!(self, p => p.name())
+        dispatch!(ref self, name())
     }
 
     /// Begins (or re-begins after an abort) a transaction on `core`.
     #[inline]
     pub fn tx_begin(&mut self, core: CoreId, now: u64) {
-        dispatch!(self, p => p.tx_begin(core, now))
+        dispatch!(self, tx_begin(core, now))
     }
 
     /// `true` while `core` has an active transaction.
     #[inline]
     pub fn tx_active(&self, core: CoreId) -> bool {
-        dispatch!(self, p => p.tx_active(core))
+        dispatch!(ref self, tx_active(core))
     }
 
     /// Performs a load (see [`Protocol::read`]).
@@ -102,10 +114,10 @@ impl AnyProtocol {
         dst: Reg,
         addr: Addr,
         addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         now: u64,
     ) -> MemResult {
-        dispatch!(self, p => p.read(core, dst, addr, addr_reg, mem, now))
+        dispatch!(self, read(core, dst, addr, addr_reg, mem, now))
     }
 
     /// Performs a store (see [`Protocol::write`]).
@@ -118,41 +130,41 @@ impl AnyProtocol {
         value: u64,
         addr: Addr,
         addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         now: u64,
     ) -> MemResult {
-        dispatch!(self, p => p.write(core, src, value, addr, addr_reg, mem, now))
+        dispatch!(self, write(core, src, value, addr, addr_reg, mem, now))
     }
 
     /// Attempts to commit `core`'s transaction.
     #[inline]
-    pub fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, now: u64) -> CommitResult {
-        dispatch!(self, p => p.commit(core, mem, now))
+    pub fn commit(&mut self, core: CoreId, mem: &mut MemorySystem<N>, now: u64) -> CommitResult {
+        dispatch!(self, commit(core, mem, now))
     }
 
     /// Returns and clears the "aborted by another core" flag.
     #[inline]
     pub fn take_aborted(&mut self, core: CoreId) -> bool {
-        dispatch!(self, p => p.take_aborted(core))
+        dispatch!(self, take_aborted(core))
     }
 
     /// Non-clearing preview of the flag (see
     /// [`Protocol::abort_pending`]).
     #[inline]
     pub fn abort_pending(&self, core: CoreId) -> bool {
-        dispatch!(self, p => p.abort_pending(core))
+        dispatch!(ref self, abort_pending(core))
     }
 
     /// Hook: `dst` was overwritten with an immediate.
     #[inline]
     pub fn on_imm(&mut self, core: CoreId, dst: Reg) {
-        dispatch!(self, p => p.on_imm(core, dst))
+        dispatch!(self, on_imm(core, dst))
     }
 
     /// Hook: register move `dst <- src`.
     #[inline]
     pub fn on_mov(&mut self, core: CoreId, dst: Reg, src: Reg) {
-        dispatch!(self, p => p.on_mov(core, dst, src))
+        dispatch!(self, on_mov(core, dst, src))
     }
 
     /// Hook: ALU operation; returns the concrete result.
@@ -168,7 +180,7 @@ impl AnyProtocol {
         lhs_val: u64,
         rhs_val: u64,
     ) -> u64 {
-        dispatch!(self, p => p.on_alu(core, op, dst, lhs, rhs, lhs_val, rhs_val))
+        dispatch!(self, on_alu(core, op, dst, lhs, rhs, lhs_val, rhs_val))
     }
 
     /// Hook: branch; returns the concrete outcome.
@@ -183,19 +195,19 @@ impl AnyProtocol {
         lhs_val: u64,
         rhs_val: u64,
     ) -> bool {
-        dispatch!(self, p => p.on_branch(core, cmp, lhs, rhs, lhs_val, rhs_val))
+        dispatch!(self, on_branch(core, cmp, lhs, rhs, lhs_val, rhs_val))
     }
 
     /// This core's protocol statistics.
     #[inline]
     pub fn stats(&self, core: CoreId) -> &ProtocolStats {
-        dispatch!(self, p => p.stats(core))
+        dispatch!(ref self, stats(core))
     }
 
     /// Aggregate RETCON structure statistics, if collected.
     #[inline]
     pub fn retcon_stats(&self) -> Option<RetconStats> {
-        dispatch!(self, p => p.retcon_stats())
+        dispatch!(ref self, retcon_stats())
     }
 
     /// Read-only stall-storm dry run (see [`Protocol::stall_storm`]).
@@ -204,9 +216,9 @@ impl AnyProtocol {
         &self,
         core: CoreId,
         action: StallAction,
-        mem: &MemorySystem,
-    ) -> Option<StallStorm> {
-        dispatch!(self, p => p.stall_storm(core, action, mem))
+        mem: &MemorySystem<N>,
+    ) -> Option<StallStorm<N>> {
+        dispatch!(ref self, stall_storm(core, action, mem))
     }
 
     /// Applies `n` fast-forwarded stall retries (see
@@ -215,11 +227,11 @@ impl AnyProtocol {
     pub fn apply_stall_retries(
         &mut self,
         core: CoreId,
-        storm: &StallStorm,
+        storm: &StallStorm<N>,
         n: u64,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
     ) {
-        dispatch!(self, p => p.apply_stall_retries(core, storm, n, mem))
+        dispatch!(self, apply_stall_retries(core, storm, n, mem))
     }
 
     /// Checks protocol-internal invariants at a quiescent point (see
@@ -229,12 +241,12 @@ impl AnyProtocol {
     ///
     /// Describes the first violated invariant.
     pub fn check_quiescent(&self) -> Result<(), String> {
-        dispatch!(self, p => p.check_quiescent())
+        dispatch!(ref self, check_quiescent())
     }
 
     /// The inner [`RetconTm`], if this is the RETCON variant (tests and
     /// diagnostics that reach for the symbolic engine).
-    pub fn as_retcon(&self) -> Option<&RetconTm> {
+    pub fn as_retcon(&self) -> Option<&RetconTm<N>> {
         match self {
             AnyProtocol::Retcon(p) => Some(p),
             _ => None,
@@ -245,7 +257,7 @@ impl AnyProtocol {
 /// `AnyProtocol` is itself a [`Protocol`], so code written against the
 /// trait (or nesting one `AnyProtocol` inside another's `Dyn` box) keeps
 /// working.
-impl Protocol for AnyProtocol {
+impl<const N: usize> Protocol<N> for AnyProtocol<N> {
     fn name(&self) -> &'static str {
         AnyProtocol::name(self)
     }
@@ -264,7 +276,7 @@ impl Protocol for AnyProtocol {
         dst: Reg,
         addr: Addr,
         addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         now: u64,
     ) -> MemResult {
         AnyProtocol::read(self, core, dst, addr, addr_reg, mem, now)
@@ -277,13 +289,13 @@ impl Protocol for AnyProtocol {
         value: u64,
         addr: Addr,
         addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         now: u64,
     ) -> MemResult {
         AnyProtocol::write(self, core, src, value, addr, addr_reg, mem, now)
     }
 
-    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, now: u64) -> CommitResult {
+    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem<N>, now: u64) -> CommitResult {
         AnyProtocol::commit(self, core, mem, now)
     }
 
@@ -340,17 +352,17 @@ impl Protocol for AnyProtocol {
         &self,
         core: CoreId,
         action: StallAction,
-        mem: &MemorySystem,
-    ) -> Option<StallStorm> {
+        mem: &MemorySystem<N>,
+    ) -> Option<StallStorm<N>> {
         AnyProtocol::stall_storm(self, core, action, mem)
     }
 
     fn apply_stall_retries(
         &mut self,
         core: CoreId,
-        storm: &StallStorm,
+        storm: &StallStorm<N>,
         n: u64,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
     ) {
         AnyProtocol::apply_stall_retries(self, core, storm, n, mem)
     }
@@ -360,38 +372,38 @@ impl Protocol for AnyProtocol {
     }
 }
 
-impl From<EagerTm> for AnyProtocol {
-    fn from(p: EagerTm) -> Self {
+impl<const N: usize> From<EagerTm<N>> for AnyProtocol<N> {
+    fn from(p: EagerTm<N>) -> Self {
         AnyProtocol::Eager(p)
     }
 }
 
-impl From<LazyTm> for AnyProtocol {
-    fn from(p: LazyTm) -> Self {
+impl<const N: usize> From<LazyTm<N>> for AnyProtocol<N> {
+    fn from(p: LazyTm<N>) -> Self {
         AnyProtocol::Lazy(p)
     }
 }
 
-impl From<LazyVbTm> for AnyProtocol {
-    fn from(p: LazyVbTm) -> Self {
+impl<const N: usize> From<LazyVbTm<N>> for AnyProtocol<N> {
+    fn from(p: LazyVbTm<N>) -> Self {
         AnyProtocol::LazyVb(p)
     }
 }
 
-impl From<RetconTm> for AnyProtocol {
-    fn from(p: RetconTm) -> Self {
+impl<const N: usize> From<RetconTm<N>> for AnyProtocol<N> {
+    fn from(p: RetconTm<N>) -> Self {
         AnyProtocol::Retcon(p)
     }
 }
 
-impl From<DatmLite> for AnyProtocol {
-    fn from(p: DatmLite) -> Self {
+impl<const N: usize> From<DatmLite<N>> for AnyProtocol<N> {
+    fn from(p: DatmLite<N>) -> Self {
         AnyProtocol::Datm(p)
     }
 }
 
-impl From<Box<dyn Protocol>> for AnyProtocol {
-    fn from(p: Box<dyn Protocol>) -> Self {
+impl<const N: usize> From<Box<dyn Protocol<N>>> for AnyProtocol<N> {
+    fn from(p: Box<dyn Protocol<N>>) -> Self {
         AnyProtocol::Dyn(p)
     }
 }
@@ -407,7 +419,7 @@ mod tests {
         // The same access sequence through the enum variant and through the
         // Dyn adapter must be indistinguishable.
         let run = |mut p: AnyProtocol| {
-            let mut mem = MemorySystem::new(MemConfig::default(), 2);
+            let mut mem: MemorySystem = MemorySystem::new(MemConfig::default(), 2);
             p.tx_begin(CoreId(0), 0);
             assert!(p.tx_active(CoreId(0)));
             let r = p.write(CoreId(0), None, 7, Addr(0), None, &mut mem, 1);

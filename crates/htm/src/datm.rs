@@ -23,7 +23,7 @@
 //! Commits wait for all predecessors, enforcing the dependence order.
 
 use retcon_isa::table::{BlockTable, EpochSet};
-use retcon_isa::{Addr, Reg};
+use retcon_isa::{Addr, CoreSet, Reg};
 use retcon_mem::{AccessKind, CoreId, FxHashSet, MemorySystem, UndoLog};
 
 use crate::protocol::Protocol;
@@ -49,16 +49,16 @@ struct CoreState {
 
 /// Simplified dependence-aware transactional memory (see module docs).
 #[derive(Debug)]
-pub struct DatmLite {
+pub struct DatmLite<const N: usize = 1> {
     cores: Vec<CoreState>,
     /// Dependence edges `(pred, succ)`: `succ` must commit after `pred`.
     edges: FxHashSet<(usize, usize)>,
-    /// Per-block bitmask of *active* cores whose read set holds the block
+    /// Per-block set of *active* cores whose read set holds the block
     /// (the O(1) replacement for snooping every core's read set on every
     /// access).
-    readers: BlockTable<u64>,
-    /// Per-block bitmask of active cores whose write set holds the block.
-    writers: BlockTable<u64>,
+    readers: BlockTable<CoreSet<N>>,
+    /// Per-block set of active cores whose write set holds the block.
+    writers: BlockTable<CoreSet<N>>,
     /// Scratch: the cascading-abort DFS worklist (reused across cascades
     /// so the abort path never allocates in steady state).
     cascade: Vec<usize>,
@@ -67,7 +67,7 @@ pub struct DatmLite {
     victims: Vec<usize>,
 }
 
-impl DatmLite {
+impl<const N: usize> DatmLite<N> {
     /// Creates the protocol for `num_cores` cores.
     pub fn new(num_cores: usize) -> Self {
         DatmLite {
@@ -84,12 +84,11 @@ impl DatmLite {
     /// shared reader/writer masks, then its sets and worklists.
     fn clear_footprint(&mut self, core: usize) {
         let cs = &mut self.cores[core];
-        let not_me = !(1u64 << core);
         for &b in &cs.read_blocks {
-            *self.readers.entry(b) &= not_me;
+            self.readers.entry(b).remove(core);
         }
         for &b in &cs.write_blocks {
-            *self.writers.entry(b) &= not_me;
+            self.writers.entry(b).remove(core);
         }
         cs.read_blocks.clear();
         cs.write_blocks.clear();
@@ -110,7 +109,7 @@ impl DatmLite {
         &mut self,
         pred: usize,
         succ: usize,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         requester: usize,
     ) -> bool {
         if pred == succ {
@@ -129,20 +128,19 @@ impl DatmLite {
     /// forwarded from it (its successors in the dependence graph).
     ///
     /// The DFS worklist and victim list are reusable scratch buffers and
-    /// the visited set is a core bitmask (`MAX_CORES <= 64`), so cascades
+    /// the visited set is a fixed-width [`CoreSet`], so cascades
     /// allocate nothing once the buffers reach steady capacity — this was
     /// the last allocating path in any protocol's conflict handling
     /// (`tests/no_alloc_machine.rs` pins DATM under max contention).
-    fn abort_cascading(&mut self, core: usize, mem: &mut MemorySystem) {
+    fn abort_cascading(&mut self, core: usize, mem: &mut MemorySystem<N>) {
         let mut stack = std::mem::take(&mut self.cascade);
         stack.clear();
         stack.push(core);
-        let mut seen = 0u64;
+        let mut seen: CoreSet<N> = CoreSet::EMPTY;
         while let Some(c) = stack.pop() {
-            if seen & (1u64 << c) != 0 {
+            if !seen.insert(c) {
                 continue;
             }
-            seen |= 1u64 << c;
             stack.extend(
                 self.edges
                     .iter()
@@ -158,7 +156,7 @@ impl DatmLite {
         // deterministic.
         let mut victims = std::mem::take(&mut self.victims);
         victims.clear();
-        victims.extend((0..self.cores.len()).filter(|&c| seen & (1u64 << c) != 0));
+        victims.extend(seen.iter().filter(|&c| c < self.cores.len()));
         victims.retain(|&c| self.cores[c].active);
         victims.sort_unstable_by_key(|&c| std::cmp::Reverse((self.cores[c].birth.unwrap_or(0), c)));
         for &v in &victims {
@@ -176,20 +174,19 @@ impl DatmLite {
         mem.bump_block_version(BlockAddr(0));
     }
 
-    /// Bitmasks of the *other* active cores whose write set (resp. only
+    /// Sets of the *other* active cores whose write set (resp. only
     /// read set) holds `block`. A core appearing in both sets counts as a
-    /// writer, exactly like the old per-core snoop; ascending-bit iteration
-    /// of the masks reproduces its ascending core order.
+    /// writer, exactly like the old per-core snoop; ascending iteration
+    /// of the sets reproduces its ascending core order.
     #[inline]
-    fn writers_and_readers(&self, block: u64, except: usize) -> (u64, u64) {
-        let not_me = !(1u64 << except);
-        let w = self.writers.get(block) & not_me;
-        let r = self.readers.get(block) & not_me & !w;
+    fn writers_and_readers(&self, block: u64, except: usize) -> (CoreSet<N>, CoreSet<N>) {
+        let w = self.writers.get(block).without(except);
+        let r = self.readers.get(block).without(except).and_not(w);
         (w, r)
     }
 }
 
-impl Protocol for DatmLite {
+impl<const N: usize> Protocol<N> for DatmLite<N> {
     fn name(&self) -> &'static str {
         "datm"
     }
@@ -211,17 +208,15 @@ impl Protocol for DatmLite {
         _dst: Reg,
         addr: Addr,
         _addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         _now: u64,
     ) -> MemResult {
         let block = addr.block().0;
         if self.cores[core.0].active {
             // Forwarding: reading a block another transaction wrote creates
             // a dependence writer -> reader (we must commit after them).
-            let (mut writers, _) = self.writers_and_readers(block, core.0);
-            while writers != 0 {
-                let w = writers.trailing_zeros() as usize;
-                writers &= writers - 1;
+            let (writers, _) = self.writers_and_readers(block, core.0);
+            for w in writers {
                 if !self.add_edge(w, core.0, mem, core.0) {
                     return MemResult::Abort;
                 }
@@ -229,7 +224,7 @@ impl Protocol for DatmLite {
             if self.cores[core.0].active {
                 if self.cores[core.0].read_set.insert(block) {
                     self.cores[core.0].read_blocks.push(block);
-                    *self.readers.entry(block) |= 1u64 << core.0;
+                    self.readers.entry(block).insert(core.0);
                 }
             } else {
                 // Cascaded abort caught us.
@@ -250,7 +245,7 @@ impl Protocol for DatmLite {
         value: u64,
         addr: Addr,
         _addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         _now: u64,
     ) -> MemResult {
         let block = addr.block().0;
@@ -259,10 +254,8 @@ impl Protocol for DatmLite {
             // commit before us (writers first, then pure readers, each in
             // ascending core order, as the old per-core snoop produced).
             let (writers, readers) = self.writers_and_readers(block, core.0);
-            for mut group in [writers, readers] {
-                while group != 0 {
-                    let other = group.trailing_zeros() as usize;
-                    group &= group - 1;
+            for group in [writers, readers] {
+                for other in group {
                     if !self.add_edge(other, core.0, mem, core.0) {
                         return MemResult::Abort;
                     }
@@ -273,7 +266,7 @@ impl Protocol for DatmLite {
             }
             if self.cores[core.0].write_set.insert(block) {
                 self.cores[core.0].write_blocks.push(block);
-                *self.writers.entry(block) |= 1u64 << core.0;
+                self.writers.entry(block).insert(core.0);
             }
             self.cores[core.0].undo.record(mem.memory(), addr);
         }
@@ -282,7 +275,7 @@ impl Protocol for DatmLite {
         MemResult::Value { value, latency }
     }
 
-    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, _now: u64) -> CommitResult {
+    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem<N>, _now: u64) -> CommitResult {
         if !self.cores[core.0].active {
             // A cascading abort landed between the last access and commit.
             return CommitResult::Abort;
@@ -330,8 +323,8 @@ impl Protocol for DatmLite {
         &self,
         core: CoreId,
         action: StallAction,
-        _mem: &MemorySystem,
-    ) -> Option<StallStorm> {
+        _mem: &MemorySystem<N>,
+    ) -> Option<StallStorm<N>> {
         // Accesses never stall under DATM (they forward or abort). A commit
         // stalled behind an active predecessor is a fixed point: this
         // core's predecessor set only grows through its *own* accesses, so
@@ -348,15 +341,15 @@ impl Protocol for DatmLite {
                 .edges
                 .iter()
                 .any(|&(p, s)| s == core.0 && self.cores[p].active);
-        waiting.then_some(StallStorm::access(0, BlockAddr(0)))
+        waiting.then_some(StallStorm::access(CoreSet::EMPTY, BlockAddr(0)))
     }
 
     fn apply_stall_retries(
         &mut self,
         core: CoreId,
-        _storm: &StallStorm,
+        _storm: &StallStorm<N>,
         n: u64,
-        _mem: &mut MemorySystem,
+        _mem: &mut MemorySystem<N>,
     ) {
         // n repetitions of `commit`'s active-predecessor stall.
         self.cores[core.0].stats.stalls += n;

@@ -1,6 +1,6 @@
 //! The eager-conflict-detection HTM baseline (§2 of the paper).
 
-use retcon_isa::{Addr, Reg};
+use retcon_isa::{Addr, CoreSet, Reg};
 use retcon_mem::{AccessKind, CoreId, MemorySystem, UndoLog};
 
 use crate::cm::{decide, Age, ConflictPolicy, Decision};
@@ -29,9 +29,9 @@ struct CoreState {
 /// ```
 /// use retcon_htm::{EagerTm, Protocol, MemResult, ConflictPolicy};
 /// use retcon_mem::{MemorySystem, MemConfig, CoreId};
-/// use retcon_isa::{Addr, Reg};
+/// use retcon_isa::{Addr, CoreSet, Reg};
 ///
-/// let mut mem = MemorySystem::new(MemConfig::default(), 2);
+/// let mut mem: MemorySystem = MemorySystem::new(MemConfig::default(), 2);
 /// let mut tm = EagerTm::new(2, ConflictPolicy::OldestWins);
 /// tm.tx_begin(CoreId(0), 0);
 /// let r = tm.write(CoreId(0), None, 7, Addr(0), None, &mut mem, 1);
@@ -43,7 +43,8 @@ struct CoreState {
 /// assert_eq!(r, MemResult::Stall);
 /// ```
 #[derive(Debug)]
-pub struct EagerTm {
+pub struct EagerTm<const N: usize = 1> {
+    _class: core::marker::PhantomData<[u64; N]>,
     policy: ConflictPolicy,
     cores: Vec<CoreState>,
     /// Scratch: the victims of the conflict being resolved (reused so the
@@ -51,11 +52,12 @@ pub struct EagerTm {
     victims: Vec<(CoreId, Age)>,
 }
 
-impl EagerTm {
+impl<const N: usize> EagerTm<N> {
     /// Creates the protocol for `num_cores` cores with the given contention
     /// policy.
     pub fn new(num_cores: usize, policy: ConflictPolicy) -> Self {
         EagerTm {
+            _class: core::marker::PhantomData,
             policy,
             cores: (0..num_cores).map(|_| CoreState::default()).collect(),
             victims: Vec::new(),
@@ -74,7 +76,7 @@ impl EagerTm {
     fn abort_core(
         &mut self,
         core: CoreId,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         cause: AbortCause,
         remote: bool,
     ) {
@@ -87,20 +89,19 @@ impl EagerTm {
         cs.stats.record_abort(cause);
     }
 
-    /// Resolves the conflicts of a pending access (`conflicts` is the
-    /// bitmask of conflicting cores). Returns `None` when the requester may
+    /// Resolves the conflicts of a pending access (`conflicts` is the set
+    /// of conflicting cores). Returns `None` when the requester may
     /// proceed (victims aborted), or the result to hand back.
     fn resolve(
         &mut self,
         core: CoreId,
-        mut conflicts: u64,
-        mem: &mut MemorySystem,
+        conflicts: CoreSet<N>,
+        mem: &mut MemorySystem<N>,
     ) -> Option<MemResult> {
         let mut victims = std::mem::take(&mut self.victims);
         victims.clear();
-        while conflicts != 0 {
-            let c = CoreId(conflicts.trailing_zeros() as usize);
-            conflicts &= conflicts - 1;
+        for c in conflicts {
+            let c = CoreId(c);
             victims.push((
                 c,
                 self.age(c)
@@ -128,7 +129,7 @@ impl EagerTm {
     }
 }
 
-impl Protocol for EagerTm {
+impl<const N: usize> Protocol<N> for EagerTm<N> {
     fn name(&self) -> &'static str {
         match self.policy {
             ConflictPolicy::OldestWins => "eager",
@@ -156,7 +157,7 @@ impl Protocol for EagerTm {
         _dst: Reg,
         addr: Addr,
         _addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         _now: u64,
     ) -> MemResult {
         let spec = self.cores[core.0].active;
@@ -183,7 +184,7 @@ impl Protocol for EagerTm {
         value: u64,
         addr: Addr,
         _addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         _now: u64,
     ) -> MemResult {
         let clean_plan = match mem.plan_if_clean(core, addr, AccessKind::Write) {
@@ -211,7 +212,7 @@ impl Protocol for EagerTm {
         MemResult::Value { value, latency }
     }
 
-    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, _now: u64) -> CommitResult {
+    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem<N>, _now: u64) -> CommitResult {
         let cs = &mut self.cores[core.0];
         debug_assert!(cs.active, "commit without an active transaction on {core}");
         cs.undo.clear();
@@ -241,33 +242,35 @@ impl Protocol for EagerTm {
         &self,
         core: CoreId,
         action: StallAction,
-        mem: &MemorySystem,
-    ) -> Option<StallStorm> {
+        mem: &MemorySystem<N>,
+    ) -> Option<StallStorm<N>> {
         // Commits never stall here, and an access retry is a fixed point
         // exactly when the contention manager would stall the requester
         // again: the conflict mask and every age are frozen while this core
         // owns the scheduler, and a stalled retry mutates nothing but the
         // stall counter. Victims go on the stack — the dry run must not
-        // allocate (the mask is a u64, so 64 victims bound it).
+        // allocate (the scratch holds 64 victims; wider conflicts decline
+        // certification and retry step-by-step).
         let (addr, kind) = match action {
             StallAction::Read(a) => (a, AccessKind::Read),
             StallAction::Write(a) => (a, AccessKind::Write),
             StallAction::Commit => return None,
         };
-        let mut conflicts = mem.conflict_mask_of(core, addr, kind);
-        if conflicts == 0 {
+        let conflicts = mem.conflict_mask_of(core, addr, kind);
+        if conflicts.is_empty() {
             return None;
         }
         let mut victims = [(CoreId(0), (0u64, 0usize)); 64];
         let mut n = 0;
-        while conflicts != 0 {
-            let c = CoreId(conflicts.trailing_zeros() as usize);
-            conflicts &= conflicts - 1;
-            victims[n] = (c, self.age(c)?);
+        for c in conflicts {
+            if n == victims.len() {
+                return None;
+            }
+            victims[n] = (CoreId(c), self.age(CoreId(c))?);
             n += 1;
         }
         match decide(self.policy, self.age(core), &victims[..n]) {
-            Decision::StallRequester => Some(StallStorm::access(0, addr.block())),
+            Decision::StallRequester => Some(StallStorm::access(CoreSet::EMPTY, addr.block())),
             _ => None,
         }
     }
@@ -275,9 +278,9 @@ impl Protocol for EagerTm {
     fn apply_stall_retries(
         &mut self,
         core: CoreId,
-        _storm: &StallStorm,
+        _storm: &StallStorm<N>,
         n: u64,
-        _mem: &mut MemorySystem,
+        _mem: &mut MemorySystem<N>,
     ) {
         // n repetitions of `resolve`'s StallRequester arm.
         self.cores[core.0].stats.stalls += n;

@@ -25,19 +25,21 @@ struct CoreState {
 /// run to its own commit point, but loses to any earlier committer it raced
 /// with.
 #[derive(Debug)]
-pub struct LazyTm {
+pub struct LazyTm<const N: usize = 1> {
+    _class: core::marker::PhantomData<[u64; N]>,
     cores: Vec<CoreState>,
 }
 
-impl LazyTm {
+impl<const N: usize> LazyTm<N> {
     /// Creates the protocol for `num_cores` cores.
     pub fn new(num_cores: usize) -> Self {
         LazyTm {
+            _class: core::marker::PhantomData,
             cores: (0..num_cores).map(|_| CoreState::default()).collect(),
         }
     }
 
-    fn abort_victim(&mut self, victim: CoreId, mem: &mut MemorySystem) {
+    fn abort_victim(&mut self, victim: CoreId, mem: &mut MemorySystem<N>) {
         let cs = &mut self.cores[victim.0];
         debug_assert!(cs.active, "victim must be active");
         cs.wb.discard();
@@ -48,7 +50,7 @@ impl LazyTm {
     }
 }
 
-impl Protocol for LazyTm {
+impl<const N: usize> Protocol<N> for LazyTm<N> {
     fn name(&self) -> &'static str {
         "lazy"
     }
@@ -70,7 +72,7 @@ impl Protocol for LazyTm {
         _dst: Reg,
         addr: Addr,
         _addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         _now: u64,
     ) -> MemResult {
         let active = self.cores[core.0].active;
@@ -99,7 +101,7 @@ impl Protocol for LazyTm {
         value: u64,
         addr: Addr,
         _addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         _now: u64,
     ) -> MemResult {
         if self.cores[core.0].active {
@@ -108,19 +110,17 @@ impl Protocol for LazyTm {
             return MemResult::Value { value, latency: 1 };
         }
         // Non-transactional write: abort any speculative readers
-        // (ascending-bit mask iteration = ascending core order).
-        let mut conflicts = mem.conflict_mask_of(core, addr, AccessKind::Write);
-        while conflicts != 0 {
-            let victim = CoreId(conflicts.trailing_zeros() as usize);
-            conflicts &= conflicts - 1;
-            self.abort_victim(victim, mem);
+        // (ascending set iteration = ascending core order).
+        let conflicts = mem.conflict_mask_of(core, addr, AccessKind::Write);
+        for victim in conflicts {
+            self.abort_victim(CoreId(victim), mem);
         }
         let latency = mem.access(core, addr, AccessKind::Write, false);
         mem.write_word(addr, value);
         MemResult::Value { value, latency }
     }
 
-    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, _now: u64) -> CommitResult {
+    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem<N>, _now: u64) -> CommitResult {
         debug_assert!(self.cores[core.0].active);
         // Take the buffer so its entries can be drained while `self` aborts
         // victims; hand the allocation back afterwards (steady-state commits
@@ -130,11 +130,9 @@ impl Protocol for LazyTm {
         for (addr, value) in wb.iter() {
             // Committer wins: every transaction that speculatively read the
             // block aborts.
-            let mut conflicts = mem.conflict_mask_of(core, addr, AccessKind::Write);
-            while conflicts != 0 {
-                let victim = CoreId(conflicts.trailing_zeros() as usize);
-                conflicts &= conflicts - 1;
-                self.abort_victim(victim, mem);
+            let conflicts = mem.conflict_mask_of(core, addr, AccessKind::Write);
+            for victim in conflicts {
+                self.abort_victim(CoreId(victim), mem);
             }
             latency += mem.access(core, addr, AccessKind::Write, false);
             mem.write_word(addr, value);

@@ -60,7 +60,7 @@ impl CoreState {
 /// use retcon_mem::{MemorySystem, MemConfig, CoreId};
 /// use retcon_isa::{Addr, Reg};
 ///
-/// let mut mem = MemorySystem::new(MemConfig::default(), 2);
+/// let mut mem: MemorySystem = MemorySystem::new(MemConfig::default(), 2);
 /// let mut tm = LazyVbTm::new(2);
 /// tm.tx_begin(CoreId(0), 0);
 /// let _ = tm.read(CoreId(0), Reg(0), Addr(0), None, &mut mem, 1);
@@ -70,20 +70,22 @@ impl CoreState {
 /// assert_eq!(tm.commit(CoreId(0), &mut mem, 3), CommitResult::Abort);
 /// ```
 #[derive(Debug)]
-pub struct LazyVbTm {
+pub struct LazyVbTm<const N: usize = 1> {
+    _class: core::marker::PhantomData<[u64; N]>,
     cores: Vec<CoreState>,
 }
 
-impl LazyVbTm {
+impl<const N: usize> LazyVbTm<N> {
     /// Creates the protocol for `num_cores` cores.
     pub fn new(num_cores: usize) -> Self {
         LazyVbTm {
+            _class: core::marker::PhantomData,
             cores: (0..num_cores).map(|_| CoreState::default()).collect(),
         }
     }
 }
 
-impl Protocol for LazyVbTm {
+impl<const N: usize> Protocol<N> for LazyVbTm<N> {
     fn name(&self) -> &'static str {
         "lazy-vb"
     }
@@ -105,7 +107,7 @@ impl Protocol for LazyVbTm {
         _dst: Reg,
         addr: Addr,
         _addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         _now: u64,
     ) -> MemResult {
         let cs = &mut self.cores[core.0];
@@ -142,7 +144,7 @@ impl Protocol for LazyVbTm {
         value: u64,
         addr: Addr,
         _addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         _now: u64,
     ) -> MemResult {
         if self.cores[core.0].active {
@@ -154,7 +156,7 @@ impl Protocol for LazyVbTm {
         MemResult::Value { value, latency }
     }
 
-    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, _now: u64) -> CommitResult {
+    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem<N>, _now: u64) -> CommitResult {
         debug_assert!(self.cores[core.0].active);
         // Step 1: reacquire and revalidate every read word by value. The
         // log is taken (not cloned) and handed back below so steady-state

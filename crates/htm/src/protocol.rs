@@ -23,7 +23,7 @@ use crate::storm::{StallAction, StallStorm};
 /// whose flag is set rolls its control flow back to the transaction begin.
 /// Memory and speculative state have already been restored by the protocol
 /// at abort time (zero-cycle rollback, per the paper's baseline).
-pub trait Protocol {
+pub trait Protocol<const N: usize = 1> {
     /// Short name for reports (e.g. `"eager"`, `"lazy-vb"`, `"RetCon"`).
     fn name(&self) -> &'static str;
 
@@ -43,7 +43,7 @@ pub trait Protocol {
         dst: Reg,
         addr: Addr,
         addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         now: u64,
     ) -> MemResult;
 
@@ -57,12 +57,12 @@ pub trait Protocol {
         value: u64,
         addr: Addr,
         addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         now: u64,
     ) -> MemResult;
 
     /// Attempts to commit `core`'s transaction at cycle `now`.
-    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, now: u64) -> CommitResult;
+    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem<N>, now: u64) -> CommitResult;
 
     /// Returns and clears the "aborted by another core" flag.
     fn take_aborted(&mut self, core: CoreId) -> bool;
@@ -137,8 +137,8 @@ pub trait Protocol {
         &self,
         _core: CoreId,
         _action: StallAction,
-        _mem: &MemorySystem,
-    ) -> Option<StallStorm> {
+        _mem: &MemorySystem<N>,
+    ) -> Option<StallStorm<N>> {
         None
     }
 
@@ -151,9 +151,9 @@ pub trait Protocol {
     fn apply_stall_retries(
         &mut self,
         _core: CoreId,
-        _storm: &StallStorm,
+        _storm: &StallStorm<N>,
         _n: u64,
-        _mem: &mut MemorySystem,
+        _mem: &mut MemorySystem<N>,
     ) {
     }
 

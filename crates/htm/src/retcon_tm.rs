@@ -2,7 +2,7 @@
 
 use retcon::{Engine, Repair, RetconConfig, RetconStats, StorePath};
 use retcon_isa::table::EpochSet;
-use retcon_isa::{Addr, BinOp, BlockAddr, CmpOp, Reg};
+use retcon_isa::{Addr, BinOp, BlockAddr, CmpOp, CoreSet, Reg};
 use retcon_mem::{AccessKind, CoreId, MemorySystem, UndoLog};
 
 use crate::cm::{decide, Age, ConflictPolicy, Decision};
@@ -98,7 +98,7 @@ enum Resolve {
 /// use retcon_mem::{MemorySystem, MemConfig, CoreId};
 /// use retcon_isa::{Addr, Reg, BinOp};
 ///
-/// let mut mem = MemorySystem::new(MemConfig::default(), 2);
+/// let mut mem: MemorySystem = MemorySystem::new(MemConfig::default(), 2);
 /// let mut cfg = RetconConfig::default();
 /// cfg.initial_threshold = 0; // track on first touch (no warm-up)
 /// let mut tm = RetconTm::new(2, cfg);
@@ -120,17 +120,19 @@ enum Resolve {
 /// assert_eq!(mem.read_word(Addr(0)), 11);
 /// ```
 #[derive(Debug)]
-pub struct RetconTm {
+pub struct RetconTm<const N: usize = 1> {
+    _class: core::marker::PhantomData<[u64; N]>,
     policy: ConflictPolicy,
     cores: Vec<CoreState>,
 }
 
-impl RetconTm {
+impl<const N: usize> RetconTm<N> {
     /// Creates the protocol for `num_cores` cores with the given RETCON
     /// structure configuration (use `RetconConfig::default()` for the
     /// paper's Table 1 sizes).
     pub fn new(num_cores: usize, cfg: RetconConfig) -> Self {
         RetconTm {
+            _class: core::marker::PhantomData,
             policy: ConflictPolicy::OldestWins,
             cores: (0..num_cores).map(|_| CoreState::new(cfg)).collect(),
         }
@@ -159,7 +161,7 @@ impl RetconTm {
     fn abort_core(
         &mut self,
         core: CoreId,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         cause: AbortCause,
         remote: bool,
     ) {
@@ -203,22 +205,20 @@ impl RetconTm {
         &mut self,
         core: CoreId,
         addr: Addr,
-        conflicts: u64,
-        mem: &mut MemorySystem,
+        conflicts: CoreSet<N>,
+        mem: &mut MemorySystem<N>,
     ) -> Resolve {
         let block = addr.block();
         // The non-stealable victims accumulate in the requester's reusable
         // scratch buffer: conflict resolution runs on every contended
         // access, so it must not allocate in steady state. `conflicts` is
-        // the conflicting-core bitmask; ascending-bit iteration reproduces
-        // the old `ConflictSet`'s ascending core order, and each victim's
+        // the conflicting-core set; ascending iteration reproduces the old
+        // `ConflictSet`'s ascending core order, and each victim's
         // speculative bits are fetched only when the steal test needs them.
         let mut hard = std::mem::take(&mut self.cores[core.0].hard);
         hard.clear();
-        let mut pending = conflicts;
-        while pending != 0 {
-            let victim_id = CoreId(pending.trailing_zeros() as usize);
-            pending &= pending - 1;
+        for victim_id in conflicts {
+            let victim_id = CoreId(victim_id);
             // Both parties learn that this block is contended.
             self.cores[victim_id.0]
                 .engine
@@ -268,26 +268,28 @@ impl RetconTm {
     /// `StallRequester` path again with no steal? Steals mutate coherence
     /// state, so any stealable victim declines — in steady state the steals
     /// completed on the first stalled attempt and only hard victims remain.
-    /// Returns the mask to train predictors on per retry. Victims go on the
-    /// stack: the dry run must not allocate.
+    /// Returns the set to train predictors on per retry. Victims go on the
+    /// stack: the dry run must not allocate (the scratch holds 64 victims;
+    /// wider conflicts decline certification and retry step-by-step).
     fn storm_verdict(
         &self,
         core: CoreId,
         block: BlockAddr,
-        mask: u64,
-        mem: &MemorySystem,
-    ) -> Option<u64> {
+        mask: CoreSet<N>,
+        mem: &MemorySystem<N>,
+    ) -> Option<CoreSet<N>> {
         let mut hard = [(CoreId(0), (0u64, 0usize)); 64];
         let mut n = 0;
-        let mut pending = mask;
-        while pending != 0 {
-            let victim_id = CoreId(pending.trailing_zeros() as usize);
-            pending &= pending - 1;
+        for victim_id in mask {
+            let victim_id = CoreId(victim_id);
             let victim = &self.cores[victim_id.0];
             let stealable = victim.active
                 && victim.engine.is_tracking(block)
                 && !mem.spec_bits(victim_id, block).written;
             if stealable {
+                return None;
+            }
+            if n == hard.len() {
                 return None;
             }
             hard[n] = (victim_id, self.age(victim_id)?);
@@ -311,7 +313,7 @@ impl RetconTm {
     /// steal, a coherence transition, an oversized footprint, a walk that
     /// would now run to completion) declines and the commit retries
     /// step-by-step.
-    fn commit_storm(&self, core: CoreId, mem: &MemorySystem) -> Option<StallStorm> {
+    fn commit_storm(&self, core: CoreId, mem: &MemorySystem<N>) -> Option<StallStorm<N>> {
         let engine = &self.cores[core.0].engine;
         let tracked = engine.ivb().len();
         let mut stores = [BlockAddr(0); MAX_WATCHED_BLOCKS];
@@ -349,7 +351,7 @@ impl RetconTm {
                 (stores[i - tracked], AccessKind::Write)
             };
             let mask = mem.conflict_mask_of(core, block.base(), kind);
-            if mask != 0 {
+            if !mask.is_empty() {
                 let train_mask = self.storm_verdict(core, block, mask, mem)?;
                 return Some(StallStorm {
                     train_mask,
@@ -368,7 +370,7 @@ impl RetconTm {
     }
 }
 
-impl Protocol for RetconTm {
+impl<const N: usize> Protocol<N> for RetconTm<N> {
     fn name(&self) -> &'static str {
         "RetCon"
     }
@@ -393,7 +395,7 @@ impl Protocol for RetconTm {
         dst: Reg,
         addr: Addr,
         addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         _now: u64,
     ) -> MemResult {
         let active = self.cores[core.0].active;
@@ -452,7 +454,7 @@ impl Protocol for RetconTm {
         value: u64,
         addr: Addr,
         addr_reg: Option<Reg>,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
         _now: u64,
     ) -> MemResult {
         let active = self.cores[core.0].active;
@@ -522,7 +524,7 @@ impl Protocol for RetconTm {
         MemResult::Value { value, latency }
     }
 
-    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem, now: u64) -> CommitResult {
+    fn commit(&mut self, core: CoreId, mem: &mut MemorySystem<N>, now: u64) -> CommitResult {
         debug_assert!(self.cores[core.0].active);
         let cfg = *self.cores[core.0].engine.config();
         let mut serial_latency = 0u64;
@@ -562,7 +564,7 @@ impl Protocol for RetconTm {
             };
             let addr = block.base();
             let conflicts = mem.conflict_mask_of(core, addr, kind);
-            if conflicts != 0 {
+            if !conflicts.is_empty() {
                 let resolved = self.resolve(core, addr, conflicts, mem);
                 if !matches!(resolved, Resolve::Proceed) {
                     self.cores[core.0].store_blocks = store_blocks;
@@ -691,8 +693,8 @@ impl Protocol for RetconTm {
         &self,
         core: CoreId,
         action: StallAction,
-        mem: &MemorySystem,
-    ) -> Option<StallStorm> {
+        mem: &MemorySystem<N>,
+    ) -> Option<StallStorm<N>> {
         // An access retry is a fixed point exactly when `resolve` would
         // take the StallRequester path again with no steal
         // ([`RetconTm::storm_verdict`]); every retry trains both predictors
@@ -706,7 +708,7 @@ impl Protocol for RetconTm {
             StallAction::Commit => return self.commit_storm(core, mem),
         };
         let mask = mem.conflict_mask_of(core, addr, kind);
-        if mask == 0 {
+        if mask.is_empty() {
             return None;
         }
         let train_mask = self.storm_verdict(core, addr.block(), mask, mem)?;
@@ -716,9 +718,9 @@ impl Protocol for RetconTm {
     fn apply_stall_retries(
         &mut self,
         core: CoreId,
-        storm: &StallStorm,
+        storm: &StallStorm<N>,
         n: u64,
-        mem: &mut MemorySystem,
+        mem: &mut MemorySystem<N>,
     ) {
         // n repetitions of the stalled outcome: per conflicting core, one
         // conflict observation for the victim and one for the requester
@@ -726,10 +728,7 @@ impl Protocol for RetconTm {
         // requester's stall count, and — for commit storms — the prefix
         // walk's L1-hit statistics.
         let n32 = u32::try_from(n).unwrap_or(u32::MAX);
-        let mut pending = storm.train_mask;
-        while pending != 0 {
-            let victim_id = pending.trailing_zeros() as usize;
-            pending &= pending - 1;
+        for victim_id in storm.train_mask {
             self.cores[victim_id]
                 .engine
                 .predictor_mut()
@@ -944,7 +943,7 @@ mod tests {
             initial_threshold: u32::MAX, // never track
             ..RetconConfig::default()
         };
-        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        let mut mem: MemorySystem = MemorySystem::new(MemConfig::default(), 2);
         let mut tm = RetconTm::new(2, cfg);
         tm.tx_begin(C0, 0);
         let _ = tm.write(C0, None, 5, A, None, &mut mem, 1);
@@ -961,7 +960,7 @@ mod tests {
             ssb_capacity: 1,
             ..RetconConfig::default()
         };
-        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        let mut mem: MemorySystem = MemorySystem::new(MemConfig::default(), 2);
         let mut tm = RetconTm::new(2, cfg);
         tm.tx_begin(C0, 0);
         // Track block of A; two buffered stores to different words overflow.
@@ -985,7 +984,7 @@ mod tests {
             initial_threshold: 1,
             ..RetconConfig::default()
         };
-        let mut mem = MemorySystem::new(MemConfig::default(), 2);
+        let mut mem: MemorySystem = MemorySystem::new(MemConfig::default(), 2);
         let mut tm = RetconTm::new(2, cfg);
 
         tm.tx_begin(C1, 0);

@@ -44,7 +44,7 @@
 //! protocol again until the sum moves (see the simulator's stall
 //! fast-forward).
 
-use retcon_isa::{Addr, BlockAddr};
+use retcon_isa::{Addr, BlockAddr, CoreSet};
 
 /// The stalled instruction a storm re-executes, as the simulator saw it:
 /// the resolved address of a load/store, or a transaction commit.
@@ -105,11 +105,11 @@ impl WatchList {
 /// on `block`, and, for commit storms, re-hits the L1 once per watched
 /// prefix block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct StallStorm {
-    /// Bitmask of conflicting cores whose predictors (and the requester's,
-    /// once per set bit) observe one conflict on `block` per retry; zero
+pub struct StallStorm<const N: usize = 1> {
+    /// Set of conflicting cores whose predictors (and the requester's,
+    /// once per member) observe one conflict on `block` per retry; empty
     /// for protocols without predictors.
-    pub train_mask: u64,
+    pub train_mask: CoreSet<N>,
     /// The contended block the retry loses its conflict on (and that the
     /// predictors train on when `train_mask` is non-zero).
     pub block: BlockAddr,
@@ -121,9 +121,9 @@ pub struct StallStorm {
     pub watch: WatchList,
 }
 
-impl StallStorm {
+impl<const N: usize> StallStorm<N> {
     /// An access storm: single contended block, no prefix.
-    pub const fn access(train_mask: u64, block: BlockAddr) -> StallStorm {
+    pub const fn access(train_mask: CoreSet<N>, block: BlockAddr) -> StallStorm<N> {
         StallStorm {
             train_mask,
             block,

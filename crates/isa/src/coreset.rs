@@ -1,0 +1,336 @@
+//! Fixed-width core bitsets, monomorphized per machine size class.
+//!
+//! Every mask-keyed hot structure in the simulator — directory sharer
+//! words, conflict masks, speculative read/write unions, DATM
+//! reader/writer masks, stall-storm training masks — historically used a
+//! single `u64`, capping the simulated machine at 64 cores. [`CoreSet`]
+//! generalizes that word to a fixed `[u64; N]` array chosen per *size
+//! class* at compile time:
+//!
+//! | `N` | cores |
+//! |---|---|
+//! | 1 | ≤ 64 (the paper matrix — identical codegen to the old `u64`) |
+//! | 2 | ≤ 128 |
+//! | 4 | ≤ 256 |
+//! | 8 | ≤ 512 |
+//! | 16 | ≤ 1024 |
+//!
+//! `N` defaults to 1, so every existing type that embeds a `CoreSet`
+//! (`Directory`, `MemorySystem`, `StallStorm`, `Machine`, …) keeps its
+//! historical single-word shape — and its byte-identical behavior —
+//! unless a caller explicitly asks for a wider machine. All operations
+//! are branch-free word loops that the compiler fully unrolls per
+//! monomorphization; at `N = 1` they compile to exactly the single-word
+//! `|`/`&`/`trailing_zeros` ops they replace.
+
+/// A set of core indices stored as `N` 64-bit words (capacity `64 * N`).
+///
+/// # Example
+///
+/// ```
+/// use retcon_isa::CoreSet;
+///
+/// let mut s: CoreSet = CoreSet::EMPTY; // N = 1 by default
+/// assert!(s.insert(3));
+/// assert!(!s.insert(3));
+/// assert!(s.contains(3));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3]);
+///
+/// let wide: CoreSet<16> = CoreSet::solo(1000); // up to 1024 cores
+/// assert_eq!(wide.first(), Some(1000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreSet<const N: usize = 1> {
+    words: [u64; N],
+}
+
+impl<const N: usize> CoreSet<N> {
+    /// The set's capacity: core indices `0..CAPACITY` are representable.
+    pub const CAPACITY: usize = 64 * N;
+
+    /// The empty set (usable in `const` contexts, e.g. sentinel storms).
+    pub const EMPTY: CoreSet<N> = CoreSet { words: [0; N] };
+
+    /// The set containing exactly `core`.
+    #[inline]
+    #[must_use]
+    pub const fn solo(core: usize) -> Self {
+        let mut words = [0u64; N];
+        words[core >> 6] = 1u64 << (core & 63);
+        CoreSet { words }
+    }
+
+    /// `true` if no core is in the set.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        let mut or = 0;
+        for w in self.words {
+            or |= w;
+        }
+        or == 0
+    }
+
+    /// Number of cores in the set.
+    #[inline]
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        let mut n = 0;
+        for w in self.words {
+            n += w.count_ones();
+        }
+        n
+    }
+
+    /// `true` if `core` is in the set.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, core: usize) -> bool {
+        self.words[core >> 6] & (1u64 << (core & 63)) != 0
+    }
+
+    /// Adds `core`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, core: usize) -> bool {
+        let w = &mut self.words[core >> 6];
+        let bit = 1u64 << (core & 63);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        fresh
+    }
+
+    /// Removes `core`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, core: usize) -> bool {
+        let w = &mut self.words[core >> 6];
+        let bit = 1u64 << (core & 63);
+        let had = *w & bit != 0;
+        *w &= !bit;
+        had
+    }
+
+    /// Removes every core, leaving the set empty.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words = [0; N];
+    }
+
+    /// This set with `core` removed (the `mask & !(1 << core)` idiom).
+    #[inline]
+    #[must_use]
+    pub fn without(mut self, core: usize) -> Self {
+        self.words[core >> 6] &= !(1u64 << (core & 63));
+        self
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub fn union(mut self, other: Self) -> Self {
+        let mut i = 0;
+        while i < N {
+            self.words[i] |= other.words[i];
+            i += 1;
+        }
+        self
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersect(mut self, other: Self) -> Self {
+        let mut i = 0;
+        while i < N {
+            self.words[i] &= other.words[i];
+            i += 1;
+        }
+        self
+    }
+
+    /// Set difference: the cores in `self` but not in `other`.
+    #[inline]
+    #[must_use]
+    pub fn and_not(mut self, other: Self) -> Self {
+        let mut i = 0;
+        while i < N {
+            self.words[i] &= !other.words[i];
+            i += 1;
+        }
+        self
+    }
+
+    /// `true` if the sets share at least one core.
+    #[inline]
+    #[must_use]
+    pub fn intersects(&self, other: Self) -> bool {
+        let mut or = 0;
+        let mut i = 0;
+        while i < N {
+            or |= self.words[i] & other.words[i];
+            i += 1;
+        }
+        or != 0
+    }
+
+    /// The smallest core in the set, if any.
+    #[inline]
+    #[must_use]
+    pub fn first(&self) -> Option<usize> {
+        let mut i = 0;
+        while i < N {
+            let w = self.words[i];
+            if w != 0 {
+                return Some((i << 6) | w.trailing_zeros() as usize);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Iterates the set's cores in ascending order. This is the sparse
+    /// replacement for `(0..MAX_CORES)` linear scans: cost is one
+    /// `trailing_zeros` per *member*, not per possible core.
+    #[inline]
+    pub fn iter(&self) -> Iter<N> {
+        Iter {
+            words: self.words,
+            idx: 0,
+        }
+    }
+}
+
+impl<const N: usize> std::ops::BitOrAssign for CoreSet<N> {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Self) {
+        *self = self.union(rhs);
+    }
+}
+
+impl<const N: usize> Default for CoreSet<N> {
+    #[inline]
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl<const N: usize> std::fmt::Debug for CoreSet<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<const N: usize> IntoIterator for CoreSet<N> {
+    type Item = usize;
+    type IntoIter = Iter<N>;
+    #[inline]
+    fn into_iter(self) -> Iter<N> {
+        Iter {
+            words: self.words,
+            idx: 0,
+        }
+    }
+}
+
+/// Ascending-order iterator over a [`CoreSet`]'s members.
+#[derive(Debug, Clone)]
+pub struct Iter<const N: usize> {
+    words: [u64; N],
+    idx: usize,
+}
+
+impl<const N: usize> Iterator for Iter<N> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.idx < N {
+            let w = self.words[self.idx];
+            if w != 0 {
+                self.words[self.idx] = w & (w - 1);
+                return Some((self.idx << 6) | w.trailing_zeros() as usize);
+            }
+            self.idx += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_properties() {
+        let s: CoreSet = CoreSet::EMPTY;
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.first(), None);
+        assert_eq!(s.iter().next(), None);
+        assert_eq!(s, CoreSet::default());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s: CoreSet<2> = CoreSet::EMPTY;
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(127));
+        assert!(!s.insert(64), "double insert reports not-fresh");
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(64) && !s.contains(65));
+        assert!(s.remove(64));
+        assert!(!s.remove(64), "double remove reports absent");
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 127]);
+    }
+
+    #[test]
+    fn iteration_crosses_word_boundaries_ascending() {
+        let mut s: CoreSet<4> = CoreSet::EMPTY;
+        for c in [200, 3, 64, 190, 128, 65] {
+            s.insert(c);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 65, 128, 190, 200]);
+        assert_eq!(s.first(), Some(3));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a: CoreSet<2> = CoreSet::solo(5);
+        a.insert(100);
+        let b: CoreSet<2> = CoreSet::solo(100);
+        assert_eq!(a.union(b), a);
+        assert_eq!(a.intersect(b), b);
+        assert_eq!(a.and_not(b), CoreSet::solo(5));
+        assert_eq!(a.without(100), CoreSet::solo(5));
+        assert!(a.intersects(b));
+        assert!(!CoreSet::<2>::solo(5).intersects(b));
+        let mut c = b;
+        c |= CoreSet::solo(5);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn solo_is_const_and_wide() {
+        const S: CoreSet<16> = CoreSet::solo(1023);
+        assert!(S.contains(1023));
+        assert_eq!(S.count(), 1);
+        assert_eq!(S.first(), Some(1023));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s: CoreSet<8> = CoreSet::solo(400);
+        s.insert(7);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let mut s: CoreSet<2> = CoreSet::EMPTY;
+        s.insert(1);
+        s.insert(66);
+        assert_eq!(format!("{s:?}"), "{1, 66}");
+    }
+}

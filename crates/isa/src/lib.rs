@@ -67,6 +67,7 @@
 
 mod addr;
 mod builder;
+pub mod coreset;
 pub mod fx;
 mod instr;
 mod program;
@@ -75,6 +76,7 @@ pub mod table;
 
 pub use addr::{Addr, BlockAddr, WORDS_PER_BLOCK};
 pub use builder::{BuildError, ProgramBuilder};
+pub use coreset::CoreSet;
 pub use instr::{BinOp, CmpOp, Instr, Operand};
 pub use program::{BasicBlock, BlockId, Pc, Program, ValidateError};
 pub use reg::{Reg, NUM_REGS};

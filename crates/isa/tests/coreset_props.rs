@@ -1,0 +1,114 @@
+//! Property tests: [`CoreSet`] behaves exactly like a naive `HashSet`
+//! model under every operation, across all five size classes.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use retcon_isa::CoreSet;
+
+/// One randomly generated set operation over cores `0..capacity`.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(usize),
+    Remove(usize),
+    Contains(usize),
+    Clear,
+}
+
+fn op_strategy(capacity: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..capacity).prop_map(Op::Insert),
+        (0..capacity).prop_map(Op::Remove),
+        (0..capacity).prop_map(Op::Contains),
+        Just(Op::Clear),
+    ]
+}
+
+/// Drives the same op sequence through a `CoreSet<N>` and a `HashSet`,
+/// checking every per-op return value and the full observable state
+/// (membership, count, emptiness, minimum, ascending iteration) after
+/// each step.
+fn check_model<const N: usize>(ops: &[Op]) {
+    let mut set: CoreSet<N> = CoreSet::EMPTY;
+    let mut model: HashSet<usize> = HashSet::new();
+    for &op in ops {
+        match op {
+            Op::Insert(c) => assert_eq!(set.insert(c), model.insert(c)),
+            Op::Remove(c) => assert_eq!(set.remove(c), model.remove(&c)),
+            Op::Contains(c) => assert_eq!(set.contains(c), model.contains(&c)),
+            Op::Clear => {
+                set.clear();
+                model.clear();
+            }
+        }
+        assert_eq!(set.count() as usize, model.len());
+        assert_eq!(set.is_empty(), model.is_empty());
+        assert_eq!(set.first(), model.iter().min().copied());
+        let mut sorted: Vec<usize> = model.iter().copied().collect();
+        sorted.sort_unstable();
+        assert_eq!(set.iter().collect::<Vec<_>>(), sorted);
+    }
+}
+
+/// Union / intersection / difference agree with the model's set algebra.
+fn check_algebra<const N: usize>(a: &[usize], b: &[usize]) {
+    let mut sa: CoreSet<N> = CoreSet::EMPTY;
+    let mut sb: CoreSet<N> = CoreSet::EMPTY;
+    let ma: HashSet<usize> = a.iter().copied().collect();
+    let mb: HashSet<usize> = b.iter().copied().collect();
+    for &c in a {
+        sa.insert(c);
+    }
+    for &c in b {
+        sb.insert(c);
+    }
+    let sorted = |m: &HashSet<usize>| {
+        let mut v: Vec<usize> = m.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        sa.union(sb).iter().collect::<Vec<_>>(),
+        sorted(&ma.union(&mb).copied().collect())
+    );
+    assert_eq!(
+        sa.intersect(sb).iter().collect::<Vec<_>>(),
+        sorted(&ma.intersection(&mb).copied().collect())
+    );
+    assert_eq!(
+        sa.and_not(sb).iter().collect::<Vec<_>>(),
+        sorted(&ma.difference(&mb).copied().collect())
+    );
+    assert_eq!(sa.intersects(sb), !ma.is_disjoint(&mb));
+}
+
+macro_rules! size_class_props {
+    ($mod_name:ident, $n:literal) => {
+        mod $mod_name {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn matches_hashset_model(
+                    ops in proptest::collection::vec(op_strategy(64 * $n), 1..200),
+                ) {
+                    check_model::<$n>(&ops);
+                }
+
+                #[test]
+                fn algebra_matches_hashset_model(
+                    a in proptest::collection::vec(0..64usize * $n, 0..40),
+                    b in proptest::collection::vec(0..64usize * $n, 0..40),
+                ) {
+                    check_algebra::<$n>(&a, &b);
+                }
+            }
+        }
+    };
+}
+
+size_class_props!(n1_64_cores, 1);
+size_class_props!(n2_128_cores, 2);
+size_class_props!(n4_256_cores, 4);
+size_class_props!(n8_512_cores, 8);
+size_class_props!(n16_1024_cores, 16);

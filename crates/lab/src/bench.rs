@@ -211,6 +211,22 @@ pub fn run_bench(jobs: usize) -> Result<BenchReport, SimError> {
         runs: 1,
         micros: t.elapsed().as_micros() as u64,
     });
+    // Past-the-paper scale entries, bench-only like `contended32`: the
+    // group-local `scaling_xl` stressor at the 4-word (256-core) and
+    // 16-word (1024-core) CoreSet size classes, executed sharded. These
+    // track what the wide size classes and the sharded merge cost in
+    // wall-clock terms; cycle counts are pinned separately by the
+    // sharded-vs-serial byte-identity tests.
+    for (name, cores, shards) in [("scale256", 256usize, 2usize), ("scale1024", 1024, 4)] {
+        let spec = Workload::ScalingXl.build(cores, 42);
+        let t = Instant::now();
+        retcon_workloads::run_spec_sized(&spec, System::Retcon, cores, shards)?;
+        datasets.push(DatasetBench {
+            name: name.to_string(),
+            runs: 1,
+            micros: t.elapsed().as_micros() as u64,
+        });
+    }
     // Serve-path entries: the same sweep pushed through the daemon's
     // content-addressed ResultStore (no sockets — the store is the serving
     // hot path; the wire layer is microseconds of formatting on top). Cold

@@ -55,6 +55,12 @@ pub enum Dataset {
     AblationSizes,
     /// Core-count scaling sweep (1–32) for selected workloads.
     Scaling,
+    /// Past-the-paper core scaling (64–1024) on the group-local counter
+    /// workload. Deliberately excluded from [`Dataset::ALL`]: the `all`
+    /// record set is pinned byte-for-byte against committed manifests,
+    /// and this dataset exists to exercise the wider `CoreSet` size
+    /// classes beyond it. Run it explicitly: `retcon-lab run scaling_xl`.
+    ScalingXl,
 }
 
 /// The initial-value-buffer capacities `ablation_sizes` sweeps.
@@ -67,6 +73,9 @@ pub const CB_SWEEP: [usize; 4] = [1, 4, 16, 64];
 pub const BACKOFF_SWEEP: [u32; 4] = [0, 10, 100, 1000];
 /// The core counts the `scaling` sweep visits.
 pub const SCALING_CORES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+/// The core counts the `scaling_xl` sweep visits — one per `CoreSet`
+/// size class (1/2/4/8/16 words).
+pub const XL_SCALING_CORES: [usize; 5] = [64, 128, 256, 512, 1024];
 
 /// The workloads `ablation_sizes` sweeps structure sizes on.
 pub fn ablation_workloads() -> [Workload; 3] {
@@ -121,12 +130,17 @@ impl Dataset {
             Dataset::AblationIdeal => "ablation_ideal",
             Dataset::AblationSizes => "ablation_sizes",
             Dataset::Scaling => "scaling",
+            Dataset::ScalingXl => "scaling_xl",
         }
     }
 
-    /// Looks a dataset up by [`Dataset::name`].
+    /// Looks a dataset up by [`Dataset::name`]. Covers every member of
+    /// [`Dataset::ALL`] plus the run-explicitly extras ([`Dataset::ScalingXl`]).
     pub fn parse(name: &str) -> Option<Dataset> {
-        Dataset::ALL.into_iter().find(|d| d.name() == name)
+        Dataset::ALL
+            .into_iter()
+            .chain([Dataset::ScalingXl])
+            .find(|d| d.name() == name)
     }
 
     /// One-line description (the paper artifact).
@@ -144,6 +158,7 @@ impl Dataset {
             Dataset::AblationIdeal => "§5.3 — default RETCON vs the idealized variant",
             Dataset::AblationSizes => "structure-size and predictor-threshold sweeps",
             Dataset::Scaling => "core-count sweep (1–32) for selected workloads",
+            Dataset::ScalingXl => "past-the-paper core sweep (64–1024), not part of `all`",
         }
     }
 
@@ -245,6 +260,16 @@ impl Dataset {
                     for n in SCALING_CORES {
                         jobs.push(Job::new(w, System::Eager, n, SEED));
                         jobs.push(Job::new(w, System::Retcon, n, SEED));
+                    }
+                }
+            }
+            Dataset::ScalingXl => {
+                // No 1-core sequential baseline: the workload's total work
+                // grows with the core count, so a fixed-work speedup curve
+                // is meaningless — the record reports raw cycles.
+                for n in XL_SCALING_CORES {
+                    for s in [System::Eager, System::LazyVb, System::Retcon] {
+                        jobs.push(Job::new(Workload::ScalingXl, s, n, SEED));
                     }
                 }
             }

@@ -26,7 +26,7 @@ use retcon_htm::{AnyProtocol, RetconTm};
 use retcon_sim::canon::{content_hash128, Canon};
 use retcon_sim::json::Json;
 use retcon_sim::{SimConfig, SimError, SimReport};
-use retcon_workloads::{run_spec_with, System, Workload};
+use retcon_workloads::{run_spec_sized, run_spec_with, System, Workload};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -149,6 +149,13 @@ impl RunKey {
 /// indicate workload bugs, so callers treat them as fatal).
 pub fn simulate(key: &RunKey) -> Result<SimReport, SimError> {
     let spec = key.workload.build(key.cores, key.seed);
+    if key.cfg.is_none() && key.cores > 64 {
+        // Past the single-word CoreSet class (64 cores) the `AnyProtocol`
+        // below cannot represent the machine; dispatch through the
+        // size-classed entry. Serial (`shards = 1`): a lab record must
+        // never depend on host-thread availability.
+        return run_spec_sized(&spec, key.system, key.cores, 1);
+    }
     let protocol: AnyProtocol = match key.cfg {
         Some(cfg) => RetconTm::new(key.cores, cfg).into(),
         None => key.system.protocol(key.cores),

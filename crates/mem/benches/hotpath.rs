@@ -18,7 +18,7 @@ use retcon_mem::{AccessKind, CoreId, MemConfig, MemorySystem};
 fn bench_hit_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("hit_path");
     group.bench_function("plan_access_read_l1_hit", |b| {
-        let mut ms = MemorySystem::new(MemConfig::default(), 4);
+        let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 4);
         ms.access(CoreId(0), Addr(0), AccessKind::Read, false);
         b.iter(|| {
             let plan = ms.plan(CoreId(0), Addr(0), AccessKind::Read);
@@ -27,7 +27,7 @@ fn bench_hit_path(c: &mut Criterion) {
         })
     });
     group.bench_function("plan_access_write_owned_l1_hit", |b| {
-        let mut ms = MemorySystem::new(MemConfig::default(), 4);
+        let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 4);
         ms.access(CoreId(0), Addr(0), AccessKind::Write, false);
         b.iter(|| {
             let plan = ms.plan(CoreId(0), Addr(0), AccessKind::Write);
@@ -37,7 +37,7 @@ fn bench_hit_path(c: &mut Criterion) {
     group.bench_function("speculative_hit_and_clear", |b| {
         // A two-access transaction: spec-read + spec-write on warm blocks,
         // then commit-time clear. Steady state allocates nothing.
-        let mut ms = MemorySystem::new(MemConfig::default(), 4);
+        let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 4);
         ms.access(CoreId(0), Addr(0), AccessKind::Write, false);
         ms.access(CoreId(0), Addr(8), AccessKind::Write, false);
         b.iter(|| {
@@ -56,12 +56,12 @@ fn bench_conflicts(c: &mut Criterion) {
     let mut group = c.benchmark_group("conflicts");
     group.bench_function("probe_no_conflict_32core", |b| {
         // 31 other cores, none speculative: the O(1) mask lookup.
-        let mut ms = MemorySystem::new(MemConfig::default(), 32);
+        let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 32);
         ms.access(CoreId(0), Addr(0), AccessKind::Read, false);
         b.iter(|| black_box(ms.has_conflicts(CoreId(0), Addr(0), AccessKind::Write)))
     });
     group.bench_function("conflict_set_one_writer", |b| {
-        let mut ms = MemorySystem::new(MemConfig::default(), 32);
+        let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 32);
         ms.access(CoreId(1), Addr(0), AccessKind::Write, true);
         b.iter(|| {
             let set = ms.conflict_set(CoreId(0), Addr(0), AccessKind::Read);
@@ -70,7 +70,7 @@ fn bench_conflicts(c: &mut Criterion) {
     });
     group.bench_function("conflict_set_seven_readers", |b| {
         // Spills past the inline capacity: the rare wide-conflict shape.
-        let mut ms = MemorySystem::new(MemConfig::default(), 8);
+        let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 8);
         for i in 1..8 {
             ms.access(CoreId(i), Addr(0), AccessKind::Read, true);
         }
@@ -86,12 +86,12 @@ fn bench_conflicts(c: &mut Criterion) {
 fn bench_memory_words(c: &mut Criterion) {
     let mut group = c.benchmark_group("global_memory");
     group.bench_function("read_warm_page", |b| {
-        let mut ms = MemorySystem::new(MemConfig::default(), 1);
+        let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 1);
         ms.write_word(Addr(100), 7);
         b.iter(|| black_box(ms.read_word(Addr(100))))
     });
     group.bench_function("write_warm_page", |b| {
-        let mut ms = MemorySystem::new(MemConfig::default(), 1);
+        let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 1);
         ms.write_word(Addr(100), 7);
         let mut v = 0u64;
         b.iter(|| {

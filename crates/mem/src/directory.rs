@@ -1,59 +1,65 @@
 //! Directory coherence state.
 //!
-//! Entries are stored compactly as a per-block *sharer bitmask* plus an
+//! Entries are stored compactly as a per-block *sharer bitset* plus an
 //! optional owner index, so the hot-path questions — "who must be
 //! invalidated", "can the data be forwarded", "does this core hold the block
-//! modified" — are single-word bit operations instead of `BTreeSet`
+//! modified" — are fixed-width bit operations instead of `BTreeSet`
 //! traversals. The [`DirState`] enum remains as a read-only *view* for tests
 //! and diagnostics.
+//!
+//! The sharer set is a [`CoreSet<N>`]: `N = 1` (the default everywhere the
+//! paper matrix runs) keeps the historical one-`u64` entry layout and
+//! codegen; wider size classes (`N` up to 16, 1024 cores) widen every
+//! operation to an unrolled word loop with no code changes here.
 
 use std::collections::BTreeSet;
 
-use retcon_isa::BlockAddr;
+use retcon_isa::{BlockAddr, CoreSet};
 
 use crate::system::CoreId;
 use retcon_isa::table::BlockTable;
 
-/// The directory supports at most this many cores (sharer sets are 64-bit
-/// masks; the paper's machine is 32 cores).
+/// The directory's default (`N = 1`) size class supports at most this many
+/// cores; wider machines use `CoreSet<N>` entries supporting `64 * N`.
 pub const MAX_CORES: usize = 64;
 
-/// Sentinel for "no modified owner".
-const NO_OWNER: u8 = u8::MAX;
+/// Sentinel for "no modified owner" (`u16` so owner indices cover the
+/// 1024-core size class).
+const NO_OWNER: u16 = u16::MAX;
 
 /// Compact per-block directory entry: either one modified owner, or a
-/// bitmask of read-only sharers.
+/// bitset of read-only sharers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Entry {
-    /// Bit `i` set: core `i` holds a read-only copy (only meaningful when
-    /// `owner == NO_OWNER`).
-    sharers: u64,
+struct Entry<const N: usize = 1> {
+    /// Core `i` present: core `i` holds a read-only copy (only meaningful
+    /// when `owner == NO_OWNER`).
+    sharers: CoreSet<N>,
     /// Index of the modified owner, or [`NO_OWNER`].
-    owner: u8,
+    owner: u16,
 }
 
 /// The default entry is the uncached state: no sharers, no owner.
-impl Default for Entry {
+impl<const N: usize> Default for Entry<N> {
     fn default() -> Self {
         Entry {
-            sharers: 0,
+            sharers: CoreSet::EMPTY,
             owner: NO_OWNER,
         }
     }
 }
 
-impl Entry {
+impl<const N: usize> Entry<N> {
     #[inline]
-    fn modified(core: CoreId) -> Entry {
-        debug_assert!(core.0 < MAX_CORES);
+    fn modified(core: CoreId) -> Entry<N> {
+        debug_assert!(core.0 < CoreSet::<N>::CAPACITY);
         Entry {
-            sharers: 0,
-            owner: core.0 as u8,
+            sharers: CoreSet::EMPTY,
+            owner: core.0 as u16,
         }
     }
 
     #[inline]
-    fn shared(mask: u64) -> Entry {
+    fn shared(mask: CoreSet<N>) -> Entry<N> {
         Entry {
             sharers: mask,
             owner: NO_OWNER,
@@ -61,11 +67,11 @@ impl Entry {
     }
 
     #[inline]
-    fn holder_mask(self) -> u64 {
+    fn holder_mask(self) -> CoreSet<N> {
         if self.owner == NO_OWNER {
             self.sharers
         } else {
-            1u64 << self.owner
+            CoreSet::solo(self.owner as usize)
         }
     }
 }
@@ -117,16 +123,18 @@ impl DirState {
 /// [`drop_holder`](Directory::drop_holder); the per-core tag arrays mirror
 /// this state for latency and speculative-bit lookups.
 #[derive(Debug, Clone, Default)]
-pub struct Directory {
+pub struct Directory<const N: usize = 1> {
     /// Per-block entries; the dense-first table makes every hot-path
     /// question an array load for densely-allocated workloads.
-    entries: BlockTable<Entry>,
+    entries: BlockTable<Entry<N>>,
 }
 
-impl Directory {
+impl<const N: usize> Directory<N> {
     /// Creates an empty directory (all blocks [`DirState::Uncached`]).
     pub fn new() -> Self {
-        Self::default()
+        Directory {
+            entries: BlockTable::new(),
+        }
     }
 
     /// The current state of `block`, as an assembled view (allocates for
@@ -138,23 +146,19 @@ impl Directory {
         } else if e.owner != NO_OWNER {
             DirState::Modified(CoreId(e.owner as usize))
         } else {
-            DirState::Shared(
-                (0..MAX_CORES)
-                    .filter(|i| e.sharers & (1u64 << i) != 0)
-                    .map(CoreId)
-                    .collect(),
-            )
+            DirState::Shared(e.sharers.iter().map(CoreId).collect())
         }
     }
 
-    /// Debug-asserts that `core` fits the one-word sharer masks. The
+    /// Debug-asserts that `core` fits this size class's sharer sets. The
     /// `MemorySystem` constructor enforces this for protocol-driven use;
     /// this guard covers direct `Directory` users.
     #[inline]
     fn check_core(core: CoreId) {
         debug_assert!(
-            core.0 < MAX_CORES,
-            "CoreId {core} exceeds MAX_CORES ({MAX_CORES})"
+            core.0 < CoreSet::<N>::CAPACITY,
+            "CoreId {core} exceeds this size class's capacity ({})",
+            CoreSet::<N>::CAPACITY
         );
     }
 
@@ -162,44 +166,39 @@ impl Directory {
     #[inline]
     pub fn holds(&self, core: CoreId, block: BlockAddr) -> bool {
         Self::check_core(core);
-        self.entries.get(block.0).holder_mask() & (1u64 << core.0) != 0
+        self.entries.get(block.0).holder_mask().contains(core.0)
     }
 
     /// `true` if `core` holds `block` with write permission.
     #[inline]
     pub fn holds_modified(&self, core: CoreId, block: BlockAddr) -> bool {
         Self::check_core(core);
-        self.entries.get(block.0).owner == core.0 as u8
+        self.entries.get(block.0).owner == core.0 as u16
     }
 
-    /// Bitmask of cores whose copies must change state for `core` to perform
+    /// Set of cores whose copies must change state for `core` to perform
     /// the given access: for a write, every other holder; for a read, the
     /// remote modified owner (who must downgrade), if any.
     #[inline]
-    pub fn victims_mask(&self, core: CoreId, block: BlockAddr, write: bool) -> u64 {
+    pub fn victims_mask(&self, core: CoreId, block: BlockAddr, write: bool) -> CoreSet<N> {
         Self::check_core(core);
         let e = self.entries.get(block.0);
-        let me = 1u64 << core.0;
         if e.owner != NO_OWNER {
-            e.holder_mask() & !me
+            e.holder_mask().without(core.0)
         } else if write {
-            e.sharers & !me
+            e.sharers.without(core.0)
         } else {
-            0
+            CoreSet::EMPTY
         }
     }
 
     /// [`victims_mask`](Self::victims_mask) as a `Vec` (tests and
     /// diagnostics).
     pub fn victims(&self, core: CoreId, block: BlockAddr, write: bool) -> Vec<CoreId> {
-        let mut mask = self.victims_mask(core, block, write);
-        let mut out = Vec::new();
-        while mask != 0 {
-            let i = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            out.push(CoreId(i));
-        }
-        out
+        self.victims_mask(core, block, write)
+            .iter()
+            .map(CoreId)
+            .collect()
     }
 
     /// `true` if a miss by `core` would be serviced by a remote owner's cache
@@ -208,32 +207,33 @@ impl Directory {
     pub fn forwarded_from_owner(&self, core: CoreId, block: BlockAddr) -> bool {
         Self::check_core(core);
         let owner = self.entries.get(block.0).owner;
-        owner != NO_OWNER && owner != core.0 as u8
+        owner != NO_OWNER && owner != core.0 as u16
     }
 
     /// Records that `core` has been granted a read-only copy, downgrading a
     /// remote modified owner to shared. Returns the downgraded owner, if any.
     pub fn grant_read(&mut self, core: CoreId, block: BlockAddr) -> Option<CoreId> {
         Self::check_core(core);
-        let me = 1u64 << core.0;
         let e = self.entries.entry(block.0);
         if e.owner == NO_OWNER {
             // Uncached or shared: join the sharer set.
-            e.sharers |= me;
+            e.sharers.insert(core.0);
             None
-        } else if e.owner == core.0 as u8 {
+        } else if e.owner == core.0 as u16 {
             None
         } else {
             let owner = CoreId(e.owner as usize);
-            *e = Entry::shared(me | (1u64 << owner.0));
+            let mut sharers = CoreSet::solo(core.0);
+            sharers.insert(owner.0);
+            *e = Entry::shared(sharers);
             Some(owner)
         }
     }
 
     /// Records that `core` has been granted an exclusive (writable) copy,
-    /// invalidating all other holders. Returns the bitmask of invalidated
+    /// invalidating all other holders. Returns the set of invalidated
     /// cores.
-    pub fn grant_write(&mut self, core: CoreId, block: BlockAddr) -> u64 {
+    pub fn grant_write(&mut self, core: CoreId, block: BlockAddr) -> CoreSet<N> {
         let victims = self.victims_mask(core, block, true);
         *self.entries.entry(block.0) = Entry::modified(core);
         victims
@@ -248,12 +248,12 @@ impl Directory {
             return;
         }
         if e.owner != NO_OWNER {
-            if e.owner == core.0 as u8 {
+            if e.owner == core.0 as u16 {
                 self.entries.clear_entry(block.0);
             }
         } else {
-            e.sharers &= !(1u64 << core.0);
-            if e.sharers == 0 {
+            e.sharers.remove(core.0);
+            if e.sharers.is_empty() {
                 self.entries.clear_entry(block.0);
             } else {
                 *self.entries.entry(block.0) = e;
@@ -276,18 +276,27 @@ mod tests {
     const C2: CoreId = CoreId(2);
     const B: BlockAddr = BlockAddr(7);
 
+    /// `CoreSet` with exactly the given members (expected-value helper).
+    fn set<const N: usize>(cores: &[usize]) -> CoreSet<N> {
+        let mut s = CoreSet::EMPTY;
+        for &c in cores {
+            s.insert(c);
+        }
+        s
+    }
+
     #[test]
     fn starts_uncached() {
-        let d = Directory::new();
+        let d: Directory = Directory::new();
         assert_eq!(d.state(B), DirState::Uncached);
         assert!(d.victims(C0, B, true).is_empty());
-        assert_eq!(d.victims_mask(C0, B, true), 0);
+        assert_eq!(d.victims_mask(C0, B, true), CoreSet::EMPTY);
         assert_eq!(d.tracked_blocks(), 0);
     }
 
     #[test]
     fn read_read_shares() {
-        let mut d = Directory::new();
+        let mut d: Directory = Directory::new();
         assert_eq!(d.grant_read(C0, B), None);
         assert_eq!(d.grant_read(C1, B), None);
         let s = d.state(B);
@@ -299,18 +308,18 @@ mod tests {
 
     #[test]
     fn write_invalidates_sharers() {
-        let mut d = Directory::new();
+        let mut d: Directory = Directory::new();
         d.grant_read(C0, B);
         d.grant_read(C1, B);
         let victims = d.grant_write(C2, B);
-        assert_eq!(victims, 0b11);
+        assert_eq!(victims, set(&[0, 1]));
         assert!(d.state(B).holds_modified(C2));
         assert!(d.holds_modified(C2, B));
     }
 
     #[test]
     fn read_downgrades_modified_owner() {
-        let mut d = Directory::new();
+        let mut d: Directory = Directory::new();
         d.grant_write(C0, B);
         assert!(d.forwarded_from_owner(C1, B));
         let downgraded = d.grant_read(C1, B);
@@ -322,7 +331,7 @@ mod tests {
 
     #[test]
     fn owner_rereading_keeps_modified() {
-        let mut d = Directory::new();
+        let mut d: Directory = Directory::new();
         d.grant_write(C0, B);
         assert_eq!(d.grant_read(C0, B), None);
         assert!(d.state(B).holds_modified(C0));
@@ -330,16 +339,16 @@ mod tests {
 
     #[test]
     fn write_steals_from_owner() {
-        let mut d = Directory::new();
+        let mut d: Directory = Directory::new();
         d.grant_write(C0, B);
         let victims = d.grant_write(C1, B);
-        assert_eq!(victims, 0b01);
+        assert_eq!(victims, set(&[0]));
         assert!(d.state(B).holds_modified(C1));
     }
 
     #[test]
     fn drop_holder_transitions() {
-        let mut d = Directory::new();
+        let mut d: Directory = Directory::new();
         d.grant_read(C0, B);
         d.grant_read(C1, B);
         d.drop_holder(C0, B);
@@ -356,7 +365,7 @@ mod tests {
 
     #[test]
     fn victims_for_read_only_modified_owner() {
-        let mut d = Directory::new();
+        let mut d: Directory = Directory::new();
         d.grant_read(C0, B);
         assert!(d.victims(C1, B, false).is_empty());
         d.grant_write(C0, B);
@@ -366,9 +375,23 @@ mod tests {
 
     #[test]
     fn drop_of_non_holder_is_noop() {
-        let mut d = Directory::new();
+        let mut d: Directory = Directory::new();
         d.grant_write(C0, B);
         d.drop_holder(C1, B);
         assert!(d.state(B).holds_modified(C0));
+    }
+
+    #[test]
+    fn wide_size_class_tracks_high_cores() {
+        // The 16-word size class handles cores past every narrower limit.
+        let mut d: Directory<16> = Directory::new();
+        let hi = CoreId(1000);
+        let lo = CoreId(3);
+        d.grant_read(hi, B);
+        d.grant_read(lo, B);
+        assert!(d.holds(hi, B) && d.holds(lo, B));
+        let victims = d.grant_write(CoreId(512), B);
+        assert_eq!(victims, set(&[3, 1000]));
+        assert!(d.holds_modified(CoreId(512), B));
     }
 }

@@ -31,7 +31,7 @@
 //! use retcon_mem::{MemorySystem, MemConfig, CoreId, AccessKind};
 //! use retcon_isa::Addr;
 //!
-//! let mut ms = MemorySystem::new(MemConfig::default(), 2);
+//! let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 2);
 //! let a = Addr(0x40);
 //!
 //! // Core 0 writes 7 into `a` speculatively.

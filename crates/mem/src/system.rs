@@ -2,11 +2,11 @@
 
 use std::fmt;
 
-use retcon_isa::{Addr, BlockAddr};
+use retcon_isa::{Addr, BlockAddr, CoreSet};
 
 use crate::cache::{CacheArray, SpecBits};
 use crate::config::MemConfig;
-use crate::directory::{Directory, MAX_CORES};
+use crate::directory::Directory;
 use crate::memory::GlobalMemory;
 use crate::stats::MemStats;
 use retcon_isa::table::BlockTable;
@@ -144,21 +144,23 @@ impl AccessPlan {
     }
 }
 
-/// Bitmasks of cores holding speculative permissions on one block: the
+/// Core sets holding speculative permissions on one block: the
 /// directory-side sharer/speculative summary that makes conflict detection
-/// O(1) instead of an O(num_cores) cache snoop.
+/// O(1) instead of an O(num_cores) cache snoop. Sized per machine size
+/// class (`N = 1` keeps the historical two-`u64` layout).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct SpecMask {
-    /// Bit `i`: core `i` holds a speculative-read bit on the block.
-    readers: u64,
-    /// Bit `i`: core `i` holds a speculative-written bit on the block.
-    writers: u64,
+struct SpecMask<const N: usize> {
+    /// Core `i` present: core `i` holds a speculative-read bit on the block.
+    readers: CoreSet<N>,
+    /// Core `i` present: core `i` holds a speculative-written bit on the
+    /// block.
+    writers: CoreSet<N>,
 }
 
-impl SpecMask {
+impl<const N: usize> SpecMask<N> {
     #[inline]
     fn is_empty(self) -> bool {
-        self.readers == 0 && self.writers == 0
+        self.readers.is_empty() && self.writers.is_empty()
     }
 }
 
@@ -212,16 +214,16 @@ struct SpecTable {
 ///   non-speculative lines; eviction migrates nothing (the union map already
 ///   has the bits) and only counts a `spec_overflows` statistic.
 #[derive(Debug, Clone)]
-pub struct MemorySystem {
+pub struct MemorySystem<const N: usize = 1> {
     mem: GlobalMemory,
     l1: Vec<CacheArray>,
     l2: Vec<CacheArray>,
-    dir: Directory,
+    dir: Directory<N>,
     /// Per-core authoritative speculative bits (cache + permissions-only
     /// overflow united), keyed by block.
     spec: Vec<SpecTable>,
     /// Per-block reader/writer core masks (union of `spec` across cores).
-    masks: BlockTable<SpecMask>,
+    masks: BlockTable<SpecMask<N>>,
     /// Per-block *conflict version*: a monotonic counter bumped whenever
     /// something that a conflict-resolution verdict on the block could
     /// depend on changes — the block's mask ([`mark_spec`](Self::mark_spec)
@@ -247,13 +249,15 @@ pub struct MemorySystem {
     stats: Vec<MemStats>,
 }
 
-impl MemorySystem {
+impl<const N: usize> MemorySystem<N> {
     /// Creates a memory system for `num_cores` cores.
     pub fn new(cfg: MemConfig, num_cores: usize) -> Self {
         assert!(num_cores > 0, "need at least one core");
         assert!(
-            num_cores <= MAX_CORES,
-            "sharer bitmasks support at most {MAX_CORES} cores"
+            num_cores <= CoreSet::<N>::CAPACITY,
+            "this size class supports at most {} cores (got {num_cores}); \
+             use a wider CoreSet size class",
+            CoreSet::<N>::CAPACITY
         );
         MemorySystem {
             mem: GlobalMemory::new(),
@@ -365,13 +369,13 @@ impl MemorySystem {
     /// conflict *resolution* protocols must re-classify via
     /// [`access`](Self::access) anyway. Stall-retry loops call this once
     /// per retry, so the skipped walk — and the conflict representation
-    /// being a bare core bitmask rather than a materialized
+    /// being a bare [`CoreSet`] rather than a materialized
     /// [`ConflictSet`] — is the dominant saving on contended runs.
     ///
     /// # Errors
     ///
-    /// Returns the non-zero conflicting-core bitmask when the access
-    /// conflicts (ascending-bit iteration reproduces [`ConflictSet`]'s
+    /// Returns the non-empty conflicting-core set when the access
+    /// conflicts (ascending iteration reproduces [`ConflictSet`]'s
     /// ascending core order; per-victim [`spec_bits`](Self::spec_bits) are
     /// fetched on demand by the protocols that need them).
     #[inline]
@@ -380,10 +384,10 @@ impl MemorySystem {
         core: CoreId,
         addr: Addr,
         kind: AccessKind,
-    ) -> Result<AccessPlan, u64> {
+    ) -> Result<AccessPlan, CoreSet<N>> {
         let block = addr.block();
         let mask = self.conflict_mask(core, block, kind);
-        if mask != 0 {
+        if !mask.is_empty() {
             return Err(mask);
         }
         let service = self.classify(core, block, kind);
@@ -397,11 +401,11 @@ impl MemorySystem {
         })
     }
 
-    /// The bitmask of cores whose speculative bits conflict with `core`
+    /// The set of cores whose speculative bits conflict with `core`
     /// performing `kind` on `addr`'s block (the allocation- and
     /// struct-free form of [`conflict_set`](Self::conflict_set)).
     #[inline]
-    pub fn conflict_mask_of(&self, core: CoreId, addr: Addr, kind: AccessKind) -> u64 {
+    pub fn conflict_mask_of(&self, core: CoreId, addr: Addr, kind: AccessKind) -> CoreSet<N> {
         self.conflict_mask(core, addr.block(), kind)
     }
 
@@ -416,23 +420,23 @@ impl MemorySystem {
         }
     }
 
-    /// The bitmask of cores whose speculative bits conflict with `core`
+    /// The set of cores whose speculative bits conflict with `core`
     /// performing `kind` on `block`.
     #[inline]
-    fn conflict_mask(&self, core: CoreId, block: BlockAddr, kind: AccessKind) -> u64 {
+    fn conflict_mask(&self, core: CoreId, block: BlockAddr, kind: AccessKind) -> CoreSet<N> {
         let mask = self.masks.get(block.0);
         let conflicting = match kind {
             AccessKind::Read => mask.writers,
-            AccessKind::Write => mask.readers | mask.writers,
+            AccessKind::Write => mask.readers.union(mask.writers),
         };
-        conflicting & !(1u64 << core.0)
+        conflicting.without(core.0)
     }
 
     /// `true` if `core` performing `kind` on `addr`'s block would conflict
     /// with at least one other core's speculative bits. O(1).
     #[inline]
     pub fn has_conflicts(&self, core: CoreId, addr: Addr, kind: AccessKind) -> bool {
-        self.conflict_mask(core, addr.block(), kind) != 0
+        !self.conflict_mask(core, addr.block(), kind).is_empty()
     }
 
     /// The cores whose speculative bits conflict with `core` performing
@@ -440,10 +444,7 @@ impl MemorySystem {
     pub fn conflict_set(&self, core: CoreId, addr: Addr, kind: AccessKind) -> ConflictSet {
         let block = addr.block();
         let mut out = ConflictSet::new();
-        let mut mask = self.conflict_mask(core, block, kind);
-        while mask != 0 {
-            let i = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
+        for i in self.conflict_mask(core, block, kind) {
             out.push(Conflict {
                 core: CoreId(i),
                 bits: self.spec_bits(CoreId(i), block),
@@ -519,11 +520,9 @@ impl MemorySystem {
                 0u64
             }
             AccessKind::Write => {
-                let mut victims = self.dir.grant_write(core, block);
-                let n = u64::from(victims.count_ones());
-                while victims != 0 {
-                    let v = victims.trailing_zeros() as usize;
-                    victims &= victims - 1;
+                let victims = self.dir.grant_write(core, block);
+                let n = u64::from(victims.count());
+                for v in victims {
                     self.drop_copy(CoreId(v), block);
                     self.stats[v].invalidations_received += 1;
                 }
@@ -635,12 +634,11 @@ impl MemorySystem {
             self.bump_epoch += 1;
         }
         let mask = self.masks.entry(block.0);
-        let me = 1u64 << core.0;
         if merged.read {
-            mask.readers |= me;
+            mask.readers.insert(core.0);
         }
         if merged.written {
-            mask.writers |= me;
+            mask.writers.insert(core.0);
         }
     }
 
@@ -650,10 +648,9 @@ impl MemorySystem {
         if mask.is_empty() {
             return;
         }
-        let me = !(1u64 << core.0);
         let before = mask;
-        mask.readers &= me;
-        mask.writers &= me;
+        mask.readers = mask.readers.without(core.0);
+        mask.writers = mask.writers.without(core.0);
         if mask == before {
             return;
         }
@@ -741,7 +738,7 @@ impl MemorySystem {
     }
 
     /// The directory (read-only), for tests asserting coherence state.
-    pub fn directory(&self) -> &Directory {
+    pub fn directory(&self) -> &Directory<N> {
         &self.dir
     }
 
@@ -931,7 +928,7 @@ mod tests {
             l2: CacheGeometry { sets: 1, ways: 1 },
             latency: LatencyModel::default(),
         };
-        let mut m = MemorySystem::new(cfg, 2);
+        let mut m: MemorySystem = MemorySystem::new(cfg, 2);
         let a = Addr(0);
         let b = Addr(8); // different block, same set
         m.access(C0, a, AccessKind::Read, true);
@@ -996,7 +993,7 @@ mod tests {
 
     #[test]
     fn conflict_set_spills_past_inline_capacity() {
-        let mut m = MemorySystem::new(MemConfig::default(), 8);
+        let mut m: MemorySystem = MemorySystem::new(MemConfig::default(), 8);
         let a = Addr(0);
         for i in 0..7 {
             m.access(CoreId(i), a, AccessKind::Read, true);
@@ -1010,7 +1007,22 @@ mod tests {
 
     #[test]
     fn too_many_cores_rejected() {
-        let result = std::panic::catch_unwind(|| MemorySystem::new(MemConfig::default(), 65));
+        let result = std::panic::catch_unwind(|| MemorySystem::<1>::new(MemConfig::default(), 65));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn wide_size_class_accepts_and_tracks_high_cores() {
+        let mut m: MemorySystem<16> = MemorySystem::new(MemConfig::default(), 1024);
+        let a = Addr(0);
+        let hi = CoreId(1000);
+        m.access(hi, a, AccessKind::Write, true);
+        assert!(m.spec_bits(hi, a.block()).written);
+        // A low core's read conflicts with the high core's written bit.
+        let set = m.conflict_set(CoreId(3), a, AccessKind::Read);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.iter().next().unwrap().core, hi);
+        assert_eq!(m.clear_spec(hi), 1);
+        assert!(!m.has_conflicts(CoreId(3), a, AccessKind::Read));
     }
 }

@@ -93,7 +93,7 @@ proptest! {
     fn directory_single_writer(ops in proptest::collection::vec(
         (0usize..4, 0u64..8, any::<bool>(), any::<bool>()), 1..200
     )) {
-        let mut dir = Directory::new();
+        let mut dir: Directory = Directory::new();
         for (core, block, write, drop) in ops {
             let core = CoreId(core);
             let block = BlockAddr(block);
@@ -102,7 +102,7 @@ proptest! {
                 prop_assert!(!dir.state(block).holds(core));
             } else if write {
                 let victims = dir.grant_write(core, block);
-                prop_assert!(victims & (1u64 << core.0) == 0);
+                prop_assert!(!victims.contains(core.0));
                 let state = dir.state(block);
                 prop_assert!(state.holds_modified(core));
                 prop_assert_eq!(state.holders(), vec![core]);

@@ -80,7 +80,7 @@ fn hot_iteration(ms: &mut MemorySystem) {
 #[test]
 fn warm_hot_paths_do_not_allocate() {
     // --- Speculative transaction loop ---
-    let mut ms = MemorySystem::new(MemConfig::default(), 4);
+    let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 4);
     // Warm-up: fault in pages, grow the spec/mask/directory tables, and let
     // every structure reach its steady-state capacity.
     for _ in 0..16 {
@@ -96,7 +96,7 @@ fn warm_hot_paths_do_not_allocate() {
     );
 
     // --- Pure cache-hit loop of a non-speculative workload phase ---
-    let mut ms = MemorySystem::new(MemConfig::default(), 2);
+    let mut ms: MemorySystem = MemorySystem::new(MemConfig::default(), 2);
     for i in 0..8u64 {
         ms.access(C0, Addr(i), AccessKind::Read, false);
         ms.write_word(Addr(i), i);

@@ -63,7 +63,8 @@ fn bench_whole_machine(c: &mut Criterion) {
             let mut instructions = 0;
             b.iter(|| {
                 let programs = (0..CORES).map(|_| counter_program(ITERS)).collect();
-                let mut m = Machine::new(SimConfig::with_cores(CORES), protocol(name), programs);
+                let mut m: Machine =
+                    Machine::new(SimConfig::with_cores(CORES), protocol(name), programs);
                 let report = m.run().expect("run completes");
                 instructions = report.per_core.iter().map(|c| c.instructions).sum::<u64>();
                 black_box(report.cycles)

@@ -55,7 +55,7 @@
 //! let cfg = SimConfig::with_cores(2);
 //! let protocol = EagerTm::new(2, ConflictPolicy::OldestWins);
 //! let programs = vec![counter_program(100), counter_program(100)];
-//! let mut machine = Machine::new(cfg, protocol, programs);
+//! let mut machine: Machine = Machine::new(cfg, protocol, programs);
 //! let report = machine.run()?;
 //! assert_eq!(machine.mem().read_word(retcon_isa::Addr(0)), 200);
 //! assert_eq!(report.protocol.commits, 200);
@@ -71,6 +71,7 @@ pub mod json;
 mod machine;
 mod report;
 pub mod schedule;
+pub mod shard;
 mod tape;
 
 pub use canon::{content_hash128, Canon};
@@ -81,6 +82,7 @@ pub use schedule::{
     Bound, CoreAction, Decision, DeterministicMinHeap, Schedule, SchedulePeek, SeededFuzz,
     TraceHash,
 };
+pub use shard::{run_sharded, shard_ranges, ShardedOutcome};
 pub use tape::InputTape;
 
 // Re-exports so workload crates need only depend on `retcon-sim`.

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use retcon_htm::{AnyProtocol, CommitResult, MemResult, StallAction, StallStorm};
-use retcon_isa::{Addr, BlockAddr, Instr, Operand, Pc, Program, ValidateError, NUM_REGS};
+use retcon_isa::{Addr, BlockAddr, CoreSet, Instr, Operand, Pc, Program, ValidateError, NUM_REGS};
 use retcon_mem::{CoreId, MemorySystem};
 
 use crate::config::SimConfig;
@@ -28,6 +28,14 @@ pub enum SimError {
         /// The configured limit.
         limit: u64,
     },
+    /// The requested core count exceeds every available [`CoreSet`] size
+    /// class (the widest ships 16 words = 1024 cores).
+    UnsupportedCores {
+        /// The requested core count.
+        requested: usize,
+        /// The largest supported count.
+        max: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +46,12 @@ impl fmt::Display for SimError {
             }
             SimError::CycleLimit { limit } => {
                 write!(f, "simulation exceeded the {limit}-cycle safety cap")
+            }
+            SimError::UnsupportedCores { requested, max } => {
+                write!(
+                    f,
+                    "{requested} cores exceeds the widest CoreSet size class ({max} cores)"
+                )
             }
         }
     }
@@ -131,10 +145,10 @@ impl Core {
 /// the core with the smallest `(clock, id)`).
 ///
 /// See the crate-level documentation for a complete example.
-pub struct Machine {
+pub struct Machine<const N: usize = 1> {
     cfg: SimConfig,
-    mem: MemorySystem,
-    protocol: AnyProtocol,
+    mem: MemorySystem<N>,
+    protocol: AnyProtocol<N>,
     cores: Vec<Core>,
     /// One program per core, stored beside (not inside) the cores so the
     /// batched interpreter can hold the current basic block's instruction
@@ -152,11 +166,16 @@ pub struct Machine {
     cert_meta: Vec<CertMeta>,
     /// Cold half of the store (see [`CertPayload`]): indexed by core,
     /// meaningful only where `cert_meta` is not [`CertState::Empty`].
-    cert_payload: Vec<CertPayload>,
+    cert_payload: Vec<CertPayload<N>>,
     /// Incremented on every certificate lifecycle transition (certify,
     /// drop, stale-mark): together with [`MemorySystem::bump_epoch`] it
     /// keys [`Machine::clamp_cache`].
     cert_gen: u64,
+    /// When enabled (sharded execution), the set of block ids this
+    /// machine's cores touched through the protocol's read/write path.
+    /// `None` keeps the hot path branch-free-in-practice (a never-taken,
+    /// perfectly predicted check per access).
+    footprint: Option<retcon_mem::FxHashSet<u64>>,
     /// Memoised result of the stale-peer scan (see [`clamp_stale_peers`]):
     /// valid while no block version moved and no certificate changed
     /// state. Storm pops cluster between real batches, so within a
@@ -255,18 +274,18 @@ impl CertMeta {
 /// retries against 1.7 M retired instructions, and each skipped retry
 /// saves a full conflict-mask/contention-manager/predictor walk.
 #[derive(Debug, Clone, Copy)]
-struct CertPayload {
+struct CertPayload<const N: usize = 1> {
     /// The certified per-retry side effects.
-    storm: StallStorm,
+    storm: StallStorm<N>,
     /// [`storm_version_sum`] over `storm.block` and the watched prefix at
     /// certification time; the certificate is valid while it is unchanged.
     version: u64,
 }
 
-impl CertPayload {
+impl<const N: usize> CertPayload<N> {
     /// Placeholder for [`CertState::Empty`] slots.
-    const EMPTY: CertPayload = CertPayload {
-        storm: StallStorm::access(0, BlockAddr(0)),
+    const EMPTY: CertPayload<N> = CertPayload {
+        storm: StallStorm::access(CoreSet::EMPTY, BlockAddr(0)),
         version: 0,
     };
 }
@@ -276,7 +295,7 @@ impl CertPayload {
 /// commit-prefix block. Monotonicity makes the sum a faithful "all
 /// unchanged" test, and `wrapping_add` keeps it branch-free (a wrap would
 /// need 2^64 conflict events).
-fn storm_version_sum(mem: &MemorySystem, storm: &StallStorm) -> u64 {
+fn storm_version_sum<const N: usize>(mem: &MemorySystem<N>, storm: &StallStorm<N>) -> u64 {
     let mut sum = mem.block_version(storm.block);
     for &b in storm.watch.blocks() {
         sum = sum.wrapping_add(mem.block_version(b));
@@ -284,7 +303,7 @@ fn storm_version_sum(mem: &MemorySystem, storm: &StallStorm) -> u64 {
     sum
 }
 
-impl fmt::Debug for Machine {
+impl<const N: usize> fmt::Debug for Machine<N> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Machine")
             .field("cfg", &self.cfg)
@@ -294,7 +313,7 @@ impl fmt::Debug for Machine {
     }
 }
 
-impl Machine {
+impl<const N: usize> Machine<N> {
     /// Creates a machine running one program per core.
     ///
     /// Accepts any built-in protocol by value (monomorphized dispatch), an
@@ -305,7 +324,11 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if `programs.len() != cfg.num_cores`.
-    pub fn new(cfg: SimConfig, protocol: impl Into<AnyProtocol>, programs: Vec<Program>) -> Self {
+    pub fn new(
+        cfg: SimConfig,
+        protocol: impl Into<AnyProtocol<N>>,
+        programs: Vec<Program>,
+    ) -> Self {
         assert_eq!(
             programs.len(),
             cfg.num_cores,
@@ -318,11 +341,29 @@ impl Machine {
             cert_meta: vec![CertMeta::EMPTY; programs.len()],
             cert_payload: vec![CertPayload::EMPTY; programs.len()],
             cert_gen: 0,
+            footprint: None,
             clamp_cache: ClampCache::INVALID,
             programs,
             cfg,
             fast_forward: true,
         }
+    }
+
+    /// Enables block-footprint recording: every block a core reaches
+    /// through the protocol's load/store path is collected, so a sharded
+    /// run can prove its shards disjoint after the fact (see
+    /// [`shard`](crate::shard)).
+    pub fn set_track_footprint(&mut self, enabled: bool) {
+        self.footprint = if enabled {
+            Some(retcon_mem::FxHashSet::default())
+        } else {
+            None
+        };
+    }
+
+    /// The recorded block footprint, if tracking was enabled.
+    pub fn footprint(&self) -> Option<&retcon_mem::FxHashSet<u64>> {
+        self.footprint.as_ref()
     }
 
     /// Enables or disables analytic fast-forwarding of stall-retry storms.
@@ -347,13 +388,13 @@ impl Machine {
     }
 
     /// The shared memory system.
-    pub fn mem(&self) -> &MemorySystem {
+    pub fn mem(&self) -> &MemorySystem<N> {
         &self.mem
     }
 
     /// Mutable access to the shared memory system (workload setup and test
     /// assertions).
-    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+    pub fn mem_mut(&mut self) -> &mut MemorySystem<N> {
         &mut self.mem
     }
 
@@ -362,7 +403,7 @@ impl Machine {
     /// Returns the concrete [`AnyProtocol`] so callers reading counters
     /// ([`AnyProtocol::stats`], [`AnyProtocol::retcon_stats`]) dispatch
     /// through an inlined `match`, not a vtable.
-    pub fn protocol(&self) -> &AnyProtocol {
+    pub fn protocol(&self) -> &AnyProtocol<N> {
         &self.protocol
     }
 
@@ -533,6 +574,7 @@ impl Machine {
             cert_payload,
             cert_gen,
             clamp_cache,
+            footprint,
             ..
         } = self;
         // Split borrows around `c`: the fast-forward clamp below must read
@@ -734,6 +776,9 @@ impl Machine {
                 }
                 Instr::Load { dst, addr, offset } => {
                     let a = Addr(core.regs[addr.index()]).offset(offset);
+                    if let Some(fp) = footprint.as_mut() {
+                        fp.insert(a.block().0);
+                    }
                     match protocol.read(core_id, dst, a, Some(addr), mem, core.now) {
                         MemResult::Value { value, latency } => {
                             core.regs[dst.index()] = value;
@@ -762,6 +807,9 @@ impl Machine {
                 }
                 Instr::Store { src, addr, offset } => {
                     let a = Addr(core.regs[addr.index()]).offset(offset);
+                    if let Some(fp) = footprint.as_mut() {
+                        fp.insert(a.block().0);
+                    }
                     let value = core.operand_value(src);
                     let src_reg = match src {
                         Operand::Reg(r) => Some(r),
@@ -900,13 +948,13 @@ impl Machine {
 /// when the core is next popped, a retry is provably a fixed point and
 /// `run_core` charges it analytically instead of re-executing the
 /// instruction.
-fn certify_storm(
-    protocol: &AnyProtocol,
-    mem: &MemorySystem,
+fn certify_storm<const N: usize>(
+    protocol: &AnyProtocol<N>,
+    mem: &MemorySystem<N>,
     c: usize,
     action: StallAction,
     meta: &mut CertMeta,
-    payload: &mut CertPayload,
+    payload: &mut CertPayload<N>,
     cert_gen: &mut u64,
 ) {
     *cert_gen += 1;
@@ -943,10 +991,10 @@ fn certify_storm(
 /// Fresh peers are restamped with the current epoch (pure memoisation);
 /// stale peers are left untouched — their own next pop drops the
 /// certificate, and later callers must still observe the staleness.
-fn clamp_stale_peers(
-    mem: &MemorySystem,
+fn clamp_stale_peers<const N: usize>(
+    mem: &MemorySystem<N>,
     metas: &mut [CertMeta],
-    payloads: &[CertPayload],
+    payloads: &[CertPayload<N>],
     cores: &[Core],
     base: usize,
     limit: &mut Option<(u64, usize)>,
@@ -972,13 +1020,13 @@ fn clamp_stale_peers(
 
 /// The read-only view a [`Schedule`] may consult before deciding: each
 /// core's next action, derived from its program counter and registers.
-struct MachinePeek<'a> {
+struct MachinePeek<'a, const N: usize> {
     cores: &'a [Core],
     programs: &'a [Program],
-    protocol: &'a AnyProtocol,
+    protocol: &'a AnyProtocol<N>,
 }
 
-impl SchedulePeek for MachinePeek<'_> {
+impl<const N: usize> SchedulePeek for MachinePeek<'_, N> {
     fn num_cores(&self) -> usize {
         self.cores.len()
     }
@@ -1050,7 +1098,7 @@ mod tests {
     fn run_counter(protocol: impl Into<AnyProtocol>, cores: usize, iters: u64) -> (SimReport, u64) {
         let cfg = SimConfig::with_cores(cores);
         let programs = (0..cores).map(|_| counter_program(0, iters, 5)).collect();
-        let mut m = Machine::new(cfg, protocol, programs);
+        let mut m: Machine = Machine::new(cfg, protocol, programs);
         let report = m.run().expect("run completes");
         (report, m.mem().read_word(Addr(0)))
     }
@@ -1150,7 +1198,7 @@ mod tests {
         };
         let cfg = SimConfig::with_cores(2);
         let protocol = EagerTm::new(2, ConflictPolicy::OldestWins);
-        let mut m = Machine::new(cfg, protocol, vec![prog(1000), prog(10)]);
+        let mut m: Machine = Machine::new(cfg, protocol, vec![prog(1000), prog(10)]);
         let report = m.run().unwrap();
         assert_eq!(report.per_core[0].breakdown.barrier, 0);
         assert_eq!(report.per_core[1].breakdown.barrier, 990);
@@ -1186,7 +1234,7 @@ mod tests {
         };
         let cfg = SimConfig::with_cores(2);
         let protocol = EagerTm::new(2, ConflictPolicy::OldestWins);
-        let mut m = Machine::new(cfg, protocol, vec![prog.clone(), prog]);
+        let mut m: Machine = Machine::new(cfg, protocol, vec![prog.clone(), prog]);
         m.set_tape(0, vec![1; 20]);
         m.set_tape(1, vec![1; 20]);
         let report = m.run().unwrap();
@@ -1227,7 +1275,7 @@ mod tests {
         for _ in 0..2 {
             programs.push(prog.clone());
         }
-        let mut m = Machine::new(cfg, protocol, programs);
+        let mut m: Machine = Machine::new(cfg, protocol, programs);
         let _ = m.run().unwrap();
         // Each core's accumulator must be exactly 1 regardless of retries.
         assert_eq!(m.mem().read_word(Addr(100)), 1);
@@ -1243,7 +1291,8 @@ mod tests {
         let prog = b.build().unwrap();
         let mut cfg = SimConfig::with_cores(1);
         cfg.max_cycles = 1000;
-        let mut m = Machine::new(cfg, EagerTm::new(1, ConflictPolicy::OldestWins), vec![prog]);
+        let mut m: Machine =
+            Machine::new(cfg, EagerTm::new(1, ConflictPolicy::OldestWins), vec![prog]);
         assert!(matches!(m.run(), Err(SimError::CycleLimit { .. })));
     }
 

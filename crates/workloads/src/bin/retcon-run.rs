@@ -19,20 +19,27 @@ use std::process::ExitCode;
 
 use retcon_sim::json::Json;
 use retcon_sim::SimConfig;
-use retcon_workloads::{run_spec_configured, sequential_baseline, System, Workload};
+use retcon_workloads::{
+    run_spec_configured_sized, run_spec_sized, sequential_baseline, System, Workload, MAX_SIM_CORES,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: retcon-run --workload <name> [--system <name>] [--cores <n>] [--seed <n>] \
-         [--schedule-seed <n>] [--json]"
+         [--shards <n>] [--schedule-seed <n>] [--json]"
     );
     eprintln!();
-    let names: Vec<&str> = Workload::all().iter().map(|w| w.label()).collect();
+    let mut names: Vec<&str> = Workload::all().iter().map(|w| w.label()).collect();
+    names.push(Workload::ScalingXl.label());
     eprintln!("workloads: {}", names.join(", "));
     eprintln!("systems:   eager, eager-abort, lazy, lazy-vb, RetCon, RetCon-ideal, datm");
     eprintln!();
     eprintln!("--schedule-seed fuzzes the instruction interleaving (seeded, reproducible);");
     eprintln!("omitting it keeps the deterministic min-heap schedule");
+    eprintln!();
+    eprintln!("--cores up to 1024 (CoreSet size classes: 64/128/256/512/1024)");
+    eprintln!("--shards N runs disjoint core ranges on host threads; the report is");
+    eprintln!("byte-identical to the serial run (ignored under --schedule-seed)");
     ExitCode::FAILURE
 }
 
@@ -41,6 +48,7 @@ fn main() -> ExitCode {
     let mut system = System::Retcon;
     let mut cores = 32usize;
     let mut seed = 42u64;
+    let mut shards = 1usize;
     let mut schedule_seed = None;
     let mut json = false;
 
@@ -58,12 +66,16 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--cores" | "-c" => match value(i).and_then(|v| v.parse().ok()) {
-                Some(n) if (1..=1024).contains(&n) => cores = n,
+                Some(n) if n >= 1 => cores = n,
                 _ => return usage(),
             },
             "--seed" => match value(i).and_then(|v| v.parse().ok()) {
                 Some(n) => seed = n,
                 None => return usage(),
+            },
+            "--shards" => match value(i).and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => return usage(),
             },
             "--schedule-seed" => match value(i).and_then(|v| v.parse().ok()) {
                 Some(n) => schedule_seed = Some(n),
@@ -93,10 +105,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if cores > MAX_SIM_CORES {
+        eprintln!("--cores {cores} exceeds the widest CoreSet size class ({MAX_SIM_CORES} cores)");
+        return ExitCode::FAILURE;
+    }
     let spec = workload.build(cores, seed);
-    let mut cfg = SimConfig::with_cores(cores);
-    cfg.schedule_seed = schedule_seed;
-    let report = match run_spec_configured(&spec, system.protocol(cores), cfg) {
+    let result = match schedule_seed {
+        // Fuzzed schedules are serial-only: the seed drives one global
+        // draw sequence that sharding cannot split.
+        Some(_) => {
+            let mut cfg = SimConfig::with_cores(cores);
+            cfg.schedule_seed = schedule_seed;
+            run_spec_configured_sized(&spec, system, cfg)
+        }
+        None => run_spec_sized(&spec, system, cores, shards),
+    };
+    let report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("run failed: {e}");
@@ -119,6 +143,10 @@ fn main() -> ExitCode {
             ("system", Json::str(system.label())),
             ("cores", Json::UInt(cores as u64)),
             ("seed", Json::UInt(seed)),
+            // Execution-strategy envelope, deliberately *not* a knob: a
+            // sharded run's report is byte-identical to serial, so the
+            // record's content hash must not depend on it.
+            ("shards", Json::UInt(shards as u64)),
             ("knobs", Json::Arr(knobs)),
             ("seq_cycles", Json::UInt(seq)),
             ("report", report.to_json()),
@@ -131,6 +159,9 @@ fn main() -> ExitCode {
     println!("system     {}", system.label());
     println!("cores      {cores}");
     println!("seed       {seed}");
+    if shards > 1 {
+        println!("shards     {shards}");
+    }
     if let Some(s) = schedule_seed {
         println!("schedule   fuzzed (seed {s})");
     }

@@ -38,6 +38,7 @@ mod kmeans;
 mod labyrinth;
 mod python;
 mod rng;
+mod scaling_xl;
 mod spec;
 mod ssca2;
 mod vacation;
@@ -46,13 +47,20 @@ mod yada;
 pub use counter::total_transactions as counter_total_transactions;
 pub use hashtable::HashTable;
 pub use rng::SplitMix64;
+pub use scaling_xl::{
+    expected_group_total as scaling_xl_group_total, GROUP_CORES as SCALING_XL_GROUP_CORES,
+};
 pub use spec::{Alloc, WorkloadSpec};
 
 use retcon::RetconConfig;
+use retcon_isa::Instr;
 use retcon_sim::{
-    AnyProtocol, ConflictPolicy, DatmLite, EagerTm, LazyTm, LazyVbTm, Machine, RetconTm, SimConfig,
-    SimError, SimReport,
+    run_sharded, AnyProtocol, ConflictPolicy, DatmLite, EagerTm, LazyTm, LazyVbTm, Machine,
+    RetconTm, ShardedOutcome, SimConfig, SimError, SimReport,
 };
+
+/// The widest supported machine: 16 `CoreSet` words of 64 cores each.
+pub const MAX_SIM_CORES: usize = 1024;
 
 /// The hardware configurations compared in the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -116,6 +124,13 @@ impl System {
     /// Returns the monomorphized [`AnyProtocol`] — the simulator dispatches
     /// it by `match`, with no boxing or virtual calls on the hot path.
     pub fn protocol(self, num_cores: usize) -> AnyProtocol {
+        self.protocol_sized::<1>(num_cores)
+    }
+
+    /// [`System::protocol`] at an explicit `CoreSet` size class: `N` words
+    /// of 64 cores each. `N = 1` is the paper machine and the default
+    /// everywhere; wider classes carry the >64-core scaling runs.
+    pub fn protocol_sized<const N: usize>(self, num_cores: usize) -> AnyProtocol<N> {
         match self {
             System::Eager => EagerTm::new(num_cores, ConflictPolicy::OldestWins).into(),
             System::EagerAbort => EagerTm::new(num_cores, ConflictPolicy::RequesterLoses).into(),
@@ -167,6 +182,12 @@ pub enum Workload {
         /// Make the interpreter globals thread-private (`_opt`)?
         optimized: bool,
     },
+    /// Past-the-paper scaling stressor: groups of contiguous cores, each
+    /// hammering a group-private counter block (barrier-free, so eligible
+    /// for sharded execution). Deliberately *not* part of
+    /// [`Workload::all`]: the paper-matrix record sets are pinned
+    /// byte-for-byte and must not grow a fifteenth workload.
+    ScalingXl,
 }
 
 impl Workload {
@@ -204,6 +225,7 @@ impl Workload {
             Workload::Yada => "yada",
             Workload::Python { optimized: false } => "python",
             Workload::Python { optimized: true } => "python_opt",
+            Workload::ScalingXl => "scaling_xl",
         }
     }
 
@@ -273,9 +295,13 @@ impl Workload {
         all
     }
 
-    /// Looks a workload up by its [`Workload::label`].
+    /// Looks a workload up by its [`Workload::label`]. Parses everything
+    /// in [`Workload::all`] plus the out-of-matrix [`Workload::ScalingXl`].
     pub fn parse(name: &str) -> Option<Workload> {
-        Workload::all().into_iter().find(|w| w.label() == name)
+        Workload::all()
+            .into_iter()
+            .chain([Workload::ScalingXl])
+            .find(|w| w.label() == name)
     }
 
     /// Builds the workload for `num_cores` cores, dividing the (fixed)
@@ -298,6 +324,7 @@ impl Workload {
             } => vacation::build(num_cores, seed, optimized, resizable),
             Workload::Yada => yada::build(num_cores, seed),
             Workload::Python { optimized } => python::build(num_cores, seed, optimized),
+            Workload::ScalingXl => scaling_xl::build(num_cores, seed),
         }
     }
 }
@@ -329,6 +356,134 @@ pub fn run_spec(
     num_cores: usize,
 ) -> Result<SimReport, SimError> {
     run_spec_with(spec, system.protocol(num_cores), num_cores)
+}
+
+/// Runs an already-built [`WorkloadSpec`] under `system` at whatever
+/// `CoreSet` size class `num_cores` needs, optionally sharded.
+///
+/// * `num_cores <= 64` uses the single-word paper machine — the exact
+///   code path (and bytes) of [`run_spec`].
+/// * Wider counts dispatch to the 2/4/8/16-word size classes, up to
+///   [`MAX_SIM_CORES`].
+/// * `shards > 1` requests sharded execution: contiguous core ranges run
+///   on host threads and merge iff their block footprints prove disjoint
+///   (see [`retcon_sim::shard`]). A workload that is ineligible (has a
+///   barrier, more shards than cores) or whose shards overlap falls back
+///   to the serial run — the returned report is byte-identical either
+///   way.
+///
+/// # Errors
+///
+/// [`SimError::UnsupportedCores`] past [`MAX_SIM_CORES`]; otherwise
+/// propagates [`SimError`] from the simulator.
+pub fn run_spec_sized(
+    spec: &WorkloadSpec,
+    system: System,
+    num_cores: usize,
+    shards: usize,
+) -> Result<SimReport, SimError> {
+    match size_class(num_cores)? {
+        1 => run_class::<1>(spec, system, num_cores, shards),
+        2 => run_class::<2>(spec, system, num_cores, shards),
+        4 => run_class::<4>(spec, system, num_cores, shards),
+        8 => run_class::<8>(spec, system, num_cores, shards),
+        _ => run_class::<16>(spec, system, num_cores, shards),
+    }
+}
+
+/// [`run_spec_sized`] with an explicit [`SimConfig`] (fuzzed schedules,
+/// custom cycle caps), always serial: a fuzzed schedule draws from one
+/// global sequence whose consumption order spans all cores, which
+/// sharding cannot reproduce.
+///
+/// # Errors
+///
+/// [`SimError::UnsupportedCores`] past [`MAX_SIM_CORES`]; otherwise
+/// propagates [`SimError`] from the simulator.
+pub fn run_spec_configured_sized(
+    spec: &WorkloadSpec,
+    system: System,
+    cfg: SimConfig,
+) -> Result<SimReport, SimError> {
+    let n = cfg.num_cores;
+    match size_class(n)? {
+        1 => machine_for_sized::<1>(spec, system.protocol_sized::<1>(n), cfg).run(),
+        2 => machine_for_sized::<2>(spec, system.protocol_sized::<2>(n), cfg).run(),
+        4 => machine_for_sized::<4>(spec, system.protocol_sized::<4>(n), cfg).run(),
+        8 => machine_for_sized::<8>(spec, system.protocol_sized::<8>(n), cfg).run(),
+        _ => machine_for_sized::<16>(spec, system.protocol_sized::<16>(n), cfg).run(),
+    }
+}
+
+/// The smallest `CoreSet` word count covering `num_cores`.
+///
+/// # Errors
+///
+/// [`SimError::UnsupportedCores`] past [`MAX_SIM_CORES`].
+fn size_class(num_cores: usize) -> Result<usize, SimError> {
+    match num_cores {
+        0..=64 => Ok(1),
+        65..=128 => Ok(2),
+        129..=256 => Ok(4),
+        257..=512 => Ok(8),
+        513..=1024 => Ok(16),
+        _ => Err(SimError::UnsupportedCores {
+            requested: num_cores,
+            max: MAX_SIM_CORES,
+        }),
+    }
+}
+
+/// `true` if any program contains a `Barrier` — barrier release is a
+/// global synchronization across all cores, which sharded execution
+/// cannot reproduce.
+fn spec_has_barrier(spec: &WorkloadSpec) -> bool {
+    spec.programs.iter().any(|p| {
+        p.blocks
+            .iter()
+            .any(|b| b.instrs.iter().any(|i| matches!(i, Instr::Barrier)))
+    })
+}
+
+fn run_class<const N: usize>(
+    spec: &WorkloadSpec,
+    system: System,
+    num_cores: usize,
+    shards: usize,
+) -> Result<SimReport, SimError> {
+    let serial = |spec: &WorkloadSpec| {
+        machine_for_sized::<N>(
+            spec,
+            system.protocol_sized::<N>(num_cores),
+            SimConfig::with_cores(num_cores),
+        )
+        .run()
+    };
+    if shards <= 1 || shards > num_cores || spec_has_barrier(spec) {
+        return serial(spec);
+    }
+    let outcome = run_sharded::<N, _>(num_cores, shards, |range| {
+        let cores = range.len();
+        let mut machine: Machine<N> = Machine::new(
+            SimConfig::with_cores(cores),
+            system.protocol_sized::<N>(cores),
+            spec.programs[range.clone()].to_vec(),
+        );
+        for (i, tape) in spec.tapes[range].iter().enumerate() {
+            machine.set_tape(i, tape.clone());
+        }
+        for &(addr, value) in &spec.init {
+            machine.init_word(addr, value);
+        }
+        machine
+    })?;
+    match outcome {
+        ShardedOutcome::Merged(report) => Ok(report),
+        // Overlapping footprints: the independence premise failed, so the
+        // shard results are unusable. Rerun serially; the answer is still
+        // exact, only the parallelism is lost.
+        ShardedOutcome::Overlap { .. } => serial(spec),
+    }
 }
 
 /// Runs an already-built [`WorkloadSpec`] under an explicit protocol
@@ -373,6 +528,15 @@ pub fn machine_for(
     protocol: impl Into<AnyProtocol>,
     cfg: SimConfig,
 ) -> Machine {
+    machine_for_sized::<1>(spec, protocol, cfg)
+}
+
+/// [`machine_for`] at an explicit `CoreSet` size class.
+pub fn machine_for_sized<const N: usize>(
+    spec: &WorkloadSpec,
+    protocol: impl Into<AnyProtocol<N>>,
+    cfg: SimConfig,
+) -> Machine<N> {
     let mut machine = Machine::new(cfg, protocol, spec.programs.clone());
     for (i, tape) in spec.tapes.iter().enumerate() {
         machine.set_tape(i, tape.clone());
