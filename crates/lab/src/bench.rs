@@ -211,6 +211,24 @@ pub fn run_bench(jobs: usize) -> Result<BenchReport, SimError> {
         runs: 1,
         micros: t.elapsed().as_micros() as u64,
     });
+    // The same contended shape with event tracing ON: `trace_overhead`
+    // vs `contended32` is the observability cost the never-perturbs
+    // contract promises is small, and `perfdiff` watches it like any
+    // other entry.
+    let spec = Workload::Python { optimized: false }.build(32, 1);
+    let t = Instant::now();
+    retcon_workloads::run_spec_traced_sized(
+        &spec,
+        System::Retcon,
+        32,
+        1,
+        retcon_obs::ring::DEFAULT_CAPACITY,
+    )?;
+    datasets.push(DatasetBench {
+        name: "trace_overhead".to_string(),
+        runs: 1,
+        micros: t.elapsed().as_micros() as u64,
+    });
     // Past-the-paper scale entries, bench-only like `contended32`: the
     // group-local `scaling_xl` stressor at the 4-word (256-core) and
     // 16-word (1024-core) CoreSet size classes, executed sharded. These

@@ -8,6 +8,7 @@ use crate::datasets::Dataset;
 use crate::record::ExperimentRecord;
 use crate::render;
 use crate::runner::ReportCache;
+use retcon_obs::phase::{self, PhaseTotal};
 use retcon_sim::SimError;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -31,6 +32,11 @@ struct BinOptions {
     jobs: usize,
     output: Output,
     out_dir: Option<PathBuf>,
+    /// Surface phase-profiling timings (simulate / serialize / spill I/O)
+    /// in record `meta` and a stdout summary. Off by default because the
+    /// timings are wall-clock — records must stay byte-deterministic
+    /// unless the caller opts into this.
+    profile: bool,
 }
 
 fn parse_bin_options(args: &[String]) -> Result<BinOptions, String> {
@@ -38,6 +44,7 @@ fn parse_bin_options(args: &[String]) -> Result<BinOptions, String> {
         jobs: 1,
         output: Output::Table,
         out_dir: None,
+        profile: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -64,6 +71,10 @@ fn parse_bin_options(args: &[String]) -> Result<BinOptions, String> {
                 opts.out_dir = Some(PathBuf::from(v));
                 i += 2;
             }
+            "--profile" => {
+                opts.profile = true;
+                i += 1;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -72,13 +83,32 @@ fn parse_bin_options(args: &[String]) -> Result<BinOptions, String> {
 
 fn write_record(dir: &Path, record: &ExperimentRecord) -> Result<(), String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let t = Instant::now();
+    let json_text = record.to_json_string();
+    let csv_text = csv::to_csv(record)?;
+    phase::add(phase::Phase::Serialize, t.elapsed().as_micros() as u64);
     let json_path = dir.join(format!("{}.json", record.name));
-    std::fs::write(&json_path, record.to_json_string())
+    std::fs::write(&json_path, json_text)
         .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
     let csv_path = dir.join(format!("{}.csv", record.name));
-    std::fs::write(&csv_path, csv::to_csv(record)?)
+    std::fs::write(&csv_path, csv_text)
         .map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
     Ok(())
+}
+
+/// The `meta` rows a phase-profile delta contributes to a record:
+/// `profile_<phase>_micros` / `_spans` for every phase that saw work.
+fn profile_meta(delta: &[PhaseTotal]) -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    for t in delta {
+        if t.spans == 0 {
+            continue;
+        }
+        let name = t.phase.name();
+        rows.push((format!("profile_{name}_micros"), t.micros.to_string()));
+        rows.push((format!("profile_{name}_spans"), t.spans.to_string()));
+    }
+    rows
 }
 
 fn emit(dataset: Dataset, record: &ExperimentRecord, output: Output) -> Result<(), String> {
@@ -133,10 +163,14 @@ fn usage() -> ExitCode {
     eprintln!();
     eprintln!("commands:");
     eprintln!(
-        "  all   [--jobs N] [--out DIR]        regenerate every dataset (default out: results/)"
+        "  all   [--jobs N] [--out DIR] [--profile]   regenerate every dataset (default out: results/)"
     );
-    eprintln!("  run   <dataset> [--jobs N] [--json | --csv] [--out DIR]");
+    eprintln!("  run   <dataset> [--jobs N] [--json | --csv] [--out DIR] [--profile]");
     eprintln!("  check [--quick] [--jobs N] [--in DIR]");
+    eprintln!(
+        "  trace --workload <name> [--system S] [--cores N] [--seed N] [--shards N] [--out FILE]"
+    );
+    eprintln!("        run one workload with event tracing on; write Chrome trace-event JSON");
     eprintln!("  explore [--quick] [--jobs N] [--json | --csv] [--out DIR]   schedule exploration");
     eprintln!(
         "  bench [--jobs N] [--out FILE]       time every dataset, append to BENCH_hotpath.json"
@@ -181,10 +215,15 @@ fn cmd_all(args: &[String]) -> ExitCode {
     let cache = ReportCache::new();
     for dataset in Dataset::ALL {
         let t = Instant::now();
-        let record = match dataset.collect_cached(opts.jobs, &cache) {
+        let before = phase::snapshot();
+        let mut record = match dataset.collect_cached(opts.jobs, &cache) {
             Ok(record) => record,
             Err(e) => return run_error(e),
         };
+        if opts.profile {
+            let delta = phase::delta(&before, &phase::snapshot());
+            record.meta.extend(profile_meta(&delta));
+        }
         if let Err(e) = write_record(&dir, &record) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -203,6 +242,18 @@ fn cmd_all(args: &[String]) -> ExitCode {
         started.elapsed().as_secs_f64(),
         opts.jobs
     );
+    if opts.profile {
+        println!();
+        println!("phase profile (whole invocation):");
+        for t in phase::snapshot() {
+            println!(
+                "  {:<12} {:>10.3}ms over {:>5} spans",
+                t.phase.name(),
+                t.micros as f64 / 1000.0,
+                t.spans
+            );
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -221,10 +272,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return usage();
         }
     };
-    let record = match dataset.collect(opts.jobs) {
+    let before = phase::snapshot();
+    let mut record = match dataset.collect(opts.jobs) {
         Ok(record) => record,
         Err(e) => return run_error(e),
     };
+    if opts.profile {
+        let delta = phase::delta(&before, &phase::snapshot());
+        record.meta.extend(profile_meta(&delta));
+    }
     if let Some(dir) = &opts.out_dir {
         if let Err(e) = write_record(dir, &record) {
             eprintln!("{e}");
@@ -235,6 +291,107 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
+    if opts.profile {
+        eprintln!();
+        eprintln!("phase profile (whole invocation):");
+        for t in phase::snapshot() {
+            eprintln!(
+                "  {:<12} {:>10.3}ms over {:>5} spans",
+                t.phase.name(),
+                t.micros as f64 / 1000.0,
+                t.spans
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `trace`: run one workload with event tracing on and export the stream
+/// as Chrome trace-event JSON (loadable in `chrome://tracing` or
+/// Perfetto). The report is byte-identical to an untraced run — printed
+/// alongside the event counts so the invariant is visible.
+fn cmd_trace(args: &[String]) -> ExitCode {
+    use retcon_workloads::{System, Workload, MAX_SIM_CORES};
+    let mut workload = None;
+    let mut system = System::Retcon;
+    let mut cores = 32usize;
+    let mut seed = 42u64;
+    let mut shards = 1usize;
+    let mut out = PathBuf::from("trace.json");
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--workload" | "-w" => match value(i).and_then(|v| Workload::parse(v)) {
+                Some(w) => workload = Some(w),
+                None => return usage(),
+            },
+            "--system" | "-s" => match value(i).and_then(|v| System::parse(v)) {
+                Some(s) => system = s,
+                None => return usage(),
+            },
+            "--cores" | "-c" => match value(i).and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cores = n,
+                _ => return usage(),
+            },
+            "--seed" => match value(i).and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--shards" => match value(i).and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => return usage(),
+            },
+            "--out" | "-o" => match value(i) {
+                Some(v) => out = PathBuf::from(v),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let Some(workload) = workload else {
+        return usage();
+    };
+    if cores > MAX_SIM_CORES {
+        eprintln!("--cores {cores} exceeds the widest CoreSet size class ({MAX_SIM_CORES} cores)");
+        return ExitCode::FAILURE;
+    }
+    let spec = workload.build(cores, seed);
+    let (report, tracer) = match retcon_workloads::run_spec_traced_sized(
+        &spec,
+        system,
+        cores,
+        shards,
+        retcon_obs::ring::DEFAULT_CAPACITY,
+    ) {
+        Ok(pair) => pair,
+        Err(e) => return run_error(e),
+    };
+    if let Err(e) = std::fs::write(&out, retcon_obs::chrome::to_chrome_json(&tracer)) {
+        eprintln!("writing {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} ({} events, {} dropped, stream hash {:016x})",
+        out.display(),
+        tracer.len(),
+        tracer.dropped(),
+        tracer.stream_hash()
+    );
+    for kind in retcon_obs::EventKind::ALL {
+        let n = tracer.count(kind);
+        if n > 0 {
+            println!("  {:<12} {n}", kind.name());
+        }
+    }
+    println!(
+        "report: {} cycles, {} commits, {} aborts, {} stalls",
+        report.cycles,
+        report.protocol.commits,
+        report.protocol.aborts(),
+        report.protocol.stalls
+    );
     ExitCode::SUCCESS
 }
 
@@ -528,6 +685,7 @@ pub fn lab_main() -> ExitCode {
         Some("all") => cmd_all(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("perfdiff") => cmd_perfdiff(&args[1..]),

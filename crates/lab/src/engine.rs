@@ -31,6 +31,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 /// Locks a mutex, recovering from poison instead of propagating it.
 ///
@@ -431,6 +432,11 @@ pub struct StoreStats {
     /// Spill writes that failed (I/O error or injected fault). The result
     /// stays memory-resident; it is only lost to a restart.
     pub spill_write_failures: u64,
+    /// Files currently in the spill directory, including the
+    /// `quarantine/` sidecar (0 without a spill directory).
+    pub spill_files: u64,
+    /// Total bytes of those files.
+    pub spill_bytes: u64,
 }
 
 /// One resident entry: the report plus its recency stamp and cost.
@@ -504,6 +510,10 @@ pub struct ResultStore {
     quarantined: AtomicU64,
     recovered_on_boot: AtomicU64,
     spill_write_failures: AtomicU64,
+    /// Optional spill-write latency sink (micros per landed write); the
+    /// daemon attaches its metrics registry's histogram here. Purely
+    /// observational — never consulted by any store decision.
+    spill_write_hist: Option<Arc<retcon_obs::Log2Hist>>,
 }
 
 /// How many least-recently-used candidates the cost-aware eviction
@@ -527,6 +537,7 @@ impl ResultStore {
             quarantined: AtomicU64::new(0),
             recovered_on_boot: AtomicU64::new(0),
             spill_write_failures: AtomicU64::new(0),
+            spill_write_hist: None,
         }
     }
 
@@ -543,6 +554,13 @@ impl ResultStore {
     /// (test-only; see [`FaultPlan`]).
     pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> ResultStore {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Routes spill-write latencies (micros per landed write) into `hist`
+    /// — the daemon points this at its metrics registry.
+    pub fn with_spill_write_hist(mut self, hist: Arc<retcon_obs::Log2Hist>) -> ResultStore {
+        self.spill_write_hist = Some(hist);
         self
     }
 
@@ -594,7 +612,13 @@ impl ResultStore {
     /// returns `None`: a record that does not verify is never served.
     fn spill_read(&self, hash: u128) -> Option<SimReport> {
         let path = self.spill_path(hash)?;
-        match verify_spill_file(hash, &path) {
+        let t = Instant::now();
+        let verified = verify_spill_file(hash, &path);
+        retcon_obs::phase::add(
+            retcon_obs::phase::Phase::SpillRead,
+            t.elapsed().as_micros() as u64,
+        );
+        match verified {
             Ok(report) => Some(report),
             Err(_) => {
                 self.quarantine(hash, &path);
@@ -642,10 +666,16 @@ impl ResultStore {
             }
         }
         let tmp = dir.join(format!(".tmp-{hash:032x}-{}", std::process::id()));
+        let t = Instant::now();
         let landed = std::fs::write(&tmp, &bytes)
             .and_then(|()| std::fs::rename(&tmp, dir.join(format!("{hash:032x}.json"))));
+        let micros = t.elapsed().as_micros() as u64;
+        retcon_obs::phase::add(retcon_obs::phase::Phase::SpillWrite, micros);
         match landed {
             Ok(()) => {
+                if let Some(hist) = &self.spill_write_hist {
+                    hist.observe(micros);
+                }
                 lock_recover(&self.inner).on_disk.insert(hash);
             }
             Err(_) => {
@@ -763,8 +793,36 @@ impl ResultStore {
         (recovered, quarantined)
     }
 
+    /// Spill-directory occupancy: `(files, bytes)` across the directory
+    /// itself and the `quarantine/` sidecar (temp files from in-flight
+    /// writes included — they are real disk usage). `(0, 0)` without a
+    /// spill directory. Scans the filesystem, so callers on a hot path
+    /// should not call this per-request; the daemon calls it once per
+    /// `stats`/`metrics` request.
+    pub fn spill_occupancy(&self) -> (u64, u64) {
+        let Some(dir) = &self.spill_dir else {
+            return (0, 0);
+        };
+        let mut files = 0u64;
+        let mut bytes = 0u64;
+        for dir in [dir.clone(), dir.join("quarantine")] {
+            let Ok(entries) = std::fs::read_dir(dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let Ok(meta) = entry.metadata() else { continue };
+                if meta.is_file() {
+                    files += 1;
+                    bytes += meta.len();
+                }
+            }
+        }
+        (files, bytes)
+    }
+
     /// Current counters.
     pub fn stats(&self) -> StoreStats {
+        let (spill_files, spill_bytes) = self.spill_occupancy();
         let inner = lock_recover(&self.inner);
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -777,6 +835,8 @@ impl ResultStore {
             quarantined: self.quarantined.load(Ordering::Relaxed),
             recovered_on_boot: self.recovered_on_boot.load(Ordering::Relaxed),
             spill_write_failures: self.spill_write_failures.load(Ordering::Relaxed),
+            spill_files,
+            spill_bytes,
         }
     }
 }

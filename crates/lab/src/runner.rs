@@ -103,7 +103,9 @@ fn execute_cached(job: &Job, cache: &dyn SimCache) -> Result<RunRecord, SimError
             // to seconds and must not serialize the worker pool.
             let t = Instant::now();
             let report = simulate(&key)?;
-            cache.insert(&key, &report, t.elapsed().as_micros() as u64);
+            let micros = t.elapsed().as_micros() as u64;
+            retcon_obs::phase::add(retcon_obs::phase::Phase::Simulate, micros);
+            cache.insert(&key, &report, micros);
             report
         }
     };

@@ -1,0 +1,149 @@
+//! A minimal leveled stderr logger: `error!`/`warn!`/`info!`/`debug!`
+//! macros, a process-global level, and hand-rolled UTC timestamps (no
+//! clock/formatting dependencies).
+//!
+//! Output format, one line per message:
+//!
+//! ```text
+//! 2026-08-07T12:34:56Z INFO retcon-serve listening on 127.0.0.1:4100
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Message severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The process is in trouble.
+    Error = 0,
+    /// Something unexpected, handled.
+    Warn = 1,
+    /// Normal operational milestones.
+    Info = 2,
+    /// Chatty diagnostics.
+    Debug = 3,
+}
+
+impl Level {
+    /// Fixed-width display tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    /// Parses a level name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-global log level (messages above it are dropped).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Formats `secs` since the Unix epoch as `YYYY-MM-DDTHH:MM:SSZ`.
+///
+/// The civil-date conversion is the standard days-to-Gregorian
+/// algorithm (Howard Hinnant's `civil_from_days`), valid far beyond any
+/// wall clock this process will see.
+pub fn format_utc(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mon = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if mon <= 2 { y + 1 } else { y };
+    format!("{year:04}-{mon:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+/// Emits one formatted line to stderr if `level` is enabled. Called by
+/// the macros; call directly only when the level is dynamic.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    eprintln!("{} {} {args}", format_utc(secs), level.tag());
+}
+
+/// Logs at [`Level::Error`] with `format!` syntax.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::logger::log($crate::logger::Level::Error, format_args!($($arg)*)) };
+}
+
+/// Logs at [`Level::Warn`] with `format!` syntax.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::logger::log($crate::logger::Level::Warn, format_args!($($arg)*)) };
+}
+
+/// Logs at [`Level::Info`] with `format!` syntax.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::logger::log($crate::logger::Level::Info, format_args!($($arg)*)) };
+}
+
+/// Logs at [`Level::Debug`] with `format!` syntax.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::logger::log($crate::logger::Level::Debug, format_args!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utc_formatting_matches_known_instants() {
+        assert_eq!(format_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(format_utc(951_782_400), "2000-02-29T00:00:00Z"); // leap day
+        assert_eq!(format_utc(1_754_524_800), "2025-08-07T00:00:00Z");
+        assert_eq!(format_utc(4_102_444_799), "2099-12-31T23:59:59Z");
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn level_gating() {
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Info); // restore the default for other tests
+    }
+}

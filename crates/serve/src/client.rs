@@ -333,6 +333,20 @@ impl Client {
         }
     }
 
+    /// Fetches the daemon's metrics registry as a Prometheus text
+    /// exposition document.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or protocol violations.
+    pub fn metrics(&mut self) -> Result<String, String> {
+        self.send(&Request::Metrics)?;
+        match self.recv()? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
     /// Asks the daemon to drain and stop; returns its acknowledgement.
     ///
     /// # Errors

@@ -3,21 +3,26 @@
 //! ```text
 //! retcon-serve [--addr HOST:PORT] [--workers N] [--capacity-mb MB]
 //!              [--spill DIR] [--max-runs N] [--max-pending N]
-//!              [--max-line-bytes N]
+//!              [--max-line-bytes N] [--log-level LEVEL]
 //! ```
 //!
-//! When `--spill` names a directory with prior results, the boot
-//! warm-start scan is reported (`recovered N, quarantined M`) before
-//! the listening line. Prints `retcon-serve listening on ADDR` once the
-//! socket is bound (port 0 resolves to the ephemeral port picked), then
-//! serves until a `shutdown` request drains it.
+//! Lifecycle lines go through the [`retcon_obs`] leveled stderr logger
+//! (timestamped, filtered by `--log-level`; default `info`). When
+//! `--spill` names a directory with prior results, the boot warm-start
+//! scan is reported (`recovered N, quarantined M` — a warning if
+//! anything quarantined) before the listening line. Logs
+//! `retcon-serve listening on ADDR` once the socket is bound (port 0
+//! resolves to the ephemeral port picked), then serves until a
+//! `shutdown` request drains it.
 
+use retcon_obs::{info, warn};
 use retcon_serve::{Server, ServerConfig};
 use std::process::ExitCode;
 
 fn usage() -> String {
     "usage: retcon-serve [--addr HOST:PORT] [--workers N] [--capacity-mb MB] \
-     [--spill DIR] [--max-runs N] [--max-pending N] [--max-line-bytes N]"
+     [--spill DIR] [--max-runs N] [--max-pending N] [--max-line-bytes N] \
+     [--log-level error|warn|info|debug]"
         .to_string()
 }
 
@@ -59,6 +64,12 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|e| format!("--max-line-bytes: {e}"))?;
             }
+            "--log-level" => {
+                let v = value("--log-level")?;
+                let level = retcon_obs::logger::Level::parse(&v)
+                    .ok_or_else(|| format!("--log-level: unknown level `{v}`\n{}", usage()))?;
+                retcon_obs::logger::set_level(level);
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -85,12 +96,21 @@ fn main() -> ExitCode {
     };
     if spilled {
         let stats = server.store_stats();
-        println!(
-            "retcon-serve warm start: recovered {}, quarantined {}",
-            stats.recovered_on_boot, stats.quarantined
-        );
+        // Quarantined entries mean on-disk damage was found (and
+        // contained) — worth a warning, not just an info line.
+        if stats.quarantined > 0 {
+            warn!(
+                "retcon-serve warm start: recovered {}, quarantined {}",
+                stats.recovered_on_boot, stats.quarantined
+            );
+        } else {
+            info!(
+                "retcon-serve warm start: recovered {}, quarantined {}",
+                stats.recovered_on_boot, stats.quarantined
+            );
+        }
     }
-    println!("retcon-serve listening on {}", server.local_addr());
+    info!("retcon-serve listening on {}", server.local_addr());
     match server.run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -10,6 +10,7 @@
 //! ```text
 //! {"type":"sweep","id":1,"workloads":["counter"],"systems":["eager","RetCon"],"cores":[1,2],"seeds":[42]}
 //! {"type":"stats"}
+//! {"type":"metrics"}
 //! {"type":"shutdown"}
 //! ```
 //!
@@ -24,9 +25,13 @@
 //! {"type":"record","id":1,"index":0,"cached":true,"run":{...}}
 //! {"type":"done","id":1,"runs":4,"hits":2,"joined":1,"misses":1,"errors":0}
 //! {"type":"stats","executed":12,...}
+//! {"type":"metrics","text":"# TYPE retcon_serve_executed counter\n..."}
 //! {"type":"ok","message":"draining"}
 //! {"type":"error","id":1,"message":"..."}
 //! ```
+//!
+//! The `metrics` reply carries the daemon's whole metrics registry as a
+//! Prometheus text exposition document, JSON-escaped into one line.
 //!
 //! Record lines stream back **as runs finish**, so their arrival order
 //! depends on scheduling; the `index` field is the run's position in the
@@ -146,6 +151,8 @@ pub enum Request {
     Sweep(SweepRequest),
     /// Report service counters.
     Stats,
+    /// Report the metrics registry as Prometheus text exposition.
+    Metrics,
     /// Drain in-flight work and stop the daemon.
     Shutdown,
 }
@@ -162,6 +169,7 @@ impl Request {
         match json.req_str("type")? {
             "sweep" => Ok(Request::Sweep(SweepRequest::from_json(&json)?)),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type `{other}`")),
         }
@@ -172,6 +180,7 @@ impl Request {
         match self {
             Request::Sweep(sweep) => sweep.to_json().to_string(),
             Request::Stats => Json::obj(vec![("type", Json::str("stats"))]).to_string(),
+            Request::Metrics => Json::obj(vec![("type", Json::str("metrics"))]).to_string(),
             Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]).to_string(),
         }
     }
@@ -213,6 +222,8 @@ pub enum Response {
     Done(DoneSummary),
     /// Service counters, in emission order.
     Stats(Vec<(String, u64)>),
+    /// The metrics registry as Prometheus text exposition.
+    Metrics(String),
     /// Acknowledgement (e.g. shutdown accepted).
     Ok(String),
     /// A failed request or run. `id`/`index` are present when the error
@@ -247,6 +258,16 @@ pub fn stats_line(fields: &[(String, u64)]) -> String {
     let mut json = vec![("type".to_string(), Json::str("stats"))];
     json.extend(fields.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))));
     Json::Obj(json).to_string()
+}
+
+/// Formats a metrics line: the exposition document JSON-escaped into a
+/// single `text` field.
+pub fn metrics_line(text: &str) -> String {
+    Json::obj(vec![
+        ("type", Json::str("metrics")),
+        ("text", Json::str(text)),
+    ])
+    .to_string()
 }
 
 /// Formats an acknowledgement line.
@@ -314,6 +335,7 @@ impl Response {
                 }
                 Ok(Response::Stats(out))
             }
+            "metrics" => Ok(Response::Metrics(json.req_str("text")?.to_string())),
             "ok" => Ok(Response::Ok(json.req_str("message")?.to_string())),
             "error" => Ok(Response::Error {
                 id: json.get("id").and_then(Json::as_u64),
@@ -379,6 +401,20 @@ mod tests {
         assert_eq!(
             Request::parse_line(&Request::Shutdown.to_line()),
             Ok(Request::Shutdown)
+        );
+        assert_eq!(
+            Request::parse_line(&Request::Metrics.to_line()),
+            Ok(Request::Metrics)
+        );
+        // The exposition document embeds newlines and quotes; the line
+        // must stay single-line and round-trip them exactly.
+        let doc =
+            "# TYPE retcon_serve_executed counter\nretcon_serve_executed 5\nh_bucket{le=\"1\"} 2\n";
+        let line = metrics_line(doc);
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            Response::parse_line(&line),
+            Ok(Response::Metrics(doc.to_string()))
         );
         let done = DoneSummary {
             id: 3,

@@ -158,6 +158,13 @@ struct Core {
     /// Keys quarantined after exhausting panic retries: answered with a
     /// structured error immediately, never re-executed.
     key_quarantine: Mutex<HashSet<u128>>,
+    /// Metrics registry served by the `metrics` verb. Histograms record
+    /// live (request latency here, spill-write latency inside the
+    /// store); scalar counters/gauges mirror [`Core::stats_fields`] at
+    /// scrape time, so the two views can never disagree.
+    metrics: retcon_obs::Registry,
+    /// Per-executed-run simulation latency, micros.
+    request_latency: Arc<retcon_obs::Log2Hist>,
 }
 
 impl Core {
@@ -302,6 +309,7 @@ impl Core {
                 }
             }
             self.executed.fetch_add(1, Ordering::Relaxed);
+            self.request_latency.observe(t.elapsed().as_micros() as u64);
             match outcome {
                 Some(Ok(report)) => {
                     // Store BEFORE removing the in-flight entry — the
@@ -380,10 +388,41 @@ impl Core {
             ("connections", self.connections.load(Ordering::Relaxed)),
             ("workers", self.cfg.workers as u64),
             ("draining", u64::from(self.draining())),
+            // Spill-directory occupancy (quarantine sidecar included) —
+            // what the disk actually holds, as opposed to the resident_*
+            // memory view above.
+            ("spill_files", store.spill_files),
+            ("spill_bytes", store.spill_bytes),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
         .collect()
+    }
+
+    /// The metrics registry as Prometheus text exposition. Scalar fields
+    /// mirror [`Core::stats_fields`] into the registry at scrape time
+    /// (point-in-time values as gauges, monotone tallies as counters);
+    /// the latency histograms were recorded live.
+    fn metrics_text(&self) -> String {
+        const GAUGES: [&str; 9] = [
+            "resident",
+            "resident_bytes",
+            "inflight",
+            "queue_depth",
+            "connections",
+            "workers",
+            "draining",
+            "spill_files",
+            "spill_bytes",
+        ];
+        for (name, value) in self.stats_fields() {
+            if GAUGES.contains(&name.as_str()) {
+                self.metrics.gauge(&name).set(value);
+            } else {
+                self.metrics.counter(&name).store(value);
+            }
+        }
+        self.metrics.render()
     }
 }
 
@@ -535,6 +574,9 @@ fn connection_loop(
             Ok(Request::Stats) => {
                 let _ = out.send(proto::stats_line(&core.stats_fields()));
             }
+            Ok(Request::Metrics) => {
+                let _ = out.send(proto::metrics_line(&core.metrics_text()));
+            }
             Ok(Request::Shutdown) => {
                 {
                     let mut w = lock_recover(&write_half);
@@ -585,7 +627,10 @@ impl Server {
         }
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        let mut store = ResultStore::new(cfg.capacity_bytes);
+        let metrics = retcon_obs::Registry::new("retcon_serve");
+        let request_latency = metrics.histogram("request_latency_micros");
+        let mut store = ResultStore::new(cfg.capacity_bytes)
+            .with_spill_write_hist(metrics.histogram("spill_write_latency_micros"));
         if let Some(dir) = &cfg.spill {
             store = store.with_spill(dir.clone());
         }
@@ -612,6 +657,8 @@ impl Server {
             connections: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             key_quarantine: Mutex::new(HashSet::new()),
+            metrics,
+            request_latency,
         });
         Ok(Server {
             listener,
@@ -767,6 +814,18 @@ mod tests {
         assert_eq!(get("executed"), 4);
         assert_eq!(get("store_hits"), 4);
         assert_eq!(get("sweeps"), 2);
+
+        // The metrics exposition is well-formed and its counters agree
+        // with the sweep accounting above: 4 executions (each with a
+        // latency observation) and 4 warm-sweep store hits.
+        let text = client.metrics().expect("metrics");
+        retcon_obs::validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("retcon_serve_executed 4\n"), "{text}");
+        assert!(text.contains("retcon_serve_store_hits 4\n"), "{text}");
+        assert!(
+            text.contains("retcon_serve_request_latency_micros_count 4\n"),
+            "{text}"
+        );
 
         client.shutdown().expect("shutdown");
         handle.join().expect("server thread").expect("server run");

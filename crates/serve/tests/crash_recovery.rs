@@ -4,10 +4,10 @@
 //! offline runner, previously-completed keys count as store hits, and
 //! `executed` counts only keys never finished before the crash.
 //!
-//! This drives the released binary through its stdout contract (the
-//! warm-start summary then the listening line), not an in-process
-//! [`Server`], so the crash is a real process death: no destructors, no
-//! flushes, no drain.
+//! This drives the released binary through its stderr log contract (the
+//! warm-start summary then the listening line, both through the leveled
+//! logger), not an in-process [`Server`], so the crash is a real process
+//! death: no destructors, no flushes, no drain.
 
 use retcon_lab::engine::{self, RunKey};
 use retcon_serve::{Client, SweepRequest};
@@ -72,11 +72,11 @@ fn launch(spill: &Path) -> Daemon {
             "--spill",
             spill.to_str().expect("utf-8 spill path"),
         ])
-        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
         .spawn()
         .expect("spawn retcon-serve");
-    let stdout = child.stdout.take().expect("piped stdout");
-    let mut lines = BufReader::new(stdout).lines();
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
     let warm = lines
         .next()
         .expect("warm-start line")
@@ -86,9 +86,12 @@ fn launch(spill: &Path) -> Daemon {
         .next()
         .expect("listening line")
         .expect("read listening line");
+    // Logger lines carry a `<timestamp> <LEVEL> ` prefix; split on the
+    // stable marker instead of stripping it.
     let addr = listen
-        .strip_prefix("retcon-serve listening on ")
+        .split_once("retcon-serve listening on ")
         .unwrap_or_else(|| panic!("unexpected boot line: {listen}"))
+        .1
         .to_string();
     Daemon {
         child,
@@ -98,11 +101,13 @@ fn launch(spill: &Path) -> Daemon {
     }
 }
 
-/// Parses `retcon-serve warm start: recovered N, quarantined M`.
+/// Parses `retcon-serve warm start: recovered N, quarantined M` (after
+/// the logger's timestamp/level prefix).
 fn parse_warm_start(line: &str) -> (u64, u64) {
     let rest = line
-        .strip_prefix("retcon-serve warm start: recovered ")
-        .unwrap_or_else(|| panic!("unexpected boot line: {line}"));
+        .split_once("retcon-serve warm start: recovered ")
+        .unwrap_or_else(|| panic!("unexpected boot line: {line}"))
+        .1;
     let (recovered, rest) = rest.split_once(", quarantined ").expect("warm-start shape");
     (
         recovered.parse().expect("recovered count"),

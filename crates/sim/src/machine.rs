@@ -176,6 +176,14 @@ pub struct Machine<const N: usize = 1> {
     /// `None` keeps the hot path branch-free-in-practice (a never-taken,
     /// perfectly predicted check per access).
     footprint: Option<retcon_mem::FxHashSet<u64>>,
+    /// When attached, transaction lifecycle events are recorded into this
+    /// preallocated ring (see [`retcon_obs`]). Same `Option` discipline as
+    /// `footprint`: `None` (the default) is a never-taken branch per
+    /// event site, so the untraced hot path neither allocates nor slows,
+    /// and the tracer is write-only — nothing in the simulation ever
+    /// reads it back, which is what keeps traced and untraced runs
+    /// byte-identical.
+    tracer: Option<Box<retcon_obs::RingTracer>>,
     /// Memoised result of the stale-peer scan (see [`clamp_stale_peers`]):
     /// valid while no block version moved and no certificate changed
     /// state. Storm pops cluster between real batches, so within a
@@ -342,6 +350,7 @@ impl<const N: usize> Machine<N> {
             cert_payload: vec![CertPayload::EMPTY; programs.len()],
             cert_gen: 0,
             footprint: None,
+            tracer: None,
             clamp_cache: ClampCache::INVALID,
             programs,
             cfg,
@@ -364,6 +373,21 @@ impl<const N: usize> Machine<N> {
     /// The recorded block footprint, if tracking was enabled.
     pub fn footprint(&self) -> Option<&retcon_mem::FxHashSet<u64>> {
         self.footprint.as_ref()
+    }
+
+    /// Attaches an event tracer: transaction begin/conflict/stall/
+    /// repair/abort/commit and storm fast-forward events are recorded
+    /// into `tracer`'s preallocated ring as the run executes. Tracing is
+    /// observation-only — a traced run's report is byte-identical to an
+    /// untraced one (pinned by the trace-determinism suite).
+    pub fn set_tracer(&mut self, tracer: retcon_obs::RingTracer) {
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// Detaches and returns the tracer, with every event recorded so
+    /// far. `None` if tracing was never enabled.
+    pub fn take_tracer(&mut self) -> Option<retcon_obs::RingTracer> {
+        self.tracer.take().map(|b| *b)
     }
 
     /// Enables or disables analytic fast-forwarding of stall-retry storms.
@@ -575,8 +599,21 @@ impl<const N: usize> Machine<N> {
             cert_gen,
             clamp_cache,
             footprint,
+            tracer,
             ..
         } = self;
+        // Tracing is observation-only: every `trace` call below records a
+        // decision the simulator has already made, into memory
+        // preallocated before the run. `None` (the default) is one
+        // never-taken branch per event site, like `footprint`.
+        use retcon_obs::{EventKind, Tracer as _};
+        macro_rules! trace {
+            ($kind:expr, $at:expr, $arg:expr) => {
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.record(c, $kind, $at, $arg);
+                }
+            };
+        }
         // Split borrows around `c`: the fast-forward clamp below must read
         // peer cores' clocks and revalidate peer certificates while this
         // core's state is mutably borrowed.
@@ -623,11 +660,12 @@ impl<const N: usize> Machine<N> {
             if protocol.take_aborted(core_id) {
                 core.restart_tx();
                 in_tx = false;
-                // The abort rewound the pc: the certified stall (if any) is
-                // no longer this core's next action, and the contended
-                // block's version need not have moved when *this* core was
-                // the victim (its speculative bits may not cover that
-                // block). Drop the certificate; a fresh stall re-certifies.
+                trace!(EventKind::Abort, core.now, 2); // remote
+                                                       // The abort rewound the pc: the certified stall (if any) is
+                                                       // no longer this core's next action, and the contended
+                                                       // block's version need not have moved when *this* core was
+                                                       // the victim (its speculative bits may not cover that
+                                                       // block). Drop the certificate; a fresh stall re-certifies.
                 meta.state = CertState::Empty;
                 *cert_gen += 1;
                 continue;
@@ -728,6 +766,7 @@ impl<const N: usize> Machine<N> {
                             1
                         };
                         protocol.apply_stall_retries(core_id, &payload.storm, n, mem);
+                        trace!(EventKind::StormFf, core.now, n);
                         stepped = true;
                         continue;
                     }
@@ -787,6 +826,7 @@ impl<const N: usize> Machine<N> {
                         }
                         MemResult::Stall => {
                             core.stall(stall_retry + sched.observe_stall(c, core.now));
+                            trace!(EventKind::Stall, core.now, a.block().0);
                             if fast_forward {
                                 certify_storm(
                                     protocol,
@@ -802,6 +842,8 @@ impl<const N: usize> Machine<N> {
                         MemResult::Abort => {
                             core.restart_tx();
                             in_tx = false;
+                            trace!(EventKind::Conflict, core.now, a.block().0);
+                            trace!(EventKind::Abort, core.now, 0); // access
                         }
                     }
                 }
@@ -822,6 +864,7 @@ impl<const N: usize> Machine<N> {
                         }
                         MemResult::Stall => {
                             core.stall(stall_retry + sched.observe_stall(c, core.now));
+                            trace!(EventKind::Stall, core.now, a.block().0);
                             if fast_forward {
                                 certify_storm(
                                     protocol,
@@ -837,6 +880,8 @@ impl<const N: usize> Machine<N> {
                         MemResult::Abort => {
                             core.restart_tx();
                             in_tx = false;
+                            trace!(EventKind::Conflict, core.now, a.block().0);
+                            trace!(EventKind::Abort, core.now, 0); // access
                         }
                     }
                 }
@@ -875,6 +920,7 @@ impl<const N: usize> Machine<N> {
                 Instr::TxBegin => {
                     debug_assert!(!protocol.tx_active(core_id), "nested TxBegin on core {c}");
                     protocol.tx_begin(core_id, core.now);
+                    trace!(EventKind::TxBegin, core.now, 0);
                     core.tx_begin_pc = Some(pc);
                     core.reg_ckpt = core.regs;
                     core.tape.mark();
@@ -901,9 +947,17 @@ impl<const N: usize> Machine<N> {
                             core.instructions += 1;
                             core.pc = pc.next();
                             in_tx = false;
+                            // RETCON's repair-not-abort, visible at last:
+                            // a commit that replayed symbolic register
+                            // updates repaired instead of aborting.
+                            if !reg_updates.is_empty() {
+                                trace!(EventKind::Repair, core.now, reg_updates.len() as u64);
+                            }
+                            trace!(EventKind::Commit, core.now, latency);
                         }
                         CommitResult::Stall => {
                             core.stall(stall_retry + sched.observe_stall(c, core.now));
+                            trace!(EventKind::Stall, core.now, 0); // commit-stall
                             if fast_forward {
                                 certify_storm(
                                     protocol,
@@ -919,6 +973,7 @@ impl<const N: usize> Machine<N> {
                         CommitResult::Abort => {
                             core.restart_tx();
                             in_tx = false;
+                            trace!(EventKind::Abort, core.now, 1); // commit-time
                         }
                     }
                 }

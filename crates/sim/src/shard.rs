@@ -74,6 +74,23 @@ pub fn shard_ranges(num_cores: usize, shards: usize) -> Vec<Range<usize>> {
     ranges
 }
 
+/// What a traced sharded run produced (see [`run_sharded_traced`]).
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // constructed once per run, never stored
+pub enum TracedShardedOutcome {
+    /// Footprints disjoint: the merged report (byte-identical to serial)
+    /// plus the merged event stream — shard-local core ids renumbered to
+    /// global, with one `ShardMerge` event appended per shard.
+    Merged(SimReport, retcon_obs::RingTracer),
+    /// Two shards touched a common block; no merged trace exists (the
+    /// caller falls back to a serial traced run). Carries one witness
+    /// block id.
+    Overlap {
+        /// A block id present in at least two shard footprints.
+        block: u64,
+    },
+}
+
 /// What a sharded run produced.
 #[derive(Debug)]
 #[allow(clippy::large_enum_variant)] // constructed once per run, never stored
@@ -147,6 +164,80 @@ where
         }
     }
     Ok(ShardedOutcome::Merged(merge_reports(reports)))
+}
+
+/// [`run_sharded`] with per-shard event tracing: each shard machine
+/// records its events into a private ring (capacity split evenly across
+/// shards), and on a successful merge the streams are concatenated in
+/// shard order with core ids shifted back to global numbering, followed
+/// by one [`ShardMerge`](retcon_obs::EventKind::ShardMerge) event per
+/// shard (`core` = shard index, `at` = that shard's cycle count,
+/// `arg` = 0 for merged).
+///
+/// Tracing never perturbs: the report returned is byte-identical to
+/// [`run_sharded`]'s (and therefore to a serial run's).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any shard reports (by shard order).
+pub fn run_sharded_traced<const N: usize, F>(
+    num_cores: usize,
+    shards: usize,
+    capacity: usize,
+    build: F,
+) -> Result<TracedShardedOutcome, SimError>
+where
+    F: Fn(Range<usize>) -> Machine<N> + Sync,
+{
+    let ranges = shard_ranges(num_cores, shards);
+    let per_shard = capacity.div_ceil(shards).max(1);
+    let mut outcomes: Vec<Option<Result<_, SimError>>> = Vec::new();
+    outcomes.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        for (range, slot) in ranges.iter().zip(outcomes.iter_mut()) {
+            let build = &build;
+            scope.spawn(move || {
+                let mut machine = build(range.clone());
+                machine.set_track_footprint(true);
+                machine.set_tracer(retcon_obs::RingTracer::with_capacity(per_shard));
+                *slot = Some(machine.run().map(|report| {
+                    let footprint = machine
+                        .footprint()
+                        .expect("footprint tracking enabled above")
+                        .clone();
+                    let tracer = machine.take_tracer().expect("tracer attached above");
+                    (report, footprint, tracer)
+                }));
+            });
+        }
+    });
+    let mut reports = Vec::with_capacity(ranges.len());
+    let mut footprints = Vec::with_capacity(ranges.len());
+    let mut tracers = Vec::with_capacity(ranges.len());
+    for slot in outcomes {
+        let (report, footprint, tracer) = slot.expect("every shard thread ran")?;
+        reports.push(report);
+        footprints.push(footprint);
+        tracers.push(tracer);
+    }
+    let mut seen = retcon_mem::FxHashSet::default();
+    for fp in &footprints {
+        for &block in fp {
+            if !seen.insert(block) {
+                return Ok(TracedShardedOutcome::Overlap { block });
+            }
+        }
+    }
+    use retcon_obs::Tracer as _;
+    let mut merged_trace = retcon_obs::RingTracer::with_capacity(capacity.max(1) + shards);
+    for (s, ((tracer, range), report)) in tracers.iter().zip(&ranges).zip(&reports).enumerate() {
+        merged_trace.extend_offset(tracer, range.start);
+        merged_trace.record(s, retcon_obs::EventKind::ShardMerge, report.cycles, 0);
+    }
+    Ok(TracedShardedOutcome::Merged(
+        merge_reports(reports),
+        merged_trace,
+    ))
 }
 
 /// Merges shard reports (in shard order) into the serial-equivalent

@@ -20,13 +20,14 @@ use std::process::ExitCode;
 use retcon_sim::json::Json;
 use retcon_sim::SimConfig;
 use retcon_workloads::{
-    run_spec_configured_sized, run_spec_sized, sequential_baseline, System, Workload, MAX_SIM_CORES,
+    run_spec_configured_sized, run_spec_sized, run_spec_traced_sized, sequential_baseline, System,
+    Workload, MAX_SIM_CORES,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: retcon-run --workload <name> [--system <name>] [--cores <n>] [--seed <n>] \
-         [--shards <n>] [--schedule-seed <n>] [--json]"
+         [--shards <n>] [--schedule-seed <n>] [--trace <path>] [--json]"
     );
     eprintln!();
     let mut names: Vec<&str> = Workload::all().iter().map(|w| w.label()).collect();
@@ -40,6 +41,11 @@ fn usage() -> ExitCode {
     eprintln!("--cores up to 1024 (CoreSet size classes: 64/128/256/512/1024)");
     eprintln!("--shards N runs disjoint core ranges on host threads; the report is");
     eprintln!("byte-identical to the serial run (ignored under --schedule-seed)");
+    eprintln!();
+    eprintln!("--trace PATH records transaction events (begin/conflict/stall/repair/");
+    eprintln!("abort/commit, storm fast-forwards, shard merges) and writes them as");
+    eprintln!("Chrome trace-event JSON, loadable in chrome://tracing or Perfetto.");
+    eprintln!("Tracing never changes the report (ignored under --schedule-seed)");
     ExitCode::FAILURE
 }
 
@@ -50,6 +56,7 @@ fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut shards = 1usize;
     let mut schedule_seed = None;
+    let mut trace: Option<String> = None;
     let mut json = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,6 +88,10 @@ fn main() -> ExitCode {
                 Some(n) => schedule_seed = Some(n),
                 None => return usage(),
             },
+            "--trace" => match value(i) {
+                Some(path) => trace = Some(path.clone()),
+                None => return usage(),
+            },
             "--json" => {
                 json = true;
                 i += 1;
@@ -110,15 +121,44 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let spec = workload.build(cores, seed);
-    let result = match schedule_seed {
+    let result = match (schedule_seed, &trace) {
         // Fuzzed schedules are serial-only: the seed drives one global
-        // draw sequence that sharding cannot split.
-        Some(_) => {
+        // draw sequence that sharding cannot split (and tracing is
+        // declined rather than silently shape-shifted).
+        (Some(_), _) => {
             let mut cfg = SimConfig::with_cores(cores);
             cfg.schedule_seed = schedule_seed;
             run_spec_configured_sized(&spec, system, cfg)
         }
-        None => run_spec_sized(&spec, system, cores, shards),
+        (None, Some(path)) => {
+            let traced = run_spec_traced_sized(
+                &spec,
+                system,
+                cores,
+                shards,
+                retcon_obs::ring::DEFAULT_CAPACITY,
+            );
+            match traced {
+                Ok((report, tracer)) => {
+                    match std::fs::write(path, retcon_obs::chrome::to_chrome_json(&tracer)) {
+                        Ok(()) => {
+                            eprintln!(
+                                "trace: {} events ({} dropped) -> {path}",
+                                tracer.len(),
+                                tracer.dropped()
+                            );
+                            Ok(report)
+                        }
+                        Err(e) => {
+                            eprintln!("trace write failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                Err(e) => Err(e),
+            }
+        }
+        (None, None) => run_spec_sized(&spec, system, cores, shards),
     };
     let report = match result {
         Ok(r) => r,

@@ -54,9 +54,11 @@ pub use spec::{Alloc, WorkloadSpec};
 
 use retcon::RetconConfig;
 use retcon_isa::Instr;
+use retcon_obs::RingTracer;
 use retcon_sim::{
-    run_sharded, AnyProtocol, ConflictPolicy, DatmLite, EagerTm, LazyTm, LazyVbTm, Machine,
-    RetconTm, ShardedOutcome, SimConfig, SimError, SimReport,
+    run_sharded, run_sharded_traced, AnyProtocol, ConflictPolicy, DatmLite, EagerTm, LazyTm,
+    LazyVbTm, Machine, RetconTm, ShardedOutcome, SimConfig, SimError, SimReport,
+    TracedShardedOutcome,
 };
 
 /// The widest supported machine: 16 `CoreSet` words of 64 cores each.
@@ -388,6 +390,88 @@ pub fn run_spec_sized(
         4 => run_class::<4>(spec, system, num_cores, shards),
         8 => run_class::<8>(spec, system, num_cores, shards),
         _ => run_class::<16>(spec, system, num_cores, shards),
+    }
+}
+
+/// [`run_spec_sized`] with transaction event tracing attached: returns
+/// the report — byte-identical to the untraced run, pinned by the
+/// trace-determinism suite — plus the recorded event stream.
+///
+/// `capacity` bounds the event ring (see
+/// [`retcon_obs::ring::DEFAULT_CAPACITY`]); a sharded run splits it
+/// across shards and merges the streams back to global core numbering,
+/// appending one `ShardMerge` event per shard. A workload that is
+/// ineligible for sharding, or whose shards overlap, runs serially
+/// traced — exactly mirroring [`run_spec_sized`]'s fallback (an overlap
+/// fallback is recorded as a `ShardMerge` event with `arg` = 1 at the
+/// head of the stream).
+///
+/// # Errors
+///
+/// [`SimError::UnsupportedCores`] past [`MAX_SIM_CORES`]; otherwise
+/// propagates [`SimError`] from the simulator.
+pub fn run_spec_traced_sized(
+    spec: &WorkloadSpec,
+    system: System,
+    num_cores: usize,
+    shards: usize,
+    capacity: usize,
+) -> Result<(SimReport, RingTracer), SimError> {
+    match size_class(num_cores)? {
+        1 => run_class_traced::<1>(spec, system, num_cores, shards, capacity),
+        2 => run_class_traced::<2>(spec, system, num_cores, shards, capacity),
+        4 => run_class_traced::<4>(spec, system, num_cores, shards, capacity),
+        8 => run_class_traced::<8>(spec, system, num_cores, shards, capacity),
+        _ => run_class_traced::<16>(spec, system, num_cores, shards, capacity),
+    }
+}
+
+fn run_class_traced<const N: usize>(
+    spec: &WorkloadSpec,
+    system: System,
+    num_cores: usize,
+    shards: usize,
+    capacity: usize,
+) -> Result<(SimReport, RingTracer), SimError> {
+    let serial = |spec: &WorkloadSpec, tracer: RingTracer| {
+        let mut machine = machine_for_sized::<N>(
+            spec,
+            system.protocol_sized::<N>(num_cores),
+            SimConfig::with_cores(num_cores),
+        );
+        machine.set_tracer(tracer);
+        let report = machine.run()?;
+        let tracer = machine.take_tracer().expect("tracer attached above");
+        Ok((report, tracer))
+    };
+    if shards <= 1 || shards > num_cores || spec_has_barrier(spec) {
+        return serial(spec, RingTracer::with_capacity(capacity));
+    }
+    let outcome = run_sharded_traced::<N, _>(num_cores, shards, capacity, |range| {
+        let cores = range.len();
+        let mut machine: Machine<N> = Machine::new(
+            SimConfig::with_cores(cores),
+            system.protocol_sized::<N>(cores),
+            spec.programs[range.clone()].to_vec(),
+        );
+        for (i, tape) in spec.tapes[range].iter().enumerate() {
+            machine.set_tape(i, tape.clone());
+        }
+        for &(addr, value) in &spec.init {
+            machine.init_word(addr, value);
+        }
+        machine
+    })?;
+    match outcome {
+        TracedShardedOutcome::Merged(report, tracer) => Ok((report, tracer)),
+        // Overlapping footprints: rerun serially traced, recording the
+        // merge decision (overlap → fallback) at the head of the stream.
+        TracedShardedOutcome::Overlap { .. } => {
+            use retcon_obs::Tracer as _;
+            let mut tracer = RingTracer::with_capacity(capacity);
+            tracer.record(0, retcon_obs::EventKind::ShardMerge, 0, 1);
+            serial(spec, tracer)
+        }
     }
 }
 

@@ -14,8 +14,9 @@
 //! the served output, which is how the CI smoke job cmp-verifies the
 //! daemon. `--require-hit-rate F` exits non-zero if fewer than `F` of
 //! the runs were served without a new execution (store hits plus
-//! single-flight joins). `--stats` / `--shutdown` follow the sweep (or
-//! run alone with `--no-sweep`). `--retries N` turns on transport-level
+//! single-flight joins). `--stats` / `--metrics` / `--shutdown` follow
+//! the sweep (or run alone with `--no-sweep`); `--metrics` prints the
+//! daemon's Prometheus text exposition to stdout. `--retries N` turns on transport-level
 //! retry (reconnect + reissue with backoff — safe because run keys are
 //! idempotency keys); `--connect-timeout-ms` / `--read-timeout-ms`
 //! bound the socket.
@@ -34,6 +35,7 @@ struct Args {
     offline: bool,
     require_hit_rate: Option<f64>,
     stats: bool,
+    metrics: bool,
     shutdown: bool,
 }
 
@@ -41,7 +43,7 @@ fn usage() -> String {
     "usage: serve_client [--addr HOST:PORT] [--workloads A,B] [--systems A,B] \
      [--cores 1,2] [--seeds 42] [--id N] [--offline] [--require-hit-rate F] \
      [--retries N] [--connect-timeout-ms MS] [--read-timeout-ms MS] \
-     [--stats] [--shutdown] [--no-sweep]"
+     [--stats] [--metrics] [--shutdown] [--no-sweep]"
         .to_string()
 }
 
@@ -64,6 +66,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         offline: false,
         require_hit_rate: None,
         stats: false,
+        metrics: false,
         shutdown: false,
     };
     let mut it = argv.iter();
@@ -128,6 +131,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.cfg.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
             }
             "--stats" => args.stats = true,
+            "--metrics" => args.metrics = true,
             "--shutdown" => args.shutdown = true,
             "--no-sweep" => args.no_sweep = true,
             "--help" | "-h" => return Err(usage()),
@@ -181,6 +185,11 @@ fn run(args: &Args) -> Result<(), String> {
         for (name, value) in client.stats()? {
             eprintln!("stat {name}={value}");
         }
+    }
+    if args.metrics {
+        // The exposition document goes to stdout so it can be piped
+        // straight into a scraper or the validator.
+        print!("{}", client.metrics()?);
     }
     if args.shutdown {
         eprintln!("shutdown: {}", client.shutdown()?);

@@ -1,0 +1,137 @@
+//! Trace determinism: the observability layer's hard invariant is that
+//! **observation never changes simulation output**, and its own output
+//! is reproducible.
+//!
+//! * Traced and untraced runs produce byte-identical reports, across
+//!   every hardware configuration.
+//! * The same `(config, seed)` produces the identical event stream
+//!   (pinned by the ring's deterministic stream hash), run after run.
+//! * The Chrome trace-event export parses with the repo's own JSON
+//!   parser and each core's timestamps are monotone.
+//! * Commit events in the trace agree with the report's commit count —
+//!   the trace is an account of the run, not a side story.
+
+use retcon_obs::{EventKind, RingTracer};
+use retcon_sim::json::Json;
+use retcon_sim::SimReport;
+use retcon_workloads::{run_spec_sized, run_spec_traced_sized, System, Workload};
+
+const CAPACITY: usize = 1 << 20;
+
+fn traced(
+    workload: Workload,
+    system: System,
+    cores: usize,
+    seed: u64,
+    shards: usize,
+) -> (SimReport, RingTracer) {
+    let spec = workload.build(cores, seed);
+    run_spec_traced_sized(&spec, system, cores, shards, CAPACITY).expect("traced run")
+}
+
+#[test]
+fn tracing_never_changes_the_report_under_any_system() {
+    for system in System::ALL {
+        let spec = Workload::Counter.build(4, 42);
+        let plain = run_spec_sized(&spec, system, 4, 1).expect("untraced run");
+        let (with_trace, tracer) = traced(Workload::Counter, system, 4, 42, 1);
+        assert_eq!(
+            plain.to_json().to_string(),
+            with_trace.to_json().to_string(),
+            "report bytes changed under tracing ({})",
+            system.label()
+        );
+        assert_eq!(tracer.dropped(), 0, "{}", system.label());
+        assert!(!tracer.is_empty(), "{}", system.label());
+    }
+}
+
+#[test]
+fn same_config_and_seed_reproduces_the_event_stream() {
+    for (system, shards) in [
+        (System::Retcon, 1usize),
+        (System::Eager, 1),
+        (System::Retcon, 2),
+    ] {
+        let (_, a) = traced(Workload::Counter, system, 8, 7, shards);
+        let (_, b) = traced(Workload::Counter, system, 8, 7, shards);
+        assert_eq!(a.dropped(), 0);
+        assert_eq!(
+            a.stream_hash(),
+            b.stream_hash(),
+            "stream diverged ({} shards={shards})",
+            system.label()
+        );
+        // A different configuration must *not* reproduce it (the hash
+        // carries information). Counter's schedule is seed-insensitive,
+        // so vary the core count instead.
+        let (_, c) = traced(Workload::Counter, system, 4, 7, 1);
+        assert_ne!(a.stream_hash(), c.stream_hash());
+    }
+}
+
+#[test]
+fn sharded_traced_report_matches_serial() {
+    // Counter has a barrier, so sharding falls back to the serial path:
+    // the report must still match serially, with no merge markers.
+    let spec = Workload::Counter.build(8, 42);
+    let serial = run_spec_sized(&spec, System::Retcon, 8, 1).expect("serial");
+    let (sharded, tracer) = traced(Workload::Counter, System::Retcon, 8, 42, 2);
+    assert_eq!(
+        serial.to_json().to_string(),
+        sharded.to_json().to_string(),
+        "barrier fallback must stay byte-identical to serial"
+    );
+    assert_eq!(tracer.count(EventKind::ShardMerge), 0);
+
+    // ScalingXl is group-local (shard-eligible at group multiples): the
+    // sharded traced run must match serial byte-for-byte and record one
+    // merge per shard. 16 cores = two disjoint groups of 8.
+    let spec = Workload::ScalingXl.build(16, 42);
+    let serial = run_spec_sized(&spec, System::Retcon, 16, 1).expect("serial");
+    let (sharded, tracer) = traced(Workload::ScalingXl, System::Retcon, 16, 42, 2);
+    assert_eq!(
+        serial.to_json().to_string(),
+        sharded.to_json().to_string(),
+        "sharded traced run must stay byte-identical to serial"
+    );
+    assert_eq!(tracer.count(EventKind::ShardMerge), 2);
+}
+
+#[test]
+fn chrome_export_parses_with_monotone_per_core_timestamps() {
+    let (report, tracer) = traced(
+        Workload::Python { optimized: false },
+        System::Retcon,
+        8,
+        42,
+        1,
+    );
+    assert_eq!(tracer.dropped(), 0);
+    let text = retcon_obs::chrome::to_chrome_json(&tracer);
+    let json = Json::parse(&text).expect("chrome JSON parses");
+    let events = json.req_arr("traceEvents").expect("traceEvents array");
+    assert_eq!(events.len(), tracer.len());
+
+    let mut last_ts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut commits = 0u64;
+    for e in events {
+        let name = e.req_str("name").expect("name");
+        let ts = e.req_u64("ts").expect("ts");
+        let tid = e.req_u64("tid").expect("tid");
+        let prev = last_ts.entry(tid).or_insert(0);
+        assert!(
+            ts >= *prev,
+            "core {tid} went backwards: {ts} after {}",
+            *prev
+        );
+        *prev = ts;
+        if name == "commit" {
+            commits += 1;
+        }
+    }
+    assert_eq!(
+        commits, report.protocol.commits,
+        "trace commit events must equal reported commits"
+    );
+}
